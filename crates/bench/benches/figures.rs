@@ -1,0 +1,128 @@
+//! End-to-end Criterion benches: one group per table/figure of the paper,
+//! each timing the simulation path that regenerates it (at reduced scale so
+//! `cargo bench` completes quickly; the full-size tables come from the
+//! `fig*` binaries and `all_figures`).
+
+use cohesion::config::{DesignPoint, DirectoryVariant, MachineConfig};
+use cohesion::run::run_workload;
+use cohesion_kernels::{kernel_by_name, Scale};
+use cohesion_runtime::api::CohMode;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn run(kernel: &str, dp: DesignPoint) -> u64 {
+    let cfg = MachineConfig::scaled(16, dp);
+    let mut wl = kernel_by_name(kernel, Scale::Tiny);
+    run_workload(&cfg, wl.as_mut()).expect("runs and verifies").cycles
+}
+
+/// Figure 2: SWcc vs optimistic HWcc message counting.
+fn fig2_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2");
+    g.sample_size(10);
+    g.bench_function("heat_swcc", |b| {
+        b.iter(|| black_box(run("heat", DesignPoint::swcc())))
+    });
+    g.bench_function("heat_hwcc_ideal", |b| {
+        b.iter(|| black_box(run("heat", DesignPoint::hwcc_ideal())))
+    });
+    g.finish();
+}
+
+/// Figure 3: the L2-size sweep path (smallest and largest points).
+fn fig3_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3");
+    g.sample_size(10);
+    for size in [8 * 1024u32, 128 * 1024] {
+        g.bench_function(format!("heat_l2_{}k", size >> 10), |b| {
+            b.iter(|| {
+                let mut cfg = MachineConfig::scaled(16, DesignPoint::swcc());
+                cfg.l2 = cohesion_mem::cache::CacheConfig::new(size, 16);
+                let mut wl = kernel_by_name("heat", Scale::Tiny);
+                black_box(run_workload(&cfg, wl.as_mut()).expect("runs").cycles)
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Figure 8: the four-configuration comparison path.
+fn fig8_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8");
+    g.sample_size(10);
+    let e = 16 * 1024;
+    for (name, dp) in [
+        ("swcc", DesignPoint::swcc()),
+        ("cohesion", DesignPoint::cohesion(e, 128)),
+        ("hwcc_ideal", DesignPoint::hwcc_ideal()),
+        ("hwcc_real", DesignPoint::hwcc_real(e, 128)),
+    ] {
+        g.bench_function(format!("kmeans_{name}"), |b| {
+            b.iter(|| black_box(run("kmeans", dp)))
+        });
+    }
+    g.finish();
+}
+
+/// Figure 9: the directory-capacity sweep path (smallest point, where
+/// thrash dominates, for both modes).
+fn fig9_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9");
+    g.sample_size(10);
+    for (name, mode) in [("hwcc", CohMode::HWcc), ("cohesion", CohMode::Cohesion)] {
+        g.bench_function(format!("sobel_tiny_dir_{name}"), |b| {
+            b.iter(|| {
+                let dp = DesignPoint {
+                    mode,
+                    directory: DirectoryVariant::FullyAssociative { entries: 64 },
+                };
+                black_box(run("sobel", dp))
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Figure 10: the six-design-point path on the scheduling-bound kernel.
+fn fig10_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10");
+    g.sample_size(10);
+    let e = 16 * 1024;
+    for (name, dp) in [
+        ("cohesion", DesignPoint::cohesion(e, 128)),
+        ("cohesion_dir4b", DesignPoint::cohesion_dir4b(e, 128)),
+        ("swcc", DesignPoint::swcc()),
+        ("hwcc_dir4b", DesignPoint::hwcc_dir4b(e, 128)),
+    ] {
+        g.bench_function(format!("gjk_{name}"), |b| {
+            b.iter(|| black_box(run("gjk", dp)))
+        });
+    }
+    g.finish();
+}
+
+/// §4.4: the analytic area model (pure arithmetic).
+fn area_path(c: &mut Criterion) {
+    use cohesion_protocol::area::{dir4b, duplicate_tags, full_map, AreaInputs};
+    c.bench_function("area_table", |b| {
+        let inputs = AreaInputs::isca2010();
+        b.iter(|| {
+            black_box((
+                full_map(&inputs),
+                dir4b(&inputs),
+                duplicate_tags(&inputs, 23, 8),
+            ))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    fig2_path,
+    fig3_path,
+    fig8_path,
+    fig9_path,
+    fig10_path,
+    area_path
+);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Ablation study of the design choices DESIGN.md calls out:
+//!
+//! 1. **Fine-grain table caching** — the paper's base design keeps the
+//!    table in the L3 (§3.4); the default configuration adds a small
+//!    dedicated per-bank table cache, as the paper suggests when L3 latency
+//!    becomes a concern.
+//! 2. **The coarse-grain region table** — §3.4's on-die table short-cuts
+//!    the fine-grain lookup for code/constants/stacks. Disabling it routes
+//!    those regions through the in-memory bitmap.
+//! 3. **Dir4B pointer overflow** — limited directories fall back to
+//!    broadcast; comparing full-map vs Dir4B on the same sparse geometry
+//!    isolates the cost of lost sharer information.
+//! 4. **MESI exclusive state** — the paper's protocol is MSI because E→S
+//!    downgrades are costly for read-shared data (§3.2); this measures the
+//!    trade both ways.
+//! 5. **Silent clean evictions** — removing read releases leaves stale
+//!    sharer sets and lingering entries (§2.1/§3.2).
+//! 6. **Per-word dirty bits** — without them, SWcc store misses must fetch
+//!    lines before writing and multi-writer merges become races (§2.1).
+//!    NOTE: kernels whose tasks legitimately write disjoint words of one
+//!    line (kmeans, cg reduction slots) *are* racy under this ablation —
+//!    use it with heat/sobel/dmm/stencil/mri/gjk.
+//!
+//! ```sh
+//! cargo run --release -p cohesion-bench --bin ablation [--cores N] [--scale ...]
+//! ```
+
+use cohesion::config::DesignPoint;
+use cohesion::run::run_workload;
+use cohesion_bench::harness::Options;
+use cohesion_bench::table::Table;
+use cohesion_kernels::kernel_by_name;
+
+fn main() {
+    let opts = Options::from_args();
+    let e = 16 * 1024;
+    let mut t = Table::new(vec![
+        "kernel",
+        "variant",
+        "cycles",
+        "vs default",
+        "messages",
+    ]);
+    for kernel in &opts.kernels {
+        let mut base_cycles = None;
+        for (variant, f) in [
+            (
+                "default (table cache + coarse table)",
+                Box::new(|_: &mut cohesion::config::MachineConfig| {})
+                    as Box<dyn Fn(&mut cohesion::config::MachineConfig)>,
+            ),
+            (
+                "table cached in L3 (paper base)",
+                Box::new(|c: &mut cohesion::config::MachineConfig| c.table_cache_bytes = 0),
+            ),
+            (
+                "no coarse table (all fine-grain)",
+                Box::new(|c: &mut cohesion::config::MachineConfig| c.use_coarse_table = false),
+            ),
+            (
+                "Dir4B sharer pointers",
+                Box::new(|c: &mut cohesion::config::MachineConfig| {
+                    c.design = DesignPoint::cohesion_dir4b(16 * 1024, 128)
+                }),
+            ),
+            (
+                "MESI (exclusive state)",
+                Box::new(|c: &mut cohesion::config::MachineConfig| c.exclusive_state = true),
+            ),
+            (
+                "silent clean evictions",
+                Box::new(|c: &mut cohesion::config::MachineConfig| c.silent_evictions = true),
+            ),
+            (
+                "no per-word dirty bits",
+                Box::new(|c: &mut cohesion::config::MachineConfig| c.word_granular_swcc = false),
+            ),
+        ] {
+            let mut cfg = opts.config(DesignPoint::cohesion(e, 128));
+            f(&mut cfg);
+            let mut wl = kernel_by_name(kernel, opts.scale);
+            let r = run_workload(&cfg, wl.as_mut())
+                .unwrap_or_else(|err| panic!("{kernel} {variant}: {err}"));
+            let base = *base_cycles.get_or_insert(r.cycles);
+            t.row(vec![
+                kernel.clone(),
+                variant.to_string(),
+                r.cycles.to_string(),
+                format!("{:.2}x", r.cycles as f64 / base as f64),
+                r.total_messages().to_string(),
+            ]);
+        }
+    }
+    println!("Ablation of Cohesion design choices (Cohesion mode, realistic sparse directory)\n");
+    print!("{}", t.render());
+}

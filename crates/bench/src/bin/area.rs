@@ -1,0 +1,7 @@
+//! Regenerates the §4.4 directory-area table (analytic; no simulation).
+
+use cohesion_bench::figures::render_area;
+
+fn main() {
+    print!("{}", render_area());
+}

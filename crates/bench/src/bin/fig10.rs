@@ -1,0 +1,11 @@
+//! Regenerates Figure 10: runtime across the six §4 design points,
+//! normalized to Cohesion with a full-map sparse directory.
+
+use cohesion_bench::figures::{fig10, render_fig10};
+use cohesion_bench::harness::Options;
+
+fn main() {
+    let opts = Options::from_args();
+    let rows = fig10(&opts);
+    print!("{}", render_fig10(&rows));
+}

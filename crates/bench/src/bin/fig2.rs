@@ -1,0 +1,10 @@
+//! Regenerates Figure 2: L2→L3 message counts, SWcc vs optimistic HWcc.
+
+use cohesion_bench::figures::{fig2, render_fig2};
+use cohesion_bench::harness::Options;
+
+fn main() {
+    let opts = Options::from_args();
+    let rows = fig2(&opts);
+    print!("{}", render_fig2(&rows));
+}

@@ -1,0 +1,10 @@
+//! Regenerates Figure 3: usefulness of SWcc coherence instructions vs L2 size.
+
+use cohesion_bench::figures::{fig3, render_fig3};
+use cohesion_bench::harness::Options;
+
+fn main() {
+    let opts = Options::from_args();
+    let rows = fig3(&opts);
+    print!("{}", render_fig3(&rows));
+}

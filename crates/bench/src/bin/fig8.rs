@@ -1,0 +1,11 @@
+//! Regenerates Figure 8: message counts for SWcc / Cohesion / HWccIdeal /
+//! HWccReal, normalized to SWcc.
+
+use cohesion_bench::figures::{fig8, render_fig8};
+use cohesion_bench::harness::Options;
+
+fn main() {
+    let opts = Options::from_args();
+    let rows = fig8(&opts);
+    print!("{}", render_fig8(&rows));
+}

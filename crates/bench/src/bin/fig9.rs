@@ -1,0 +1,30 @@
+//! Regenerates Figure 9: directory-capacity sweeps (a: HWcc, b: Cohesion)
+//! and occupancy breakdown (c). Select with `--part a|b|c`; default all.
+
+use cohesion_bench::figures::{fig9_sweep, fig9c, render_fig9_sweep, render_fig9c};
+use cohesion_bench::harness::Options;
+use cohesion_runtime::api::CohMode;
+
+fn main() {
+    let opts = Options::from_args();
+    let part = std::env::args()
+        .collect::<Vec<_>>()
+        .windows(2)
+        .find(|w| w[0] == "--part")
+        .map(|w| w[1].clone());
+    let all = part.is_none();
+    if all || part.as_deref() == Some("a") {
+        print!("{}", render_fig9_sweep("a (HWcc)", &fig9_sweep(&opts, CohMode::HWcc)));
+        println!();
+    }
+    if all || part.as_deref() == Some("b") {
+        print!(
+            "{}",
+            render_fig9_sweep("b (Cohesion)", &fig9_sweep(&opts, CohMode::Cohesion))
+        );
+        println!();
+    }
+    if all || part.as_deref() == Some("c") {
+        print!("{}", render_fig9c(&fig9c(&opts)));
+    }
+}

@@ -1,0 +1,26 @@
+//! Generates the golden-statistics table for tests/golden_stats.rs
+//! (development tool; run after intentional protocol changes and paste the
+//! output into the test).
+
+use cohesion::config::{DesignPoint, MachineConfig};
+use cohesion::run::run_workload;
+use cohesion_kernels::{kernel_by_name, Scale, KERNEL_NAMES};
+
+fn main() {
+    for kernel in KERNEL_NAMES {
+        for (mode, dp) in [
+            ("SWcc", DesignPoint::swcc()),
+            ("HWccIdeal", DesignPoint::hwcc_ideal()),
+            ("Cohesion", DesignPoint::cohesion(1024, 128)),
+        ] {
+            let cfg = MachineConfig::scaled(16, dp);
+            let mut wl = kernel_by_name(kernel, Scale::Tiny);
+            let r = run_workload(&cfg, wl.as_mut()).expect("verifies");
+            println!(
+                "    (\"{kernel}\", \"{mode}\", {}, {}),",
+                r.cycles,
+                r.total_messages()
+            );
+        }
+    }
+}

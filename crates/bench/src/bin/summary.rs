@@ -1,0 +1,11 @@
+//! Computes the abstract's headline claims: ~2x message reduction and
+//! ~2.1x directory-utilization reduction vs optimistic HWcc.
+
+use cohesion_bench::figures::{fig8, fig9c, render_summary, summarize};
+use cohesion_bench::harness::Options;
+
+fn main() {
+    let opts = Options::from_args();
+    let s = summarize(&fig8(&opts), &fig9c(&opts));
+    print!("{}", render_summary(&s));
+}

@@ -1,0 +1,187 @@
+//! Machine-readable CSV emission for the figure data.
+
+use std::io::Write;
+use std::path::Path;
+
+use cohesion_sim::msg::MessageClass;
+
+use crate::figures::{Fig10Row, Fig2Row, Fig3Row, Fig8Row, Fig9Sample, Fig9cRow};
+
+fn write(path: &Path, header: &str, rows: Vec<String>) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    writeln!(f, "{header}")?;
+    for r in rows {
+        writeln!(f, "{r}")?;
+    }
+    Ok(())
+}
+
+fn classes_header() -> String {
+    MessageClass::ALL
+        .iter()
+        .map(|c| c.label().replace([' ', '/'], "_").to_lowercase())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn classes_cells(m: &cohesion_sim::stats::MessageCounts) -> String {
+    MessageClass::ALL
+        .iter()
+        .map(|&c| m.count(c).to_string())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Writes every figure's data as CSV files under `dir`.
+///
+/// # Errors
+///
+/// Propagates filesystem failures.
+#[allow(clippy::too_many_arguments)]
+pub fn export_all(
+    dir: &Path,
+    f2: &[Fig2Row],
+    f3: &[Fig3Row],
+    f8: &[Fig8Row],
+    f9a: &[Fig9Sample],
+    f9b: &[Fig9Sample],
+    f9c: &[Fig9cRow],
+    f10: &[Fig10Row],
+) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+
+    write(
+        &dir.join("fig2.csv"),
+        &format!("kernel,config,cycles,total_messages,{}", classes_header()),
+        f2.iter()
+            .flat_map(|r| {
+                [("SWcc", &r.swcc), ("HWccIdeal", &r.hwcc)].map(|(n, rep)| {
+                    format!(
+                        "{},{},{},{},{}",
+                        r.kernel,
+                        n,
+                        rep.cycles,
+                        rep.total_messages(),
+                        classes_cells(&rep.messages)
+                    )
+                })
+            })
+            .collect(),
+    )?;
+
+    write(
+        &dir.join("fig3.csv"),
+        "kernel,l2_bytes,useful_invalidations,useful_writebacks",
+        f3.iter()
+            .map(|r| {
+                format!(
+                    "{},{},{:.4},{:.4}",
+                    r.kernel, r.l2_bytes, r.inv_useful, r.wb_useful
+                )
+            })
+            .collect(),
+    )?;
+
+    write(
+        &dir.join("fig8.csv"),
+        &format!("kernel,config,cycles,total_messages,{}", classes_header()),
+        f8.iter()
+            .flat_map(|r| {
+                r.reports.iter().map(move |(n, rep)| {
+                    format!(
+                        "{},{},{},{},{}",
+                        r.kernel,
+                        n,
+                        rep.cycles,
+                        rep.total_messages(),
+                        classes_cells(&rep.messages)
+                    )
+                })
+            })
+            .collect(),
+    )?;
+
+    for (name, data) in [("fig9a.csv", f9a), ("fig9b.csv", f9b)] {
+        write(
+            &dir.join(name),
+            "kernel,entries_per_bank,slowdown,dir_evictions",
+            data.iter()
+                .map(|r| {
+                    format!(
+                        "{},{},{:.4},{}",
+                        r.kernel, r.entries, r.slowdown, r.dir_evictions
+                    )
+                })
+                .collect(),
+        )?;
+    }
+
+    write(
+        &dir.join("fig9c.csv"),
+        "kernel,config,avg_entries,avg_code,avg_heap_global,avg_stack,max_entries",
+        f9c.iter()
+            .flat_map(|r| {
+                [("Cohesion", &r.cohesion), ("HWcc", &r.hwcc)].map(|(n, (avg, max, by))| {
+                    format!(
+                        "{},{},{:.1},{:.1},{:.1},{:.1},{}",
+                        r.kernel, n, avg, by[0], by[1], by[2], max
+                    )
+                })
+            })
+            .collect(),
+    )?;
+
+    write(
+        &dir.join("fig10.csv"),
+        "kernel,config,cycles,normalized_runtime",
+        f10.iter()
+            .flat_map(|r| {
+                let base = r.reports[0].1.cycles.max(1);
+                r.reports.iter().map(move |(n, rep)| {
+                    format!(
+                        "{},{},{},{:.4}",
+                        r.kernel,
+                        n,
+                        rep.cycles,
+                        rep.cycles as f64 / base as f64
+                    )
+                })
+            })
+            .collect(),
+    )?;
+
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::{fig2, fig3, tiny_options};
+
+    #[test]
+    fn csv_files_are_written_and_parse() {
+        let dir = std::env::temp_dir().join("cohesion_csv_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut o = tiny_options();
+        o.kernels = vec!["sobel".into()];
+        let f2 = fig2(&o);
+        let f3 = fig3(&o);
+        export_all(&dir, &f2, &f3, &[], &[], &[], &[], &[]).expect("writes");
+        for name in ["fig2.csv", "fig3.csv", "fig8.csv", "fig9a.csv", "fig9b.csv", "fig9c.csv", "fig10.csv"] {
+            let text = std::fs::read_to_string(dir.join(name)).expect(name);
+            let mut lines = text.lines();
+            let header = lines.next().expect("header");
+            let cols = header.split(',').count();
+            for l in lines {
+                assert_eq!(l.split(',').count(), cols, "{name}: ragged row {l}");
+            }
+        }
+        // fig2 has two rows per kernel.
+        let fig2_rows = std::fs::read_to_string(dir.join("fig2.csv"))
+            .unwrap()
+            .lines()
+            .count();
+        assert_eq!(fig2_rows, 1 + 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,549 @@
+//! The experiment implementations behind every figure of the paper.
+//!
+//! Each `figN` function runs the simulations and returns structured rows;
+//! each `render_figN` formats them the way the paper's plot reads. The
+//! binaries (`fig2`, `fig3`, ...) are thin wrappers; `all_figures`
+//! regenerates `EXPERIMENTS.md` from the same functions.
+
+use cohesion::config::{DesignPoint, DirectoryVariant};
+use cohesion::report::RunReport;
+use cohesion::run::run_workload;
+use cohesion_kernels::kernel_by_name;
+use cohesion_runtime::api::CohMode;
+use cohesion_sim::msg::MessageClass;
+
+use crate::harness::{pmap, realistic_points, run, Options};
+use crate::table::{frac, ratio, Table};
+
+// ---------------------------------------------------------------------
+// Figure 2: SWcc vs optimistic HWcc message breakdown
+// ---------------------------------------------------------------------
+
+/// One kernel's Figure 2 data.
+#[derive(Debug, Clone)]
+pub struct Fig2Row {
+    /// Kernel name.
+    pub kernel: String,
+    /// The SWcc run.
+    pub swcc: RunReport,
+    /// The optimistic-HWcc run.
+    pub hwcc: RunReport,
+}
+
+/// Runs Figure 2: L2→L3 messages under SWcc and optimistic HWcc.
+pub fn fig2(opts: &Options) -> Vec<Fig2Row> {
+    pmap(opts.kernels.clone(), |k| Fig2Row {
+        swcc: run(opts, &k, DesignPoint::swcc()),
+        hwcc: run(opts, &k, DesignPoint::hwcc_ideal()),
+        kernel: k,
+    })
+}
+
+/// Renders Figure 2 as a per-class table normalized to SWcc.
+pub fn render_fig2(rows: &[Fig2Row]) -> String {
+    let mut out = String::from(
+        "Figure 2: L2 output messages, optimistic HWcc relative to SWcc (per class, normalized to total SWcc messages)\n\n",
+    );
+    let mut header: Vec<String> = vec!["kernel".into(), "config".into(), "total".into()];
+    header.extend(MessageClass::ALL.iter().map(|c| c.label().to_string()));
+    let mut t = Table::new(header);
+    for r in rows {
+        for (name, rep) in [("SWcc", &r.swcc), ("HWcc", &r.hwcc)] {
+            let base = r.swcc.total_messages() as f64;
+            let mut cells = vec![
+                r.kernel.clone(),
+                name.to_string(),
+                ratio(rep.total_messages() as f64 / base),
+            ];
+            cells.extend(
+                MessageClass::ALL
+                    .iter()
+                    .map(|&c| frac(rep.messages.count(c) as f64 / base)),
+            );
+            t.row(cells);
+        }
+    }
+    out.push_str(&t.render());
+    out
+}
+
+// ---------------------------------------------------------------------
+// Figure 3: usefulness of SWcc coherence instructions vs L2 size
+// ---------------------------------------------------------------------
+
+/// One (kernel, L2 size) usefulness sample.
+#[derive(Debug, Clone)]
+pub struct Fig3Row {
+    /// Kernel name.
+    pub kernel: String,
+    /// L2 size in bytes.
+    pub l2_bytes: u32,
+    /// Fraction of software invalidations that hit valid lines.
+    pub inv_useful: f64,
+    /// Fraction of software writebacks that hit valid (dirty) lines.
+    pub wb_useful: f64,
+}
+
+/// The L2 sizes swept by Figure 3.
+pub const FIG3_L2_SIZES: [u32; 5] = [8 << 10, 16 << 10, 32 << 10, 64 << 10, 128 << 10];
+
+/// Runs Figure 3: SWcc instruction usefulness across L2 sizes.
+pub fn fig3(opts: &Options) -> Vec<Fig3Row> {
+    let points: Vec<(String, u32)> = opts
+        .kernels
+        .iter()
+        .flat_map(|k| FIG3_L2_SIZES.iter().map(move |&s| (k.clone(), s)))
+        .collect();
+    pmap(points, |(k, size)| {
+        let mut cfg = opts.config(DesignPoint::swcc());
+        cfg.l2 = cohesion_mem::cache::CacheConfig::new(size, 16);
+        let mut wl = kernel_by_name(&k, opts.scale);
+        let rep = run_workload(&cfg, wl.as_mut())
+            .unwrap_or_else(|e| panic!("fig3 {k} @ {size}: {e}"));
+        Fig3Row {
+            kernel: k,
+            l2_bytes: size,
+            inv_useful: rep.instr_stats.invalidation_usefulness(),
+            wb_useful: rep.instr_stats.writeback_usefulness(),
+        }
+    })
+}
+
+/// Renders Figure 3.
+pub fn render_fig3(rows: &[Fig3Row]) -> String {
+    let mut out = String::from(
+        "Figure 3: fraction of SWcc invalidations/writebacks performed on valid L2 lines, vs L2 size\n\n",
+    );
+    let mut t = Table::new(vec!["kernel", "L2", "useful invalidations", "useful writebacks"]);
+    for r in rows {
+        t.row(vec![
+            r.kernel.clone(),
+            format!("{}K", r.l2_bytes >> 10),
+            frac(r.inv_useful),
+            frac(r.wb_useful),
+        ]);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+// ---------------------------------------------------------------------
+// Figure 8: four configurations, messages normalized to SWcc
+// ---------------------------------------------------------------------
+
+/// One kernel's Figure 8 data (SWcc / Cohesion / HWccIdeal / HWccReal).
+#[derive(Debug, Clone)]
+pub struct Fig8Row {
+    /// Kernel name.
+    pub kernel: String,
+    /// Reports in figure order: SWcc, Cohesion, HWccIdeal, HWccReal.
+    pub reports: Vec<(String, RunReport)>,
+}
+
+/// Runs Figure 8.
+pub fn fig8(opts: &Options) -> Vec<Fig8Row> {
+    let e = 16 * 1024;
+    let points = [
+        ("SWcc", DesignPoint::swcc()),
+        ("Cohesion", DesignPoint::cohesion(e, 128)),
+        ("HWccIdeal", DesignPoint::hwcc_ideal()),
+        ("HWccReal", DesignPoint::hwcc_real(e, 128)),
+    ];
+    pmap(opts.kernels.clone(), |k| Fig8Row {
+        reports: points
+            .iter()
+            .map(|(n, dp)| (n.to_string(), run(opts, &k, *dp)))
+            .collect(),
+        kernel: k,
+    })
+}
+
+/// Renders Figure 8.
+pub fn render_fig8(rows: &[Fig8Row]) -> String {
+    let mut out = String::from(
+        "Figure 8: L2 output messages for SWcc, Cohesion, optimistic HWcc, and realistic HWcc, normalized to SWcc\n\n",
+    );
+    let mut t = Table::new(vec![
+        "kernel", "config", "total", "reads", "writes", "instr", "atomics", "evict", "flush",
+        "rdrel", "probes",
+    ]);
+    for r in rows {
+        let base = r.reports[0].1.total_messages() as f64;
+        for (name, rep) in &r.reports {
+            use MessageClass::*;
+            let f = |c: MessageClass| frac(rep.messages.count(c) as f64 / base);
+            t.row(vec![
+                r.kernel.clone(),
+                name.clone(),
+                ratio(rep.total_messages() as f64 / base),
+                f(ReadRequest),
+                f(WriteRequest),
+                f(InstructionRequest),
+                f(UncachedAtomic),
+                f(CacheEviction),
+                f(SoftwareFlush),
+                f(ReadRelease),
+                f(ProbeResponse),
+            ]);
+        }
+    }
+    out.push_str(&t.render());
+    out
+}
+
+// ---------------------------------------------------------------------
+// Figure 9: directory capacity sweeps and occupancy
+// ---------------------------------------------------------------------
+
+/// The per-bank directory sizes swept by Figure 9 (a) and (b).
+pub const FIG9_SIZES: [u32; 7] = [256, 512, 1024, 2048, 4096, 8192, 16384];
+
+/// One (kernel, size) slowdown sample for Figure 9a/9b.
+#[derive(Debug, Clone)]
+pub struct Fig9Sample {
+    /// Kernel name.
+    pub kernel: String,
+    /// Directory entries per bank.
+    pub entries: u32,
+    /// Runtime normalized to the same mode with an infinite directory.
+    pub slowdown: f64,
+    /// Directory capacity evictions observed.
+    pub dir_evictions: u64,
+}
+
+/// Runs the Figure 9a (HWcc) or 9b (Cohesion) sweep.
+pub fn fig9_sweep(opts: &Options, mode: CohMode) -> Vec<Fig9Sample> {
+    pmap(opts.kernels.clone(), |k| {
+        let baseline_dp = DesignPoint {
+            mode,
+            directory: DirectoryVariant::FullMapInfinite,
+        };
+        let baseline = run(opts, &k, baseline_dp);
+        FIG9_SIZES
+            .iter()
+            .map(|&entries| {
+                let dp = DesignPoint {
+                    mode,
+                    directory: DirectoryVariant::FullyAssociative { entries },
+                };
+                let rep = run(opts, &k, dp);
+                Fig9Sample {
+                    kernel: k.clone(),
+                    entries,
+                    slowdown: rep.runtime_relative_to(&baseline),
+                    dir_evictions: rep.dir_evictions,
+                }
+            })
+            .collect::<Vec<_>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
+/// Renders a Figure 9a/9b sweep.
+pub fn render_fig9_sweep(part: &str, rows: &[Fig9Sample]) -> String {
+    let mut out = format!(
+        "Figure 9{part}: slowdown vs directory entries per L3 bank (fully associative), normalized to an infinite directory\n\n",
+    );
+    let mut t = Table::new(vec!["kernel", "entries/bank", "slowdown", "dir evictions"]);
+    for r in rows {
+        t.row(vec![
+            r.kernel.clone(),
+            r.entries.to_string(),
+            ratio(r.slowdown),
+            r.dir_evictions.to_string(),
+        ]);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+/// One kernel's Figure 9c occupancy data.
+#[derive(Debug, Clone)]
+pub struct Fig9cRow {
+    /// Kernel name.
+    pub kernel: String,
+    /// `(avg, max, [code, heap/global, stack])` for Cohesion.
+    pub cohesion: (f64, u64, [f64; 3]),
+    /// `(avg, max, [code, heap/global, stack])` for optimistic HWcc.
+    pub hwcc: (f64, u64, [f64; 3]),
+}
+
+/// Runs Figure 9c: directory entries allocated under unbounded directories.
+pub fn fig9c(opts: &Options) -> Vec<Fig9cRow> {
+    pmap(opts.kernels.clone(), |k| {
+        let coh = run(opts, &k, DesignPoint::cohesion_infinite());
+        let hw = run(opts, &k, DesignPoint::hwcc_ideal());
+        Fig9cRow {
+            kernel: k,
+            cohesion: (coh.dir_avg_entries, coh.dir_max_entries, coh.dir_avg_by_class),
+            hwcc: (hw.dir_avg_entries, hw.dir_max_entries, hw.dir_avg_by_class),
+        }
+    })
+}
+
+/// Renders Figure 9c, including the mean row and the §4.3 reduction factor.
+pub fn render_fig9c(rows: &[Fig9cRow]) -> String {
+    let mut out = String::from(
+        "Figure 9c: time-average (and maximum) directory entries allocated, unbounded directory\n\n",
+    );
+    let mut t = Table::new(vec![
+        "kernel", "config", "avg entries", "code", "heap/global", "stack", "max",
+    ]);
+    let mut sum_coh = 0.0;
+    let mut sum_hw = 0.0;
+    for r in rows {
+        for (name, (avg, max, by)) in [("Cohesion", &r.cohesion), ("HWcc", &r.hwcc)] {
+            t.row(vec![
+                r.kernel.clone(),
+                name.to_string(),
+                format!("{avg:.0}"),
+                format!("{:.0}", by[0]),
+                format!("{:.0}", by[1]),
+                format!("{:.0}", by[2]),
+                max.to_string(),
+            ]);
+        }
+        sum_coh += r.cohesion.0;
+        sum_hw += r.hwcc.0;
+    }
+    out.push_str(&t.render());
+    let reduction = if sum_coh > 0.0 { sum_hw / sum_coh } else { f64::INFINITY };
+    out.push_str(&format!(
+        "\nMean directory-utilization reduction, HWcc/Cohesion: {} (paper: 2.1x)\n",
+        ratio(reduction)
+    ));
+    out
+}
+
+// ---------------------------------------------------------------------
+// Figure 10: runtime across the six design points
+// ---------------------------------------------------------------------
+
+/// One kernel's Figure 10 data.
+#[derive(Debug, Clone)]
+pub struct Fig10Row {
+    /// Kernel name.
+    pub kernel: String,
+    /// `(config name, report)` for the six §4 design points.
+    pub reports: Vec<(String, RunReport)>,
+}
+
+/// Runs Figure 10: all six design points per kernel.
+pub fn fig10(opts: &Options) -> Vec<Fig10Row> {
+    pmap(opts.kernels.clone(), |k| Fig10Row {
+        reports: realistic_points()
+            .into_iter()
+            .map(|(n, dp)| (n.to_string(), run(opts, &k, dp)))
+            .collect(),
+        kernel: k,
+    })
+}
+
+/// Renders Figure 10 (runtime normalized to Cohesion with the full-map
+/// sparse directory).
+pub fn render_fig10(rows: &[Fig10Row]) -> String {
+    let mut out = String::from(
+        "Figure 10: runtime normalized to Cohesion (full-map sparse directory)\n\n",
+    );
+    let mut t = Table::new(vec!["kernel", "config", "normalized runtime", "cycles"]);
+    for r in rows {
+        let base = &r.reports[0].1;
+        for (name, rep) in &r.reports {
+            t.row(vec![
+                r.kernel.clone(),
+                name.clone(),
+                ratio(rep.runtime_relative_to(base)),
+                rep.cycles.to_string(),
+            ]);
+        }
+    }
+    out.push_str(&t.render());
+    out
+}
+
+// ---------------------------------------------------------------------
+// §4.4 area table
+// ---------------------------------------------------------------------
+
+/// Renders the §4.4 directory-area table (pure arithmetic, no simulation).
+pub fn render_area() -> String {
+    use cohesion_protocol::area::{dir4b, duplicate_tags, full_map, with_cohesion_reduction, AreaInputs};
+    let inputs = AreaInputs::isca2010();
+    let mut out = String::from("Section 4.4: on-die directory area estimates (128 L2s x 2048 lines, 8 MB L2)\n\n");
+    let mut t = Table::new(vec!["scheme", "bits/entry", "size", "% of L2", "paper"]);
+    let fm = full_map(&inputs);
+    let d4 = dir4b(&inputs);
+    let dt1 = duplicate_tags(&inputs, 23, 1);
+    let dt8 = duplicate_tags(&inputs, 23, 8);
+    let mb = |b: u64| format!("{:.2} MB", b as f64 / (1024.0 * 1024.0));
+    let kb = |b: u64| format!("{:.0} KB", b as f64 / 1024.0);
+    let pc = |f: f64| format!("{:.1}%", f * 100.0);
+    t.row(vec![
+        "full-map sparse".to_string(),
+        fm.bits_per_entry.to_string(),
+        mb(fm.bytes),
+        pc(fm.fraction_of_l2),
+        "9.28 MB / 113%".to_string(),
+    ]);
+    t.row(vec![
+        "Dir4B sparse".to_string(),
+        d4.bits_per_entry.to_string(),
+        mb(d4.bytes),
+        pc(d4.fraction_of_l2),
+        "2.88 MB / 35.1%".to_string(),
+    ]);
+    t.row(vec![
+        "duplicate tags (1 replica)".to_string(),
+        dt1.bits_per_entry.to_string(),
+        kb(dt1.bytes),
+        pc(dt1.fraction_of_l2),
+        "736 KB / 8.98%".to_string(),
+    ]);
+    t.row(vec![
+        "duplicate tags (8 replicas)".to_string(),
+        dt8.bits_per_entry.to_string(),
+        mb(dt8.bytes),
+        pc(dt8.fraction_of_l2),
+        "1x-8x replicas".to_string(),
+    ]);
+    let reduced = with_cohesion_reduction(&fm, 2.1);
+    t.row(vec![
+        "full-map sized for Cohesion (/2.1)".to_string(),
+        fm.bits_per_entry.to_string(),
+        mb(reduced.bytes),
+        pc(reduced.fraction_of_l2),
+        "5-55% of L2 saved".to_string(),
+    ]);
+    out.push_str(&t.render());
+    out
+}
+
+// ---------------------------------------------------------------------
+// Headline summary (abstract claims)
+// ---------------------------------------------------------------------
+
+/// The headline numbers of the abstract, computed from Figures 8 and 9c.
+#[derive(Debug, Clone)]
+pub struct Summary {
+    /// Geometric-mean message reduction of Cohesion vs optimistic HWcc.
+    pub message_reduction: f64,
+    /// Mean directory-utilization reduction of Cohesion vs HWcc.
+    pub directory_reduction: f64,
+}
+
+/// Computes the headline summary from already-run figure data.
+pub fn summarize(fig8_rows: &[Fig8Row], fig9c_rows: &[Fig9cRow]) -> Summary {
+    let mut log_sum = 0.0;
+    let mut n = 0;
+    for r in fig8_rows {
+        let coh = r
+            .reports
+            .iter()
+            .find(|(name, _)| name == "Cohesion")
+            .map(|(_, rep)| rep.total_messages())
+            .unwrap_or(0);
+        let hw = r
+            .reports
+            .iter()
+            .find(|(name, _)| name == "HWccIdeal")
+            .map(|(_, rep)| rep.total_messages())
+            .unwrap_or(0);
+        if coh > 0 && hw > 0 {
+            log_sum += (hw as f64 / coh as f64).ln();
+            n += 1;
+        }
+    }
+    let message_reduction = if n > 0 { (log_sum / n as f64).exp() } else { 0.0 };
+    let (mut coh_sum, mut hw_sum) = (0.0, 0.0);
+    for r in fig9c_rows {
+        coh_sum += r.cohesion.0;
+        hw_sum += r.hwcc.0;
+    }
+    Summary {
+        message_reduction,
+        // Tiny Cohesion runs can leave the directory entirely empty; floor
+        // the denominator at one entry so the ratio stays meaningful.
+        directory_reduction: hw_sum / coh_sum.max(1.0),
+    }
+}
+
+/// Renders the headline summary.
+pub fn render_summary(s: &Summary) -> String {
+    format!(
+        "Headline claims (abstract):\n\
+         - message reduction, Cohesion vs optimistic HWcc (geomean): {} (paper: ~2x)\n\
+         - directory-utilization reduction (mean entries): {} (paper: 2.1x)\n",
+        ratio(s.message_reduction),
+        ratio(s.directory_reduction)
+    )
+}
+
+/// Convenience used by tests: tiny options so figure code paths run fast.
+pub fn tiny_options() -> Options {
+    Options {
+        cores: 16,
+        scale: cohesion_kernels::Scale::Tiny,
+        kernels: vec!["sobel".into()],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_runs_and_renders() {
+        let rows = fig2(&tiny_options());
+        assert_eq!(rows.len(), 1);
+        let s = render_fig2(&rows);
+        assert!(s.contains("sobel"));
+        assert!(s.contains("SWcc"));
+    }
+
+    #[test]
+    fn fig3_sweeps_l2_sizes() {
+        let mut o = tiny_options();
+        o.kernels = vec!["heat".into()];
+        let rows = fig3(&o);
+        assert_eq!(rows.len(), FIG3_L2_SIZES.len());
+        for r in &rows {
+            assert!((0.0..=1.0).contains(&r.inv_useful));
+            assert!((0.0..=1.0).contains(&r.wb_useful));
+        }
+        assert!(render_fig3(&rows).contains("8K"));
+    }
+
+    #[test]
+    fn fig9_sweep_normalizes_to_infinite() {
+        let mut o = tiny_options();
+        // One small size only, to keep the test fast.
+        let rows: Vec<_> = fig9_sweep(&o, CohMode::HWcc)
+            .into_iter()
+            .filter(|r| r.entries == 256)
+            .collect();
+        o.kernels = vec!["sobel".into()];
+        assert_eq!(rows.len(), 1);
+        assert!(rows[0].slowdown > 0.5, "sane normalization");
+    }
+
+    #[test]
+    fn area_matches_paper_scale() {
+        let s = render_area();
+        assert!(s.contains("9.28 MB"));
+        assert!(s.contains("Dir4B"));
+    }
+
+    #[test]
+    fn summary_computes_reductions() {
+        let mut o = tiny_options();
+        o.kernels = vec!["kmeans".into()]; // has HWcc data under Cohesion
+        let f8 = fig8(&o);
+        let f9c = fig9c(&o);
+        let s = summarize(&f8, &f9c);
+        assert!(s.message_reduction > 0.0);
+        assert!(s.directory_reduction > 0.0);
+        assert!(render_summary(&s).contains("paper"));
+    }
+}

@@ -1,0 +1,234 @@
+//! Experiment runners shared by the figure binaries.
+
+use cohesion::config::{DesignPoint, MachineConfig};
+use cohesion::report::RunReport;
+use cohesion::run::run_workload;
+use cohesion_kernels::{kernel_by_name, Scale, KERNEL_NAMES};
+
+/// Common command-line options for every figure binary.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Cores to simulate (scaled machine; 1024 gives the full Table 3
+    /// configuration).
+    pub cores: u32,
+    /// Problem scale.
+    pub scale: Scale,
+    /// Subset of kernels to run (defaults to all eight).
+    pub kernels: Vec<String>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            cores: 128,
+            scale: Scale::Small,
+            kernels: KERNEL_NAMES.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+}
+
+impl Options {
+    /// Parses `--cores N`, `--scale tiny|small|medium`, `--kernels a,b,c`
+    /// from the process arguments; exits with a usage message on errors.
+    pub fn from_args() -> Self {
+        let mut opts = Options::default();
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--cores" => {
+                    i += 1;
+                    opts.cores = args
+                        .get(i)
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--cores needs a number"));
+                }
+                "--scale" => {
+                    i += 1;
+                    opts.scale = match args.get(i).map(String::as_str) {
+                        Some("tiny") => Scale::Tiny,
+                        Some("small") => Scale::Small,
+                        Some("medium") => Scale::Medium,
+                        _ => usage("--scale must be tiny|small|medium"),
+                    };
+                }
+                "--kernels" => {
+                    i += 1;
+                    opts.kernels = args
+                        .get(i)
+                        .unwrap_or_else(|| usage("--kernels needs a list"))
+                        .split(',')
+                        .map(|s| s.trim().to_string())
+                        .collect();
+                }
+                "--part" | "--out" | "--csv" => {
+                    // consumed by fig9 / all_figures separately; skip the value
+                    i += 1;
+                }
+                other => usage(&format!("unknown option {other}")),
+            }
+            i += 1;
+        }
+        opts
+    }
+
+    /// Builds the machine config for a design point at this option set.
+    pub fn config(&self, dp: DesignPoint) -> MachineConfig {
+        if self.cores >= 1024 {
+            MachineConfig::isca2010(dp)
+        } else {
+            MachineConfig::scaled(self.cores, dp)
+        }
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: [--cores N] [--scale tiny|small|medium] [--kernels a,b,c] \
+         [--part a|b|c] [--out PATH] [--csv DIR]"
+    );
+    std::process::exit(2)
+}
+
+/// Runs one kernel under one design point, panicking (with context) if the
+/// run fails verification — a figure built on wrong data is worse than no
+/// figure.
+pub fn run(opts: &Options, kernel: &str, dp: DesignPoint) -> RunReport {
+    let cfg = opts.config(dp);
+    let mut wl = kernel_by_name(kernel, opts.scale);
+    match run_workload(&cfg, wl.as_mut()) {
+        Ok(r) => r,
+        Err(e) => panic!("{kernel} under {dp:?} failed: {e}"),
+    }
+}
+
+/// The realistic sparse-directory design points used throughout §4.
+pub fn realistic_points() -> Vec<(&'static str, DesignPoint)> {
+    let e = 16 * 1024;
+    vec![
+        ("Cohesion", DesignPoint::cohesion(e, 128)),
+        ("Cohesion(Dir4B)", DesignPoint::cohesion_dir4b(e, 128)),
+        ("SWcc", DesignPoint::swcc()),
+        ("HWccIdeal", DesignPoint::hwcc_ideal()),
+        ("HWccReal", DesignPoint::hwcc_real(e, 128)),
+        ("HWcc(Dir4B)", DesignPoint::hwcc_dir4b(e, 128)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_options_cover_all_kernels() {
+        let o = Options::default();
+        assert_eq!(o.kernels.len(), 8);
+        assert_eq!(o.cores, 128);
+    }
+
+    #[test]
+    fn config_scales_or_goes_full() {
+        let o = Options::default();
+        assert_eq!(o.config(DesignPoint::swcc()).cores, 128);
+        let full = Options {
+            cores: 1024,
+            ..Options::default()
+        };
+        assert_eq!(full.config(DesignPoint::swcc()).cores, 1024);
+    }
+
+    #[test]
+    fn six_design_points() {
+        assert_eq!(realistic_points().len(), 6);
+    }
+
+    #[test]
+    fn smoke_run_one_kernel() {
+        let o = Options {
+            cores: 16,
+            scale: Scale::Tiny,
+            kernels: vec!["sobel".into()],
+        };
+        let r = run(&o, "sobel", DesignPoint::swcc());
+        assert!(r.cycles > 0);
+    }
+}
+
+/// Dependency-free parallel map over independent simulation runs.
+///
+/// Each run is single-threaded and deterministic; running different
+/// configurations on different OS threads changes nothing about the
+/// results, only the wall-clock time of the harness. Order of results
+/// matches the input order.
+pub fn pmap<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(n);
+    let work: Vec<std::sync::Mutex<Option<T>>> = items
+        .into_iter()
+        .map(|t| std::sync::Mutex::new(Some(t)))
+        .collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results: Vec<std::sync::Mutex<Option<R>>> =
+        (0..n).map(|_| std::sync::Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = work[i].lock().unwrap().take().expect("taken once");
+                let r = f(item);
+                *results[i].lock().unwrap() = Some(r);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("worker filled every slot"))
+        .collect()
+}
+
+#[cfg(test)]
+mod pmap_tests {
+    use super::pmap;
+
+    #[test]
+    fn preserves_order_and_results() {
+        let out = pmap((0..100).collect(), |i: i32| i * i);
+        assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_item_runs_inline() {
+        assert_eq!(pmap(vec![7], |i: i32| i + 1), vec![8]);
+    }
+
+    #[test]
+    fn parallel_simulation_runs_are_deterministic() {
+        use crate::harness::{run, Options};
+        use cohesion::config::DesignPoint;
+        use cohesion_kernels::Scale;
+        let o = Options {
+            cores: 16,
+            scale: Scale::Tiny,
+            kernels: vec!["sobel".into()],
+        };
+        let runs = pmap(vec![(), (), (), ()], |_| {
+            run(&o, "sobel", DesignPoint::swcc()).cycles
+        });
+        assert!(runs.windows(2).all(|w| w[0] == w[1]), "{runs:?}");
+    }
+}

@@ -1,0 +1,10 @@
+#![warn(missing_docs)]
+
+//! Shared helpers for the Cohesion benchmark harness: the design-point
+//! matrix, result-table formatting, and experiment runners used by both the
+//! CLI binaries (one per figure) and the Criterion benches.
+
+pub mod csv;
+pub mod figures;
+pub mod harness;
+pub mod table;

@@ -1,0 +1,226 @@
+//! An adaptive coherence-domain remapper — the "more elaborate coherence
+//! domain remapping strategies" §4.2 leaves to future work, implemented as
+//! a policy over the [`crate::profile`] feedback.
+//!
+//! [`AdaptiveRemapper`] watches one region's per-phase coherence overheads
+//! and requests a domain change when the *other* domain would have been
+//! cheaper by a hysteresis margin:
+//!
+//! * while SWcc: if the software overhead (flush messages + invalidation
+//!   instructions, §2.2) exceeds the threshold per phase, move to HWcc;
+//! * while HWcc: if the hardware overhead (write requests + read releases +
+//!   probe responses, §2.1) exceeds the threshold, move back to SWcc.
+//!
+//! A workload drives it from [`crate::run::Workload::observe`] and applies
+//! the returned decision through the Table 2 API in its next phase — the
+//! same split the paper prescribes: software decides, the fine-grain table
+//! and the directory's transition engine execute (§3.6).
+
+use cohesion_mem::addr::Addr;
+use cohesion_protocol::region::Domain;
+
+use crate::profile::RegionFeedback;
+
+/// Tunable thresholds for the remapping policy.
+#[derive(Debug, Clone, Copy)]
+pub struct RemapPolicy {
+    /// Messages+instructions per phase, per KiB of region, above which the
+    /// current domain is considered overpriced.
+    pub overhead_per_kib: f64,
+    /// Consecutive overpriced phases required before switching
+    /// (hysteresis).
+    pub patience: u32,
+}
+
+impl Default for RemapPolicy {
+    fn default() -> Self {
+        RemapPolicy {
+            overhead_per_kib: 8.0,
+            patience: 2,
+        }
+    }
+}
+
+/// The per-region adaptive state machine.
+#[derive(Debug, Clone)]
+pub struct AdaptiveRemapper {
+    start: Addr,
+    bytes: u32,
+    domain: Domain,
+    policy: RemapPolicy,
+    strikes: u32,
+    switches: u32,
+}
+
+impl AdaptiveRemapper {
+    /// Creates a remapper for a region currently in `initial` domain.
+    pub fn new(start: Addr, bytes: u32, initial: Domain, policy: RemapPolicy) -> Self {
+        AdaptiveRemapper {
+            start,
+            bytes,
+            domain: initial,
+            policy,
+            strikes: 0,
+            switches: 0,
+        }
+    }
+
+    /// The domain the remapper currently believes the region is in.
+    pub fn domain(&self) -> Domain {
+        self.domain
+    }
+
+    /// How many domain switches the policy has requested so far.
+    pub fn switches(&self) -> u32 {
+        self.switches
+    }
+
+    /// Consumes one phase's feedback; returns the domain to move the region
+    /// to, if a switch is warranted. The caller must actually perform the
+    /// move (`coh_SWcc_region` / `coh_HWcc_region`) and may ignore the
+    /// advice — the remapper assumes it was followed.
+    pub fn advise(&mut self, feedback: &[RegionFeedback]) -> Option<Domain> {
+        let fb = feedback
+            .iter()
+            .find(|f| f.start == self.start && f.bytes == self.bytes)?;
+        let kib = (self.bytes as f64 / 1024.0).max(1.0);
+        let overhead = match self.domain {
+            Domain::SWcc => fb.counters.swcc_overhead(),
+            Domain::HWcc => fb.counters.hwcc_overhead(),
+        } as f64
+            / kib;
+        if overhead > self.policy.overhead_per_kib {
+            self.strikes += 1;
+        } else {
+            self.strikes = 0;
+        }
+        if self.strikes >= self.policy.patience {
+            self.strikes = 0;
+            self.switches += 1;
+            self.domain = match self.domain {
+                Domain::SWcc => Domain::HWcc,
+                Domain::HWcc => Domain::SWcc,
+            };
+            Some(self.domain)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::RegionCounters;
+
+    fn fb(start: u32, bytes: u32, c: RegionCounters) -> Vec<RegionFeedback> {
+        vec![RegionFeedback {
+            start: Addr(start),
+            bytes,
+            counters: c,
+        }]
+    }
+
+    fn eager() -> RemapPolicy {
+        RemapPolicy {
+            overhead_per_kib: 8.0,
+            patience: 1,
+        }
+    }
+
+    #[test]
+    fn swcc_pain_triggers_move_to_hwcc() {
+        let mut r = AdaptiveRemapper::new(Addr(0x1000), 1024, Domain::SWcc, eager());
+        let heavy = RegionCounters {
+            flushes: 100,
+            ..Default::default()
+        };
+        assert_eq!(r.advise(&fb(0x1000, 1024, heavy)), Some(Domain::HWcc));
+        assert_eq!(r.domain(), Domain::HWcc);
+        assert_eq!(r.switches(), 1);
+    }
+
+    #[test]
+    fn hwcc_pain_triggers_move_to_swcc() {
+        let mut r = AdaptiveRemapper::new(Addr(0x1000), 1024, Domain::HWcc, eager());
+        let heavy = RegionCounters {
+            read_releases: 40,
+            ..Default::default()
+        };
+        assert_eq!(r.advise(&fb(0x1000, 1024, heavy)), Some(Domain::SWcc));
+    }
+
+    #[test]
+    fn migratory_probes_do_not_penalize_hwcc() {
+        // Probe traffic is HWcc migrating data on demand — its job, not
+        // its overhead (§2.3).
+        let mut r = AdaptiveRemapper::new(Addr(0x1000), 1024, Domain::HWcc, eager());
+        let migratory = RegionCounters {
+            probe_responses: 500,
+            write_requests: 200,
+            ..Default::default()
+        };
+        assert_eq!(r.advise(&fb(0x1000, 1024, migratory)), None);
+    }
+
+    #[test]
+    fn streaming_invalidations_do_not_penalize_swcc() {
+        let mut r = AdaptiveRemapper::new(Addr(0x1000), 1024, Domain::SWcc, eager());
+        let streaming = RegionCounters {
+            reads: 1000,
+            invalidations: 500,
+            flushes: 2,
+            ..Default::default()
+        };
+        assert_eq!(r.advise(&fb(0x1000, 1024, streaming)), None);
+    }
+
+    #[test]
+    fn quiet_regions_stay_put() {
+        let mut r = AdaptiveRemapper::new(Addr(0x1000), 4096, Domain::SWcc, eager());
+        let light = RegionCounters {
+            flushes: 2,
+            ..Default::default()
+        };
+        for _ in 0..10 {
+            assert_eq!(r.advise(&fb(0x1000, 4096, light)), None);
+        }
+        assert_eq!(r.switches(), 0);
+    }
+
+    #[test]
+    fn patience_requires_consecutive_strikes() {
+        let mut r = AdaptiveRemapper::new(
+            Addr(0x1000),
+            1024,
+            Domain::SWcc,
+            RemapPolicy {
+                overhead_per_kib: 8.0,
+                patience: 2,
+            },
+        );
+        let heavy = RegionCounters {
+            flushes: 100,
+            ..Default::default()
+        };
+        let light = RegionCounters::default();
+        assert_eq!(r.advise(&fb(0x1000, 1024, heavy)), None, "first strike");
+        assert_eq!(r.advise(&fb(0x1000, 1024, light)), None, "strike reset");
+        assert_eq!(r.advise(&fb(0x1000, 1024, heavy)), None);
+        assert_eq!(
+            r.advise(&fb(0x1000, 1024, heavy)),
+            Some(Domain::HWcc),
+            "two consecutive strikes switch"
+        );
+    }
+
+    #[test]
+    fn unknown_region_is_ignored() {
+        let mut r = AdaptiveRemapper::new(Addr(0x1000), 1024, Domain::SWcc, eager());
+        let heavy = RegionCounters {
+            flushes: 100,
+            ..Default::default()
+        };
+        assert_eq!(r.advise(&fb(0x9999, 64, heavy)), None);
+    }
+}

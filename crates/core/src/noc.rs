@@ -1,0 +1,129 @@
+//! The two-level interconnect of Figure 4.
+//!
+//! Clusters connect through per-cluster links into tree concentrators (16
+//! clusters per tree), whose roots feed a crossbar onto the L3 banks. The
+//! network is unordered, bidirectional, and modeled as two independent
+//! directions (request up, reply down) so replies never queue behind
+//! requests — the standard two-virtual-network deadlock discipline.
+
+use cohesion_sim::ids::{BankId, ClusterId};
+use cohesion_sim::link::Link;
+use cohesion_sim::Cycle;
+
+use crate::config::NocConfig;
+
+/// The machine interconnect: cluster ⇄ tree ⇄ crossbar ⇄ L3 banks.
+#[derive(Debug, Clone)]
+pub struct Noc {
+    cfg: NocConfig,
+    // Request direction (L2 -> L3).
+    up_cluster: Vec<Link>,
+    up_tree: Vec<Link>,
+    up_bank: Vec<Link>,
+    // Reply/probe direction (L3 -> L2).
+    down_bank: Vec<Link>,
+    down_tree: Vec<Link>,
+    down_cluster: Vec<Link>,
+}
+
+impl Noc {
+    /// Builds the interconnect for `clusters` clusters and `banks` L3 banks.
+    pub fn new(cfg: NocConfig, clusters: u32, banks: u32) -> Self {
+        let trees = clusters.div_ceil(cfg.clusters_per_tree);
+        let mk = |n: u32, lat: Cycle, interval: Cycle| -> Vec<Link> {
+            (0..n).map(|_| Link::new(lat, interval)).collect()
+        };
+        Noc {
+            cfg,
+            up_cluster: mk(clusters, cfg.cluster_link_latency, 1),
+            up_tree: mk(trees, cfg.tree_latency, cfg.tree_interval),
+            up_bank: mk(banks, cfg.xbar_latency, 1),
+            down_bank: mk(banks, cfg.xbar_latency, 1),
+            down_tree: mk(trees, cfg.tree_latency, cfg.tree_interval),
+            down_cluster: mk(clusters, cfg.cluster_link_latency, 1),
+        }
+    }
+
+    fn tree_of(&self, cluster: ClusterId) -> usize {
+        (cluster.0 / self.cfg.clusters_per_tree) as usize
+    }
+
+    /// Sends one request message from `cluster` to `bank`; returns its
+    /// arrival cycle.
+    pub fn request(&mut self, cluster: ClusterId, bank: BankId, now: Cycle) -> Cycle {
+        let tree = self.tree_of(cluster);
+        let t = self.up_cluster[cluster.0 as usize].send(now);
+        let t = self.up_tree[tree].send(t);
+        self.up_bank[bank.0 as usize].send(t)
+    }
+
+    /// Sends one reply/probe message from `bank` to `cluster`; returns its
+    /// arrival cycle.
+    pub fn reply(&mut self, bank: BankId, cluster: ClusterId, now: Cycle) -> Cycle {
+        let tree = self.tree_of(cluster);
+        let t = self.down_bank[bank.0 as usize].send(now);
+        let t = self.down_tree[tree].send(t);
+        self.down_cluster[cluster.0 as usize].send(t)
+    }
+
+    /// Unloaded one-way request latency.
+    pub fn base_latency(&self) -> Cycle {
+        self.cfg.cluster_link_latency + self.cfg.tree_latency + self.cfg.xbar_latency
+    }
+
+    /// Total messages carried in the request direction.
+    pub fn requests_sent(&self) -> u64 {
+        self.up_cluster.iter().map(Link::sent).sum()
+    }
+
+    /// Total messages carried in the reply direction.
+    pub fn replies_sent(&self) -> u64 {
+        self.down_bank.iter().map(Link::sent).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noc() -> Noc {
+        Noc::new(NocConfig::default(), 32, 8)
+    }
+
+    #[test]
+    fn unloaded_latency_is_sum_of_hops() {
+        let mut n = noc();
+        let arr = n.request(ClusterId(0), BankId(0), 100);
+        assert_eq!(arr, 100 + n.base_latency());
+    }
+
+    #[test]
+    fn replies_do_not_contend_with_requests() {
+        let mut n = noc();
+        let up = n.request(ClusterId(1), BankId(2), 50);
+        let down = n.reply(BankId(2), ClusterId(1), 50);
+        assert_eq!(up, down, "independent directions, same latency");
+    }
+
+    #[test]
+    fn tree_concentration_serializes_clusters() {
+        let mut n = noc();
+        // Clusters 0 and 1 share tree 0; simultaneous sends queue at the root.
+        let a = n.request(ClusterId(0), BankId(0), 0);
+        let b = n.request(ClusterId(1), BankId(1), 0);
+        assert!(b > a, "second message through the shared tree root is later");
+        // A cluster on another tree does not queue.
+        let c = n.request(ClusterId(16), BankId(2), 0);
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn message_counters() {
+        let mut n = noc();
+        n.request(ClusterId(0), BankId(0), 0);
+        n.request(ClusterId(5), BankId(1), 0);
+        n.reply(BankId(0), ClusterId(0), 10);
+        assert_eq!(n.requests_sent(), 2);
+        assert_eq!(n.replies_sent(), 1);
+    }
+}

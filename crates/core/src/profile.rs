@@ -1,0 +1,206 @@
+//! Per-region coherence profiling — the feedback a runtime needs for the
+//! "more elaborate coherence domain remapping strategies" the paper leaves
+//! to future work (§4.2).
+//!
+//! A workload registers the address regions it wants watched
+//! ([`crate::run::Workload::profile_regions`]); the machine then attributes
+//! every L2→L3 message and every SWcc coherence instruction touching those
+//! regions. After each phase the executor hands the workload a
+//! [`RegionFeedback`] delta, from which an adaptive runtime can decide to
+//! migrate a region between domains (see `examples/adaptive.rs`).
+
+use cohesion_mem::addr::{Addr, LineAddr};
+use cohesion_sim::msg::MessageClass;
+
+/// Counters attributed to one watched region.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegionCounters {
+    /// Demand read requests for the region's lines.
+    pub reads: u64,
+    /// Ownership (write) requests.
+    pub write_requests: u64,
+    /// Read releases (clean HWcc evictions).
+    pub read_releases: u64,
+    /// Probe responses (directory-demanded invalidations/writebacks).
+    pub probe_responses: u64,
+    /// Software flush messages.
+    pub flushes: u64,
+    /// Software invalidation instructions issued (no message, but
+    /// instruction-stream cost; §2.2).
+    pub invalidations: u64,
+    /// Dirty-eviction writebacks.
+    pub evictions: u64,
+}
+
+impl RegionCounters {
+    /// Adds another counter set.
+    pub fn merge(&mut self, o: &RegionCounters) {
+        self.reads += o.reads;
+        self.write_requests += o.write_requests;
+        self.read_releases += o.read_releases;
+        self.probe_responses += o.probe_responses;
+        self.flushes += o.flushes;
+        self.invalidations += o.invalidations;
+        self.evictions += o.evictions;
+    }
+
+    /// The counter-wise difference `self - earlier` (for per-phase deltas).
+    pub fn delta_from(&self, earlier: &RegionCounters) -> RegionCounters {
+        RegionCounters {
+            reads: self.reads - earlier.reads,
+            write_requests: self.write_requests - earlier.write_requests,
+            read_releases: self.read_releases - earlier.read_releases,
+            probe_responses: self.probe_responses - earlier.probe_responses,
+            flushes: self.flushes - earlier.flushes,
+            invalidations: self.invalidations - earlier.invalidations,
+            evictions: self.evictions - earlier.evictions,
+        }
+    }
+
+    /// The HWcc-specific overhead signal: read releases are the traffic
+    /// that exists *only* because streaming/read-shared data is
+    /// directory-tracked (§2.1) — migratory probes, by contrast, are HWcc
+    /// doing exactly its job, so they do not count against it.
+    pub fn hwcc_overhead(&self) -> u64 {
+        self.read_releases
+    }
+
+    /// The SWcc-specific overhead signal: flush messages measure how much
+    /// dirty data software pushes to the global point each phase —
+    /// migratory read-modify-write under SWcc is flush-dominated, while
+    /// streaming reads cost almost none (§2.2). (Lazy invalidations are
+    /// excluded: read-only streaming issues many and they are cheap, so
+    /// they would mislabel SWcc's best case as pain.)
+    pub fn swcc_overhead(&self) -> u64 {
+        self.flushes
+    }
+}
+
+/// One watched region plus its accumulated counters.
+#[derive(Debug, Clone, Copy)]
+pub struct RegionFeedback {
+    /// First byte of the region.
+    pub start: Addr,
+    /// Size in bytes.
+    pub bytes: u32,
+    /// Counters accumulated over the feedback interval.
+    pub counters: RegionCounters,
+}
+
+/// The machine-side profiler.
+#[derive(Debug, Clone, Default)]
+pub struct RegionProfiler {
+    regions: Vec<(Addr, u32, RegionCounters)>,
+}
+
+impl RegionProfiler {
+    /// Creates a profiler over the given `(start, bytes)` regions.
+    pub fn new(regions: Vec<(Addr, u32)>) -> Self {
+        RegionProfiler {
+            regions: regions
+                .into_iter()
+                .map(|(s, b)| (s, b, RegionCounters::default()))
+                .collect(),
+        }
+    }
+
+    /// Whether any regions are registered.
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty()
+    }
+
+    fn counters_for(&mut self, line: LineAddr) -> Option<&mut RegionCounters> {
+        let a = line.base().0;
+        self.regions
+            .iter_mut()
+            .find(|(s, b, _)| a >= s.0 && a - s.0 < *b)
+            .map(|(_, _, c)| c)
+    }
+
+    /// Attributes one L2→L3 message.
+    pub fn note_message(&mut self, line: LineAddr, class: MessageClass) {
+        let Some(c) = self.counters_for(line) else {
+            return;
+        };
+        match class {
+            MessageClass::ReadRequest => c.reads += 1,
+            MessageClass::WriteRequest => c.write_requests += 1,
+            MessageClass::ReadRelease => c.read_releases += 1,
+            MessageClass::ProbeResponse => c.probe_responses += 1,
+            MessageClass::SoftwareFlush => c.flushes += 1,
+            MessageClass::CacheEviction => c.evictions += 1,
+            _ => {}
+        }
+    }
+
+    /// Attributes one software invalidation instruction.
+    pub fn note_invalidation(&mut self, line: LineAddr) {
+        if let Some(c) = self.counters_for(line) {
+            c.invalidations += 1;
+        }
+    }
+
+    /// The current totals per region.
+    pub fn snapshot(&self) -> Vec<RegionFeedback> {
+        self.regions
+            .iter()
+            .map(|&(start, bytes, counters)| RegionFeedback {
+                start,
+                bytes,
+                counters,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attribution_respects_region_bounds() {
+        let mut p = RegionProfiler::new(vec![(Addr(0x1000), 0x100), (Addr(0x2000), 0x100)]);
+        p.note_message(Addr(0x1000).line(), MessageClass::ReadRequest);
+        p.note_message(Addr(0x10E0).line(), MessageClass::WriteRequest);
+        p.note_message(Addr(0x1100).line(), MessageClass::ReadRequest); // outside
+        p.note_message(Addr(0x2000).line(), MessageClass::SoftwareFlush);
+        p.note_invalidation(Addr(0x2020).line());
+        let snap = p.snapshot();
+        assert_eq!(snap[0].counters.reads, 1);
+        assert_eq!(snap[0].counters.write_requests, 1);
+        assert_eq!(snap[1].counters.flushes, 1);
+        assert_eq!(snap[1].counters.invalidations, 1);
+    }
+
+    #[test]
+    fn overhead_signals() {
+        let c = RegionCounters {
+            reads: 100,
+            write_requests: 10,
+            read_releases: 20,
+            probe_responses: 5,
+            flushes: 7,
+            invalidations: 3,
+            evictions: 2,
+        };
+        assert_eq!(c.hwcc_overhead(), 20, "read releases only");
+        assert_eq!(c.swcc_overhead(), 7, "flush messages only");
+    }
+
+    #[test]
+    fn deltas_subtract() {
+        let a = RegionCounters {
+            reads: 5,
+            flushes: 2,
+            ..Default::default()
+        };
+        let b = RegionCounters {
+            reads: 8,
+            flushes: 6,
+            ..Default::default()
+        };
+        let d = b.delta_from(&a);
+        assert_eq!(d.reads, 3);
+        assert_eq!(d.flushes, 4);
+    }
+}

@@ -1,0 +1,574 @@
+//! Workload execution: the barrier-synchronized task-queue model of §4.1
+//! driven over the machine, phase by phase.
+
+use cohesion_mem::addr::Addr;
+use cohesion_mem::mainmem::MainMemory;
+use cohesion_runtime::api::{CohesionApi, RuntimeError};
+use cohesion_runtime::task::{AtomicKind, Op, Phase, RegionOp, Task};
+use cohesion_sim::event::EventQueue;
+use cohesion_sim::ids::{ClusterId, CoreId};
+use cohesion_sim::Cycle;
+
+use crate::config::MachineConfig;
+use crate::machine::{Machine, MachineError};
+use crate::report::RunReport;
+
+/// A workload: allocates its data through the Cohesion API, produces
+/// bulk-synchronous phases of task traces, and can verify the machine's
+/// final memory image against its golden (functionally-computed) result.
+///
+/// # Example
+///
+/// A minimal workload that doubles an array in place:
+///
+/// ```
+/// use cohesion::config::{DesignPoint, MachineConfig};
+/// use cohesion::run::{run_workload, Workload};
+/// use cohesion_mem::addr::Addr;
+/// use cohesion_mem::mainmem::MainMemory;
+/// use cohesion_runtime::api::{CohesionApi, RuntimeError};
+/// use cohesion_runtime::task::{Phase, TaskBuilder};
+///
+/// struct Doubler { data: Addr, done: bool }
+///
+/// impl Workload for Doubler {
+///     fn name(&self) -> &'static str { "doubler" }
+///
+///     fn setup(&mut self, api: &mut CohesionApi, golden: &mut MainMemory)
+///         -> Result<(), RuntimeError>
+///     {
+///         self.data = api.coh_malloc(64)?; // 16 words, born SWcc
+///         for i in 0..16 {
+///             golden.write_word(Addr(self.data.0 + 4 * i), i + 1);
+///         }
+///         Ok(())
+///     }
+///
+///     fn next_phase(&mut self, api: &mut CohesionApi, golden: &mut MainMemory)
+///         -> Option<Phase>
+///     {
+///         if std::mem::replace(&mut self.done, true) { return None; }
+///         let mut p = Phase::new("double");
+///         let mut b = TaskBuilder::new(2);
+///         for i in 0..16 {
+///             let a = Addr(self.data.0 + 4 * i);
+///             let v = golden.read_word(a);
+///             golden.write_word(a, v * 2);
+///             b.load(a, v).store(a, v * 2);
+///         }
+///         // SWcc epilogue: flush what we wrote.
+///         b.flush_written(|_| true);
+///         p.tasks.push(b.build());
+///         Some(p)
+///     }
+///
+///     fn verify(&self, mem: &MainMemory) -> Result<(), String> {
+///         for i in 0..16 {
+///             let got = mem.read_word(Addr(self.data.0 + 4 * i));
+///             if got != (i + 1) * 2 {
+///                 return Err(format!("word {i} is {got}"));
+///             }
+///         }
+///         Ok(())
+///     }
+/// }
+///
+/// let cfg = MachineConfig::scaled(16, DesignPoint::cohesion(1024, 128));
+/// let mut wl = Doubler { data: Addr(0), done: false };
+/// let report = run_workload(&cfg, &mut wl).expect("verifies");
+/// assert!(report.cycles > 0);
+/// ```
+pub trait Workload {
+    /// Benchmark name (`cg`, `dmm`, ...).
+    fn name(&self) -> &'static str;
+
+    /// Allocates and initializes input data. Writes initial values into
+    /// `golden`; the machine's memory starts as a copy of it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation failures.
+    fn setup(&mut self, api: &mut CohesionApi, golden: &mut MainMemory)
+        -> Result<(), RuntimeError>;
+
+    /// Produces the next phase (tasks + any domain transitions), advancing
+    /// the golden computation. Returns `None` when the program is done.
+    fn next_phase(&mut self, api: &mut CohesionApi, golden: &mut MainMemory) -> Option<Phase>;
+
+    /// Verifies the machine's final (drained) memory against the golden
+    /// result.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first mismatch.
+    fn verify(&self, mem: &MainMemory) -> Result<(), String>;
+
+    /// Address ranges (`(start, bytes)`) that are immutable for the
+    /// program's lifetime — the Figure 6 `SWIM` class, exempt from the
+    /// invalidate-before-read rule of the task-centric contract. Used by
+    /// the trace checker; defaults to none.
+    fn immutable_ranges(&self) -> Vec<(Addr, u32)> {
+        Vec::new()
+    }
+
+    /// Address regions whose coherence behaviour should be profiled
+    /// (§4.2's remapping feedback). When non-empty, the executor calls
+    /// [`Workload::observe`] with per-region counter deltas after every
+    /// phase. Defaults to none (no profiling overhead).
+    fn profile_regions(&self) -> Vec<(Addr, u32)> {
+        Vec::new()
+    }
+
+    /// Receives the per-phase profile deltas for the regions returned by
+    /// [`Workload::profile_regions`]. An adaptive runtime reacts by
+    /// requesting domain changes through the API in its next
+    /// [`Workload::next_phase`]. Default: ignore.
+    fn observe(&mut self, feedback: &[crate::profile::RegionFeedback]) {
+        let _ = feedback;
+    }
+}
+
+/// Errors from running a workload.
+#[derive(Debug)]
+pub enum RunError {
+    /// Setup/allocation failure.
+    Runtime(RuntimeError),
+    /// A coherence failure surfaced during execution.
+    Machine(MachineError),
+    /// Final verification failed.
+    Verify(String),
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Runtime(e) => write!(f, "runtime error: {e}"),
+            RunError::Machine(e) => write!(f, "machine error: {e}"),
+            RunError::Verify(e) => write!(f, "verification failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<RuntimeError> for RunError {
+    fn from(e: RuntimeError) -> Self {
+        RunError::Runtime(e)
+    }
+}
+
+impl From<MachineError> for RunError {
+    fn from(e: MachineError) -> Self {
+        RunError::Machine(e)
+    }
+}
+
+/// Maximum cycles one core advances per scheduling slice; bounds the
+/// timing skew between cores' inline transactions.
+const QUANTUM: Cycle = 64;
+
+/// Ops per instruction-fetch line: 32-byte lines hold 8 RISC instructions.
+const OPS_PER_FETCH: u32 = 8;
+
+struct CoreState {
+    cluster: ClusterId,
+    stack_base: Addr,
+    code_base: Addr,
+    /// Index into the phase's task vector + op cursor.
+    task: Option<(usize, usize)>,
+    fetch_counter: u32,
+    pc_line: u32,
+    arrived: bool,
+}
+
+/// Runs `workload` on a machine built from `cfg`; returns the full report.
+///
+/// # Errors
+///
+/// Returns [`RunError`] on allocation failure, detected coherence failure
+/// (stale verified load, fatal race), or final verification mismatch.
+pub fn run_workload(cfg: &MachineConfig, workload: &mut dyn Workload) -> Result<RunReport, RunError> {
+    let mut api = CohesionApi::new(cfg.cores, cfg.design.mode);
+    let mut golden = MainMemory::new();
+    workload.setup(&mut api, &mut golden)?;
+
+    let mut machine = Machine::new(*cfg, *api.layout());
+    machine.mem = golden.clone();
+    machine.boot();
+    let profile_regions = workload.profile_regions();
+    let profiling = !profile_regions.is_empty();
+    if profiling {
+        machine.enable_profiling(profile_regions);
+    }
+    let mut last_profile: Vec<crate::profile::RegionFeedback> = machine.profile_snapshot();
+
+    // Runtime control words live on the coherent heap (one line per
+    // cluster queue, so per-cluster dequeues never false-share).
+    let queue_addr = api.malloc(64 * cfg.clusters().max(1))?;
+    let barrier_addr = api.malloc(64)?;
+
+    let mut exec = Exec::new(cfg, &machine, queue_addr);
+    let mut phases = 0u32;
+    let mut tasks_total = 0u64;
+    let mut ops_total = 0u64;
+
+    while let Some(phase) = workload.next_phase(&mut api, &mut golden) {
+        let mut region_ops = api.take_region_ops();
+        region_ops.extend(phase.region_ops.iter().copied());
+        tasks_total += phase.tasks.len() as u64;
+        ops_total += phase.total_ops() as u64;
+        exec.run_phase(&mut machine, &region_ops, &phase.tasks, barrier_addr)?;
+        if cfg.check_invariants {
+            machine.check_invariants();
+        }
+        if profiling {
+            let now = machine.profile_snapshot();
+            let deltas: Vec<crate::profile::RegionFeedback> = now
+                .iter()
+                .zip(&last_profile)
+                .map(|(n, o)| crate::profile::RegionFeedback {
+                    start: n.start,
+                    bytes: n.bytes,
+                    counters: n.counters.delta_from(&o.counters),
+                })
+                .collect();
+            workload.observe(&deltas);
+            last_profile = now;
+        }
+        phases += 1;
+    }
+
+    if std::env::var_os("COHESION_OPCOST").is_some() {
+        let names = ["load", "store", "compute", "atomic", "stackld", "stackst", "flush", "inv", "?", "ifetch"];
+        for (i, (n, c)) in exec.op_cost.iter().enumerate() {
+            if *n > 0 {
+                eprintln!("opcost {:>8}: n={n:>9} avg={:.1}", names[i], *c as f64 / *n as f64);
+            }
+        }
+    }
+    let cycles = exec.now();
+    machine.drain_for_verification();
+    workload.verify(&machine.mem).map_err(RunError::Verify)?;
+
+    Ok(RunReport::collect(
+        workload.name(),
+        cfg,
+        &machine,
+        cycles,
+        phases,
+        tasks_total,
+        ops_total,
+    ))
+}
+
+/// The per-run execution engine (cores + queue + barrier).
+struct Exec {
+    /// Per-op-kind `(count, total cycles)` latency accounting, reported to
+    /// stderr when `COHESION_OPCOST` is set.
+    op_cost: [(u64, u64); 10],
+    cores: Vec<CoreState>,
+    events: EventQueue<u32>,
+    queue_addr: Addr,
+    now: Cycle,
+    // Per-phase state.
+    next_task: usize,
+    task_count: usize,
+    /// Per-cluster `[lo, hi)` cursors over a static block partition
+    /// (PerClusterStealing only).
+    cluster_queues: Vec<(usize, usize)>,
+    queue_model: crate::config::TaskQueueModel,
+    arrived: u32,
+    dequeue_overhead: Cycle,
+    barrier_release: Cycle,
+}
+
+impl Exec {
+    fn new(cfg: &MachineConfig, machine: &Machine, queue_addr: Addr) -> Self {
+        let layout = machine.layout();
+        let cores = (0..cfg.cores)
+            .map(|i| CoreState {
+                cluster: CoreId(i).cluster(cfg.cores_per_cluster),
+                stack_base: layout.stack_base(i),
+                code_base: layout.code.start,
+                task: None,
+                fetch_counter: 0,
+                pc_line: 0,
+                arrived: false,
+            })
+            .collect();
+        Exec {
+            op_cost: [(0, 0); 10],
+            cores,
+            events: EventQueue::new(),
+            queue_addr,
+            now: 0,
+            next_task: 0,
+            task_count: 0,
+            cluster_queues: vec![(0, 0); (cfg.cores / cfg.cores_per_cluster) as usize],
+            queue_model: cfg.task_queue,
+            arrived: 0,
+            dequeue_overhead: cfg.dequeue_overhead,
+            barrier_release: cfg.barrier_release_latency,
+        }
+    }
+
+    fn now(&self) -> Cycle {
+        self.now
+    }
+
+    fn run_phase(
+        &mut self,
+        machine: &mut Machine,
+        region_ops: &[RegionOp],
+        tasks: &[Task],
+        barrier_addr: Addr,
+    ) -> Result<(), RunError> {
+        // 1. Core 0 (the runtime) applies the domain transitions: pipelined
+        //    atomics to the fine-grain table, blocking only when the
+        //    directory had real work (§3.6).
+        let mut t = self.now;
+        for op in region_ops {
+            t = apply_region_op(machine, op, t)?;
+        }
+
+        // 2. Release all cores into the dequeue loop.
+        self.next_task = 0;
+        self.task_count = tasks.len();
+        // Static block partition for the per-cluster model: cluster c owns
+        // tasks [c*chunk, (c+1)*chunk) (the tail cluster takes the slack).
+        let n_clusters = self.cluster_queues.len();
+        let chunk = tasks.len().div_ceil(n_clusters.max(1));
+        for (c, q) in self.cluster_queues.iter_mut().enumerate() {
+            *q = ((c * chunk).min(tasks.len()), ((c + 1) * chunk).min(tasks.len()));
+        }
+        self.arrived = 0;
+        for c in self.cores.iter_mut() {
+            c.task = None;
+            c.arrived = false;
+            c.fetch_counter = 0;
+        }
+        for i in 0..self.cores.len() as u32 {
+            self.events.schedule(t, i);
+        }
+
+        // 3. Pump events until every core reaches the barrier.
+        let mut phase_end = t;
+        while self.arrived < self.cores.len() as u32 {
+            let (et, core) = self
+                .events
+                .pop()
+                .expect("cores pending but no events scheduled");
+            let end = self.step_core(machine, core, et, tasks, barrier_addr)?;
+            phase_end = phase_end.max(end);
+        }
+
+        // 4. Barrier release broadcast.
+        self.now = phase_end + self.barrier_release;
+        Ok(())
+    }
+
+    /// Advances one core by up to [`QUANTUM`] cycles of work. Returns the
+    /// core's barrier-arrival time when it arrives (else the current time).
+    fn step_core(
+        &mut self,
+        machine: &mut Machine,
+        core_idx: u32,
+        mut t: Cycle,
+        tasks: &[Task],
+        barrier_addr: Addr,
+    ) -> Result<Cycle, RunError> {
+        let budget = t + QUANTUM;
+        let core = CoreId(core_idx);
+        loop {
+            // Need a task?
+            if self.cores[core_idx as usize].task.is_none() {
+                let cluster = self.cores[core_idx as usize].cluster;
+                let picked = match self.queue_model {
+                    crate::config::TaskQueueModel::Global => {
+                        // One atomic to the single global queue word.
+                        let (t2, _old) =
+                            machine.atomic(cluster, self.queue_addr, AtomicKind::Add, 1, t)?;
+                        t = t2 + self.dequeue_overhead;
+                        if self.next_task >= self.task_count {
+                            None
+                        } else {
+                            let idx = self.next_task;
+                            self.next_task += 1;
+                            Some(idx)
+                        }
+                    }
+                    crate::config::TaskQueueModel::PerClusterStealing => {
+                        // Dequeue from the cluster's own queue word first
+                        // (per-cluster words live on distinct lines), then
+                        // steal round-robin (§2.3: stolen tasks pull their
+                        // data via HWcc or pay SWcc refetch).
+                        let n = self.cluster_queues.len();
+                        let mut picked = None;
+                        for probe in 0..n {
+                            let victim = (cluster.0 as usize + probe) % n;
+                            if self.cluster_queues[victim].0 >= self.cluster_queues[victim].1 {
+                                continue;
+                            }
+                            let qaddr = Addr(self.queue_addr.0 + 64 * victim as u32);
+                            let (t2, _old) =
+                                machine.atomic(cluster, qaddr, AtomicKind::Add, 1, t)?;
+                            t = t2 + self.dequeue_overhead;
+                            // Re-check after the (simulated) atomic: the
+                            // host-side cursor is the truth.
+                            let q = &mut self.cluster_queues[victim];
+                            if q.0 < q.1 {
+                                picked = Some(q.0);
+                                q.0 += 1;
+                                break;
+                            }
+                        }
+                        if picked.is_none() {
+                            // One last atomic on the own queue observed empty.
+                            let qaddr = Addr(self.queue_addr.0 + 64 * (cluster.0 as usize % n) as u32);
+                            let (t2, _old) =
+                                machine.atomic(cluster, qaddr, AtomicKind::Add, 0, t)?;
+                            t = t2;
+                        }
+                        picked
+                    }
+                };
+                let Some(idx) = picked else {
+                    // Queues empty: arrive at the barrier.
+                    let (t3, _) =
+                        machine.atomic(cluster, barrier_addr, AtomicKind::Add, 1, t)?;
+                    self.cores[core_idx as usize].arrived = true;
+                    self.arrived += 1;
+                    return Ok(t3);
+                };
+                let cs = &mut self.cores[core_idx as usize];
+                cs.task = Some((idx, 0));
+                cs.pc_line = 0;
+                cs.fetch_counter = 0;
+            }
+
+            // Execute ops.
+            let (task_idx, mut op_idx) = self.cores[core_idx as usize].task.expect("set above");
+            let task = &tasks[task_idx];
+            while op_idx < task.ops.len() {
+                if t >= budget {
+                    self.cores[core_idx as usize].task = Some((task_idx, op_idx));
+                    self.events.schedule(t, core_idx);
+                    return Ok(t);
+                }
+                // Instruction fetch stream: one line per OPS_PER_FETCH ops.
+                {
+                    let cs = &mut self.cores[core_idx as usize];
+                    if cs.fetch_counter == 0 {
+                        let line_idx = cs.pc_line % task.code_lines;
+                        cs.pc_line = cs.pc_line.wrapping_add(1);
+                        let pc = Addr(cs.code_base.0 + 32 * line_idx);
+                        let t0 = t;
+                        t = machine.ifetch(core, pc, t);
+                        self.op_cost[9].0 += 1;
+                        self.op_cost[9].1 += t - t0;
+                    }
+                    cs.fetch_counter = (cs.fetch_counter + 1) % OPS_PER_FETCH;
+                }
+                let op = task.ops[op_idx];
+                op_idx += 1;
+                let t0 = t;
+                let kind = match op {
+                    Op::Load { .. } => 0,
+                    Op::Store { .. } => 1,
+                    Op::Compute { .. } => 2,
+                    Op::Atomic { .. } => 3,
+                    Op::StackLoad { .. } => 4,
+                    Op::StackStore { .. } => 5,
+                    Op::Flush { .. } => 6,
+                    Op::Invalidate { .. } => 7,
+                };
+                t = self.execute_op(machine, core, op, t).map_err(|e| {
+                    if std::env::var_os("COHESION_DEBUG").is_some() {
+                        eprintln!(
+                            "op failure: core {core} task {task_idx} op {} at cycle {t}: {e}",
+                            op_idx - 1
+                        );
+                    }
+                    e
+                })?;
+                self.op_cost[kind].0 += 1;
+                self.op_cost[kind].1 += t - t0;
+            }
+            self.cores[core_idx as usize].task = None;
+        }
+    }
+
+    fn execute_op(
+        &mut self,
+        machine: &mut Machine,
+        core: CoreId,
+        op: Op,
+        t: Cycle,
+    ) -> Result<Cycle, RunError> {
+        let cs = &self.cores[core.0 as usize];
+        let cluster = cs.cluster;
+        let stack_base = cs.stack_base;
+        Ok(match op {
+            Op::Load { addr, expect } => {
+                let (t2, v) = machine.load(core, addr, t);
+                if let Some(e) = expect {
+                    if v != e {
+                        return Err(RunError::Machine(MachineError::StaleLoad {
+                            addr,
+                            got: v,
+                            expected: e,
+                        }));
+                    }
+                }
+                t2
+            }
+            Op::Store { addr, value } => machine.store(core, addr, value, t),
+            Op::Compute { cycles } => t + cycles as Cycle,
+            Op::Atomic {
+                addr,
+                kind,
+                operand,
+            } => machine.atomic(cluster, addr, kind, operand, t)?.0,
+            Op::StackLoad { offset } => machine.load(core, stack_base.offset(offset), t).0,
+            Op::StackStore { offset, value } => {
+                machine.store(core, stack_base.offset(offset), value, t)
+            }
+            Op::Flush { line } => machine.flush(core, line, t),
+            Op::Invalidate { line } => machine.invalidate(core, line, t),
+        })
+    }
+}
+
+/// Applies one region op: pipelined atomics to the fine-grain table, issued
+/// by the runtime on cluster 0.
+///
+/// Lines are grouped by table word — a single `atom.or`/`atom.and` with a
+/// multi-bit mask transitions up to 32 lines; the directory still serializes
+/// the per-line transitions when it snoops the update (§3.6: "if a request
+/// for multiple line state transitions occurs, the directory serializes the
+/// requests line-by-line").
+fn apply_region_op(machine: &mut Machine, op: &RegionOp, mut t: Cycle) -> Result<Cycle, RunError> {
+    use cohesion_protocol::region::Domain;
+    use std::collections::BTreeMap;
+    let fine = *machine.fine_table();
+    // word address -> bit mask of lines transitioning in this op.
+    let mut masks: BTreeMap<u32, u32> = BTreeMap::new();
+    for line in op.lines() {
+        let slot = fine.slot_of(line);
+        *masks.entry(slot.word.0).or_insert(0) |= 1 << slot.bit;
+    }
+    let mut done_max = t;
+    for (word, mask) in masks {
+        let (kind, operand) = match op.to {
+            Domain::SWcc => (AtomicKind::Or, mask),
+            Domain::HWcc => (AtomicKind::And, !mask),
+        };
+        let (t_done, _) =
+            machine.atomic(ClusterId(0), cohesion_mem::addr::Addr(word), kind, operand, t)?;
+        done_max = done_max.max(t_done);
+        // Issue the next table update after a fixed issue interval; the
+        // directory transitions proceed in the background.
+        t += 4;
+    }
+    Ok(t.max(done_max))
+}

@@ -1,0 +1,295 @@
+//! Parameterizable microbenchmarks with exactly-known sharing patterns.
+
+use cohesion_mem::addr::Addr;
+use cohesion_mem::mainmem::MainMemory;
+use cohesion_protocol::region::Domain;
+use cohesion_runtime::api::{CohesionApi, RuntimeError};
+use cohesion_runtime::task::{AtomicKind, Phase, TaskBuilder};
+
+use crate::run::Workload;
+
+/// What sharing pattern the microbenchmark exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Pattern {
+    /// Every task reads the same shared input array (read sharing).
+    ReadShared,
+    /// Each task writes, flushes, and re-reads a private block.
+    PrivateBlocks,
+    /// Phase 1 tasks write blocks; phase 2 tasks read blocks written by a
+    /// *different* task (cross-phase communication through the barrier).
+    ProducerConsumer,
+    /// All tasks hammer atomic counters (the kmeans-style pattern).
+    AtomicCounters,
+    /// Phase 1 writes SWcc blocks; the region then transitions to HWcc and
+    /// phase 2 reads it through the directory (the Cohesion bridge).
+    TransitionBridge,
+    /// Logical threads whose private state migrates between cores every
+    /// phase (the §2.3 motivation: "threads that sleep on one core and
+    /// resume execution on another must have their local modified stack
+    /// data available, forcing coherence actions at each thread swap under
+    /// SWcc" — while HWcc pulls the state on demand).
+    ThreadMigration,
+}
+
+/// A microbenchmark workload; see the constructors for the patterns.
+#[derive(Debug)]
+pub struct Microbench {
+    pattern: Pattern,
+    tasks: usize,
+    words_per_task: usize,
+    base: Addr,
+    phase: u32,
+    verify_words: Vec<(Addr, u32)>,
+}
+
+impl Microbench {
+    fn new(pattern: Pattern, tasks: usize, words_per_task: usize) -> Self {
+        assert!(tasks > 0 && words_per_task > 0, "degenerate microbench");
+        Microbench {
+            pattern,
+            tasks,
+            words_per_task,
+            base: Addr(0),
+            phase: 0,
+            verify_words: Vec::new(),
+        }
+    }
+
+    /// All `tasks` tasks read one shared `words`-word array.
+    pub fn read_shared(tasks: usize, words: usize) -> Self {
+        Self::new(Pattern::ReadShared, tasks, words)
+    }
+
+    /// Each task owns a private `words`-word block: write, flush, re-read.
+    pub fn private_blocks(tasks: usize, words: usize) -> Self {
+        Self::new(Pattern::PrivateBlocks, tasks, words)
+    }
+
+    /// Phase 1 writes; phase 2 reads a rotated assignment of blocks.
+    pub fn producer_consumer(tasks: usize, words: usize) -> Self {
+        Self::new(Pattern::ProducerConsumer, tasks, words)
+    }
+
+    /// All tasks atomically increment `words` shared counters.
+    pub fn atomic_counters(tasks: usize, words: usize) -> Self {
+        Self::new(Pattern::AtomicCounters, tasks, words)
+    }
+
+    /// SWcc-write then transition to HWcc then read (Cohesion mode only;
+    /// degenerates to producer/consumer in pure modes).
+    pub fn transition_bridge(tasks: usize, words: usize) -> Self {
+        Self::new(Pattern::TransitionBridge, tasks, words)
+    }
+
+    /// `threads` logical threads, each carrying `words` of private state
+    /// read-modify-written every phase; dynamic scheduling migrates them
+    /// between cores/clusters (§2.3). Runs [`MIGRATION_PHASES`] phases.
+    pub fn thread_migration(threads: usize, words: usize) -> Self {
+        Self::new(Pattern::ThreadMigration, threads, words)
+    }
+
+    fn word_addr(&self, i: usize) -> Addr {
+        Addr(self.base.0 + 4 * i as u32)
+    }
+
+    fn total_words(&self) -> usize {
+        match self.pattern {
+            Pattern::ReadShared | Pattern::AtomicCounters => self.words_per_task,
+            _ => self.tasks * self.words_per_task,
+        }
+    }
+}
+
+/// Phases run by [`Microbench::thread_migration`].
+pub const MIGRATION_PHASES: u32 = 6;
+
+impl Workload for Microbench {
+    fn name(&self) -> &'static str {
+        match self.pattern {
+            Pattern::ReadShared => "micro-read-shared",
+            Pattern::PrivateBlocks => "micro-private",
+            Pattern::ProducerConsumer => "micro-producer-consumer",
+            Pattern::AtomicCounters => "micro-atomic",
+            Pattern::TransitionBridge => "micro-transition",
+            Pattern::ThreadMigration => "micro-thread-migration",
+        }
+    }
+
+    fn setup(
+        &mut self,
+        api: &mut CohesionApi,
+        golden: &mut MainMemory,
+    ) -> Result<(), RuntimeError> {
+        let bytes = (self.total_words() * 4) as u32;
+        self.base = match self.pattern {
+            // Atomic counters live on the coherent heap; everything else on
+            // the incoherent heap (eligible for SWcc / transitions).
+            Pattern::AtomicCounters => api.malloc(bytes)?,
+            _ => api.coh_malloc(bytes)?,
+        };
+        // Initialize input data: word i holds i^2 + 1.
+        for i in 0..self.total_words() {
+            golden.write_word(self.word_addr(i), (i * i + 1) as u32);
+        }
+        Ok(())
+    }
+
+    fn next_phase(&mut self, api: &mut CohesionApi, golden: &mut MainMemory) -> Option<Phase> {
+        let phase = self.phase;
+        self.phase += 1;
+        let is_swcc = |api: &CohesionApi, a: Addr| api.software_domain(a) == Domain::SWcc;
+        match (self.pattern, phase) {
+            (Pattern::ReadShared, 0) => {
+                let mut p = Phase::new("read-shared");
+                for _ in 0..self.tasks {
+                    let mut b = TaskBuilder::new(4);
+                    for i in 0..self.words_per_task {
+                        let a = self.word_addr(i);
+                        b.load(a, golden.read_word(a)).compute(1);
+                    }
+                    b.invalidate_read(|l| is_swcc(api, l.base()));
+                    p.tasks.push(b.build());
+                }
+                Some(p)
+            }
+            (Pattern::PrivateBlocks, 0) => {
+                let mut p = Phase::new("private");
+                for t in 0..self.tasks {
+                    let mut b = TaskBuilder::new(4);
+                    for i in 0..self.words_per_task {
+                        let idx = t * self.words_per_task + i;
+                        let a = self.word_addr(idx);
+                        let v = (t * 1000 + i) as u32;
+                        golden.write_word(a, v);
+                        b.store(a, v).compute(1);
+                    }
+                    for i in 0..self.words_per_task {
+                        let idx = t * self.words_per_task + i;
+                        let a = self.word_addr(idx);
+                        b.load(a, golden.read_word(a));
+                    }
+                    b.flush_written(|l| is_swcc(api, l.base()));
+                    p.tasks.push(b.build());
+                    for i in 0..self.words_per_task {
+                        let idx = t * self.words_per_task + i;
+                        self.verify_words
+                            .push((self.word_addr(idx), golden.read_word(self.word_addr(idx))));
+                    }
+                }
+                Some(p)
+            }
+            (Pattern::ProducerConsumer, 0) | (Pattern::TransitionBridge, 0) => {
+                let mut p = Phase::new("produce");
+                for t in 0..self.tasks {
+                    let mut b = TaskBuilder::new(4);
+                    for i in 0..self.words_per_task {
+                        let idx = t * self.words_per_task + i;
+                        let a = self.word_addr(idx);
+                        let v = (t * 7 + i * 3 + 11) as u32;
+                        golden.write_word(a, v);
+                        b.store(a, v).compute(1);
+                    }
+                    b.flush_written(|l| is_swcc(api, l.base()));
+                    p.tasks.push(b.build());
+                }
+                Some(p)
+            }
+            (Pattern::ProducerConsumer, 1) | (Pattern::TransitionBridge, 1) => {
+                if self.pattern == Pattern::TransitionBridge {
+                    // Bridge: consumers read through the HWcc directory.
+                    let bytes = (self.total_words() * 4) as u32;
+                    api.coh_hwcc_region(self.base, bytes).ok()?;
+                }
+                let mut p = Phase::new("consume");
+                for t in 0..self.tasks {
+                    let src = (t + 1) % self.tasks; // read another task's block
+                    let mut b = TaskBuilder::new(4);
+                    for i in 0..self.words_per_task {
+                        let idx = src * self.words_per_task + i;
+                        let a = self.word_addr(idx);
+                        b.load(a, golden.read_word(a)).compute(1);
+                    }
+                    b.invalidate_read(|l| is_swcc(api, l.base()));
+                    p.tasks.push(b.build());
+                    self.verify_words.push((
+                        self.word_addr(src * self.words_per_task),
+                        golden.read_word(self.word_addr(src * self.words_per_task)),
+                    ));
+                }
+                Some(p)
+            }
+            (Pattern::ThreadMigration, phase) if phase < MIGRATION_PHASES => {
+                // Every phase, every thread wakes somewhere and
+                // read-modify-writes its whole private state. Under SWcc,
+                // correctness demands invalidate-before-read + flush-after-
+                // write on every swap; under HWcc the directory migrates
+                // the state with no instructions. Under Cohesion the
+                // runtime applies the §2.3 insight and moves the migratory
+                // state into the HWcc domain up front.
+                if phase == 0 {
+                    let bytes = (self.total_words() * 4) as u32;
+                    let _ = api.coh_hwcc_region(self.base, bytes);
+                }
+                let mut p = Phase::new("thread-swap");
+                for t in 0..self.tasks {
+                    let mut b = TaskBuilder::new(6);
+                    b.stack_frame(0, 4);
+                    for i in 0..self.words_per_task {
+                        let idx = t * self.words_per_task + i;
+                        let a = self.word_addr(idx);
+                        let old = golden.read_word(a);
+                        let new = old.wrapping_mul(3).wrapping_add(t as u32 + 1);
+                        golden.write_word(a, new);
+                        b.load(a, old).compute(2).store(a, new);
+                    }
+                    b.flush_written(|l| is_swcc(api, l.base()));
+                    b.invalidate_read(|l| is_swcc(api, l.base()));
+                    p.tasks.push(b.build());
+                }
+                if phase + 1 == MIGRATION_PHASES {
+                    for t in 0..self.tasks {
+                        for i in 0..self.words_per_task {
+                            let idx = (t * self.words_per_task + i) as u32;
+                            self.verify_words
+                                .push((self.word_addr(idx as usize), golden.read_word(self.word_addr(idx as usize))));
+                        }
+                    }
+                }
+                Some(p)
+            }
+            (Pattern::AtomicCounters, 0) => {
+                let mut p = Phase::new("atomics");
+                for t in 0..self.tasks {
+                    let mut b = TaskBuilder::new(2);
+                    for i in 0..self.words_per_task {
+                        let a = self.word_addr(i);
+                        let inc = (t + 1) as u32;
+                        let old = golden.read_word(a);
+                        golden.write_word(a, old.wrapping_add(inc));
+                        b.atomic(a, AtomicKind::Add, inc).compute(2);
+                    }
+                    p.tasks.push(b.build());
+                }
+                for i in 0..self.words_per_task {
+                    self.verify_words
+                        .push((self.word_addr(i), golden.read_word(self.word_addr(i))));
+                }
+                Some(p)
+            }
+            _ => None,
+        }
+    }
+
+    fn verify(&self, mem: &MainMemory) -> Result<(), String> {
+        for &(addr, expect) in &self.verify_words {
+            let got = mem.read_word(addr);
+            if got != expect {
+                return Err(format!(
+                    "word at {addr}: machine has {got:#x}, golden is {expect:#x}"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+

@@ -1,0 +1,12 @@
+//! Built-in microbenchmark workloads.
+//!
+//! The eight paper kernels live in the `cohesion-kernels` crate; this module
+//! provides small, parameterizable workloads with precisely-known sharing
+//! patterns, used by the test suite to exercise individual protocol paths
+//! (read sharing, private write-allocate, cross-phase producer/consumer,
+//! atomic contention, domain transitions).
+
+pub mod micro;
+
+#[cfg(test)]
+mod tests;

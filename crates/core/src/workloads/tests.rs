@@ -1,0 +1,177 @@
+//! Machine-level tests: every microbenchmark pattern under every design
+//! point, with end-to-end data verification and invariant checks.
+
+use crate::config::{DesignPoint, MachineConfig};
+use crate::run::run_workload;
+use crate::workloads::micro::Microbench;
+
+fn design_points() -> Vec<(&'static str, DesignPoint)> {
+    vec![
+        ("SWcc", DesignPoint::swcc()),
+        ("HWccIdeal", DesignPoint::hwcc_ideal()),
+        ("HWccReal", DesignPoint::hwcc_real(256, 128)),
+        ("HWccDir4B", DesignPoint::hwcc_dir4b(256, 128)),
+        ("Cohesion", DesignPoint::cohesion(256, 128)),
+        ("CohesionDir4B", DesignPoint::cohesion_dir4b(256, 128)),
+    ]
+}
+
+fn run_all_points(mk: impl Fn() -> Microbench) {
+    for (name, dp) in design_points() {
+        let cfg = MachineConfig::scaled(16, dp);
+        let mut wl = mk();
+        let report = run_workload(&cfg, &mut wl)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(report.cycles > 0, "{name}: no time passed");
+        assert!(report.total_messages() > 0, "{name}: no traffic at all");
+        assert_eq!(report.races, 0, "{name}: unexpected SWcc race");
+    }
+}
+
+#[test]
+fn read_shared_verifies_everywhere() {
+    run_all_points(|| Microbench::read_shared(24, 64));
+}
+
+#[test]
+fn private_blocks_verify_everywhere() {
+    run_all_points(|| Microbench::private_blocks(24, 32));
+}
+
+#[test]
+fn producer_consumer_verifies_everywhere() {
+    run_all_points(|| Microbench::producer_consumer(24, 32));
+}
+
+#[test]
+fn atomic_counters_verify_everywhere() {
+    run_all_points(|| Microbench::atomic_counters(16, 8));
+}
+
+#[test]
+fn transition_bridge_verifies_everywhere() {
+    run_all_points(|| Microbench::transition_bridge(12, 32));
+}
+
+#[test]
+fn swcc_sends_no_write_requests_or_releases() {
+    let cfg = MachineConfig::scaled(16, DesignPoint::swcc());
+    let mut wl = Microbench::private_blocks(32, 64);
+    let report = run_workload(&cfg, &mut wl).expect("runs");
+    use cohesion_sim::msg::MessageClass::*;
+    assert_eq!(report.messages.count(WriteRequest), 0, "SWcc write-allocates");
+    assert_eq!(report.messages.count(ReadRelease), 0, "SWcc evicts silently");
+    assert_eq!(report.messages.count(ProbeResponse), 0, "no directory, no probes");
+    assert!(report.messages.count(SoftwareFlush) > 0, "flushes were issued");
+}
+
+#[test]
+fn hwcc_sends_no_software_flushes() {
+    let cfg = MachineConfig::scaled(16, DesignPoint::hwcc_ideal());
+    let mut wl = Microbench::private_blocks(32, 64);
+    let report = run_workload(&cfg, &mut wl).expect("runs");
+    use cohesion_sim::msg::MessageClass::*;
+    assert_eq!(report.messages.count(SoftwareFlush), 0);
+    assert!(report.messages.count(WriteRequest) > 0, "stores need ownership");
+    assert_eq!(
+        report.instr_stats.writebacks_issued, 0,
+        "HWcc versions eliminate programmed coherence actions (§4.1)"
+    );
+}
+
+#[test]
+fn hwcc_producer_consumer_uses_directory() {
+    let cfg = MachineConfig::scaled(16, DesignPoint::hwcc_ideal());
+    let mut wl = Microbench::producer_consumer(24, 64);
+    let report = run_workload(&cfg, &mut wl).expect("runs");
+    assert!(report.dir_insertions > 0, "lines get tracked");
+    assert!(report.dir_avg_entries > 0.0);
+    assert!(report.dir_max_entries > 0);
+}
+
+#[test]
+fn cohesion_tracks_fewer_entries_than_hwcc() {
+    // The §4.3 claim at micro scale: Cohesion leaves SWcc data out of the
+    // directory entirely.
+    let mk = || Microbench::producer_consumer(32, 64);
+    let hw = run_workload(
+        &MachineConfig::scaled(16, DesignPoint::hwcc_ideal()),
+        &mut mk(),
+    )
+    .expect("hwcc runs");
+    let coh = run_workload(
+        &MachineConfig::scaled(16, DesignPoint::cohesion_infinite()),
+        &mut mk(),
+    )
+    .expect("cohesion runs");
+    assert!(
+        coh.dir_max_entries < hw.dir_max_entries,
+        "Cohesion ({}) must allocate fewer directory entries than HWcc ({})",
+        coh.dir_max_entries,
+        hw.dir_max_entries
+    );
+}
+
+#[test]
+fn cohesion_transition_bridge_moves_domains() {
+    let cfg = MachineConfig::scaled(16, DesignPoint::cohesion(1024, 128));
+    let mut wl = Microbench::transition_bridge(12, 64);
+    let report = run_workload(&cfg, &mut wl).expect("runs");
+    let (to_sw, to_hw) = report.transitions;
+    assert!(to_hw > 0, "the bridge moved lines to HWcc");
+    // coh_malloc itself needs no transitions: the incoherent heap is marked
+    // SWcc at boot, so only explicit region calls transition lines.
+    assert_eq!(to_sw, 0);
+}
+
+#[test]
+fn tiny_directory_thrashes_but_stays_correct() {
+    // 16-entry fully-associative directory per bank: victims fly, data
+    // stays correct.
+    let dp = DesignPoint {
+        mode: cohesion_runtime::api::CohMode::HWcc,
+        directory: crate::config::DirectoryVariant::FullyAssociative { entries: 16 },
+    };
+    let cfg = MachineConfig::scaled(16, dp);
+    let mut wl = Microbench::producer_consumer(32, 128);
+    let report = run_workload(&cfg, &mut wl).expect("runs despite thrash");
+    assert!(report.dir_evictions > 0, "tiny directory must thrash");
+}
+
+#[test]
+fn larger_directory_is_never_slower() {
+    let mk = || Microbench::producer_consumer(32, 128);
+    let small = run_workload(
+        &MachineConfig::scaled(
+            16,
+            DesignPoint {
+                mode: cohesion_runtime::api::CohMode::HWcc,
+                directory: crate::config::DirectoryVariant::FullyAssociative { entries: 32 },
+            },
+        ),
+        &mut mk(),
+    )
+    .expect("runs");
+    let big = run_workload(
+        &MachineConfig::scaled(16, DesignPoint::hwcc_ideal()),
+        &mut mk(),
+    )
+    .expect("runs");
+    assert!(
+        big.cycles <= small.cycles,
+        "infinite directory ({}) must not be slower than 32 entries ({})",
+        big.cycles,
+        small.cycles
+    );
+}
+
+#[test]
+fn message_totals_are_deterministic() {
+    let mk = || Microbench::producer_consumer(16, 32);
+    let cfg = MachineConfig::scaled(16, DesignPoint::cohesion(256, 128));
+    let a = run_workload(&cfg, &mut mk()).expect("runs");
+    let b = run_workload(&cfg, &mut mk()).expect("runs");
+    assert_eq!(a.cycles, b.cycles, "bit-identical reruns");
+    assert_eq!(a.messages, b.messages);
+    assert_eq!(a.dir_max_entries, b.dir_max_entries);
+}

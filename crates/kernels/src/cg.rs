@@ -1,0 +1,355 @@
+//! `cg` — conjugate-gradient solve of the 2-D Laplacian system `A x = b`.
+//!
+//! The matrix is the implicit 5-point Laplacian on an n×n grid (matrix-free
+//! SpMV). Each CG iteration is three bulk-synchronous phases:
+//!
+//! 1. `q = A·p` over row blocks, with per-task partial dot products
+//!    `p·q` written to reduction slots;
+//! 2. every task all-reduces the slots (read-shared) to get α, then updates
+//!    its block of `x` and `r` and writes partial `r·r` slots;
+//! 3. every task all-reduces the new `r·r` to get β and updates its block
+//!    of `p`.
+//!
+//! The reduction slots are fine-grained shared data: under Cohesion they
+//! live on the coherent heap (HWcc pulls them), while the big vectors remain
+//! SWcc — the paper's prescribed partitioning (§4.1).
+
+use cohesion::run::Workload;
+use cohesion_mem::mainmem::MainMemory;
+use cohesion_runtime::api::{CohesionApi, RuntimeError};
+use cohesion_runtime::task::{Phase, TaskBuilder};
+
+use crate::common::{swcc_filter, verify_array, ArrayRef, Scale, XorShift};
+
+/// The conjugate-gradient kernel.
+#[derive(Debug, Default)]
+pub struct Cg {
+    n: u32,
+    iters: u32,
+    rows_per_task: u32,
+    x: ArrayRef,
+    r: ArrayRef,
+    p: ArrayRef,
+    q: ArrayRef,
+    pq_slots: ArrayRef,
+    rr_slots: ArrayRef,
+    iter: u32,
+    stage: u32,
+    rr_old: f32,
+    alpha: f32,
+}
+
+impl Cg {
+    /// Creates the kernel at `scale` (grid 8² ×2 / 256² ×3 / 384² ×4).
+    pub fn new(scale: Scale) -> Self {
+        Cg {
+            n: scale.pick(8, 256, 384),
+            iters: scale.pick(2, 3, 4),
+            rows_per_task: 4,
+            ..Default::default()
+        }
+    }
+
+    fn tasks(&self) -> u32 {
+        self.n.div_ceil(self.rows_per_task)
+    }
+
+    fn idx(&self, r: u32, c: u32) -> u32 {
+        r * self.n + c
+    }
+
+    /// The 5-point Laplacian row `i,j` applied to grid vector `v` (golden).
+    fn apply_a(&self, golden: &MainMemory, v: &ArrayRef, r: u32, c: u32) -> f32 {
+        let n = self.n;
+        let center = v.gf(golden, self.idx(r, c));
+        let mut acc = 4.0 * center;
+        if r > 0 {
+            acc -= v.gf(golden, self.idx(r - 1, c));
+        }
+        if r + 1 < n {
+            acc -= v.gf(golden, self.idx(r + 1, c));
+        }
+        if c > 0 {
+            acc -= v.gf(golden, self.idx(r, c - 1));
+        }
+        if c + 1 < n {
+            acc -= v.gf(golden, self.idx(r, c + 1));
+        }
+        acc
+    }
+}
+
+impl Workload for Cg {
+    fn name(&self) -> &'static str {
+        "cg"
+    }
+
+    fn setup(
+        &mut self,
+        api: &mut CohesionApi,
+        golden: &mut MainMemory,
+    ) -> Result<(), RuntimeError> {
+        let nn = self.n * self.n;
+        self.x = ArrayRef::alloc_incoherent(api, nn);
+        self.r = ArrayRef::alloc_incoherent(api, nn);
+        self.p = ArrayRef::alloc_incoherent(api, nn);
+        self.q = ArrayRef::alloc_incoherent(api, nn);
+        // Fine-grained shared reduction slots: coherent heap.
+        self.pq_slots = ArrayRef::alloc_coherent(api, self.tasks());
+        self.rr_slots = ArrayRef::alloc_coherent(api, self.tasks());
+        let mut rng = XorShift::new(0xc6);
+        let mut rr = 0.0f32;
+        for i in 0..nn {
+            let b = rng.next_f32() - 0.5;
+            self.x.setf(golden, i, 0.0);
+            self.r.setf(golden, i, b); // r = b - A·0 = b
+            self.p.setf(golden, i, b);
+            self.q.setf(golden, i, 0.0);
+            rr += b * b;
+        }
+        self.rr_old = rr;
+        Ok(())
+    }
+
+    fn next_phase(&mut self, api: &mut CohesionApi, golden: &mut MainMemory) -> Option<Phase> {
+        if self.iter >= self.iters {
+            return None;
+        }
+        let n = self.n;
+        let stage = self.stage;
+        self.stage = (self.stage + 1) % 3;
+        let tasks = self.tasks();
+        match stage {
+            0 => {
+                // q = A·p, partial p·q per task.
+                let mut ph = Phase::new("spmv");
+                for t in 0..tasks {
+                    let r0 = t * self.rows_per_task;
+                    let r1 = (r0 + self.rows_per_task).min(n);
+                    let mut b = TaskBuilder::new(20);
+                    b.call_tree(3, 16);
+                    let mut pq = 0.0f32;
+                    for r in r0..r1 {
+                        for c in 0..n {
+                            // Verified halo loads of p.
+                            let pc = self.p.loadf(&mut b, golden, self.idx(r, c));
+                            if r > 0 {
+                                self.p.loadf(&mut b, golden, self.idx(r - 1, c));
+                            }
+                            if r + 1 < n {
+                                self.p.loadf(&mut b, golden, self.idx(r + 1, c));
+                            }
+                            if c > 0 {
+                                self.p.loadf(&mut b, golden, self.idx(r, c - 1));
+                            }
+                            if c + 1 < n {
+                                self.p.loadf(&mut b, golden, self.idx(r, c + 1));
+                            }
+                            let qv = self.apply_a(golden, &self.p, r, c);
+                            b.compute(6);
+                            self.q.storef(&mut b, golden, self.idx(r, c), qv);
+                            pq += pc * qv;
+                        }
+                    }
+                    self.pq_slots.storef(&mut b, golden, t, pq);
+                    b.flush_written(swcc_filter(api));
+                    b.invalidate_read(swcc_filter(api));
+                    ph.tasks.push(b.build());
+                }
+                Some(ph)
+            }
+            1 => {
+                // All-reduce α, update x and r, partial r·r per task.
+                let pq_total: f32 = (0..tasks).map(|t| self.pq_slots.gf(golden, t)).sum();
+                let alpha = if pq_total != 0.0 {
+                    self.rr_old / pq_total
+                } else {
+                    0.0
+                };
+                self.alpha = alpha;
+                let mut ph = Phase::new("xr-update");
+                for t in 0..tasks {
+                    let r0 = t * self.rows_per_task;
+                    let r1 = (r0 + self.rows_per_task).min(n);
+                    let mut b = TaskBuilder::new(16);
+                    b.call_tree(3, 16);
+                    // All-reduce: read every slot (read-shared HWcc data
+                    // under Cohesion; verified).
+                    for s in 0..tasks {
+                        self.pq_slots.loadf(&mut b, golden, s);
+                    }
+                    b.compute(tasks);
+                    let mut rr_new = 0.0f32;
+                    for row in r0..r1 {
+                        for c in 0..n {
+                            let i = self.idx(row, c);
+                            let xv = self.x.loadf(&mut b, golden, i);
+                            let pv = self.p.loadf(&mut b, golden, i);
+                            let rv = self.r.loadf(&mut b, golden, i);
+                            let qv = self.q.loadf(&mut b, golden, i);
+                            let x2 = xv + alpha * pv;
+                            let r2 = rv - alpha * qv;
+                            b.compute(4);
+                            self.x.storef(&mut b, golden, i, x2);
+                            self.r.storef(&mut b, golden, i, r2);
+                            rr_new += r2 * r2;
+                        }
+                    }
+                    self.rr_slots.storef(&mut b, golden, t, rr_new);
+                    b.flush_written(swcc_filter(api));
+                    b.invalidate_read(swcc_filter(api));
+                    ph.tasks.push(b.build());
+                }
+                Some(ph)
+            }
+            _ => {
+                // All-reduce β, p = r + β·p.
+                let rr_new: f32 = (0..tasks).map(|t| self.rr_slots.gf(golden, t)).sum();
+                let beta = if self.rr_old != 0.0 {
+                    rr_new / self.rr_old
+                } else {
+                    0.0
+                };
+                self.rr_old = rr_new;
+                self.iter += 1;
+                let mut ph = Phase::new("p-update");
+                for t in 0..tasks {
+                    let r0 = t * self.rows_per_task;
+                    let r1 = (r0 + self.rows_per_task).min(n);
+                    let mut b = TaskBuilder::new(12);
+                    b.call_tree(3, 16);
+                    for s in 0..tasks {
+                        self.rr_slots.loadf(&mut b, golden, s);
+                    }
+                    b.compute(tasks);
+                    for row in r0..r1 {
+                        for c in 0..n {
+                            let i = self.idx(row, c);
+                            let rv = self.r.loadf(&mut b, golden, i);
+                            let pv = self.p.loadf(&mut b, golden, i);
+                            b.compute(2);
+                            self.p.storef(&mut b, golden, i, rv + beta * pv);
+                        }
+                    }
+                    b.flush_written(swcc_filter(api));
+                    b.invalidate_read(swcc_filter(api));
+                    ph.tasks.push(b.build());
+                }
+                Some(ph)
+            }
+        }
+    }
+
+    fn verify(&self, mem: &MainMemory) -> Result<(), String> {
+        // Functional CG replay with identical task-blocked summation order.
+        let n = self.n;
+        let nn = (n * n) as usize;
+        let tasks = self.tasks();
+        let mut rng = XorShift::new(0xc6);
+        let mut x = vec![0.0f32; nn];
+        let mut r: Vec<f32> = (0..nn).map(|_| rng.next_f32() - 0.5).collect();
+        let mut p = r.clone();
+        let mut q = vec![0.0f32; nn];
+        let mut rr_old: f32 = r.iter().map(|v| v * v).sum();
+        let idx = |row: u32, c: u32| (row * n + c) as usize;
+        let apply = |v: &Vec<f32>, row: u32, c: u32| {
+            let mut acc = 4.0 * v[idx(row, c)];
+            if row > 0 {
+                acc -= v[idx(row - 1, c)];
+            }
+            if row + 1 < n {
+                acc -= v[idx(row + 1, c)];
+            }
+            if c > 0 {
+                acc -= v[idx(row, c - 1)];
+            }
+            if c + 1 < n {
+                acc -= v[idx(row, c + 1)];
+            }
+            acc
+        };
+        let block = |t: u32| {
+            let r0 = t * self.rows_per_task;
+            (r0, (r0 + self.rows_per_task).min(n))
+        };
+        for _ in 0..self.iters {
+            let mut pq_slots = vec![0.0f32; tasks as usize];
+            for t in 0..tasks {
+                let (r0, r1) = block(t);
+                let mut pq = 0.0f32;
+                for row in r0..r1 {
+                    for c in 0..n {
+                        let qv = apply(&p, row, c);
+                        q[idx(row, c)] = qv;
+                        pq += p[idx(row, c)] * qv;
+                    }
+                }
+                pq_slots[t as usize] = pq;
+            }
+            let pq_total: f32 = pq_slots.iter().sum();
+            let alpha = if pq_total != 0.0 { rr_old / pq_total } else { 0.0 };
+            let mut rr_slots = vec![0.0f32; tasks as usize];
+            for t in 0..tasks {
+                let (r0, r1) = block(t);
+                let mut rr_new = 0.0f32;
+                for row in r0..r1 {
+                    for c in 0..n {
+                        let i = idx(row, c);
+                        x[i] += alpha * p[i];
+                        r[i] -= alpha * q[i];
+                        rr_new += r[i] * r[i];
+                    }
+                }
+                rr_slots[t as usize] = rr_new;
+            }
+            let rr_new: f32 = rr_slots.iter().sum();
+            let beta = if rr_old != 0.0 { rr_new / rr_old } else { 0.0 };
+            rr_old = rr_new;
+            for i in 0..nn {
+                p[i] = r[i] + beta * p[i];
+            }
+        }
+        let mut golden_img = MainMemory::new();
+        for i in 0..nn {
+            golden_img.write_word(self.x.at(i as u32), x[i].to_bits());
+            golden_img.write_word(self.r.at(i as u32), r[i].to_bits());
+            golden_img.write_word(self.p.at(i as u32), p[i].to_bits());
+        }
+        verify_array("cg.x", &self.x, &golden_img, mem)?;
+        verify_array("cg.r", &self.r, &golden_img, mem)?;
+        verify_array("cg.p", &self.p, &golden_img, mem)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cohesion::config::{DesignPoint, MachineConfig};
+    use cohesion::run::run_workload;
+
+    #[test]
+    fn cg_verifies_under_all_modes() {
+        for dp in [
+            DesignPoint::swcc(),
+            DesignPoint::hwcc_ideal(),
+            DesignPoint::cohesion(1024, 128),
+        ] {
+            let cfg = MachineConfig::scaled(16, dp);
+            run_workload(&cfg, &mut Cg::new(Scale::Tiny)).expect("runs and verifies");
+        }
+    }
+
+    #[test]
+    fn cg_reduces_the_residual() {
+        // After the simulated iterations the residual must have shrunk —
+        // i.e. the kernel is a real CG solve, not traffic-shaped noise.
+        let mut cg = Cg::new(Scale::Tiny);
+        let cfg = MachineConfig::scaled(16, DesignPoint::hwcc_ideal());
+        run_workload(&cfg, &mut cg).expect("runs");
+        let nn = (cg.n * cg.n) as usize;
+        let mut rng = XorShift::new(0xc6);
+        let b: Vec<f32> = (0..nn).map(|_| rng.next_f32() - 0.5).collect();
+        let rr0: f32 = b.iter().map(|v| v * v).sum();
+        assert!(cg.rr_old < rr0, "residual {} must shrink below {}", cg.rr_old, rr0);
+    }
+}

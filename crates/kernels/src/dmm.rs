@@ -1,0 +1,156 @@
+//! `dmm` — blocked dense matrix multiply, C = A·B (single precision).
+//!
+//! One task computes one `TILE×TILE` output tile: it streams the needed row
+//! band of A and column band of B (read-shared inputs) and writes its
+//! private output tile. Under SWcc, output lines are eagerly flushed and
+//! input lines lazily invalidated at task end — the classic task-centric
+//! idiom whose (in)efficiency Figure 3 measures.
+
+use cohesion::run::Workload;
+use cohesion_mem::mainmem::MainMemory;
+use cohesion_runtime::api::{CohesionApi, RuntimeError};
+use cohesion_runtime::task::{Phase, TaskBuilder};
+
+use crate::common::{swcc_filter, verify_array, ArrayRef, Scale, XorShift};
+
+const TILE: u32 = 8;
+
+/// The dense-matrix-multiply kernel.
+#[derive(Debug, Default)]
+pub struct Dmm {
+    n: u32,
+    a: ArrayRef,
+    bm: ArrayRef,
+    c: ArrayRef,
+    phase: u32,
+}
+
+impl Dmm {
+    /// Creates the kernel at `scale` (matrix dimension 16 / 128 / 192).
+    pub fn new(scale: Scale) -> Self {
+        Dmm {
+            n: scale.pick(16, 128, 192),
+            ..Default::default()
+        }
+    }
+}
+
+impl Workload for Dmm {
+    fn name(&self) -> &'static str {
+        "dmm"
+    }
+
+    fn setup(
+        &mut self,
+        api: &mut CohesionApi,
+        golden: &mut MainMemory,
+    ) -> Result<(), RuntimeError> {
+        let n = self.n;
+        self.a = ArrayRef::alloc_incoherent(api, n * n);
+        self.bm = ArrayRef::alloc_incoherent(api, n * n);
+        self.c = ArrayRef::alloc_incoherent(api, n * n);
+        let mut rng = XorShift::new(0xd33);
+        for i in 0..n * n {
+            self.a.setf(golden, i, rng.next_f32() - 0.5);
+            self.bm.setf(golden, i, rng.next_f32() - 0.5);
+        }
+        Ok(())
+    }
+
+    fn next_phase(&mut self, api: &mut CohesionApi, golden: &mut MainMemory) -> Option<Phase> {
+        if self.phase > 0 {
+            return None;
+        }
+        self.phase = 1;
+        let n = self.n;
+        let tiles = n / TILE;
+        let mut p = Phase::new("dmm");
+        for ti in 0..tiles {
+            for tj in 0..tiles {
+                let mut b = TaskBuilder::new(24);
+                b.call_tree(3, 16);
+                // Accumulators live in registers; stream A row band and
+                // B column band tile-by-tile.
+                let mut acc = [[0.0f32; TILE as usize]; TILE as usize];
+                for tk in 0..tiles {
+                    for i in 0..TILE {
+                        for k in 0..TILE {
+                            let av = self.a.loadf(b_mut(&mut b), golden, (ti * TILE + i) * n + tk * TILE + k);
+                            for j in 0..TILE {
+                                let bv =
+                                    self.bm.loadf(&mut b, golden, (tk * TILE + k) * n + tj * TILE + j);
+                                acc[i as usize][j as usize] += av * bv;
+                                b.compute(1); // FMA
+                            }
+                        }
+                    }
+                }
+                for i in 0..TILE {
+                    for j in 0..TILE {
+                        self.c.storef(
+                            &mut b,
+                            golden,
+                            (ti * TILE + i) * n + tj * TILE + j,
+                            acc[i as usize][j as usize],
+                        );
+                    }
+                }
+                b.flush_written(swcc_filter(api));
+                b.invalidate_read(swcc_filter(api));
+                p.tasks.push(b.build());
+            }
+        }
+        Some(p)
+    }
+
+    fn verify(&self, mem: &MainMemory) -> Result<(), String> {
+        // The golden C was built incrementally during trace generation;
+        // cross-check a sample of entries against a direct recomputation
+        // is unnecessary — verify the machine image against golden C.
+        let mut golden_img = MainMemory::new();
+        // Rebuild golden C from golden A/B stored in `mem`? A and B are
+        // inputs and unmodified; recompute C directly from the machine's
+        // own A/B image for a fully independent check.
+        let n = self.n;
+        for i in 0..n {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for k in 0..n {
+                    let a = f32::from_bits(mem.read_word(self.a.at(i * n + k)));
+                    let b = f32::from_bits(mem.read_word(self.bm.at(k * n + j)));
+                    acc += a * b;
+                }
+                golden_img.write_word(self.c.at(i * n + j), acc.to_bits());
+            }
+        }
+        verify_array("C", &self.c, &golden_img, mem)
+    }
+}
+
+// Reborrow helper to appease nested-loop borrows in the tile loop.
+fn b_mut(b: &mut TaskBuilder) -> &mut TaskBuilder {
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cohesion::config::{DesignPoint, MachineConfig};
+    use cohesion::run::run_workload;
+
+    #[test]
+    fn dmm_computes_correct_product_under_cohesion() {
+        let cfg = MachineConfig::scaled(16, DesignPoint::cohesion(1024, 128));
+        let report = run_workload(&cfg, &mut Dmm::new(Scale::Tiny)).expect("runs and verifies");
+        assert_eq!(report.kernel, "dmm");
+        assert!(report.tasks > 0);
+    }
+
+    #[test]
+    fn dmm_verifies_under_swcc_and_hwcc() {
+        for dp in [DesignPoint::swcc(), DesignPoint::hwcc_ideal()] {
+            let cfg = MachineConfig::scaled(16, dp);
+            run_workload(&cfg, &mut Dmm::new(Scale::Tiny)).expect("runs and verifies");
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! `gjk` — convex collision detection via support mappings.
+//!
+//! Each task tests one pair of convex polytopes with a GJK-flavoured
+//! separating-direction iteration over their vertex sets (support function =
+//! max dot product). Tasks are deliberately *tiny* — a few hundred
+//! operations — so the benchmark is bound by task-scheduling overhead (the
+//! atomic dequeue + runtime bookkeeping), exactly the behaviour the paper
+//! reports for gjk (§4.5: "limited by task scheduling overhead due to task
+//! granularity").
+//!
+//! gjk's Cohesion variant keeps its vertex tables and result flags
+//! **hardware-coherent**: collision detection is the paper's example of
+//! "fine-grained, irregular sharing" (Table 1) where HWcc earns its keep,
+//! and the kernel is scheduling-bound anyway.
+
+use cohesion::run::Workload;
+use cohesion_mem::mainmem::MainMemory;
+use cohesion_runtime::api::{CohesionApi, RuntimeError};
+use cohesion_runtime::task::{Phase, TaskBuilder};
+
+use crate::common::{swcc_filter, verify_array, ArrayRef, Scale, XorShift};
+
+/// Vertices per convex object.
+const VERTS: u32 = 12;
+/// Separating-direction iterations per pair.
+const ITERS: u32 = 4;
+
+/// Fixed-point scale for coordinates (values are exact in f32).
+fn fx(v: i32) -> f32 {
+    v as f32
+}
+
+/// The collision-detection kernel.
+#[derive(Debug, Default)]
+pub struct Gjk {
+    objects: u32,
+    pairs: Vec<(u32, u32)>,
+    verts: ArrayRef,   // objects × VERTS × 3 coords (f32)
+    results: ArrayRef, // one flag per pair
+    phase: u32,
+}
+
+impl Gjk {
+    /// Creates the kernel at `scale` (16 / 256 / 512 objects; 3 pairs per
+    /// object).
+    pub fn new(scale: Scale) -> Self {
+        Gjk {
+            objects: scale.pick(16, 256, 512),
+            ..Default::default()
+        }
+    }
+
+    fn vert_idx(o: u32, v: u32, c: u32) -> u32 {
+        (o * VERTS + v) * 3 + c
+    }
+
+    /// Support point of object `o` (vertex index maximizing `d · v`) from a
+    /// vertex table.
+    fn support(verts: &[f32], o: u32, d: [f32; 3]) -> [f32; 3] {
+        let mut best = [0.0; 3];
+        let mut best_dot = f32::NEG_INFINITY;
+        for v in 0..VERTS {
+            let p = [
+                verts[Self::vert_idx(o, v, 0) as usize],
+                verts[Self::vert_idx(o, v, 1) as usize],
+                verts[Self::vert_idx(o, v, 2) as usize],
+            ];
+            let dot = p[0] * d[0] + p[1] * d[1] + p[2] * d[2];
+            if dot > best_dot {
+                best_dot = dot;
+                best = p;
+            }
+        }
+        best
+    }
+
+    /// GJK-style intersection test on the vertex table: iteratively refine a
+    /// separating direction; report 1 when no separating direction is found.
+    fn intersects(verts: &[f32], a: u32, b: u32) -> u32 {
+        let mut d = [1.0f32, 0.0, 0.0];
+        for _ in 0..ITERS {
+            let pa = Self::support(verts, a, d);
+            let pb = Self::support(verts, b, [-d[0], -d[1], -d[2]]);
+            let w = [pa[0] - pb[0], pa[1] - pb[1], pa[2] - pb[2]];
+            let along = w[0] * d[0] + w[1] * d[1] + w[2] * d[2];
+            if along < 0.0 {
+                return 0; // separating direction found
+            }
+            // Steer the direction toward the origin of the Minkowski diff.
+            d = [-w[0], -w[1], -w[2]];
+            let norm = (d[0] * d[0] + d[1] * d[1] + d[2] * d[2]).sqrt();
+            if norm < 1e-6 {
+                return 1;
+            }
+            d = [d[0] / norm, d[1] / norm, d[2] / norm];
+        }
+        1
+    }
+}
+
+impl Workload for Gjk {
+    fn name(&self) -> &'static str {
+        "gjk"
+    }
+
+    fn setup(
+        &mut self,
+        api: &mut CohesionApi,
+        golden: &mut MainMemory,
+    ) -> Result<(), RuntimeError> {
+        let mut rng = XorShift::new(0x91c);
+        // Coherent heap: HWcc under Cohesion (see the module docs).
+        self.verts = ArrayRef::alloc_coherent(api, self.objects * VERTS * 3);
+        // Clustered objects: centers on a loose grid, some overlapping.
+        for o in 0..self.objects {
+            let cx = fx((rng.below(self.objects) as i32) * 3);
+            let cy = fx((rng.below(self.objects) as i32) * 3);
+            let cz = fx((rng.below(8) as i32) * 3);
+            for v in 0..VERTS {
+                let p = [
+                    cx + fx(rng.below(5) as i32 - 2),
+                    cy + fx(rng.below(5) as i32 - 2),
+                    cz + fx(rng.below(5) as i32 - 2),
+                ];
+                for c in 0..3 {
+                    self.verts.setf(golden, Self::vert_idx(o, v, c), p[c as usize]);
+                }
+            }
+        }
+        // Candidate pairs from a broad phase the host would have done:
+        // each object against its 3 successors (wrapping).
+        for o in 0..self.objects {
+            for k in 1..=3 {
+                self.pairs.push((o, (o + k) % self.objects));
+            }
+        }
+        self.results = ArrayRef::alloc_coherent(api, self.pairs.len() as u32);
+        Ok(())
+    }
+
+    fn next_phase(&mut self, api: &mut CohesionApi, golden: &mut MainMemory) -> Option<Phase> {
+        if self.phase > 0 {
+            return None;
+        }
+        self.phase = 1;
+        // Snapshot the golden vertex table for the functional test.
+        let vert_count = (self.objects * VERTS * 3) as usize;
+        let verts: Vec<f32> = (0..vert_count)
+            .map(|i| self.verts.gf(golden, i as u32))
+            .collect();
+
+        let mut p = Phase::new("narrow-phase");
+        let pairs = self.pairs.clone();
+        for (pi, &(a, bo)) in pairs.iter().enumerate() {
+            let mut b = TaskBuilder::new(8);
+            b.call_tree(3, 16);
+            // Load both objects' vertices (verified), iterate in registers.
+            for &o in &[a, bo] {
+                for v in 0..VERTS {
+                    for c in 0..3 {
+                        self.verts.loadf(&mut b, golden, Self::vert_idx(o, v, c));
+                    }
+                }
+            }
+            b.compute(ITERS * VERTS * 6);
+            let hit = Self::intersects(&verts, a, bo);
+            self.results.store(&mut b, golden, pi as u32, hit);
+            b.flush_written(swcc_filter(api));
+            b.invalidate_read(swcc_filter(api));
+            p.tasks.push(b.build());
+        }
+        Some(p)
+    }
+
+    fn verify(&self, mem: &MainMemory) -> Result<(), String> {
+        // Recompute from the machine's own vertex image (inputs unchanged).
+        let vert_count = (self.objects * VERTS * 3) as usize;
+        let verts: Vec<f32> = (0..vert_count)
+            .map(|i| f32::from_bits(mem.read_word(self.verts.at(i as u32))))
+            .collect();
+        let mut golden_img = MainMemory::new();
+        for (pi, &(a, b)) in self.pairs.iter().enumerate() {
+            golden_img.write_word(self.results.at(pi as u32), Self::intersects(&verts, a, b));
+        }
+        verify_array("gjk.results", &self.results, &golden_img, mem)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cohesion::config::{DesignPoint, MachineConfig};
+    use cohesion::run::run_workload;
+
+    #[test]
+    fn gjk_verifies_under_all_modes() {
+        for dp in [
+            DesignPoint::swcc(),
+            DesignPoint::hwcc_ideal(),
+            DesignPoint::cohesion(1024, 128),
+        ] {
+            let cfg = MachineConfig::scaled(16, dp);
+            run_workload(&cfg, &mut Gjk::new(Scale::Tiny)).expect("runs and verifies");
+        }
+    }
+
+    #[test]
+    fn identical_objects_intersect() {
+        // One object tested against itself must intersect.
+        let mut verts = vec![0.0f32; (2 * VERTS * 3) as usize];
+        for v in 0..VERTS {
+            for c in 0..3 {
+                let val = (v * 7 % 5) as f32;
+                verts[Gjk::vert_idx(0, v, c) as usize] = val;
+                verts[Gjk::vert_idx(1, v, c) as usize] = val;
+            }
+        }
+        assert_eq!(Gjk::intersects(&verts, 0, 1), 1);
+    }
+
+    #[test]
+    fn distant_objects_do_not_intersect() {
+        let mut verts = vec![0.0f32; (2 * VERTS * 3) as usize];
+        for v in 0..VERTS {
+            for c in 0..3 {
+                verts[Gjk::vert_idx(0, v, c) as usize] = (v % 3) as f32;
+                verts[Gjk::vert_idx(1, v, c) as usize] = 1000.0 + (v % 3) as f32;
+            }
+        }
+        assert_eq!(Gjk::intersects(&verts, 0, 1), 0);
+    }
+
+    #[test]
+    fn gjk_has_many_small_tasks() {
+        let g = {
+            let mut g = Gjk::new(Scale::Tiny);
+            let mut api = CohesionApi::new(16, cohesion_runtime::api::CohMode::SWcc);
+            let mut golden = MainMemory::new();
+            g.setup(&mut api, &mut golden).expect("setup");
+            g
+        };
+        assert_eq!(g.pairs.len(), (g.objects * 3) as usize);
+    }
+}

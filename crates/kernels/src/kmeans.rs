@@ -1,0 +1,310 @@
+//! `kmeans` — k-means clustering with atomic histogramming.
+//!
+//! The assignment phase is dominated by atomic read-modify-write updates to
+//! the per-cluster counters and coordinate sums — the paper's example of a
+//! kernel where SWcc gains nothing because uncached atomics dominate
+//! (Figure 2) and where Cohesion *reduces* traffic below SWcc by "relying
+//! upon HWcc" (§4.2): under Cohesion the per-task partial accumulators live
+//! on the coherent heap and are combined through the directory instead of
+//! with global atomics.
+//!
+//! Coordinates are small integers, so sums are exact and order-independent:
+//! the golden result is deterministic despite dynamic task scheduling.
+
+use cohesion::run::Workload;
+use cohesion_mem::mainmem::MainMemory;
+use cohesion_runtime::api::{CohMode, CohesionApi, RuntimeError};
+use cohesion_runtime::task::{AtomicKind, Phase, TaskBuilder};
+
+use crate::common::{swcc_filter, verify_array, ArrayRef, Scale, XorShift};
+
+/// Dimensions per point.
+const DIM: u32 = 4;
+/// Clusters.
+const K: u32 = 8;
+
+/// The k-means kernel.
+#[derive(Debug, Default)]
+pub struct Kmeans {
+    points: u32,
+    iters: u32,
+    points_per_task: u32,
+    px: ArrayRef,        // points × DIM integer coordinates
+    centroids: ArrayRef, // K × DIM
+    counts: ArrayRef,    // K
+    sums: ArrayRef,      // K × DIM
+    partials: ArrayRef,  // tasks × K × (1 + DIM), Cohesion only
+    iter: u32,
+    in_update: bool,
+}
+
+impl Kmeans {
+    /// Creates the kernel at `scale` (64×2 / 8192×3 / 32768×4
+    /// points×iterations).
+    pub fn new(scale: Scale) -> Self {
+        Kmeans {
+            points: scale.pick(64, 8192, 32768),
+            iters: scale.pick(2, 3, 4),
+            points_per_task: scale.pick(8, 64, 128),
+            ..Default::default()
+        }
+    }
+
+    fn tasks(&self) -> u32 {
+        self.points.div_ceil(self.points_per_task)
+    }
+
+    fn nearest(centroids: &[u32], point: &[u32]) -> u32 {
+        let mut best = 0;
+        let mut best_d = u64::MAX;
+        for c in 0..K {
+            let mut d = 0u64;
+            for j in 0..DIM {
+                let diff = centroids[(c * DIM + j) as usize] as i64 - point[j as usize] as i64;
+                d += (diff * diff) as u64;
+            }
+            if d < best_d {
+                best_d = d;
+                best = c;
+            }
+        }
+        best
+    }
+
+    fn partial_idx(task: u32, c: u32, field: u32) -> u32 {
+        (task * K + c) * (1 + DIM) + field
+    }
+}
+
+#[allow(clippy::manual_checked_ops)]
+impl Workload for Kmeans {
+    fn name(&self) -> &'static str {
+        "kmeans"
+    }
+
+    fn setup(
+        &mut self,
+        api: &mut CohesionApi,
+        golden: &mut MainMemory,
+    ) -> Result<(), RuntimeError> {
+        self.px = ArrayRef::alloc_incoherent(api, self.points * DIM);
+        self.centroids = ArrayRef::alloc_incoherent(api, K * DIM);
+        // Shared accumulators: coherent heap (they are fine-grained shared).
+        self.counts = ArrayRef::alloc_coherent(api, K);
+        self.sums = ArrayRef::alloc_coherent(api, K * DIM);
+        if api.mode() == CohMode::Cohesion {
+            self.partials = ArrayRef::alloc_coherent(api, self.tasks() * K * (1 + DIM));
+        }
+        let mut rng = XorShift::new(0x3e3a);
+        for i in 0..self.points * DIM {
+            self.px.set(golden, i, rng.below(1024));
+        }
+        for c in 0..K {
+            // Initial centroids: copies of the first K points.
+            for j in 0..DIM {
+                let v = self.px.g(golden, c * DIM + j);
+                self.centroids.set(golden, c * DIM + j, v);
+            }
+        }
+        Ok(())
+    }
+
+    fn next_phase(&mut self, api: &mut CohesionApi, golden: &mut MainMemory) -> Option<Phase> {
+        if self.iter >= self.iters {
+            return None;
+        }
+        let cohesion = api.mode() == CohMode::Cohesion;
+        if !self.in_update {
+            // ---------------- Assignment phase ----------------
+            self.in_update = true;
+            let mut p = Phase::new("assign");
+            let cvals: Vec<u32> = (0..K * DIM).map(|i| self.centroids.g(golden, i)).collect();
+            for t in 0..self.tasks() {
+                let mut b = TaskBuilder::new(16);
+                b.call_tree(3, 16);
+                let p0 = t * self.points_per_task;
+                let p1 = (p0 + self.points_per_task).min(self.points);
+                // Load centroids once per task (read shared).
+                for i in 0..K * DIM {
+                    self.centroids.load(&mut b, golden, i);
+                }
+                let mut local = vec![0u32; (K * (1 + DIM)) as usize];
+                for pt in p0..p1 {
+                    let mut coords = [0u32; DIM as usize];
+                    for j in 0..DIM {
+                        coords[j as usize] = self.px.load(&mut b, golden, pt * DIM + j);
+                    }
+                    b.compute(K * DIM * 2);
+                    let c = Self::nearest(&cvals, &coords);
+                    if cohesion {
+                        local[(c * (1 + DIM)) as usize] += 1;
+                        for j in 0..DIM {
+                            local[(c * (1 + DIM) + 1 + j) as usize] += coords[j as usize];
+                        }
+                    } else {
+                        // Global atomic histogramming (uncached RMW at L3).
+                        let ca = self.counts.at(c);
+                        golden.write_word(ca, golden.read_word(ca).wrapping_add(1));
+                        b.atomic(ca, AtomicKind::Add, 1);
+                        for j in 0..DIM {
+                            let sa = self.sums.at(c * DIM + j);
+                            golden
+                                .write_word(sa, golden.read_word(sa).wrapping_add(coords[j as usize]));
+                            b.atomic(sa, AtomicKind::Add, coords[j as usize]);
+                        }
+                    }
+                }
+                if cohesion {
+                    // Spill the partial histogram through HWcc stores; the
+                    // directory pulls them in the update phase.
+                    for c in 0..K {
+                        for f in 0..(1 + DIM) {
+                            self.partials.store(
+                                &mut b,
+                                golden,
+                                Self::partial_idx(t, c, f),
+                                local[(c * (1 + DIM) + f) as usize],
+                            );
+                        }
+                    }
+                }
+                b.flush_written(swcc_filter(api));
+                b.invalidate_read(swcc_filter(api));
+                p.tasks.push(b.build());
+            }
+            Some(p)
+        } else {
+            // ---------------- Update phase ----------------
+            self.in_update = false;
+            self.iter += 1;
+            let mut p = Phase::new("update");
+            let tasks = self.tasks();
+            for c in 0..K {
+                let mut b = TaskBuilder::new(8);
+                b.call_tree(3, 16);
+                let mut count = 0u64;
+                let mut sums = [0u64; DIM as usize];
+                if cohesion {
+                    for t in 0..tasks {
+                        count += self.partials.load(&mut b, golden, Self::partial_idx(t, c, 0)) as u64;
+                        for j in 0..DIM {
+                            sums[j as usize] += self
+                                .partials
+                                .load(&mut b, golden, Self::partial_idx(t, c, 1 + j))
+                                as u64;
+                        }
+                    }
+                } else {
+                    count = self.counts.load(&mut b, golden, c) as u64;
+                    for j in 0..DIM {
+                        sums[j as usize] = self.sums.load(&mut b, golden, c * DIM + j) as u64;
+                    }
+                    // Reset the accumulators for the next iteration with
+                    // exchange atomics (keeps them uncached end to end).
+                    let ca = self.counts.at(c);
+                    golden.write_word(ca, 0);
+                    b.atomic(ca, AtomicKind::Xchg, 0);
+                    for j in 0..DIM {
+                        let sa = self.sums.at(c * DIM + j);
+                        golden.write_word(sa, 0);
+                        b.atomic(sa, AtomicKind::Xchg, 0);
+                    }
+                }
+                if count > 0 {
+                    for j in 0..DIM {
+                        let nv = (sums[j as usize] / count) as u32;
+                        self.centroids.store(&mut b, golden, c * DIM + j, nv);
+                    }
+                }
+                b.compute(DIM * 12);
+                b.flush_written(swcc_filter(api));
+                b.invalidate_read(swcc_filter(api));
+                p.tasks.push(b.build());
+            }
+            Some(p)
+        }
+    }
+
+    fn verify(&self, mem: &MainMemory) -> Result<(), String> {
+        // Recompute the whole clustering functionally.
+        let mut rng = XorShift::new(0x3e3a);
+        let px: Vec<u32> = (0..self.points * DIM).map(|_| rng.below(1024)).collect();
+        let mut centroids: Vec<u32> = (0..K * DIM).map(|i| px[i as usize]).collect();
+        for _ in 0..self.iters {
+            let mut counts = vec![0u64; K as usize];
+            let mut sums = vec![0u64; (K * DIM) as usize];
+            for pt in 0..self.points {
+                let coords = &px[(pt * DIM) as usize..(pt * DIM + DIM) as usize];
+                let c = Self::nearest(&centroids, coords);
+                counts[c as usize] += 1;
+                for j in 0..DIM {
+                    sums[(c * DIM + j) as usize] += coords[j as usize] as u64;
+                }
+            }
+            for c in 0..K {
+                if counts[c as usize] > 0 {
+                    for j in 0..DIM {
+                        centroids[(c * DIM + j) as usize] =
+                            (sums[(c * DIM + j) as usize] / counts[c as usize]) as u32;
+                    }
+                }
+            }
+        }
+        let mut golden_img = MainMemory::new();
+        for i in 0..K * DIM {
+            golden_img.write_word(self.centroids.at(i), centroids[i as usize]);
+        }
+        verify_array("kmeans.centroids", &self.centroids, &golden_img, mem)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cohesion::config::{DesignPoint, MachineConfig};
+    use cohesion::run::run_workload;
+    use cohesion_sim::msg::MessageClass;
+
+    #[test]
+    fn kmeans_verifies_under_all_modes() {
+        for dp in [
+            DesignPoint::swcc(),
+            DesignPoint::hwcc_ideal(),
+            DesignPoint::cohesion(1024, 128),
+        ] {
+            let cfg = MachineConfig::scaled(16, dp);
+            run_workload(&cfg, &mut Kmeans::new(Scale::Tiny)).expect("runs and verifies");
+        }
+    }
+
+    #[test]
+    fn swcc_kmeans_is_atomic_dominated_and_cohesion_reduces_it() {
+        let sw = run_workload(
+            &MachineConfig::scaled(16, DesignPoint::swcc()),
+            &mut Kmeans::new(Scale::Tiny),
+        )
+        .expect("runs");
+        let coh = run_workload(
+            &MachineConfig::scaled(16, DesignPoint::cohesion(1024, 128)),
+            &mut Kmeans::new(Scale::Tiny),
+        )
+        .expect("runs");
+        let sw_atomics = sw.messages.count(MessageClass::UncachedAtomic);
+        let coh_atomics = coh.messages.count(MessageClass::UncachedAtomic);
+        assert!(
+            coh_atomics < sw_atomics,
+            "Cohesion ({coh_atomics}) must issue fewer uncached ops than SWcc ({sw_atomics}) (§4.2)"
+        );
+    }
+
+    #[test]
+    fn nearest_picks_closest_centroid() {
+        let mut centroids = vec![0u32; (K * DIM) as usize];
+        for j in 0..DIM {
+            centroids[(DIM + j) as usize] = 100;
+        }
+        let p = [99u32, 101, 100, 100];
+        assert_eq!(Kmeans::nearest(&centroids, &p), 1);
+    }
+}
+

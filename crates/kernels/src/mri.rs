@@ -1,0 +1,174 @@
+//! `mri` — non-Cartesian MRI reconstruction (FHd-style voxel sums).
+//!
+//! For each voxel, accumulate `Σ_k m_k · cos(2π k·x) , Σ_k m_k · sin(2π k·x)`
+//! over all k-space samples. Arithmetic intensity is very high — dozens of
+//! cycles of trigonometry per loaded word — so mri's performance is bound by
+//! execution efficiency, not coherence (§4.5: "execution efficiency for mri
+//! due to its high arithmetic intensity"). The sample arrays are read-shared
+//! by every task.
+
+use cohesion::run::Workload;
+use cohesion_mem::mainmem::MainMemory;
+use cohesion_runtime::api::{CohesionApi, RuntimeError};
+use cohesion_runtime::task::{Phase, TaskBuilder};
+
+use crate::common::{swcc_filter, verify_array, ArrayRef, Scale, XorShift};
+
+/// Cycles charged per sample-point trig evaluation (sin+cos+2 FMA).
+const TRIG_CYCLES: u32 = 24;
+
+/// The MRI-reconstruction kernel.
+#[derive(Debug, Default)]
+pub struct Mri {
+    voxels: u32,
+    samples: u32,
+    kx: ArrayRef,
+    km: ArrayRef,
+    out_re: ArrayRef,
+    out_im: ArrayRef,
+    phase: u32,
+}
+
+impl Mri {
+    /// Creates the kernel at `scale` (64×32 / 1024×192 / 2048×384
+    /// voxels×samples).
+    pub fn new(scale: Scale) -> Self {
+        Mri {
+            voxels: scale.pick(64, 1024, 2048),
+            samples: scale.pick(32, 192, 384),
+            ..Default::default()
+        }
+    }
+
+    fn contrib(kx: f32, km: f32, x: f32) -> (f32, f32) {
+        let ph = 2.0 * std::f32::consts::PI * kx * x;
+        (km * ph.cos(), km * ph.sin())
+    }
+
+    fn voxel_coord(&self, v: u32) -> f32 {
+        v as f32 / self.voxels as f32
+    }
+}
+
+impl Workload for Mri {
+    fn name(&self) -> &'static str {
+        "mri"
+    }
+
+    fn setup(
+        &mut self,
+        api: &mut CohesionApi,
+        golden: &mut MainMemory,
+    ) -> Result<(), RuntimeError> {
+        self.kx = ArrayRef::alloc_incoherent(api, self.samples);
+        self.km = ArrayRef::alloc_incoherent(api, self.samples);
+        self.out_re = ArrayRef::alloc_incoherent(api, self.voxels);
+        self.out_im = ArrayRef::alloc_incoherent(api, self.voxels);
+        let mut rng = XorShift::new(0x3417);
+        for i in 0..self.samples {
+            self.kx.setf(golden, i, rng.next_f32() * 8.0 - 4.0);
+            self.km.setf(golden, i, rng.next_f32());
+        }
+        Ok(())
+    }
+
+    fn next_phase(&mut self, api: &mut CohesionApi, golden: &mut MainMemory) -> Option<Phase> {
+        if self.phase > 0 {
+            return None;
+        }
+        self.phase = 1;
+        let mut p = Phase::new("fhd");
+        let voxels_per_task = 8;
+        let mut v0 = 0;
+        while v0 < self.voxels {
+            let v1 = (v0 + voxels_per_task).min(self.voxels);
+            let mut b = TaskBuilder::new(32);
+            b.call_tree(3, 16);
+            for v in v0..v1 {
+                let x = self.voxel_coord(v);
+                let mut re = 0.0f32;
+                let mut im = 0.0f32;
+                for s in 0..self.samples {
+                    let kx = self.kx.loadf(&mut b, golden, s);
+                    let km = self.km.loadf(&mut b, golden, s);
+                    let (cr, ci) = Self::contrib(kx, km, x);
+                    re += cr;
+                    im += ci;
+                    b.compute(TRIG_CYCLES);
+                }
+                self.out_re.storef(&mut b, golden, v, re);
+                self.out_im.storef(&mut b, golden, v, im);
+            }
+            b.flush_written(swcc_filter(api));
+            // The k-space sample arrays are immutable for the program's
+            // lifetime: the task-centric model treats them as SWIM data and
+            // skips the lazy invalidations (Figure 6's Immutable state).
+            p.tasks.push(b.build());
+            v0 = v1;
+        }
+        Some(p)
+    }
+
+    fn immutable_ranges(&self) -> Vec<(cohesion_mem::addr::Addr, u32)> {
+        // The k-space trajectory and sample magnitudes never change: SWIM
+        // data, read by every task without invalidation.
+        vec![
+            (self.kx.base, self.kx.len * 4),
+            (self.km.base, self.km.len * 4),
+        ]
+    }
+
+    fn verify(&self, mem: &MainMemory) -> Result<(), String> {
+        // Setup interleaves the draws (kx[i], km[i]); replicate exactly.
+        let mut rng = XorShift::new(0x3417);
+        let mut kx = vec![0.0f32; self.samples as usize];
+        let mut km = vec![0.0f32; self.samples as usize];
+        for i in 0..self.samples as usize {
+            kx[i] = rng.next_f32() * 8.0 - 4.0;
+            km[i] = rng.next_f32();
+        }
+        let mut golden_img = MainMemory::new();
+        for v in 0..self.voxels {
+            let x = self.voxel_coord(v);
+            let mut re = 0.0f32;
+            let mut im = 0.0f32;
+            for s in 0..self.samples as usize {
+                let (cr, ci) = Self::contrib(kx[s], km[s], x);
+                re += cr;
+                im += ci;
+            }
+            golden_img.write_word(self.out_re.at(v), re.to_bits());
+            golden_img.write_word(self.out_im.at(v), im.to_bits());
+        }
+        verify_array("mri.re", &self.out_re, &golden_img, mem)?;
+        verify_array("mri.im", &self.out_im, &golden_img, mem)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cohesion::config::{DesignPoint, MachineConfig};
+    use cohesion::run::run_workload;
+
+    #[test]
+    fn mri_verifies_under_all_modes() {
+        for dp in [
+            DesignPoint::swcc(),
+            DesignPoint::hwcc_ideal(),
+            DesignPoint::cohesion(1024, 128),
+        ] {
+            let cfg = MachineConfig::scaled(16, dp);
+            run_workload(&cfg, &mut Mri::new(Scale::Tiny)).expect("runs and verifies");
+        }
+    }
+
+    #[test]
+    fn mri_issues_no_invalidations() {
+        // Immutable inputs: no lazy invalidations even under SWcc.
+        let cfg = MachineConfig::scaled(16, DesignPoint::swcc());
+        let report = run_workload(&cfg, &mut Mri::new(Scale::Tiny)).expect("runs");
+        assert_eq!(report.instr_stats.invalidations_issued, 0);
+        assert!(report.instr_stats.writebacks_issued > 0);
+    }
+}

@@ -1,0 +1,162 @@
+//! `sobel` — 3×3 edge detection over a grayscale image.
+//!
+//! Streaming and reuse-poor: each pixel is read a handful of times and the
+//! gradient magnitude written once. Integer arithmetic, low compute per
+//! byte; the kernel where realistic HWcc loses the most in Figure 10
+//! (3.56× in the paper) because every streamed line costs directory state.
+
+use cohesion::run::Workload;
+use cohesion_mem::mainmem::MainMemory;
+use cohesion_runtime::api::{CohesionApi, RuntimeError};
+use cohesion_runtime::task::{Phase, TaskBuilder};
+
+use crate::common::{swcc_filter, verify_array, ArrayRef, Scale, XorShift};
+
+/// The Sobel edge-detection kernel.
+#[derive(Debug, Default)]
+pub struct Sobel {
+    w: u32,
+    h: u32,
+    src: ArrayRef,
+    dst: ArrayRef,
+    phase: u32,
+}
+
+impl Sobel {
+    /// Creates the kernel at `scale` (image 16² / 512² / 1024²).
+    pub fn new(scale: Scale) -> Self {
+        let n = scale.pick(16, 512, 1024);
+        Sobel {
+            w: n,
+            h: n,
+            ..Default::default()
+        }
+    }
+
+    fn idx(&self, y: u32, x: u32) -> u32 {
+        y * self.w + x
+    }
+
+    /// Sobel gradient magnitude (integer, saturating) at an interior pixel.
+    fn magnitude(px: &dyn Fn(u32, u32) -> i64, y: u32, x: u32) -> u32 {
+        let gx = -px(y - 1, x - 1) + px(y - 1, x + 1) - 2 * px(y, x - 1) + 2 * px(y, x + 1)
+            - px(y + 1, x - 1)
+            + px(y + 1, x + 1);
+        let gy = -px(y - 1, x - 1) - 2 * px(y - 1, x) - px(y - 1, x + 1)
+            + px(y + 1, x - 1)
+            + 2 * px(y + 1, x)
+            + px(y + 1, x + 1);
+        (gx.abs() + gy.abs()).min(u32::MAX as i64) as u32
+    }
+}
+
+impl Workload for Sobel {
+    fn name(&self) -> &'static str {
+        "sobel"
+    }
+
+    fn setup(
+        &mut self,
+        api: &mut CohesionApi,
+        golden: &mut MainMemory,
+    ) -> Result<(), RuntimeError> {
+        self.src = ArrayRef::alloc_incoherent(api, self.w * self.h);
+        self.dst = ArrayRef::alloc_incoherent(api, self.w * self.h);
+        let mut rng = XorShift::new(0x50be);
+        for i in 0..self.w * self.h {
+            self.src.set(golden, i, rng.below(256));
+        }
+        Ok(())
+    }
+
+    fn next_phase(&mut self, api: &mut CohesionApi, golden: &mut MainMemory) -> Option<Phase> {
+        if self.phase > 0 {
+            return None;
+        }
+        self.phase = 1;
+        let (w, h) = (self.w, self.h);
+        let mut p = Phase::new("sobel");
+        let rows_per_task = 4u32;
+        let mut y0 = 0;
+        while y0 < h {
+            let y1 = (y0 + rows_per_task).min(h);
+            let mut b = TaskBuilder::new(12);
+            b.call_tree(3, 16);
+            for y in y0..y1 {
+                for x in 0..w {
+                    let v = if y == 0 || x == 0 || y == h - 1 || x == w - 1 {
+                        0
+                    } else {
+                        // Load the 3×3 neighbourhood (L2 captures the reuse).
+                        let mut vals = [[0i64; 3]; 3];
+                        for (dy, row) in vals.iter_mut().enumerate() {
+                            for (dx, v) in row.iter_mut().enumerate() {
+                                let yy = y + dy as u32 - 1;
+                                let xx = x + dx as u32 - 1;
+                                *v = self.src.load(&mut b, golden, self.idx(yy, xx)) as i64;
+                            }
+                        }
+                        b.compute(6);
+                        Self::magnitude(&|yy, xx| vals[(yy + 1 - y) as usize][(xx + 1 - x) as usize], y, x)
+                    };
+                    self.dst.store(&mut b, golden, self.idx(y, x), v);
+                }
+            }
+            b.flush_written(swcc_filter(api));
+            b.invalidate_read(swcc_filter(api));
+            p.tasks.push(b.build());
+            y0 = y1;
+        }
+        Some(p)
+    }
+
+    fn verify(&self, mem: &MainMemory) -> Result<(), String> {
+        let (w, h) = (self.w, self.h);
+        let mut rng = XorShift::new(0x50be);
+        let img: Vec<i64> = (0..w * h).map(|_| rng.below(256) as i64).collect();
+        let px = |y: u32, x: u32| img[(y * w + x) as usize];
+        let mut golden_img = MainMemory::new();
+        for y in 0..h {
+            for x in 0..w {
+                let v = if y == 0 || x == 0 || y == h - 1 || x == w - 1 {
+                    0
+                } else {
+                    Self::magnitude(&px, y, x)
+                };
+                golden_img.write_word(self.dst.at(self.idx(y, x)), v);
+            }
+        }
+        verify_array("sobel", &self.dst, &golden_img, mem)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cohesion::config::{DesignPoint, MachineConfig};
+    use cohesion::run::run_workload;
+
+    #[test]
+    fn sobel_verifies_under_all_modes() {
+        for dp in [
+            DesignPoint::swcc(),
+            DesignPoint::hwcc_ideal(),
+            DesignPoint::cohesion(1024, 128),
+        ] {
+            let cfg = MachineConfig::scaled(16, dp);
+            run_workload(&cfg, &mut Sobel::new(Scale::Tiny)).expect("runs and verifies");
+        }
+    }
+
+    #[test]
+    fn magnitude_of_flat_region_is_zero() {
+        let flat = |_: u32, _: u32| 100i64;
+        assert_eq!(Sobel::magnitude(&flat, 1, 1), 0);
+    }
+
+    #[test]
+    fn magnitude_detects_vertical_edge() {
+        let edge = |_: u32, x: u32| if x >= 1 { 255i64 } else { 0 };
+        assert!(Sobel::magnitude(&edge, 1, 1) > 0);
+    }
+}

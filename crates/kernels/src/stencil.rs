@@ -1,0 +1,162 @@
+//! `stencil` — 3-D 7-point stencil, double buffered.
+//!
+//! The 3-D analogue of `heat`: tasks own z-slabs, read one-plane halos from
+//! the source buffer across the barrier, and carry a large working set.
+//!
+//! Following the paper's partitioning, stencil's Cohesion variant keeps its
+//! grids **hardware-coherent** (allocated on the coherent heap): §4.2 notes
+//! that "for some benchmarks, the number of messages are nearly identical
+//! across Cohesion and optimistic HWcc configurations, such as heat and
+//! stencil", i.e. the authors did not move these buffers to SWcc, and "see
+//! potential to remove many of these messages by applying further, albeit
+//! more complicated, optimization strategies". Under the pure modes the
+//! heap choice is irrelevant (the mode overrides per-line domains).
+
+use cohesion::run::Workload;
+use cohesion_mem::mainmem::MainMemory;
+use cohesion_runtime::api::{CohesionApi, RuntimeError};
+use cohesion_runtime::task::{Phase, TaskBuilder};
+
+use crate::common::{swcc_filter, verify_array, ArrayRef, Scale, XorShift};
+
+/// The 3-D 7-point stencil kernel.
+#[derive(Debug, Default)]
+pub struct Stencil {
+    n: u32,
+    iters: u32,
+    buf: [ArrayRef; 2],
+    iter: u32,
+}
+
+impl Stencil {
+    /// Creates the kernel at `scale` (grid 8³ ×2 / 48³ ×2 / 64³ ×3).
+    pub fn new(scale: Scale) -> Self {
+        Stencil {
+            n: scale.pick(8, 48, 64),
+            iters: scale.pick(2, 2, 3),
+            ..Default::default()
+        }
+    }
+
+    fn idx(&self, z: u32, y: u32, x: u32) -> u32 {
+        (z * self.n + y) * self.n + x
+    }
+
+    fn relax(v: &[f32], n: u32, z: u32, y: u32, x: u32) -> f32 {
+        let at = |z: u32, y: u32, x: u32| v[((z * n + y) * n + x) as usize];
+        let c = at(z, y, x);
+        let xm = if x > 0 { at(z, y, x - 1) } else { c };
+        let xp = if x + 1 < n { at(z, y, x + 1) } else { c };
+        let ym = if y > 0 { at(z, y - 1, x) } else { c };
+        let yp = if y + 1 < n { at(z, y + 1, x) } else { c };
+        let zm = if z > 0 { at(z - 1, y, x) } else { c };
+        let zp = if z + 1 < n { at(z + 1, y, x) } else { c };
+        (c + xm + xp + ym + yp + zm + zp) / 7.0
+    }
+}
+
+impl Workload for Stencil {
+    fn name(&self) -> &'static str {
+        "stencil"
+    }
+
+    fn setup(
+        &mut self,
+        api: &mut CohesionApi,
+        golden: &mut MainMemory,
+    ) -> Result<(), RuntimeError> {
+        let n3 = self.n * self.n * self.n;
+        // Coherent heap: HWcc under Cohesion (see the module docs).
+        self.buf = [
+            ArrayRef::alloc_coherent(api, n3),
+            ArrayRef::alloc_coherent(api, n3),
+        ];
+        let mut rng = XorShift::new(0x57e4);
+        for i in 0..n3 {
+            self.buf[0].setf(golden, i, rng.next_f32() * 10.0);
+        }
+        Ok(())
+    }
+
+    fn next_phase(&mut self, api: &mut CohesionApi, golden: &mut MainMemory) -> Option<Phase> {
+        if self.iter >= self.iters {
+            return None;
+        }
+        let (src, dst) = (
+            self.buf[(self.iter % 2) as usize],
+            self.buf[((self.iter + 1) % 2) as usize],
+        );
+        self.iter += 1;
+        let n = self.n;
+        let mut p = Phase::new("stencil3d");
+        for z in 0..n {
+            // One task per z-plane.
+            let mut b = TaskBuilder::new(20);
+            b.call_tree(3, 16);
+            for y in 0..n {
+                for x in 0..n {
+                    let c = src.loadf(&mut b, golden, self.idx(z, y, x));
+                    let mut sum = c;
+                    let load_nb = |zz: u32, yy: u32, xx: u32, b: &mut TaskBuilder| {
+                        src.loadf(b, golden, self.idx(zz, yy, xx))
+                    };
+                    sum += if x > 0 { load_nb(z, y, x - 1, &mut b) } else { c };
+                    sum += if x + 1 < n { load_nb(z, y, x + 1, &mut b) } else { c };
+                    sum += if y > 0 { load_nb(z, y - 1, x, &mut b) } else { c };
+                    sum += if y + 1 < n { load_nb(z, y + 1, x, &mut b) } else { c };
+                    sum += if z > 0 { load_nb(z - 1, y, x, &mut b) } else { c };
+                    sum += if z + 1 < n { load_nb(z + 1, y, x, &mut b) } else { c };
+                    b.compute(7);
+                    dst.storef(&mut b, golden, self.idx(z, y, x), sum / 7.0);
+                }
+            }
+            b.flush_written(swcc_filter(api));
+            b.invalidate_read(swcc_filter(api));
+            p.tasks.push(b.build());
+        }
+        Some(p)
+    }
+
+    fn verify(&self, mem: &MainMemory) -> Result<(), String> {
+        let n = self.n;
+        let n3 = (n * n * n) as usize;
+        let mut rng = XorShift::new(0x57e4);
+        let mut cur: Vec<f32> = (0..n3).map(|_| rng.next_f32() * 10.0).collect();
+        let mut next = vec![0.0f32; n3];
+        for _ in 0..self.iters {
+            for z in 0..n {
+                for y in 0..n {
+                    for x in 0..n {
+                        next[((z * n + y) * n + x) as usize] = Self::relax(&cur, n, z, y, x);
+                    }
+                }
+            }
+            std::mem::swap(&mut cur, &mut next);
+        }
+        let final_buf = self.buf[(self.iters % 2) as usize];
+        let mut golden_img = MainMemory::new();
+        for (i, v) in cur.iter().enumerate() {
+            golden_img.write_word(final_buf.at(i as u32), v.to_bits());
+        }
+        verify_array("stencil", &final_buf, &golden_img, mem)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cohesion::config::{DesignPoint, MachineConfig};
+    use cohesion::run::run_workload;
+
+    #[test]
+    fn stencil_verifies_under_all_modes() {
+        for dp in [
+            DesignPoint::swcc(),
+            DesignPoint::hwcc_ideal(),
+            DesignPoint::cohesion(1024, 128),
+        ] {
+            let cfg = MachineConfig::scaled(16, dp);
+            run_workload(&cfg, &mut Stencil::new(Scale::Tiny)).expect("runs and verifies");
+        }
+    }
+}

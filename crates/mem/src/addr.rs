@@ -1,0 +1,257 @@
+//! The single 32-bit address space and its line/bank/channel geometry.
+//!
+//! The paper's baseline uses 32-byte lines, a 4 MB L3 in 32 banks, and eight
+//! GDDR5 channels with four L3 banks each (Table 3, §3.1). Interleaving
+//! follows footnote 1: `addr[10..0]` map to the same memory controller and
+//! `addr[13..11]` stride across controllers, i.e. DRAM-row-sized (2 KB)
+//! chunks rotate over channels; within a channel, 512-byte chunks rotate over
+//! that channel's banks.
+
+use std::fmt;
+
+/// Bytes per cache line (Table 3).
+pub const LINE_BYTES: u32 = 32;
+
+/// 32-bit words per cache line.
+pub const WORDS_PER_LINE: usize = 8;
+
+/// A byte address in the single 32-bit address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(pub u32);
+
+/// A cache-line address (byte address divided by [`LINE_BYTES`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LineAddr(pub u32);
+
+impl Addr {
+    /// The line containing this address.
+    pub fn line(self) -> LineAddr {
+        LineAddr(self.0 / LINE_BYTES)
+    }
+
+    /// Index (0..8) of this address's word within its line.
+    pub fn word_index(self) -> usize {
+        ((self.0 / 4) as usize) % WORDS_PER_LINE
+    }
+
+    /// Whether this address is 4-byte aligned.
+    pub fn is_word_aligned(self) -> bool {
+        self.0.is_multiple_of(4)
+    }
+
+    /// The address `bytes` past this one.
+    pub fn offset(self, bytes: u32) -> Addr {
+        Addr(self.0 + bytes)
+    }
+}
+
+impl LineAddr {
+    /// Byte address of the first word of the line.
+    pub fn base(self) -> Addr {
+        Addr(self.0 * LINE_BYTES)
+    }
+
+    /// Byte address of word `i` (0..8) of the line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 8`.
+    pub fn word(self, i: usize) -> Addr {
+        assert!(i < WORDS_PER_LINE, "word index {i} out of range");
+        Addr(self.0 * LINE_BYTES + 4 * i as u32)
+    }
+
+    /// The line `n` lines after this one.
+    pub fn offset(self, n: u32) -> LineAddr {
+        LineAddr(self.0 + n)
+    }
+}
+
+impl From<u32> for Addr {
+    fn from(v: u32) -> Self {
+        Addr(v)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#010x}", self.0)
+    }
+}
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {:#010x}", self.0 * LINE_BYTES)
+    }
+}
+
+/// Static interleaving of the address space over L3 banks and DRAM channels.
+///
+/// Both counts must be powers of two with `banks % channels == 0`. With the
+/// Table 3 defaults (32 banks, 8 channels) the mapping reproduces the
+/// footnote-1 bit fields exactly: channel = `addr[13..11]`, bank within
+/// channel = `addr[10..9]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AddressMap {
+    banks: u32,
+    channels: u32,
+    /// log2 of the bytes mapped contiguously to one bank (512 B default).
+    bank_shift: u32,
+    /// log2 of the bytes mapped contiguously to one channel (2 KB default).
+    channel_shift: u32,
+}
+
+impl AddressMap {
+    /// Creates a map over `banks` L3 banks and `channels` DRAM channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both counts are nonzero powers of two and `banks` is a
+    /// multiple of `channels`.
+    pub fn new(banks: u32, channels: u32) -> Self {
+        assert!(banks.is_power_of_two(), "bank count must be a power of two");
+        assert!(
+            channels.is_power_of_two(),
+            "channel count must be a power of two"
+        );
+        assert!(
+            banks >= channels,
+            "need at least one bank per channel (got {banks} banks, {channels} channels)"
+        );
+        AddressMap {
+            banks,
+            channels,
+            bank_shift: 9,
+            channel_shift: 11,
+        }
+    }
+
+    /// The Table 3 configuration: 32 L3 banks over 8 GDDR5 channels.
+    pub fn isca2010() -> Self {
+        AddressMap::new(32, 8)
+    }
+
+    /// Number of L3 banks.
+    pub fn banks(&self) -> u32 {
+        self.banks
+    }
+
+    /// Number of DRAM channels.
+    pub fn channels(&self) -> u32 {
+        self.channels
+    }
+
+    /// L3 banks per DRAM channel.
+    pub fn banks_per_channel(&self) -> u32 {
+        self.banks / self.channels
+    }
+
+    /// The DRAM channel a line maps to.
+    pub fn channel_of(&self, line: LineAddr) -> u32 {
+        (line.base().0 >> self.channel_shift) & (self.channels - 1)
+    }
+
+    /// The L3 bank a line maps to.
+    ///
+    /// Channel bits are the major index so that all lines of a bank live on
+    /// one channel ("each four banks of L3 have an independent GDDR memory
+    /// channel", §3.1).
+    pub fn bank_of(&self, line: LineAddr) -> u32 {
+        let per = self.banks_per_channel();
+        let within = (line.base().0 >> self.bank_shift) & (per - 1);
+        self.channel_of(line) * per + within
+    }
+
+    /// The DRAM row identifier used by the open-row model: everything above
+    /// the channel stride on one channel.
+    pub fn row_of(&self, line: LineAddr) -> u32 {
+        line.base().0 >> (self.channel_shift + self.channels.trailing_zeros())
+    }
+}
+
+impl Default for AddressMap {
+    fn default() -> Self {
+        AddressMap::isca2010()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_geometry() {
+        let a = Addr(0x1234);
+        assert_eq!(a.line(), LineAddr(0x1234 / 32));
+        assert_eq!(a.word_index(), (0x1234 / 4) % 8);
+        assert!(Addr(8).is_word_aligned());
+        assert!(!Addr(6).is_word_aligned());
+        assert_eq!(LineAddr(2).base(), Addr(64));
+        assert_eq!(LineAddr(2).word(3), Addr(76));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn word_index_bounds_checked() {
+        let _ = LineAddr(0).word(8);
+    }
+
+    #[test]
+    fn isca_interleaving_matches_footnote_bits() {
+        let map = AddressMap::isca2010();
+        // channel = addr[13..11]
+        for ch in 0..8u32 {
+            let addr = Addr(ch << 11);
+            assert_eq!(map.channel_of(addr.line()), ch);
+        }
+        // addr[10..0] stay on one channel
+        assert_eq!(map.channel_of(Addr(0x7ff).line()), 0);
+        assert_eq!(map.channel_of(Addr(0x800).line()), 1);
+        // bank within channel = addr[10..9]
+        assert_eq!(map.bank_of(Addr(0).line()), 0);
+        assert_eq!(map.bank_of(Addr(0x200).line()), 1);
+        assert_eq!(map.bank_of(Addr(0x400).line()), 2);
+        assert_eq!(map.bank_of(Addr(0x600).line()), 3);
+        assert_eq!(map.bank_of(Addr(0x800).line()), 4); // next channel
+    }
+
+    #[test]
+    fn banks_cover_whole_range() {
+        let map = AddressMap::isca2010();
+        let mut seen = [false; 32];
+        for i in 0..4096u32 {
+            let b = map.bank_of(LineAddr(i));
+            assert!(b < 32);
+            seen[b as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all banks receive traffic");
+    }
+
+    #[test]
+    fn small_configs_work() {
+        let map = AddressMap::new(4, 2);
+        assert_eq!(map.banks_per_channel(), 2);
+        let mut seen = [false; 4];
+        for i in 0..1024u32 {
+            seen[map.bank_of(LineAddr(i)) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_banks_rejected() {
+        let _ = AddressMap::new(12, 4);
+    }
+
+    #[test]
+    fn bank_of_is_channel_consistent() {
+        // All lines of one bank map to one channel.
+        let map = AddressMap::isca2010();
+        for i in 0..8192u32 {
+            let line = LineAddr(i * 7 + 3);
+            let bank = map.bank_of(line);
+            assert_eq!(bank / map.banks_per_channel(), map.channel_of(line));
+        }
+    }
+}

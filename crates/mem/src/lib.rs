@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+
+//! Memory substrate for the Cohesion reproduction.
+//!
+//! This crate models the storage half of the baseline machine of Figure 4:
+//!
+//! * [`addr`] — the 32-bit single physical/virtual address space, line
+//!   geometry (32-byte lines, 8 words), and the bank/channel interleaving the
+//!   paper's footnote 1 describes (`addr[10..0]` map to one memory
+//!   controller, `addr[13..11]` stride across controllers).
+//! * [`cache`] — a set-associative cache with **per-word valid and dirty
+//!   bits** (the feature that lets SWcc issue write-allocates without a
+//!   directory response and lets the L3 merge disjoint multi-writer lines,
+//!   §2.1/§3.6) and the per-line *incoherent* bit Cohesion adds to the L2
+//!   tags (§3.4).
+//! * [`mainmem`] — the word-addressed backing store holding actual data
+//!   values, so coherence correctness is checked end-to-end against golden
+//!   kernel results.
+//! * [`dram`] — a banked GDDR5-style timing model (8 channels, 192 GB/s
+//!   aggregate; Table 3).
+
+pub mod addr;
+pub mod cache;
+pub mod dram;
+pub mod mainmem;
+
+pub use addr::{Addr, AddressMap, LineAddr, LINE_BYTES, WORDS_PER_LINE};
+pub use cache::{Cache, CacheConfig, EvictedLine, HwState, Line};
+pub use mainmem::MainMemory;

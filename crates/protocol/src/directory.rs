@@ -1,0 +1,474 @@
+//! The sparse directory collocated with each L3 bank (§3.2).
+//!
+//! One directory bank sits beside each L3 bank; all requests for a line
+//! serialize through its home bank, which is what lets the protocol avoid
+//! the classic three-party races. The directory is **inclusive of the L2s**:
+//! every line cached in any L2 under HWcc has an entry; entries whose sharer
+//! count drops to zero are deallocated; entries evicted for capacity or
+//! conflict reasons invalidate all their sharers — the effect that makes the
+//! realistic `HWccReal` configuration fall off a cliff in Figure 9a.
+
+use std::collections::{BTreeMap, HashMap};
+
+use cohesion_mem::addr::LineAddr;
+use cohesion_sim::ids::ClusterId;
+use cohesion_sim::stats::TimeWeighted;
+use cohesion_sim::Cycle;
+
+use crate::sharers::{SharerSet, SharerTracking};
+
+/// Directory-entry state for a tracked (HWcc) line. Absence of an entry
+/// means Invalid: no L2 holds the line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DirState {
+    /// One or more read-only sharers.
+    Shared,
+    /// Exactly one owner with write permission.
+    Modified,
+}
+
+/// Classification of a directory entry by the memory region it tracks,
+/// for the Figure 9c breakdown (code / stack / heap+global).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EntryClass {
+    /// Instruction memory.
+    Code,
+    /// Per-core stack region.
+    Stack,
+    /// Heap allocations and static global data.
+    HeapGlobal,
+}
+
+impl EntryClass {
+    /// All classes in Figure 9c order.
+    pub const ALL: [EntryClass; 3] = [EntryClass::Code, EntryClass::HeapGlobal, EntryClass::Stack];
+
+    fn index(self) -> usize {
+        match self {
+            EntryClass::Code => 0,
+            EntryClass::HeapGlobal => 1,
+            EntryClass::Stack => 2,
+        }
+    }
+
+    /// Figure-legend label.
+    pub fn label(self) -> &'static str {
+        match self {
+            EntryClass::Code => "Code",
+            EntryClass::HeapGlobal => "Heap/Global",
+            EntryClass::Stack => "Stack",
+        }
+    }
+}
+
+/// One directory entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirEntry {
+    /// Shared or Modified.
+    pub state: DirState,
+    /// The clusters holding the line (the owner, when Modified).
+    pub sharers: SharerSet,
+    /// Region classification for occupancy accounting.
+    pub class: EntryClass,
+}
+
+impl DirEntry {
+    /// A fresh Shared entry with a single sharer.
+    pub fn shared(first: ClusterId, tracking: SharerTracking, clusters: u32, class: EntryClass) -> Self {
+        let mut sharers = SharerSet::empty(tracking, clusters);
+        sharers.add(first, tracking);
+        DirEntry {
+            state: DirState::Shared,
+            sharers,
+            class,
+        }
+    }
+
+    /// A fresh Modified entry owned by `owner`.
+    pub fn modified(owner: ClusterId, tracking: SharerTracking, clusters: u32, class: EntryClass) -> Self {
+        let mut e = DirEntry::shared(owner, tracking, clusters, class);
+        e.state = DirState::Modified;
+        e
+    }
+
+    /// The single owner of a Modified entry, if representable.
+    ///
+    /// Returns `None` for Shared entries and for broadcast sharer sets
+    /// (limited-directory overflow), where the owner's identity has been
+    /// lost and a broadcast probe is required.
+    pub fn owner(&self, clusters: u32) -> Option<ClusterId> {
+        match (&self.state, &self.sharers) {
+            (DirState::Modified, s) if !s.is_broadcast() => {
+                s.probe_targets(clusters).first().copied()
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Capacity model for a directory bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DirCapacity {
+    /// The optimistic `HWccIdeal` bound: never evicts.
+    Unbounded,
+    /// A realizable sparse directory: `entries` total, `ways` per set
+    /// (`ways == entries` means fully associative, as in the Figure 9
+    /// sweeps).
+    Finite {
+        /// Total entries in this bank.
+        entries: u32,
+        /// Ways per set.
+        ways: u32,
+    },
+}
+
+/// Configuration of one directory bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DirectoryConfig {
+    /// Capacity/associativity model.
+    pub capacity: DirCapacity,
+    /// Sharer-set representation.
+    pub tracking: SharerTracking,
+    /// Number of clusters (sharer-vector width).
+    pub clusters: u32,
+}
+
+impl DirectoryConfig {
+    /// The paper's optimistic configuration: infinite, fully associative,
+    /// full-map.
+    pub fn optimistic(clusters: u32) -> Self {
+        DirectoryConfig {
+            capacity: DirCapacity::Unbounded,
+            tracking: SharerTracking::FullMap,
+            clusters,
+        }
+    }
+
+    /// The paper's realistic configuration: 16K entries per bank, 128-way,
+    /// full-map sharer bits (Table 3).
+    pub fn realistic(clusters: u32) -> Self {
+        DirectoryConfig {
+            capacity: DirCapacity::Finite {
+                entries: 16 * 1024,
+                ways: 128,
+            },
+            tracking: SharerTracking::FullMap,
+            clusters,
+        }
+    }
+
+    /// A fully-associative directory of `entries` entries (Figure 9 sweep
+    /// points).
+    pub fn fully_associative(entries: u32, clusters: u32) -> Self {
+        DirectoryConfig {
+            capacity: DirCapacity::Finite { entries, ways: entries },
+            tracking: SharerTracking::FullMap,
+            clusters,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Slot {
+    entry: DirEntry,
+    stamp: u64,
+}
+
+#[derive(Debug, Clone, Default)]
+struct DirSet {
+    slots: HashMap<u32, Slot>,
+    // stamp -> line, for O(log n) LRU victim selection.
+    lru: BTreeMap<u64, u32>,
+}
+
+/// One directory bank: the sharer-tracking structure beside one L3 bank.
+#[derive(Debug, Clone)]
+pub struct DirectoryBank {
+    cfg: DirectoryConfig,
+    sets: Vec<DirSet>,
+    ways: u32,
+    stamp: u64,
+    occupancy: TimeWeighted,
+    by_class: [TimeWeighted; 3],
+    insertions: u64,
+    capacity_evictions: u64,
+}
+
+impl DirectoryBank {
+    /// Creates an empty directory bank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a finite capacity is not divisible into power-of-two sets.
+    pub fn new(cfg: DirectoryConfig) -> Self {
+        let (n_sets, ways) = match cfg.capacity {
+            DirCapacity::Unbounded => (1, u32::MAX),
+            DirCapacity::Finite { entries, ways } => {
+                assert!(ways >= 1 && entries >= ways, "degenerate directory geometry");
+                assert!(
+                    entries % ways == 0,
+                    "directory entries must divide into whole sets"
+                );
+                let sets = entries / ways;
+                assert!(sets.is_power_of_two(), "directory set count must be a power of two");
+                (sets, ways)
+            }
+        };
+        DirectoryBank {
+            cfg,
+            sets: vec![DirSet::default(); n_sets as usize],
+            ways,
+            stamp: 0,
+            occupancy: TimeWeighted::new(),
+            by_class: [TimeWeighted::new(), TimeWeighted::new(), TimeWeighted::new()],
+            insertions: 0,
+            capacity_evictions: 0,
+        }
+    }
+
+    /// The bank's configuration.
+    pub fn config(&self) -> DirectoryConfig {
+        self.cfg
+    }
+
+    fn set_index(&self, line: LineAddr) -> usize {
+        if self.sets.len() == 1 {
+            return 0;
+        }
+        // Directly indexed with the low line-address bits, as in the sparse
+        // directory literature the paper builds on. Because each directory
+        // bank only ever sees lines whose *bank-select* address bits are
+        // constant, part of this index is wasted and only a fraction of the
+        // sets are ever used — exactly the "pathological cases due to
+        // directory set aliasing" the paper blames for the realistic
+        // configuration's collapse (§4.6, Figure 10) even though its entry
+        // count exceeds the resident working set (Figure 9a's
+        // fully-associative sweep is healthy at the same size).
+        (line.0 as usize) & (self.sets.len() - 1)
+    }
+
+    /// Looks up the entry for `line`, refreshing its LRU position.
+    pub fn lookup(&mut self, line: LineAddr) -> Option<&mut DirEntry> {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let idx = self.set_index(line);
+        let set = &mut self.sets[idx];
+        let slot = set.slots.get_mut(&line.0)?;
+        set.lru.remove(&slot.stamp);
+        slot.stamp = stamp;
+        set.lru.insert(stamp, line.0);
+        Some(&mut slot.entry)
+    }
+
+    /// Looks up without touching LRU (for snooping/invariant checks).
+    pub fn peek(&self, line: LineAddr) -> Option<&DirEntry> {
+        let idx = self.set_index(line);
+        self.sets[idx].slots.get(&line.0).map(|s| &s.entry)
+    }
+
+    /// Inserts an entry for `line`. If the set is full, the LRU entry is
+    /// evicted and returned — the caller must invalidate its sharers
+    /// (directory eviction, §3.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line` already has an entry.
+    pub fn insert(
+        &mut self,
+        now: Cycle,
+        line: LineAddr,
+        entry: DirEntry,
+    ) -> Option<(LineAddr, DirEntry)> {
+        assert!(
+            self.peek(line).is_none(),
+            "directory insert for already-tracked {line}"
+        );
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let ways = self.ways;
+        let idx = self.set_index(line);
+        let set = &mut self.sets[idx];
+
+        let victim = if set.slots.len() as u32 >= ways {
+            let (&vstamp, &vline) = set.lru.iter().next().expect("full set has LRU victim");
+            set.lru.remove(&vstamp);
+            let slot = set.slots.remove(&vline).expect("LRU points at resident line");
+            self.capacity_evictions += 1;
+            Some((LineAddr(vline), slot.entry))
+        } else {
+            None
+        };
+
+        let class = entry.class;
+        set.slots.insert(line.0, Slot { entry, stamp });
+        set.lru.insert(stamp, line.0);
+        self.insertions += 1;
+
+        // Occupancy accounting; a capacity eviction keeps the total level.
+        if let Some((_, ref v)) = victim {
+            self.by_class[v.class.index()].add(now, -1);
+        } else {
+            self.occupancy.add(now, 1);
+        }
+        self.by_class[class.index()].add(now, 1);
+        victim
+    }
+
+    /// Removes the entry for `line` (sharer count dropped to zero, or a
+    /// coherence-domain transition).
+    pub fn remove(&mut self, now: Cycle, line: LineAddr) -> Option<DirEntry> {
+        let idx = self.set_index(line);
+        let set = &mut self.sets[idx];
+        let slot = set.slots.remove(&line.0)?;
+        set.lru.remove(&slot.stamp);
+        self.occupancy.add(now, -1);
+        self.by_class[slot.entry.class.index()].add(now, -1);
+        Some(slot.entry)
+    }
+
+    /// Current number of entries.
+    pub fn occupancy(&self) -> u64 {
+        self.occupancy.level()
+    }
+
+    /// Maximum entries ever allocated.
+    pub fn max_occupancy(&self) -> u64 {
+        self.occupancy.max()
+    }
+
+    /// Time-average entries over `[0, end]`.
+    pub fn average_occupancy(&self, end: Cycle) -> f64 {
+        self.occupancy.average(end)
+    }
+
+    /// Time-average entries of one class over `[0, end]`.
+    pub fn average_occupancy_of(&self, class: EntryClass, end: Cycle) -> f64 {
+        self.by_class[class.index()].average(end)
+    }
+
+    /// `(insertions, capacity evictions)` counters.
+    pub fn churn(&self) -> (u64, u64) {
+        (self.insertions, self.capacity_evictions)
+    }
+
+    /// Iterates `(line, entry)` pairs (for invariant checking).
+    pub fn iter(&self) -> impl Iterator<Item = (LineAddr, &DirEntry)> {
+        self.sets
+            .iter()
+            .flat_map(|s| s.slots.iter().map(|(&l, slot)| (LineAddr(l), &slot.entry)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg_small(entries: u32, ways: u32) -> DirectoryConfig {
+        DirectoryConfig {
+            capacity: DirCapacity::Finite { entries, ways },
+            tracking: SharerTracking::FullMap,
+            clusters: 8,
+        }
+    }
+
+    fn shared(c: u32) -> DirEntry {
+        DirEntry::shared(
+            ClusterId(c),
+            SharerTracking::FullMap,
+            8,
+            EntryClass::HeapGlobal,
+        )
+    }
+
+    #[test]
+    fn insert_lookup_remove_roundtrip() {
+        let mut d = DirectoryBank::new(DirectoryConfig::optimistic(8));
+        assert!(d.insert(0, LineAddr(1), shared(0)).is_none());
+        assert_eq!(d.occupancy(), 1);
+        {
+            let e = d.lookup(LineAddr(1)).expect("present");
+            assert_eq!(e.state, DirState::Shared);
+            e.sharers.add(ClusterId(3), SharerTracking::FullMap);
+        }
+        let e = d.remove(10, LineAddr(1)).expect("present");
+        assert_eq!(e.sharers.count(), Some(2));
+        assert_eq!(d.occupancy(), 0);
+        assert!(d.peek(LineAddr(1)).is_none());
+    }
+
+    #[test]
+    fn unbounded_never_evicts() {
+        let mut d = DirectoryBank::new(DirectoryConfig::optimistic(8));
+        for i in 0..10_000 {
+            assert!(d.insert(i as u64, LineAddr(i), shared(0)).is_none());
+        }
+        assert_eq!(d.occupancy(), 10_000);
+        assert_eq!(d.churn(), (10_000, 0));
+    }
+
+    #[test]
+    fn finite_fully_associative_evicts_lru() {
+        let mut d = DirectoryBank::new(DirectoryBank::new(cfg_small(4, 4)).config());
+        for i in 0..4 {
+            assert!(d.insert(i as u64, LineAddr(i), shared(0)).is_none());
+        }
+        // Touch line 0 so line 1 is LRU.
+        d.lookup(LineAddr(0));
+        let (victim, _) = d.insert(10, LineAddr(99), shared(1)).expect("capacity eviction");
+        assert_eq!(victim, LineAddr(1));
+        assert_eq!(d.occupancy(), 4, "eviction keeps occupancy at capacity");
+        assert_eq!(d.churn().1, 1);
+    }
+
+    #[test]
+    fn set_associative_conflicts() {
+        // 8 entries, 2 ways -> 4 sets. Fill with >2 lines hashing anywhere;
+        // total occupancy can never exceed 8 and per-set never exceeds 2.
+        let mut d = DirectoryBank::new(cfg_small(8, 2));
+        for i in 0..64 {
+            d.insert(i as u64, LineAddr(i * 37), shared(0));
+        }
+        assert!(d.occupancy() <= 8);
+        assert!(d.churn().1 >= 56);
+    }
+
+    #[test]
+    fn occupancy_time_average_and_classes() {
+        let mut d = DirectoryBank::new(DirectoryConfig::optimistic(8));
+        let mut stack_entry = shared(0);
+        stack_entry.class = EntryClass::Stack;
+        d.insert(0, LineAddr(1), shared(0)); // HeapGlobal over [0,100)
+        d.insert(50, LineAddr(2), stack_entry); // Stack over [50,100)
+        assert!((d.average_occupancy(100) - 1.5).abs() < 1e-9);
+        assert!((d.average_occupancy_of(EntryClass::HeapGlobal, 100) - 1.0).abs() < 1e-9);
+        assert!((d.average_occupancy_of(EntryClass::Stack, 100) - 0.5).abs() < 1e-9);
+        assert_eq!(d.max_occupancy(), 2);
+    }
+
+    #[test]
+    fn owner_of_modified_entry() {
+        let e = DirEntry::modified(
+            ClusterId(6),
+            SharerTracking::FullMap,
+            8,
+            EntryClass::HeapGlobal,
+        );
+        assert_eq!(e.owner(8), Some(ClusterId(6)));
+        let s = shared(3);
+        assert_eq!(s.owner(8), None, "shared entries have no owner");
+    }
+
+    #[test]
+    #[should_panic(expected = "already-tracked")]
+    fn double_insert_panics() {
+        let mut d = DirectoryBank::new(DirectoryConfig::optimistic(8));
+        d.insert(0, LineAddr(7), shared(0));
+        d.insert(1, LineAddr(7), shared(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "whole sets")]
+    fn bad_geometry_rejected() {
+        let _ = DirectoryBank::new(cfg_small(10, 4));
+    }
+}

@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! Coherence protocols and the Cohesion bridge.
+//!
+//! This crate contains the protocol half of the reproduction:
+//!
+//! * [`sharers`] — sharer-set representations: full-map bit vectors
+//!   (Censier-Feautrier) and limited four-pointer `Dir4B` sets that fall back
+//!   to broadcast on overflow (Agarwal et al.), as used in §3.2/§4.
+//! * [`directory`] — the sparse directory collocated with each L3 bank:
+//!   MSI entry states, finite capacity with set-associative conflict
+//!   evictions, and the time-weighted occupancy accounting behind Figure 9c.
+//! * [`swcc`] — the software-managed protocol of Figure 6 (left): the
+//!   Task-Centric Memory Model states and their legal transitions, used both
+//!   as documentation-executable and as a runtime checker.
+//! * [`region`] — the coarse-grain region table (code/stack/immutable
+//!   globals) and the fine-grain in-memory bitmap with the
+//!   `hybrid.tbloff`-style same-bank hash (§3.4, footnote 1).
+//! * [`transition`] — classification and action scripts for coherence-domain
+//!   transitions (Figure 7: cases 1a–3a and 1b–5b, including the case-5b
+//!   multi-writer race).
+//! * [`area`] — the §4.4 analytic directory-area model.
+
+pub mod area;
+pub mod directory;
+pub mod region;
+pub mod sharers;
+pub mod swcc;
+pub mod transition;
+
+pub use directory::{DirEntry, DirState, DirectoryBank, DirectoryConfig, EntryClass};
+pub use region::{CoarseRegionTable, Domain, FineTable, RegionKind};
+pub use sharers::{SharerSet, SharerTracking};

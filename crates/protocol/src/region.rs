@@ -1,0 +1,579 @@
+//! Region tables: how Cohesion knows which domain a line belongs to (§3.4).
+//!
+//! Two structures classify an address on a directory miss:
+//!
+//! * The **coarse-grain region table** — a small on-die structure listing
+//!   address ranges that are permanently SWcc: the code segment, constant
+//!   (immutable) globals, and the per-core stack region. It is consulted in
+//!   parallel with the directory.
+//! * The **fine-grain region table** — a bitmap in memory with one bit per
+//!   32-byte line (16 MB per 4 GB of address space), cached by the L3.
+//!   Bit set ⇒ the line is SWcc; bit clear ⇒ HWcc (the default). The
+//!   runtime toggles bits with cache-bypassing atomic `or`/`and` operations;
+//!   the directory snoops that address range and runs the transition
+//!   protocol of Figure 7.
+//!
+//! The table is *strided across L3 banks so that the slice describing a
+//! bank's lines lives in that same bank* — no bank ever queries another bank
+//! on a lookup. The paper adds a `hybrid.tbloff` instruction to compute this
+//! hash so software stays microarchitecture-agnostic (footnote 1 gives the
+//! exact bit permutation for their 8-controller machine; we implement that
+//! verbatim as [`tbloff_paper8`] and a generalization parameterized by the
+//! [`AddressMap`] as [`FineTable::slot_of`]).
+
+use cohesion_mem::addr::{Addr, AddressMap, LineAddr};
+use cohesion_mem::mainmem::MainMemory;
+
+/// The coherence domain of a line at a point in time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Domain {
+    /// Tracked by the hardware directory protocol.
+    HWcc,
+    /// Managed by explicit software coherence actions.
+    SWcc,
+}
+
+/// What a coarse-grain region holds (used both for lookup and for the
+/// Figure 9c entry classification).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RegionKind {
+    /// Instruction memory (no self-modifying code ⇒ never needs HWcc).
+    Code,
+    /// Per-core private stacks.
+    Stack,
+    /// Persistent globally-immutable data (constants).
+    ConstGlobal,
+}
+
+/// One coarse-grain SWcc region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoarseRegion {
+    /// First byte of the region.
+    pub start: Addr,
+    /// Region size in bytes.
+    pub size: u32,
+    /// What the region holds.
+    pub kind: RegionKind,
+}
+
+impl CoarseRegion {
+    /// Whether `addr` falls inside this region.
+    pub fn contains(&self, addr: Addr) -> bool {
+        addr.0 >= self.start.0 && (addr.0 - self.start.0) < self.size
+    }
+}
+
+/// The on-die coarse-grain region table: address ranges that are SWcc for
+/// the lifetime of the application (code, stacks, immutable globals).
+#[derive(Debug, Clone, Default)]
+pub struct CoarseRegionTable {
+    regions: Vec<CoarseRegion>,
+}
+
+impl CoarseRegionTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a region set up by the runtime at application load (§3.5).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region overlaps an existing one.
+    pub fn add(&mut self, region: CoarseRegion) {
+        let end = region.start.0 as u64 + region.size as u64;
+        for r in &self.regions {
+            let r_end = r.start.0 as u64 + r.size as u64;
+            assert!(
+                end <= r.start.0 as u64 || region.start.0 as u64 >= r_end,
+                "coarse regions must not overlap"
+            );
+        }
+        self.regions.push(region);
+    }
+
+    /// Looks up the region kind for `addr`, if it is in a coarse SWcc
+    /// region.
+    pub fn lookup(&self, addr: Addr) -> Option<RegionKind> {
+        self.regions.iter().find(|r| r.contains(addr)).map(|r| r.kind)
+    }
+
+    /// Number of registered regions (the hardware table is small; the paper
+    /// uses three).
+    pub fn len(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty()
+    }
+}
+
+/// A slot in the fine-grain table: the word the runtime must atomically
+/// modify and the bit within it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TableSlot {
+    /// Word-aligned byte address of the table word.
+    pub word: Addr,
+    /// Bit index within that word (0..32).
+    pub bit: u32,
+}
+
+/// The fine-grain region table: one bit per line over the whole 4 GB
+/// address space (16 MB), bank-strided.
+///
+/// # Example
+///
+/// ```
+/// use cohesion_protocol::region::{Domain, FineTable};
+/// use cohesion_mem::addr::{Addr, AddressMap, LineAddr};
+/// use cohesion_mem::mainmem::MainMemory;
+///
+/// let map = AddressMap::isca2010();
+/// let table = FineTable::new(Addr(0xF000_0000), map);
+/// let mut mem = MainMemory::new();
+/// let line = LineAddr(0x1234);
+///
+/// // The table word for a line lives in the line's own L3 bank.
+/// let slot = table.slot_of(line);
+/// assert_eq!(map.bank_of(slot.word.line()), map.bank_of(line));
+///
+/// // Default is HWcc; setting the bit moves the line to SWcc.
+/// assert_eq!(table.domain(&mem, line), Domain::HWcc);
+/// table.set_domain(&mut mem, line, Domain::SWcc);
+/// assert_eq!(table.domain(&mem, line), Domain::SWcc);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct FineTable {
+    base: Addr,
+    map: AddressMap,
+    // Reserved bit fields (byte-address positions) that carry bank identity.
+    bank_pos: u32,
+    bank_bits: u32,
+    chan_pos: u32,
+    chan_bits: u32,
+}
+
+/// Total size of the fine-grain table covering a 32-bit address space:
+/// 2^32 / 32 bytes-per-line / 8 bits-per-byte.
+pub const FINE_TABLE_BYTES: u32 = 1 << 24; // 16 MB
+
+impl FineTable {
+    /// Creates the table descriptor for a table at `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `base` is 16 MB aligned (the bootstrap core allocates
+    /// an aligned 16 MB region and writes a machine-specific register with
+    /// its base; §3.4).
+    pub fn new(base: Addr, map: AddressMap) -> Self {
+        assert!(
+            base.0.is_multiple_of(FINE_TABLE_BYTES),
+            "fine-grain table base must be 16 MB aligned"
+        );
+        let bank_bits = map.banks_per_channel().trailing_zeros();
+        let chan_bits = map.channels().trailing_zeros();
+        FineTable {
+            base,
+            map,
+            bank_pos: 9,
+            bank_bits,
+            chan_pos: 11,
+            chan_bits,
+        }
+    }
+
+    /// The table's base address.
+    pub fn base(&self) -> Addr {
+        self.base
+    }
+
+    /// Whether `addr` falls inside the table region (the range the directory
+    /// snoops).
+    pub fn covers(&self, addr: Addr) -> bool {
+        addr.0 >= self.base.0 && addr.0 - self.base.0 < FINE_TABLE_BYTES
+    }
+
+    /// Whether a byte-address bit position is one of the reserved
+    /// bank/channel identity positions.
+    fn is_reserved_pos(&self, pos: u32) -> bool {
+        (pos >= self.bank_pos && pos < self.bank_pos + self.bank_bits)
+            || (pos >= self.chan_pos && pos < self.chan_pos + self.chan_bits)
+    }
+
+    /// Dense per-bank line index: the line address with the bank/channel
+    /// selection bits squeezed out.
+    fn line_index(&self, line: LineAddr) -> u32 {
+        let mut idx = 0u32;
+        let mut out = 0;
+        for pos in 0..27 {
+            // line-address bit `pos` is byte-address bit `pos + 5`
+            if self.is_reserved_pos(pos + 5) {
+                continue;
+            }
+            idx |= ((line.0 >> pos) & 1) << out;
+            out += 1;
+        }
+        idx
+    }
+
+    /// Inverse of [`FineTable::line_index`] for a given bank.
+    fn line_from_index(&self, idx: u32, bank: u32) -> LineAddr {
+        let per = self.map.banks_per_channel();
+        let within = bank % per;
+        let channel = bank / per;
+        let mut line = 0u32;
+        let mut in_bit = 0;
+        for pos in 0..27 {
+            let byte_pos = pos + 5;
+            if byte_pos >= self.bank_pos && byte_pos < self.bank_pos + self.bank_bits {
+                line |= ((within >> (byte_pos - self.bank_pos)) & 1) << pos;
+            } else if byte_pos >= self.chan_pos && byte_pos < self.chan_pos + self.chan_bits {
+                line |= ((channel >> (byte_pos - self.chan_pos)) & 1) << pos;
+            } else {
+                line |= ((idx >> in_bit) & 1) << pos;
+                in_bit += 1;
+            }
+        }
+        LineAddr(line)
+    }
+
+    /// Scatters a within-slice byte offset around the reserved bank/channel
+    /// positions so the resulting table address maps to `bank`.
+    fn scatter(&self, body: u32, bank: u32) -> u32 {
+        let per = self.map.banks_per_channel();
+        let within = bank % per;
+        let channel = bank / per;
+        let mut out = 0u32;
+        let mut body_bit = 0;
+        for pos in 0..24 {
+            if pos >= self.bank_pos && pos < self.bank_pos + self.bank_bits {
+                out |= ((within >> (pos - self.bank_pos)) & 1) << pos;
+            } else if pos >= self.chan_pos && pos < self.chan_pos + self.chan_bits {
+                out |= ((channel >> (pos - self.chan_pos)) & 1) << pos;
+            } else {
+                out |= ((body >> body_bit) & 1) << pos;
+                body_bit += 1;
+            }
+        }
+        out
+    }
+
+    /// Inverse of [`FineTable::scatter`]: `(body, bank)`.
+    fn gather(&self, offset: u32) -> (u32, u32) {
+        let mut body = 0u32;
+        let mut body_bit = 0;
+        let mut within = 0u32;
+        let mut channel = 0u32;
+        for pos in 0..24 {
+            let bit = (offset >> pos) & 1;
+            if pos >= self.bank_pos && pos < self.bank_pos + self.bank_bits {
+                within |= bit << (pos - self.bank_pos);
+            } else if pos >= self.chan_pos && pos < self.chan_pos + self.chan_bits {
+                channel |= bit << (pos - self.chan_pos);
+            } else {
+                body |= bit << body_bit;
+                body_bit += 1;
+            }
+        }
+        (body, channel * self.map.banks_per_channel() + within)
+    }
+
+    /// The table slot (word + bit) describing `line`.
+    ///
+    /// This is the software-visible `hybrid.tbloff` computation: the
+    /// returned word address always maps to the same L3 bank as `line`
+    /// itself, so no bank ever queries another bank's table slice.
+    pub fn slot_of(&self, line: LineAddr) -> TableSlot {
+        let bank = self.map.bank_of(line);
+        let idx = self.line_index(line);
+        let word_idx = idx >> 5;
+        let bit = idx & 31;
+        let body = word_idx << 2; // word-aligned byte offset within the slice
+        TableSlot {
+            word: Addr(self.base.0 + self.scatter(body, bank)),
+            bit,
+        }
+    }
+
+    /// The line described by a table slot (used by the directory when
+    /// snooping atomic updates to the table range).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot.word` is outside the table or misaligned.
+    pub fn line_of_slot(&self, slot: TableSlot) -> LineAddr {
+        assert!(self.covers(slot.word), "slot outside the fine-grain table");
+        assert!(slot.word.is_word_aligned(), "table slots are words");
+        assert!(slot.bit < 32);
+        let (body, bank) = self.gather(slot.word.0 - self.base.0);
+        let idx = ((body >> 2) << 5) | slot.bit;
+        self.line_from_index(idx, bank)
+    }
+
+    /// Reads the current domain of `line` from the table image in `mem`.
+    pub fn domain(&self, mem: &MainMemory, line: LineAddr) -> Domain {
+        let slot = self.slot_of(line);
+        if mem.read_word(slot.word) & (1 << slot.bit) != 0 {
+            Domain::SWcc
+        } else {
+            Domain::HWcc
+        }
+    }
+
+    /// Bulk-fills the table bits for `count` lines starting at `first`
+    /// (boot-time initialization of large regions, e.g. marking the whole
+    /// incoherent heap SWcc at application load). Functional only: no
+    /// timing, no messages.
+    ///
+    /// Lines that are contiguous *within one bank* share table words with
+    /// consecutive bit positions, so aligned groups are set with a single
+    /// word update.
+    pub fn fill_domain(&self, mem: &mut MainMemory, first: LineAddr, count: u32, domain: Domain) {
+        let group = 1u32 << (self.bank_pos - 5); // contiguous lines per bank
+        let mut line = first.0;
+        let end = first.0 + count;
+        while line < end {
+            let aligned = line.is_multiple_of(group) && line + group <= end;
+            if aligned {
+                let slot = self.slot_of(LineAddr(line));
+                debug_assert!(slot.bit.is_multiple_of(group));
+                let mask = if group >= 32 {
+                    u32::MAX
+                } else {
+                    ((1u32 << group) - 1) << slot.bit
+                };
+                let old = mem.read_word(slot.word);
+                let new = match domain {
+                    Domain::SWcc => old | mask,
+                    Domain::HWcc => old & !mask,
+                };
+                mem.write_word(slot.word, new);
+                line += group;
+            } else {
+                self.set_domain(mem, LineAddr(line), domain);
+                line += 1;
+            }
+        }
+    }
+
+    /// Functionally applies a domain change to the table image in `mem`
+    /// (the timing/message cost of the atomic op is the machine's job).
+    /// Returns the previous domain.
+    pub fn set_domain(&self, mem: &mut MainMemory, line: LineAddr, domain: Domain) -> Domain {
+        let slot = self.slot_of(line);
+        let old = mem.read_word(slot.word);
+        let mask = 1u32 << slot.bit;
+        let new = match domain {
+            Domain::SWcc => old | mask,  // atom.or
+            Domain::HWcc => old & !mask, // atom.and
+        };
+        mem.write_word(slot.word, new);
+        if old & mask != 0 {
+            Domain::SWcc
+        } else {
+            Domain::HWcc
+        }
+    }
+}
+
+/// The paper's exact footnote-1 `hybrid.tbloff` permutation for the
+/// 8-memory-controller configuration.
+///
+/// Returns `(word_offset, bit)`: the *word* offset into the table
+/// (`addr[31..24] ∘ addr[13..11] ∘ addr[23..14] ∘ addr[10]`) plus the bit
+/// within the word (`addr[9..5]`). Add `word_offset << 2` to the table base
+/// to form the byte address.
+pub fn tbloff_paper8(addr: Addr) -> (u32, u32) {
+    let a = addr.0;
+    let a31_24 = (a >> 24) & 0xff;
+    let a13_11 = (a >> 11) & 0x7;
+    let a23_14 = (a >> 14) & 0x3ff;
+    let a10 = (a >> 10) & 1;
+    let off = (a31_24 << 14) | (a13_11 << 11) | (a23_14 << 1) | a10;
+    let bit = (a >> 5) & 0x1f;
+    (off, bit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> FineTable {
+        FineTable::new(Addr(0xF000_0000), AddressMap::isca2010())
+    }
+
+    #[test]
+    fn coarse_region_lookup() {
+        let mut t = CoarseRegionTable::new();
+        t.add(CoarseRegion {
+            start: Addr(0x1000),
+            size: 0x1000,
+            kind: RegionKind::Code,
+        });
+        t.add(CoarseRegion {
+            start: Addr(0x8000),
+            size: 0x800,
+            kind: RegionKind::Stack,
+        });
+        assert_eq!(t.lookup(Addr(0x1000)), Some(RegionKind::Code));
+        assert_eq!(t.lookup(Addr(0x1fff)), Some(RegionKind::Code));
+        assert_eq!(t.lookup(Addr(0x2000)), None);
+        assert_eq!(t.lookup(Addr(0x8400)), Some(RegionKind::Stack));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap")]
+    fn overlapping_coarse_regions_rejected() {
+        let mut t = CoarseRegionTable::new();
+        t.add(CoarseRegion {
+            start: Addr(0x1000),
+            size: 0x1000,
+            kind: RegionKind::Code,
+        });
+        t.add(CoarseRegion {
+            start: Addr(0x1800),
+            size: 0x1000,
+            kind: RegionKind::Stack,
+        });
+    }
+
+    #[test]
+    fn slot_maps_to_same_bank_as_line() {
+        // The defining property of the tbloff hash (§3.4): the table slice
+        // for a bank lives in that bank.
+        let t = table();
+        let map = AddressMap::isca2010();
+        for i in 0..50_000u32 {
+            let line = LineAddr(i.wrapping_mul(2_654_435_761) % (1 << 27));
+            let slot = t.slot_of(line);
+            assert_eq!(
+                map.bank_of(slot.word.line()),
+                map.bank_of(line),
+                "table word for {line} must live in the line's own bank"
+            );
+        }
+    }
+
+    #[test]
+    fn slot_roundtrip_is_bijective() {
+        let t = table();
+        for i in 0..50_000u32 {
+            let line = LineAddr((i * 7 + i / 3) % (1 << 27));
+            let slot = t.slot_of(line);
+            assert_eq!(t.line_of_slot(slot), line, "line_of_slot inverts slot_of");
+        }
+    }
+
+    #[test]
+    fn slots_stay_inside_table() {
+        let t = table();
+        // Extremes of the line-address space.
+        for &l in &[0u32, 1, (1 << 27) - 1, (1 << 27) - 2, 12345, 1 << 26] {
+            let slot = t.slot_of(LineAddr(l));
+            assert!(t.covers(slot.word), "slot for line {l:#x} escapes the table");
+            assert!(slot.word.is_word_aligned());
+            assert!(slot.bit < 32);
+        }
+    }
+
+    #[test]
+    fn domain_bit_semantics() {
+        let t = table();
+        let mut mem = MainMemory::new();
+        let line = LineAddr(0x1234);
+        assert_eq!(t.domain(&mem, line), Domain::HWcc, "default is HWcc (§3)");
+        assert_eq!(t.set_domain(&mut mem, line, Domain::SWcc), Domain::HWcc);
+        assert_eq!(t.domain(&mem, line), Domain::SWcc);
+        // A neighbouring line's bit is untouched.
+        assert_eq!(t.domain(&mem, LineAddr(0x1235)), Domain::HWcc);
+        assert_eq!(t.set_domain(&mut mem, line, Domain::HWcc), Domain::SWcc);
+        assert_eq!(t.domain(&mem, line), Domain::HWcc);
+    }
+
+    #[test]
+    #[should_panic(expected = "16 MB aligned")]
+    fn misaligned_base_rejected() {
+        let _ = FineTable::new(Addr(0x100), AddressMap::isca2010());
+    }
+
+    #[test]
+    fn fill_domain_matches_per_line_sets() {
+        let t = table();
+        let mut bulk = MainMemory::new();
+        let mut slow = MainMemory::new();
+        // An unaligned, multi-group span.
+        let first = LineAddr(0x1_0003);
+        let count = 1000;
+        t.fill_domain(&mut bulk, first, count, Domain::SWcc);
+        for i in 0..count {
+            t.set_domain(&mut slow, LineAddr(first.0 + i), Domain::SWcc);
+        }
+        for i in 0..count {
+            let line = LineAddr(first.0 + i);
+            assert_eq!(t.domain(&bulk, line), Domain::SWcc, "line {i}");
+            let slot = t.slot_of(line);
+            assert_eq!(bulk.read_word(slot.word), slow.read_word(slot.word));
+        }
+        // Boundary lines outside the span stay HWcc.
+        assert_eq!(t.domain(&bulk, LineAddr(first.0 - 1)), Domain::HWcc);
+        assert_eq!(t.domain(&bulk, LineAddr(first.0 + count)), Domain::HWcc);
+        // And clearing works too.
+        t.fill_domain(&mut bulk, first, count, Domain::HWcc);
+        for i in 0..count {
+            assert_eq!(t.domain(&bulk, LineAddr(first.0 + i)), Domain::HWcc);
+        }
+    }
+
+    #[test]
+    fn paper8_permutation_is_bijective_on_line_bits() {
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        // Sample widely; (off, bit) must be distinct for distinct lines.
+        for i in 0..200_000u32 {
+            let line = LineAddr(i.wrapping_mul(2_654_435_761) % (1 << 27));
+            let slot = tbloff_paper8(line.base());
+            assert!(seen.insert(slot) , "collision at {line}");
+        }
+    }
+
+    #[test]
+    fn paper8_word_offset_fits_16mb() {
+        for &a in &[0u32, !0x1f, 0x8000_0000, 0x1234_5678] {
+            let (off, bit) = tbloff_paper8(Addr(a & !0x1f));
+            assert!(off < (1 << 22), "word offsets span 16 MB of words");
+            assert!(bit < 32);
+        }
+    }
+
+    #[test]
+    fn paper8_matches_footnote_fields() {
+        // addr = only addr[10] set -> off = 1, bit = 0.
+        assert_eq!(tbloff_paper8(Addr(1 << 10)), (1, 0));
+        // addr[14] (lowest bit of addr[23..14]) -> off bit 1.
+        assert_eq!(tbloff_paper8(Addr(1 << 14)), (2, 0));
+        // addr[11] (lowest of addr[13..11]) -> off bit 11.
+        assert_eq!(tbloff_paper8(Addr(1 << 11)), (1 << 11, 0));
+        // addr[24] -> off bit 14.
+        assert_eq!(tbloff_paper8(Addr(1 << 24)), (1 << 14, 0));
+        // addr[5] selects bit 1 within the word.
+        assert_eq!(tbloff_paper8(Addr(1 << 5)), (0, 1));
+    }
+
+    #[test]
+    fn small_machine_configs_also_satisfy_same_bank() {
+        for &(banks, chans) in &[(4u32, 2u32), (8, 4), (16, 8), (2, 1), (1, 1)] {
+            let map = AddressMap::new(banks, chans);
+            let t = FineTable::new(Addr(0xF000_0000), map);
+            for i in 0..5_000u32 {
+                let line = LineAddr(i.wrapping_mul(40_503) % (1 << 27));
+                let slot = t.slot_of(line);
+                assert_eq!(map.bank_of(slot.word.line()), map.bank_of(line));
+                assert_eq!(t.line_of_slot(slot), line);
+            }
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Sharer-set representations for directory entries.
+//!
+//! The paper evaluates two sharer-tracking schemes (§3.2, §4.1):
+//!
+//! * a **full-map** bit vector, one bit per L2/cluster (128 bits at 1024
+//!   cores), used for the optimistic `HWccIdeal` bound and the default
+//!   Cohesion configuration, and
+//! * a **limited four-pointer** scheme, `Dir4B` (Agarwal et al.), used for
+//!   the "(Limited)" configurations of Figure 10: four 7-bit pointers, and a
+//!   *broadcast* fallback once a fifth sharer arrives — invalidations must
+//!   then probe every cluster.
+
+use cohesion_sim::ids::ClusterId;
+
+/// Which sharer-tracking scheme a directory uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SharerTracking {
+    /// One presence bit per cluster.
+    FullMap,
+    /// `pointers` exact sharer pointers, then broadcast (DiriB).
+    Limited {
+        /// Number of pointers before overflow (the paper uses 4).
+        pointers: u32,
+    },
+}
+
+impl SharerTracking {
+    /// The paper's `Dir4B` configuration.
+    pub fn dir4b() -> Self {
+        SharerTracking::Limited { pointers: 4 }
+    }
+}
+
+/// The set of clusters holding a line, in one of the two representations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SharerSet {
+    /// Full-map presence bits.
+    Bits(Vec<u64>),
+    /// Exact pointers (≤ the configured limit).
+    Ptrs(Vec<ClusterId>),
+    /// Pointer overflow: the line may be in *any* cluster; coherence actions
+    /// must broadcast.
+    Broadcast,
+}
+
+impl SharerSet {
+    /// Creates an empty set in the representation `tracking` implies.
+    pub fn empty(tracking: SharerTracking, clusters: u32) -> Self {
+        match tracking {
+            SharerTracking::FullMap => {
+                SharerSet::Bits(vec![0; clusters.div_ceil(64) as usize])
+            }
+            SharerTracking::Limited { .. } => SharerSet::Ptrs(Vec::new()),
+        }
+    }
+
+    /// Adds a sharer. Returns `true` if the set overflowed to broadcast as a
+    /// result of this insertion.
+    pub fn add(&mut self, c: ClusterId, tracking: SharerTracking) -> bool {
+        match self {
+            SharerSet::Bits(bits) => {
+                bits[c.0 as usize / 64] |= 1 << (c.0 % 64);
+                false
+            }
+            SharerSet::Ptrs(ptrs) => {
+                if ptrs.contains(&c) {
+                    return false;
+                }
+                let limit = match tracking {
+                    SharerTracking::Limited { pointers } => pointers as usize,
+                    SharerTracking::FullMap => {
+                        unreachable!("pointer set under full-map tracking")
+                    }
+                };
+                if ptrs.len() < limit {
+                    ptrs.push(c);
+                    false
+                } else {
+                    *self = SharerSet::Broadcast;
+                    true
+                }
+            }
+            SharerSet::Broadcast => false,
+        }
+    }
+
+    /// Removes a sharer (e.g. on a read release). In broadcast state this is
+    /// a no-op: the representation has lost the information, which is exactly
+    /// the cost of a limited directory.
+    pub fn remove(&mut self, c: ClusterId) {
+        match self {
+            SharerSet::Bits(bits) => bits[c.0 as usize / 64] &= !(1 << (c.0 % 64)),
+            SharerSet::Ptrs(ptrs) => ptrs.retain(|&p| p != c),
+            SharerSet::Broadcast => {}
+        }
+    }
+
+    /// Whether `c` may hold the line (conservative: broadcast contains all).
+    pub fn may_contain(&self, c: ClusterId) -> bool {
+        match self {
+            SharerSet::Bits(bits) => bits[c.0 as usize / 64] & (1 << (c.0 % 64)) != 0,
+            SharerSet::Ptrs(ptrs) => ptrs.contains(&c),
+            SharerSet::Broadcast => true,
+        }
+    }
+
+    /// Exact sharer count, or `None` in broadcast state.
+    pub fn count(&self) -> Option<u32> {
+        match self {
+            SharerSet::Bits(bits) => Some(bits.iter().map(|w| w.count_ones()).sum()),
+            SharerSet::Ptrs(ptrs) => Some(ptrs.len() as u32),
+            SharerSet::Broadcast => None,
+        }
+    }
+
+    /// Whether the set is known to be empty.
+    pub fn is_empty(&self) -> bool {
+        self.count() == Some(0)
+    }
+
+    /// Whether the set is in broadcast state.
+    pub fn is_broadcast(&self) -> bool {
+        matches!(self, SharerSet::Broadcast)
+    }
+
+    /// The clusters a coherence action must probe: the tracked sharers, or
+    /// all `clusters` when broadcast.
+    pub fn probe_targets(&self, clusters: u32) -> Vec<ClusterId> {
+        match self {
+            SharerSet::Bits(bits) => {
+                let mut out = Vec::new();
+                for c in 0..clusters {
+                    if bits[c as usize / 64] & (1 << (c % 64)) != 0 {
+                        out.push(ClusterId(c));
+                    }
+                }
+                out
+            }
+            SharerSet::Ptrs(ptrs) => {
+                let mut out = ptrs.clone();
+                out.sort_unstable();
+                out
+            }
+            SharerSet::Broadcast => (0..clusters).map(ClusterId).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_map_add_remove() {
+        let mut s = SharerSet::empty(SharerTracking::FullMap, 128);
+        assert!(s.is_empty());
+        assert!(!s.add(ClusterId(5), SharerTracking::FullMap));
+        assert!(!s.add(ClusterId(127), SharerTracking::FullMap));
+        assert!(!s.add(ClusterId(5), SharerTracking::FullMap)); // idempotent
+        assert_eq!(s.count(), Some(2));
+        assert!(s.may_contain(ClusterId(5)));
+        assert!(!s.may_contain(ClusterId(6)));
+        s.remove(ClusterId(5));
+        assert_eq!(s.count(), Some(1));
+        assert_eq!(s.probe_targets(128), vec![ClusterId(127)]);
+    }
+
+    #[test]
+    fn dir4b_overflows_to_broadcast() {
+        let t = SharerTracking::dir4b();
+        let mut s = SharerSet::empty(t, 128);
+        for c in 0..4 {
+            assert!(!s.add(ClusterId(c), t), "first four sharers fit");
+        }
+        assert_eq!(s.count(), Some(4));
+        assert!(s.add(ClusterId(99), t), "fifth sharer overflows");
+        assert!(s.is_broadcast());
+        assert_eq!(s.count(), None);
+        assert!(s.may_contain(ClusterId(77)), "broadcast contains everyone");
+        assert_eq!(s.probe_targets(8).len(), 8);
+    }
+
+    #[test]
+    fn broadcast_remove_is_lossy_noop() {
+        let t = SharerTracking::dir4b();
+        let mut s = SharerSet::Broadcast;
+        s.remove(ClusterId(0));
+        assert!(s.is_broadcast());
+        assert!(!s.add(ClusterId(0), t), "adding to broadcast changes nothing");
+    }
+
+    #[test]
+    fn probe_targets_sorted_and_exact() {
+        let t = SharerTracking::dir4b();
+        let mut s = SharerSet::empty(t, 16);
+        s.add(ClusterId(9), t);
+        s.add(ClusterId(2), t);
+        assert_eq!(s.probe_targets(16), vec![ClusterId(2), ClusterId(9)]);
+    }
+
+    #[test]
+    fn full_map_across_word_boundary() {
+        let mut s = SharerSet::empty(SharerTracking::FullMap, 128);
+        s.add(ClusterId(63), SharerTracking::FullMap);
+        s.add(ClusterId(64), SharerTracking::FullMap);
+        assert_eq!(
+            s.probe_targets(128),
+            vec![ClusterId(63), ClusterId(64)],
+            "bit indexing is correct across u64 boundaries"
+        );
+    }
+}

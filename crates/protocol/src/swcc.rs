@@ -1,0 +1,205 @@
+//! The software-managed coherence protocol of Figure 6 (left side).
+//!
+//! The SWcc protocol is the Task-Centric Memory Model adapted for hybrid
+//! coherence (§3.3). It is the *contract* the programmer/compiler reasons
+//! with: which loads, stores, software invalidations (`INV`), and software
+//! writebacks (`WB`) are legal in which state, and where barriers
+//! (`Synchronize`) reset the reasoning. States are per line for clean data
+//! and per word for dirty (private) data, mirroring the per-word dirty bits
+//! of the hardware.
+//!
+//! The simulator's L2 behaviour is driven by the valid/dirty bit machinery
+//! in `cohesion-mem`; this module is the abstract machine we check it
+//! against, and the checker that flags protocol violations such as writing
+//! to immutable data or reading stale words across a barrier without an
+//! intervening invalidate.
+
+use std::fmt;
+
+/// Abstract SWcc state of a datum, as drawn in Figure 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SwState {
+    /// `SWIM` — immutable for the program's lifetime; always safe to cache.
+    Immutable,
+    /// `SWCL` — clean and possibly read-shared; safe to cache until the next
+    /// synchronization point, after which it must be invalidated before
+    /// producers' updates become visible.
+    Clean,
+    /// `SWPC` — private to one task/core and clean.
+    PrivateClean,
+    /// `SWPD` — private to one task/core with locally-dirty words.
+    PrivateDirty,
+    /// Not present in the local cache.
+    Invalid,
+}
+
+/// Operations the software protocol reasons about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SwOp {
+    /// A load by the owning task.
+    Load,
+    /// A store by the owning task.
+    Store,
+    /// Explicit software invalidation instruction (`INV`).
+    Invalidate,
+    /// Explicit software writeback instruction (`WB` / flush).
+    Writeback,
+    /// A barrier / global synchronization point.
+    Synchronize,
+}
+
+/// A violation of the SWcc contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SwccViolation {
+    /// State in which the illegal operation was attempted.
+    pub state: SwState,
+    /// The illegal operation.
+    pub op: SwOp,
+}
+
+impl fmt::Display for SwccViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "SWcc violation: {:?} is illegal in state {:?}",
+            self.op, self.state
+        )
+    }
+}
+
+impl std::error::Error for SwccViolation {}
+
+/// Advances the Figure 6 state machine.
+///
+/// # Errors
+///
+/// Returns a [`SwccViolation`] for the one transition the protocol forbids
+/// outright: storing to [`SwState::Immutable`] data.
+pub fn step(state: SwState, op: SwOp) -> Result<SwState, SwccViolation> {
+    use SwOp::*;
+    use SwState::*;
+    Ok(match (state, op) {
+        // Immutable data: read-only forever; INV drops it (lazily re-fetched).
+        (Immutable, Load) => Immutable,
+        (Immutable, Store) => return Err(SwccViolation { state, op }),
+        (Immutable, Invalidate) => Invalid,
+        (Immutable, Writeback) => Immutable, // wasted instruction, not illegal
+        (Immutable, Synchronize) => Immutable,
+
+        // Clean shared data: readable; a store privatizes it (the task now
+        // owns those words); INV drops it; barriers leave it *stale* —
+        // continued use without INV is legal only for data not written by
+        // another task, which the checker tracks separately.
+        (Clean, Load) => Clean,
+        (Clean, Store) => PrivateDirty,
+        (Clean, Invalidate) => Invalid,
+        (Clean, Writeback) => Clean, // nothing dirty: wasted instruction
+        (Clean, Synchronize) => Clean,
+
+        // Private clean data.
+        (PrivateClean, Load) => PrivateClean,
+        (PrivateClean, Store) => PrivateDirty,
+        (PrivateClean, Invalidate) => Invalid,
+        (PrivateClean, Writeback) => PrivateClean,
+        (PrivateClean, Synchronize) => Clean, // ownership may move across tasks
+
+        // Private dirty data: WB pushes the dirty words to the global point
+        // (L3), leaving the line private-clean.
+        (PrivateDirty, Load) => PrivateDirty,
+        (PrivateDirty, Store) => PrivateDirty,
+        (PrivateDirty, Invalidate) => Invalid, // discards local writes!
+        (PrivateDirty, Writeback) => PrivateClean,
+        (PrivateDirty, Synchronize) => PrivateDirty, // un-flushed data stays local
+
+        // Invalid: loads and stores (re)establish a cached copy.
+        (Invalid, Load) => Clean,
+        (Invalid, Store) => PrivateDirty, // write-allocate, no fill
+        (Invalid, Invalidate) => Invalid, // wasted instruction (Figure 3!)
+        (Invalid, Writeback) => Invalid,  // wasted instruction (Figure 3!)
+        (Invalid, Synchronize) => Invalid,
+    })
+}
+
+/// Whether the operation would be counted as a *useful* coherence
+/// instruction in Figure 3's sense (it operates on a line valid in the
+/// cache).
+pub fn is_useful_coherence_op(state: SwState, op: SwOp) -> bool {
+    match op {
+        SwOp::Invalidate => state != SwState::Invalid,
+        SwOp::Writeback => state == SwState::PrivateDirty,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use SwOp::*;
+    use SwState::*;
+
+    #[test]
+    fn store_to_immutable_is_a_violation() {
+        let err = step(Immutable, Store).unwrap_err();
+        assert_eq!(err.state, Immutable);
+        assert_eq!(err.op, Store);
+        assert!(err.to_string().contains("illegal"));
+    }
+
+    #[test]
+    fn write_allocate_path() {
+        // Figure 6: ST from Invalid goes straight to private dirty — the
+        // write-allocate-without-fill SWcc relies on (§2.1).
+        assert_eq!(step(Invalid, Store), Ok(PrivateDirty));
+    }
+
+    #[test]
+    fn flush_then_reuse() {
+        // Produce, flush, keep reading locally.
+        let s = step(Invalid, Store).unwrap();
+        let s = step(s, Writeback).unwrap();
+        assert_eq!(s, PrivateClean);
+        assert_eq!(step(s, Load), Ok(PrivateClean));
+        // After a barrier the line is merely clean (another task may own it).
+        assert_eq!(step(s, Synchronize), Ok(Clean));
+    }
+
+    #[test]
+    fn invalidate_discards_dirty_data() {
+        assert_eq!(step(PrivateDirty, Invalidate), Ok(Invalid));
+    }
+
+    #[test]
+    fn wasted_instructions_are_legal_but_useless() {
+        assert_eq!(step(Invalid, Invalidate), Ok(Invalid));
+        assert_eq!(step(Invalid, Writeback), Ok(Invalid));
+        assert!(!is_useful_coherence_op(Invalid, Invalidate));
+        assert!(!is_useful_coherence_op(Invalid, Writeback));
+        assert!(is_useful_coherence_op(Clean, Invalidate));
+        assert!(is_useful_coherence_op(PrivateDirty, Writeback));
+        assert!(
+            !is_useful_coherence_op(PrivateClean, Writeback),
+            "flushing a clean line writes nothing back"
+        );
+    }
+
+    #[test]
+    fn every_state_handles_every_op() {
+        // Totality check: no (state, op) pair panics; only Immutable+Store errors.
+        for &s in &[Immutable, Clean, PrivateClean, PrivateDirty, Invalid] {
+            for &op in &[Load, Store, Invalidate, Writeback, Synchronize] {
+                let r = step(s, op);
+                if s == Immutable && op == Store {
+                    assert!(r.is_err());
+                } else {
+                    assert!(r.is_ok(), "({s:?}, {op:?}) must be defined");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn load_after_invalidate_refetches_clean() {
+        let s = step(Clean, Invalidate).unwrap();
+        assert_eq!(step(s, Load), Ok(Clean));
+    }
+}

@@ -1,0 +1,297 @@
+//! Coherence-domain transitions (Figure 7, §3.6).
+//!
+//! A transition is initiated by the runtime with a word-aligned, uncached
+//! read-modify-write to the fine-grain region table. The home directory bank
+//! snoops the table's address range, classifies the system state, and
+//! executes an action script:
+//!
+//! **HWcc ⇒ SWcc** (clear directory knowledge, leave a consistent software
+//! state):
+//! * *Case 1a* — no directory entry: only the table bit changes.
+//! * *Case 2a* — Shared: invalidate all sharers, deallocate the entry.
+//! * *Case 3a* — Modified: demand writeback from the owner, update the L3,
+//!   deallocate the entry.
+//!
+//! **SWcc ⇒ HWcc** (the directory knows nothing; broadcast a *clean
+//! request* to all L2s and reconstruct):
+//! * *Case 1b* — no cached copies: just clear the table bit.
+//! * *Case 2b* — clean copies only: clear their incoherent bits, register
+//!   them as sharers (lines stay cached!).
+//! * *Case 3b* — dirty in exactly one L2: invalidate any clean readers,
+//!   upgrade the writer to owner *without a writeback* (bandwidth saving the
+//!   paper calls out).
+//! * *Case 4b* — dirty in several L2s with **disjoint** write sets: demand
+//!   writebacks from all writers, merge at the L3 via per-word dirty bits,
+//!   invalidate everyone.
+//! * *Case 5b* — dirty in several L2s with **overlapping** words: a data
+//!   race in the SWcc program. Hardware resolves it deterministically (all
+//!   dirty copies are discarded in favour of writeback merge order) but the
+//!   event is surfaced so the runtime can zero the line or raise an
+//!   exception (§3.6).
+
+use cohesion_sim::ids::ClusterId;
+
+use crate::directory::{DirEntry, DirState};
+
+/// How a line is cached in one L2, as seen by the broadcast clean request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct L2View {
+    /// The responding cluster.
+    pub cluster: ClusterId,
+    /// Valid-word mask of the cached line.
+    pub valid_words: u8,
+    /// Dirty-word mask of the cached line.
+    pub dirty_words: u8,
+}
+
+impl L2View {
+    /// Whether the copy has any dirty words.
+    pub fn is_dirty(&self) -> bool {
+        self.dirty_words != 0
+    }
+}
+
+/// Classification of a HWcc ⇒ SWcc transition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HwToSw {
+    /// Case 1a: the directory holds no entry; no coherence action needed.
+    Case1aUntracked,
+    /// Case 2a: Shared; `sharers` must be sent invalidations.
+    Case2aShared {
+        /// Clusters to invalidate.
+        sharers: Vec<ClusterId>,
+    },
+    /// Case 3a: Modified; `owner` must be sent a writeback-and-invalidate
+    /// demand (`None` when a limited directory lost the owner identity and a
+    /// broadcast is required).
+    Case3aModified {
+        /// The owning cluster, when known.
+        owner: Option<ClusterId>,
+    },
+}
+
+/// Classifies a HWcc ⇒ SWcc transition from the directory entry (if any).
+pub fn classify_hw_to_sw(entry: Option<&DirEntry>, clusters: u32) -> HwToSw {
+    match entry {
+        None => HwToSw::Case1aUntracked,
+        Some(e) => match e.state {
+            DirState::Shared => HwToSw::Case2aShared {
+                sharers: e.sharers.probe_targets(clusters),
+            },
+            DirState::Modified => HwToSw::Case3aModified {
+                owner: e.owner(clusters),
+            },
+        },
+    }
+}
+
+/// Classification of a SWcc ⇒ HWcc transition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SwToHw {
+    /// Case 1b: no L2 holds the line.
+    Case1bNotPresent,
+    /// Case 2b: only clean copies; they become directory sharers and stay
+    /// cached with the incoherent bit cleared.
+    Case2bClean {
+        /// The clusters holding clean copies.
+        sharers: Vec<ClusterId>,
+    },
+    /// Case 3b: one dirty copy; clean readers are invalidated and the writer
+    /// is upgraded to owner, with no writeback.
+    Case3bSingleDirty {
+        /// The cluster holding the dirty copy.
+        owner: ClusterId,
+        /// Clusters holding clean copies, which must invalidate.
+        readers: Vec<ClusterId>,
+    },
+    /// Case 4b: several dirty copies with disjoint write sets; all write
+    /// back (the L3 merges by dirty mask) and everyone invalidates.
+    Case4bMultiDirtyDisjoint {
+        /// Clusters holding dirty copies.
+        writers: Vec<ClusterId>,
+        /// Clusters holding clean copies.
+        readers: Vec<ClusterId>,
+    },
+    /// Case 5b: several dirty copies with overlapping words — a SWcc data
+    /// race. Same actions as 4b, but surfaced to software.
+    Case5bRace {
+        /// Clusters holding dirty copies.
+        writers: Vec<ClusterId>,
+        /// Clusters holding clean copies.
+        readers: Vec<ClusterId>,
+        /// Mask of words dirty in more than one cache.
+        overlap: u8,
+    },
+}
+
+/// Classifies a SWcc ⇒ HWcc transition from the broadcast clean-request
+/// responses.
+pub fn classify_sw_to_hw(views: &[L2View]) -> SwToHw {
+    let mut writers = Vec::new();
+    let mut readers = Vec::new();
+    let mut seen_dirty: u8 = 0;
+    let mut overlap: u8 = 0;
+    for v in views {
+        if v.valid_words == 0 {
+            continue;
+        }
+        if v.is_dirty() {
+            overlap |= seen_dirty & v.dirty_words;
+            seen_dirty |= v.dirty_words;
+            writers.push(v.cluster);
+        } else {
+            readers.push(v.cluster);
+        }
+    }
+    match (writers.len(), readers.len()) {
+        (0, 0) => SwToHw::Case1bNotPresent,
+        (0, _) => SwToHw::Case2bClean { sharers: readers },
+        (1, _) => SwToHw::Case3bSingleDirty {
+            owner: writers[0],
+            readers,
+        },
+        _ if overlap == 0 => SwToHw::Case4bMultiDirtyDisjoint { writers, readers },
+        _ => SwToHw::Case5bRace {
+            writers,
+            readers,
+            overlap,
+        },
+    }
+}
+
+/// A record of one detected case-5b race, for the runtime/debugger.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RaceReport {
+    /// The line on which multiple L2s held overlapping dirty words.
+    pub line: cohesion_mem::addr::LineAddr,
+    /// The overlapping word mask.
+    pub overlap: u8,
+    /// The clusters involved.
+    pub writers: Vec<ClusterId>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::directory::EntryClass;
+    use crate::sharers::SharerTracking;
+
+    fn view(cluster: u32, valid: u8, dirty: u8) -> L2View {
+        L2View {
+            cluster: ClusterId(cluster),
+            valid_words: valid,
+            dirty_words: dirty,
+        }
+    }
+
+    #[test]
+    fn case_1a_untracked() {
+        assert_eq!(classify_hw_to_sw(None, 8), HwToSw::Case1aUntracked);
+    }
+
+    #[test]
+    fn case_2a_shared_lists_all_sharers() {
+        let mut e = DirEntry::shared(ClusterId(1), SharerTracking::FullMap, 8, EntryClass::HeapGlobal);
+        e.sharers.add(ClusterId(4), SharerTracking::FullMap);
+        match classify_hw_to_sw(Some(&e), 8) {
+            HwToSw::Case2aShared { sharers } => {
+                assert_eq!(sharers, vec![ClusterId(1), ClusterId(4)]);
+            }
+            other => panic!("expected case 2a, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn case_3a_modified_names_owner() {
+        let e = DirEntry::modified(ClusterId(6), SharerTracking::FullMap, 8, EntryClass::HeapGlobal);
+        assert_eq!(
+            classify_hw_to_sw(Some(&e), 8),
+            HwToSw::Case3aModified {
+                owner: Some(ClusterId(6))
+            }
+        );
+    }
+
+    #[test]
+    fn case_3a_broadcast_owner_unknown() {
+        let t = SharerTracking::dir4b();
+        let mut e = DirEntry::modified(ClusterId(0), t, 8, EntryClass::HeapGlobal);
+        e.sharers = crate::sharers::SharerSet::Broadcast;
+        assert_eq!(
+            classify_hw_to_sw(Some(&e), 8),
+            HwToSw::Case3aModified { owner: None }
+        );
+    }
+
+    #[test]
+    fn case_1b_nobody_home() {
+        assert_eq!(classify_sw_to_hw(&[]), SwToHw::Case1bNotPresent);
+        // Invalid (zero-valid) views are ignored.
+        assert_eq!(
+            classify_sw_to_hw(&[view(0, 0, 0)]),
+            SwToHw::Case1bNotPresent
+        );
+    }
+
+    #[test]
+    fn case_2b_clean_copies_stay_cached() {
+        let r = classify_sw_to_hw(&[view(0, 0xff, 0), view(3, 0x0f, 0)]);
+        assert_eq!(
+            r,
+            SwToHw::Case2bClean {
+                sharers: vec![ClusterId(0), ClusterId(3)]
+            }
+        );
+    }
+
+    #[test]
+    fn case_3b_single_writer_upgrades_without_writeback() {
+        let r = classify_sw_to_hw(&[view(2, 0xff, 0x0f), view(5, 0xff, 0)]);
+        assert_eq!(
+            r,
+            SwToHw::Case3bSingleDirty {
+                owner: ClusterId(2),
+                readers: vec![ClusterId(5)]
+            }
+        );
+    }
+
+    #[test]
+    fn case_4b_disjoint_writers_merge() {
+        let r = classify_sw_to_hw(&[view(0, 0x0f, 0x0f), view(1, 0xf0, 0xf0)]);
+        assert_eq!(
+            r,
+            SwToHw::Case4bMultiDirtyDisjoint {
+                writers: vec![ClusterId(0), ClusterId(1)],
+                readers: vec![]
+            }
+        );
+    }
+
+    #[test]
+    fn case_5b_overlap_is_a_race() {
+        let r = classify_sw_to_hw(&[view(0, 0xff, 0x18), view(1, 0xff, 0x08)]);
+        match r {
+            SwToHw::Case5bRace {
+                writers, overlap, ..
+            } => {
+                assert_eq!(writers, vec![ClusterId(0), ClusterId(1)]);
+                assert_eq!(overlap, 0x08, "only word 3 overlaps");
+            }
+            other => panic!("expected a race, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn three_way_overlap_detected() {
+        let r = classify_sw_to_hw(&[
+            view(0, 0xff, 0x01),
+            view(1, 0xff, 0x02),
+            view(2, 0xff, 0x03),
+        ]);
+        match r {
+            SwToHw::Case5bRace { overlap, .. } => assert_eq!(overlap, 0x03),
+            other => panic!("expected a race, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Property tests for the protocol structures: the fine-grain table hash,
+//! sharer sets, the directory, and the transition classifier.
+
+use std::collections::{HashMap, HashSet};
+
+use cohesion_mem::addr::{Addr, AddressMap, LineAddr};
+use cohesion_mem::mainmem::MainMemory;
+use cohesion_protocol::directory::{DirEntry, DirectoryBank, DirectoryConfig, EntryClass};
+use cohesion_protocol::region::{Domain, FineTable};
+use cohesion_protocol::sharers::{SharerSet, SharerTracking};
+use cohesion_protocol::transition::{classify_sw_to_hw, L2View, SwToHw};
+use cohesion_sim::ids::ClusterId;
+use proptest::prelude::*;
+
+fn arb_map() -> impl Strategy<Value = AddressMap> {
+    prop_oneof![
+        Just(AddressMap::isca2010()),
+        Just(AddressMap::new(4, 2)),
+        Just(AddressMap::new(8, 8)),
+        Just(AddressMap::new(16, 4)),
+        Just(AddressMap::new(2, 1)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The defining property of the `hybrid.tbloff` hash (§3.4): the table
+    /// word describing a line lives in the line's own L3 bank, and the
+    /// mapping is invertible.
+    #[test]
+    fn fine_table_same_bank_and_bijective(
+        map in arb_map(),
+        lines in proptest::collection::hash_set(0u32..(1 << 27), 1..64),
+    ) {
+        let t = FineTable::new(Addr(0xF000_0000), map);
+        let mut slots = HashSet::new();
+        for &l in &lines {
+            let line = LineAddr(l);
+            let slot = t.slot_of(line);
+            prop_assert!(t.covers(slot.word), "slot escapes the 16 MB table");
+            prop_assert_eq!(map.bank_of(slot.word.line()), map.bank_of(line),
+                "same-bank property violated for {:?}", line);
+            prop_assert_eq!(t.line_of_slot(slot), line, "not invertible");
+            prop_assert!(slots.insert((slot.word.0, slot.bit)), "slot collision");
+        }
+    }
+
+    /// Bulk fills equal per-line updates, for arbitrary unaligned ranges.
+    #[test]
+    fn fill_domain_equals_per_line(
+        map in arb_map(),
+        first in 0u32..(1 << 20),
+        count in 1u32..200,
+    ) {
+        let t = FineTable::new(Addr(0xF000_0000), map);
+        let mut bulk = MainMemory::new();
+        let mut slow = MainMemory::new();
+        t.fill_domain(&mut bulk, LineAddr(first), count, Domain::SWcc);
+        for i in 0..count {
+            t.set_domain(&mut slow, LineAddr(first + i), Domain::SWcc);
+        }
+        for i in 0..count {
+            let line = LineAddr(first + i);
+            prop_assert_eq!(t.domain(&bulk, line), Domain::SWcc);
+            let slot = t.slot_of(line);
+            prop_assert_eq!(bulk.read_word(slot.word), slow.read_word(slot.word));
+        }
+        // Neighbours untouched.
+        if first > 0 {
+            prop_assert_eq!(t.domain(&bulk, LineAddr(first - 1)), Domain::HWcc);
+        }
+        prop_assert_eq!(t.domain(&bulk, LineAddr(first + count)), Domain::HWcc);
+    }
+
+    /// Sharer sets are conservative supersets of an exact model: full-map
+    /// is exact; Dir4B may overflow to broadcast but never *loses* a
+    /// sharer.
+    #[test]
+    fn sharer_sets_are_conservative(
+        ops in proptest::collection::vec((any::<bool>(), 0u32..32), 1..60),
+        limited in any::<bool>(),
+    ) {
+        let tracking = if limited {
+            SharerTracking::dir4b()
+        } else {
+            SharerTracking::FullMap
+        };
+        let mut set = SharerSet::empty(tracking, 32);
+        let mut model: HashSet<u32> = HashSet::new();
+        for (add, c) in ops {
+            if add {
+                set.add(ClusterId(c), tracking);
+                model.insert(c);
+            } else {
+                set.remove(ClusterId(c));
+                if !set.is_broadcast() {
+                    model.remove(&c);
+                }
+            }
+            for m in &model {
+                prop_assert!(set.may_contain(ClusterId(*m)),
+                    "lost sharer {m} (limited={limited})");
+            }
+            if !limited {
+                // Full map is exact.
+                prop_assert_eq!(set.count(), Some(model.len() as u32));
+                let targets: HashSet<u32> =
+                    set.probe_targets(32).into_iter().map(|c| c.0).collect();
+                prop_assert_eq!(&targets, &model);
+            }
+            // Probe targets always cover the model.
+            let targets: HashSet<u32> =
+                set.probe_targets(32).into_iter().map(|c| c.0).collect();
+            prop_assert!(model.is_subset(&targets));
+        }
+    }
+
+    /// The directory never exceeds its capacity, never loses an entry
+    /// without reporting a victim, and its occupancy gauge matches the
+    /// actual entry count.
+    #[test]
+    fn directory_capacity_and_victims(
+        lines in proptest::collection::vec(0u32..512, 1..200),
+        entries in prop_oneof![Just(8u32), Just(16), Just(64)],
+        ways in prop_oneof![Just(2u32), Just(4), Just(8)],
+    ) {
+        prop_assume!(entries >= ways && entries % ways == 0
+            && (entries / ways).is_power_of_two());
+        let cfg = DirectoryConfig {
+            capacity: cohesion_protocol::directory::DirCapacity::Finite { entries, ways },
+            tracking: SharerTracking::FullMap,
+            clusters: 8,
+        };
+        let mut dir = DirectoryBank::new(cfg);
+        let mut model: HashMap<u32, ()> = HashMap::new();
+        let mut now = 0u64;
+        for l in lines {
+            now += 1;
+            if dir.peek(LineAddr(l)).is_some() {
+                dir.remove(now, LineAddr(l));
+                model.remove(&l);
+                continue;
+            }
+            let entry = DirEntry::shared(
+                ClusterId(0),
+                SharerTracking::FullMap,
+                8,
+                EntryClass::HeapGlobal,
+            );
+            if let Some((victim, _)) = dir.insert(now, LineAddr(l), entry) {
+                prop_assert!(model.remove(&victim.0).is_some(),
+                    "victim {victim:?} was not tracked");
+            }
+            model.insert(l, ());
+            prop_assert!(dir.occupancy() <= entries as u64);
+            prop_assert_eq!(dir.occupancy(), model.len() as u64);
+        }
+        // Every modeled line is still present, and vice versa.
+        for l in model.keys() {
+            prop_assert!(dir.peek(LineAddr(*l)).is_some());
+        }
+        prop_assert_eq!(dir.iter().count(), model.len());
+    }
+
+    /// The SW⇒HW classifier: writers/readers are partitioned correctly and
+    /// overlap detection equals a bit-level model.
+    #[test]
+    fn sw_to_hw_classifier_matches_model(
+        views in proptest::collection::vec(
+            (0u32..16, 0u8..=255, 0u8..=255), 0..8),
+    ) {
+        let mut seen = HashSet::new();
+        let views: Vec<L2View> = views
+            .into_iter()
+            .filter(|(c, _, _)| seen.insert(*c))
+            .map(|(c, valid, dirty)| L2View {
+                cluster: ClusterId(c),
+                valid_words: valid,
+                dirty_words: dirty & valid, // dirty ⊆ valid
+            })
+            .collect();
+        let writers: Vec<u32> = views
+            .iter()
+            .filter(|v| v.valid_words != 0 && v.dirty_words != 0)
+            .map(|v| v.cluster.0)
+            .collect();
+        let present: Vec<u32> = views
+            .iter()
+            .filter(|v| v.valid_words != 0)
+            .map(|v| v.cluster.0)
+            .collect();
+        let mut union = 0u8;
+        let mut overlap = 0u8;
+        for v in &views {
+            if v.valid_words == 0 { continue; }
+            overlap |= union & v.dirty_words;
+            union |= v.dirty_words;
+        }
+        match classify_sw_to_hw(&views) {
+            SwToHw::Case1bNotPresent => prop_assert!(present.is_empty()),
+            SwToHw::Case2bClean { sharers } => {
+                prop_assert!(writers.is_empty());
+                prop_assert_eq!(sharers.len(), present.len());
+            }
+            SwToHw::Case3bSingleDirty { owner, readers } => {
+                prop_assert_eq!(&writers, &vec![owner.0]);
+                prop_assert_eq!(readers.len(), present.len() - 1);
+            }
+            SwToHw::Case4bMultiDirtyDisjoint { writers: w, .. } => {
+                prop_assert!(writers.len() >= 2);
+                prop_assert_eq!(w.len(), writers.len());
+                prop_assert_eq!(overlap, 0);
+            }
+            SwToHw::Case5bRace { overlap: o, .. } => {
+                prop_assert!(writers.len() >= 2);
+                prop_assert_eq!(o, overlap);
+                prop_assert!(o != 0);
+            }
+        }
+    }
+}

@@ -1,0 +1,349 @@
+//! The programmer-visible Cohesion API (Table 2) and the evaluation modes.
+//!
+//! | call | behaviour |
+//! |------|-----------|
+//! | `malloc` / `free` | coherent heap; data always HWcc |
+//! | `coh_malloc` / `coh_free` | incoherent heap; initial state SWcc, may change domains |
+//! | `coh_swcc_region` | move a region to the SWcc domain |
+//! | `coh_hwcc_region` | move a region to the HWcc domain |
+//!
+//! Domain changes are *requests*: they become [`RegionOp`]s attached to the
+//! next phase, where the machine executes them as the runtime would — atomic
+//! read-modify-writes to the fine-grain region table, snooped by the
+//! directory, serialized line-by-line, with the issuing core blocked until
+//! acknowledged (§3.6).
+
+use cohesion_mem::addr::Addr;
+use cohesion_protocol::region::Domain;
+
+use crate::heap::HeapError;
+use crate::layout::{AddressSpace, LayoutConfig};
+use crate::task::RegionOp;
+
+/// Which memory model the machine is evaluated under (§4.1's four design
+/// points collapse to three software modes; the directory configuration
+/// distinguishes ideal from realistic hardware).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CohMode {
+    /// Pure software coherence: no directory, everything SWcc, explicit
+    /// flush/invalidate instructions everywhere.
+    SWcc,
+    /// Pure hardware coherence: everything (stacks and code included) is
+    /// directory-tracked; no coherence instructions.
+    HWcc,
+    /// The hybrid: coarse regions + fine-grain table decide per line;
+    /// coherence instructions only for SWcc data.
+    Cohesion,
+}
+
+impl CohMode {
+    /// All modes.
+    pub const ALL: [CohMode; 3] = [CohMode::SWcc, CohMode::HWcc, CohMode::Cohesion];
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            CohMode::SWcc => "SWcc",
+            CohMode::HWcc => "HWcc",
+            CohMode::Cohesion => "Cohesion",
+        }
+    }
+}
+
+/// Errors surfaced by the runtime API.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// An allocation failed.
+    Heap(HeapError),
+    /// A region call referenced memory outside either heap.
+    BadRegion {
+        /// Start of the offending region.
+        start: Addr,
+    },
+}
+
+impl From<HeapError> for RuntimeError {
+    fn from(e: HeapError) -> Self {
+        RuntimeError::Heap(e)
+    }
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeError::Heap(e) => write!(f, "{e}"),
+            RuntimeError::BadRegion { start } => {
+                write!(f, "region call outside the heaps at {start}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+/// The runtime handle kernels allocate and manage memory through.
+#[derive(Debug, Clone)]
+pub struct CohesionApi {
+    space: AddressSpace,
+    mode: CohMode,
+    pending: Vec<RegionOp>,
+    /// Explicit domain overrides from `coh_*_region` calls, newest last —
+    /// the software-side knowledge of where data currently lives.
+    overrides: Vec<(Addr, u32, Domain)>,
+}
+
+impl CohesionApi {
+    /// Creates the runtime for `cores` cores in `mode`.
+    pub fn new(cores: u32, mode: CohMode) -> Self {
+        CohesionApi {
+            space: AddressSpace::new(&LayoutConfig::new(cores)),
+            mode,
+            pending: Vec::new(),
+            overrides: Vec::new(),
+        }
+    }
+
+    /// Creates the runtime with a custom layout.
+    pub fn with_layout(cfg: &LayoutConfig, mode: CohMode) -> Self {
+        CohesionApi {
+            space: AddressSpace::new(cfg),
+            mode,
+            pending: Vec::new(),
+            overrides: Vec::new(),
+        }
+    }
+
+    /// The evaluation mode.
+    pub fn mode(&self) -> CohMode {
+        self.mode
+    }
+
+    /// The address-space layout.
+    pub fn layout(&self) -> &crate::layout::Layout {
+        self.space.layout()
+    }
+
+    /// `void * malloc(size_t)` — allocate on the coherent heap. Data is
+    /// always in the HWcc domain (standard libc implementation).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the coherent heap is exhausted.
+    pub fn malloc(&mut self, size: u32) -> Result<Addr, RuntimeError> {
+        Ok(self.space.coherent.alloc(size)?)
+    }
+
+    /// `void free(void *)` — deallocate a coherent-heap object.
+    ///
+    /// # Errors
+    ///
+    /// Fails for pointers not live on the coherent heap.
+    pub fn free(&mut self, ptr: Addr) -> Result<(), RuntimeError> {
+        Ok(self.space.coherent.free(ptr)?)
+    }
+
+    /// `void * coh_malloc(size_t)` — allocate on the incoherent heap.
+    /// The data's initial state is SWcc and it is present in no private
+    /// cache; it may transition domains later.
+    ///
+    /// No table update is needed at allocation time: the runtime marks the
+    /// *whole incoherent heap* SWcc in the fine-grain table when it sets the
+    /// tables up at application load (§3.4/§3.5), so fresh allocations are
+    /// born SWcc.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the incoherent heap is exhausted.
+    pub fn coh_malloc(&mut self, size: u32) -> Result<Addr, RuntimeError> {
+        Ok(self.space.incoherent.alloc(size)?)
+    }
+
+    /// `void coh_free(void *)` — deallocate an incoherent-heap object.
+    ///
+    /// Freed memory reverts to the heap's default SWcc state; if the object
+    /// had been moved to HWcc, the runtime re-marks it so the next
+    /// allocation of the block is born SWcc as `coh_malloc` promises.
+    ///
+    /// # Errors
+    ///
+    /// Fails for pointers not live on the incoherent heap.
+    pub fn coh_free(&mut self, ptr: Addr) -> Result<(), RuntimeError> {
+        let size = self
+            .space
+            .incoherent
+            .size_of(ptr)
+            .ok_or(RuntimeError::Heap(HeapError::BadFree { ptr }))?;
+        self.space.incoherent.free(ptr)?;
+        if self.mode == CohMode::Cohesion {
+            self.pending.push(RegionOp {
+                to: Domain::SWcc,
+                start: ptr,
+                bytes: size,
+            });
+        }
+        Ok(())
+    }
+
+    /// `void coh_SWcc_region(void *, size_t)` — move a region into the SWcc
+    /// domain.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the region lies outside the heaps.
+    pub fn coh_swcc_region(&mut self, start: Addr, bytes: u32) -> Result<(), RuntimeError> {
+        self.region(start, bytes, Domain::SWcc)
+    }
+
+    /// `void coh_HWcc_region(void *, size_t)` — move a region into the HWcc
+    /// domain.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the region lies outside the heaps.
+    pub fn coh_hwcc_region(&mut self, start: Addr, bytes: u32) -> Result<(), RuntimeError> {
+        self.region(start, bytes, Domain::HWcc)
+    }
+
+    fn region(&mut self, start: Addr, bytes: u32, to: Domain) -> Result<(), RuntimeError> {
+        let l = self.space.layout();
+        if !(l.coherent_heap.contains(start) || l.incoherent_heap.contains(start)) {
+            return Err(RuntimeError::BadRegion { start });
+        }
+        if self.mode == CohMode::Cohesion {
+            self.pending.push(RegionOp { to, start, bytes });
+            self.overrides.push((start, bytes, to));
+        }
+        Ok(())
+    }
+
+    /// Drains the pending domain-change requests (the machine attaches them
+    /// to the next phase).
+    pub fn take_region_ops(&mut self) -> Vec<RegionOp> {
+        std::mem::take(&mut self.pending)
+    }
+
+    /// Whether an address is SWcc *by software's own knowledge* in the
+    /// current mode — i.e. what the trace generator may assume when deciding
+    /// to emit flush/invalidate instructions. Under Cohesion this reflects
+    /// coarse regions plus incoherent-heap membership at allocation
+    /// granularity; the machine's fine-grain table remains the hardware
+    /// truth.
+    pub fn software_domain(&self, addr: Addr) -> Domain {
+        match self.mode {
+            CohMode::SWcc => Domain::SWcc,
+            CohMode::HWcc => Domain::HWcc,
+            CohMode::Cohesion => {
+                // Explicit region calls override the static layout: the
+                // newest covering call wins.
+                if let Some(&(_, _, d)) = self
+                    .overrides
+                    .iter()
+                    .rev()
+                    .find(|&&(s, len, _)| addr.0 >= s.0 && addr.0 - s.0 < len)
+                {
+                    return d;
+                }
+                let l = self.space.layout();
+                let swcc = l.coarse_regions().lookup(addr).is_some()
+                    || l.incoherent_heap.contains(addr);
+                if swcc {
+                    Domain::SWcc
+                } else {
+                    Domain::HWcc
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn malloc_is_always_hwcc() {
+        let mut api = CohesionApi::new(8, CohMode::Cohesion);
+        let p = api.malloc(128).expect("allocates");
+        assert!(api.layout().coherent_heap.contains(p));
+        assert_eq!(api.software_domain(p), Domain::HWcc);
+        assert!(api.take_region_ops().is_empty(), "no table updates needed");
+        api.free(p).expect("frees");
+    }
+
+    #[test]
+    fn coh_malloc_starts_swcc() {
+        let mut api = CohesionApi::new(8, CohMode::Cohesion);
+        let p = api.coh_malloc(100).expect("allocates");
+        assert!(api.layout().incoherent_heap.contains(p));
+        assert_eq!(api.software_domain(p), Domain::SWcc);
+        // No table update needed: the whole incoherent heap was marked SWcc
+        // when the runtime set the tables up at load time.
+        assert!(api.take_region_ops().is_empty());
+    }
+
+    #[test]
+    fn region_calls_enqueue_ops() {
+        let mut api = CohesionApi::new(8, CohMode::Cohesion);
+        let p = api.coh_malloc(256).expect("allocates");
+        api.take_region_ops();
+        api.coh_hwcc_region(p, 256).expect("valid region");
+        api.coh_swcc_region(p, 64).expect("valid region");
+        let ops = api.take_region_ops();
+        assert_eq!(ops.len(), 2);
+        assert_eq!(ops[0].to, Domain::HWcc);
+        assert_eq!(ops[1].to, Domain::SWcc);
+        assert!(api.take_region_ops().is_empty(), "drained");
+    }
+
+    #[test]
+    fn region_outside_heaps_rejected() {
+        let mut api = CohesionApi::new(8, CohMode::Cohesion);
+        let code = api.layout().code.start;
+        assert!(matches!(
+            api.coh_swcc_region(code, 64),
+            Err(RuntimeError::BadRegion { .. })
+        ));
+    }
+
+    #[test]
+    fn pure_modes_skip_table_updates() {
+        for mode in [CohMode::SWcc, CohMode::HWcc] {
+            let mut api = CohesionApi::new(8, mode);
+            let p = api.coh_malloc(64).expect("allocates");
+            api.coh_hwcc_region(p, 64).expect("accepted but inert");
+            assert!(
+                api.take_region_ops().is_empty(),
+                "{mode:?} has no fine-grain table"
+            );
+        }
+    }
+
+    #[test]
+    fn software_domain_by_mode() {
+        let api_sw = CohesionApi::new(8, CohMode::SWcc);
+        let api_hw = CohesionApi::new(8, CohMode::HWcc);
+        let mut api_coh = CohesionApi::new(8, CohMode::Cohesion);
+        let stack = api_coh.layout().stack_base(0);
+        assert_eq!(api_sw.software_domain(stack), Domain::SWcc);
+        assert_eq!(api_hw.software_domain(stack), Domain::HWcc);
+        assert_eq!(api_coh.software_domain(stack), Domain::SWcc);
+        let heap = api_coh.malloc(64).expect("allocates");
+        assert_eq!(api_coh.software_domain(heap), Domain::HWcc);
+    }
+
+    #[test]
+    fn coh_free_restores_the_heap_default() {
+        let mut api = CohesionApi::new(8, CohMode::Cohesion);
+        let p = api.coh_malloc(64).expect("allocates");
+        api.take_region_ops();
+        api.coh_free(p).expect("frees");
+        let ops = api.take_region_ops();
+        assert_eq!(ops.len(), 1);
+        assert_eq!(
+            ops[0].to,
+            Domain::SWcc,
+            "freed blocks revert to the incoherent heap's SWcc default"
+        );
+        assert!(matches!(api.coh_free(p), Err(RuntimeError::Heap(_))));
+    }
+}

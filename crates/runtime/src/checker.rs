@@ -1,0 +1,222 @@
+//! Static SWcc-contract checking of task traces against the Figure 6 state
+//! machine.
+//!
+//! The simulator enforces coherence *dynamically* (verified loads, race
+//! detection). This module checks the *static* contract instead: walking a
+//! task's operations through [`cohesion_protocol::swcc`]'s abstract states
+//! and rejecting traces that violate the protocol (storing to immutable
+//! data) or that exhibit the classic task-centric bugs (reading
+//! possibly-stale shared data without an invalidation first, ending a task
+//! with un-flushed dirty SWcc data).
+//!
+//! Kernel tests run their generated traces through this checker, so a
+//! kernel that forgets its epilogue fails in CI even on machine
+//! configurations that happen to mask the staleness.
+
+use std::collections::HashMap;
+
+use cohesion_mem::addr::LineAddr;
+use cohesion_protocol::swcc::{step, SwOp, SwState};
+
+use crate::task::{Op, Task};
+
+/// How the checker should treat each line the task touches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LineClass {
+    /// SWcc data that other tasks may have produced: must be invalidated
+    /// before its first read, and flushed before task end if written.
+    SwccShared,
+    /// SWcc data that is immutable for the program's lifetime: readable
+    /// without invalidation, never written.
+    SwccImmutable,
+    /// HWcc data: exempt from software coherence actions.
+    Hwcc,
+}
+
+/// A violation of the task-centric SWcc contract.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceViolation {
+    /// An operation illegal in the line's abstract state (e.g. a store to
+    /// immutable data).
+    Protocol {
+        /// The offending line.
+        line: LineAddr,
+        /// The state/op pair rejected by the Figure 6 machine.
+        state: SwState,
+        /// The offending operation.
+        op: SwOp,
+    },
+    /// A shared SWcc line was read before any invalidation in this task —
+    /// the value may be stale if another task produced it.
+    StaleReadRisk {
+        /// The offending line.
+        line: LineAddr,
+    },
+    /// The task ended with dirty SWcc words never flushed — invisible to
+    /// every other cluster.
+    UnflushedDirty {
+        /// The offending line.
+        line: LineAddr,
+    },
+}
+
+impl std::fmt::Display for TraceViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceViolation::Protocol { line, state, op } => {
+                write!(f, "{op:?} illegal in state {state:?} on {line}")
+            }
+            TraceViolation::StaleReadRisk { line } => {
+                write!(f, "read of shared SWcc {line} without prior invalidation")
+            }
+            TraceViolation::UnflushedDirty { line } => {
+                write!(f, "task ends with un-flushed dirty SWcc {line}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceViolation {}
+
+/// Checks one task's trace against the SWcc contract.
+///
+/// `classify` maps each line the task touches to its [`LineClass`]. Stack
+/// and atomic operations are exempt (stacks are private; atomics bypass the
+/// caches entirely).
+///
+/// # Errors
+///
+/// Returns the first [`TraceViolation`] found.
+pub fn check_task(
+    task: &Task,
+    classify: impl Fn(LineAddr) -> LineClass,
+) -> Result<(), TraceViolation> {
+    let mut states: HashMap<u32, SwState> = HashMap::new();
+    let mut invalidated: HashMap<u32, bool> = HashMap::new();
+
+    let initial = |class: LineClass| match class {
+        LineClass::SwccImmutable => SwState::Immutable,
+        _ => SwState::Clean, // possibly stale clean copy from earlier phases
+    };
+
+    for op in &task.ops {
+        let (line, sw_op) = match *op {
+            Op::Load { addr, .. } => (addr.line(), SwOp::Load),
+            Op::Store { addr, .. } => (addr.line(), SwOp::Store),
+            Op::Flush { line } => (line, SwOp::Writeback),
+            Op::Invalidate { line } => (line, SwOp::Invalidate),
+            // Compute, atomics, and stack traffic are outside the contract.
+            _ => continue,
+        };
+        let class = classify(line);
+        if class == LineClass::Hwcc {
+            continue;
+        }
+        let state = *states.entry(line.0).or_insert_with(|| initial(class));
+
+        if sw_op == SwOp::Load
+            && class == LineClass::SwccShared
+            && !invalidated.get(&line.0).copied().unwrap_or(false)
+            && matches!(state, SwState::Clean)
+        {
+            return Err(TraceViolation::StaleReadRisk { line });
+        }
+
+        let next = step(state, sw_op).map_err(|v| TraceViolation::Protocol {
+            line,
+            state: v.state,
+            op: v.op,
+        })?;
+        if sw_op == SwOp::Invalidate {
+            invalidated.insert(line.0, true);
+        }
+        states.insert(line.0, next);
+    }
+
+    for (line, state) in states {
+        if state == SwState::PrivateDirty {
+            return Err(TraceViolation::UnflushedDirty {
+                line: LineAddr(line),
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::TaskBuilder;
+    use cohesion_mem::addr::Addr;
+
+    fn shared(_: LineAddr) -> LineClass {
+        LineClass::SwccShared
+    }
+
+    #[test]
+    fn canonical_task_passes() {
+        let mut b = TaskBuilder::new(1);
+        b.load(Addr(0x100), 0).store(Addr(0x200), 1);
+        b.flush_written(|_| true);
+        b.invalidate_read(|_| true);
+        let t = b.build();
+        check_task(&t, shared).expect("inv-before-read + flush-after-write is the contract");
+    }
+
+    #[test]
+    fn read_without_invalidation_is_flagged() {
+        let mut b = TaskBuilder::new(1);
+        b.load(Addr(0x100), 0);
+        let t = b.build(); // no epilogue at all
+        assert!(matches!(
+            check_task(&t, shared),
+            Err(TraceViolation::StaleReadRisk { .. })
+        ));
+    }
+
+    #[test]
+    fn immutable_reads_need_no_invalidation() {
+        let mut b = TaskBuilder::new(1);
+        b.load(Addr(0x100), 0);
+        let t = b.build();
+        check_task(&t, |_| LineClass::SwccImmutable).expect("SWIM data is always safe to read");
+    }
+
+    #[test]
+    fn store_to_immutable_is_a_protocol_violation() {
+        let mut b = TaskBuilder::new(1);
+        b.store(Addr(0x100), 1);
+        let t = b.build();
+        assert!(matches!(
+            check_task(&t, |_| LineClass::SwccImmutable),
+            Err(TraceViolation::Protocol { .. })
+        ));
+    }
+
+    #[test]
+    fn unflushed_dirty_output_is_flagged() {
+        let mut b = TaskBuilder::new(1);
+        b.store(Addr(0x100), 1);
+        let t = b.build(); // missing flush_written
+        assert!(matches!(
+            check_task(&t, shared),
+            Err(TraceViolation::UnflushedDirty { .. })
+        ));
+    }
+
+    #[test]
+    fn hwcc_lines_are_exempt() {
+        let mut b = TaskBuilder::new(1);
+        b.load(Addr(0x100), 0).store(Addr(0x200), 1);
+        let t = b.build(); // no epilogue — fine for HWcc data
+        check_task(&t, |_| LineClass::Hwcc).expect("hardware handles it");
+    }
+
+    #[test]
+    fn violation_messages_are_readable() {
+        let v = TraceViolation::UnflushedDirty {
+            line: Addr(0x2000).line(),
+        };
+        assert!(v.to_string().contains("un-flushed"));
+    }
+}

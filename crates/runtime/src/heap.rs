@@ -1,0 +1,262 @@
+//! First-fit free-list heap allocators for the two heaps of §3.5.
+//!
+//! Two heaps exist: the conventional coherent heap (`malloc`) and the
+//! incoherent heap (`coh_malloc`), whose allocations may change coherence
+//! domains at line granularity. The incoherent heap enforces the paper's
+//! 64-byte minimum allocation (two lines) so allocator metadata can stay
+//! coherent, and line-aligns every allocation so a domain never straddles an
+//! allocation boundary.
+
+use std::collections::BTreeMap;
+
+use cohesion_mem::addr::Addr;
+
+/// Why an allocation or free failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeapError {
+    /// No free block large enough.
+    OutOfMemory {
+        /// The rounded size that could not be satisfied.
+        requested: u32,
+    },
+    /// `free` called with a pointer this heap did not hand out.
+    BadFree {
+        /// The offending pointer.
+        ptr: Addr,
+    },
+    /// Zero-sized allocation.
+    ZeroSize,
+}
+
+impl std::fmt::Display for HeapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HeapError::OutOfMemory { requested } => {
+                write!(f, "heap exhausted allocating {requested} bytes")
+            }
+            HeapError::BadFree { ptr } => write!(f, "free of unallocated pointer {ptr}"),
+            HeapError::ZeroSize => write!(f, "zero-sized allocation"),
+        }
+    }
+}
+
+impl std::error::Error for HeapError {}
+
+/// A first-fit free-list allocator over one address range.
+///
+/// # Example
+///
+/// ```
+/// use cohesion_runtime::heap::Heap;
+/// use cohesion_mem::addr::Addr;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut heap = Heap::new(Addr(0x1000), 4096, 64);
+/// let a = heap.alloc(100)?;        // rounded up to the 64-byte granule
+/// assert_eq!(heap.size_of(a), Some(128));
+/// heap.free(a)?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Heap {
+    start: Addr,
+    size: u32,
+    align: u32,
+    /// offset -> size of free blocks, coalesced.
+    free: BTreeMap<u32, u32>,
+    /// offset -> size of live allocations.
+    live: BTreeMap<u32, u32>,
+    allocated_bytes: u64,
+    peak_bytes: u64,
+}
+
+impl Heap {
+    /// Creates a heap over `[start, start+size)` with the given minimum
+    /// alignment/granule (allocation sizes round up to it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is not a power of two or `start` is unaligned.
+    pub fn new(start: Addr, size: u32, align: u32) -> Self {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        assert!(start.0.is_multiple_of(align), "heap base must be aligned");
+        let mut free = BTreeMap::new();
+        free.insert(0, size);
+        Heap {
+            start,
+            size,
+            align,
+            free,
+            live: BTreeMap::new(),
+            allocated_bytes: 0,
+            peak_bytes: 0,
+        }
+    }
+
+    fn round(&self, size: u32) -> u32 {
+        size.div_ceil(self.align) * self.align
+    }
+
+    /// Allocates `size` bytes (rounded up to the heap granule).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::ZeroSize`] for a zero request and
+    /// [`HeapError::OutOfMemory`] when no block fits.
+    pub fn alloc(&mut self, size: u32) -> Result<Addr, HeapError> {
+        if size == 0 {
+            return Err(HeapError::ZeroSize);
+        }
+        let size = self.round(size);
+        let found = self
+            .free
+            .iter()
+            .find(|(_, &bsize)| bsize >= size)
+            .map(|(&off, &bsize)| (off, bsize));
+        let (off, bsize) = found.ok_or(HeapError::OutOfMemory { requested: size })?;
+        self.free.remove(&off);
+        if bsize > size {
+            self.free.insert(off + size, bsize - size);
+        }
+        self.live.insert(off, size);
+        self.allocated_bytes += size as u64;
+        self.peak_bytes = self.peak_bytes.max(self.live_bytes());
+        Ok(Addr(self.start.0 + off))
+    }
+
+    /// Frees an allocation, coalescing with adjacent free blocks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::BadFree`] if `ptr` was not returned by
+    /// [`Heap::alloc`] (or was already freed).
+    pub fn free(&mut self, ptr: Addr) -> Result<(), HeapError> {
+        if ptr.0 < self.start.0 {
+            return Err(HeapError::BadFree { ptr });
+        }
+        let off = ptr.0 - self.start.0;
+        let size = self.live.remove(&off).ok_or(HeapError::BadFree { ptr })?;
+        let mut off = off;
+        let mut size = size;
+        // Coalesce with the following block.
+        if let Some(&next_size) = self.free.get(&(off + size)) {
+            self.free.remove(&(off + size));
+            size += next_size;
+        }
+        // Coalesce with the preceding block.
+        if let Some((&poff, &psize)) = self.free.range(..off).next_back() {
+            if poff + psize == off {
+                self.free.remove(&poff);
+                off = poff;
+                size += psize;
+            }
+        }
+        self.free.insert(off, size);
+        Ok(())
+    }
+
+    /// The size recorded for a live allocation.
+    pub fn size_of(&self, ptr: Addr) -> Option<u32> {
+        self.live.get(&(ptr.0.checked_sub(self.start.0)?)).copied()
+    }
+
+    /// Bytes currently allocated.
+    pub fn live_bytes(&self) -> u64 {
+        self.live.values().map(|&s| s as u64).sum()
+    }
+
+    /// High-water mark of live bytes.
+    pub fn peak_bytes(&self) -> u64 {
+        self.peak_bytes
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u32 {
+        self.size
+    }
+
+    /// The heap's granule/alignment.
+    pub fn align(&self) -> u32 {
+        self.align
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn heap() -> Heap {
+        Heap::new(Addr(0x1000), 0x1000, 64)
+    }
+
+    #[test]
+    fn alloc_respects_alignment_and_min_size() {
+        let mut h = heap();
+        let a = h.alloc(1).expect("fits");
+        assert_eq!(a.0 % 64, 0);
+        assert_eq!(h.size_of(a), Some(64), "paper's 64-byte minimum (§3.5)");
+        let b = h.alloc(65).expect("fits");
+        assert_eq!(h.size_of(b), Some(128));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn free_and_reuse() {
+        let mut h = heap();
+        let a = h.alloc(4096).expect("whole heap");
+        assert!(matches!(
+            h.alloc(64),
+            Err(HeapError::OutOfMemory { .. })
+        ));
+        h.free(a).expect("valid free");
+        let b = h.alloc(4096).expect("space reclaimed");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn coalescing_rebuilds_large_blocks() {
+        let mut h = heap();
+        let a = h.alloc(1024).unwrap();
+        let b = h.alloc(1024).unwrap();
+        let c = h.alloc(1024).unwrap();
+        // Free in an order that needs both forward and backward coalescing.
+        h.free(a).unwrap();
+        h.free(c).unwrap();
+        h.free(b).unwrap();
+        assert!(h.alloc(4096).is_ok(), "all fragments coalesced");
+    }
+
+    #[test]
+    fn double_free_rejected() {
+        let mut h = heap();
+        let a = h.alloc(64).unwrap();
+        h.free(a).unwrap();
+        assert_eq!(h.free(a), Err(HeapError::BadFree { ptr: a }));
+    }
+
+    #[test]
+    fn foreign_pointer_rejected() {
+        let mut h = heap();
+        assert!(matches!(h.free(Addr(0x10)), Err(HeapError::BadFree { .. })));
+        assert!(matches!(h.free(Addr(0x1004)), Err(HeapError::BadFree { .. })));
+    }
+
+    #[test]
+    fn zero_size_rejected() {
+        let mut h = heap();
+        assert_eq!(h.alloc(0), Err(HeapError::ZeroSize));
+    }
+
+    #[test]
+    fn accounting() {
+        let mut h = heap();
+        let a = h.alloc(128).unwrap();
+        let _b = h.alloc(256).unwrap();
+        assert_eq!(h.live_bytes(), 384);
+        h.free(a).unwrap();
+        assert_eq!(h.live_bytes(), 256);
+        assert_eq!(h.peak_bytes(), 384);
+        assert_eq!(h.capacity(), 0x1000);
+    }
+}

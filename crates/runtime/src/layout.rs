@@ -1,0 +1,333 @@
+//! Address-space layout (§3.5).
+//!
+//! A single 32-bit address space with physical = virtual, laid out by the
+//! runtime when the application loads:
+//!
+//! ```text
+//! 0x0001_0000  code segment              (coarse SWcc region: Code)
+//!      ...     constant/global segment   (coarse SWcc region: ConstGlobal)
+//!      ...     per-core fixed stacks     (coarse SWcc region: Stack)
+//!      ...     coherent heap             (always HWcc; libc malloc)
+//!      ...     incoherent heap           (Cohesion-managed; coh_malloc)
+//! 0xC000_0000  fine-grain region tables  (16 MB per process; snooped by
+//!              the directory — process 0's table here, further processes'
+//!              tables at 16 MB strides above it)
+//! ```
+//!
+//! Under the pure-HWcc configurations the same layout is used but the coarse
+//! regions are not registered, so even stacks and code are directory-tracked
+//! — which is exactly why stacks show up in the HWcc bars of Figure 9c.
+
+use cohesion_mem::addr::Addr;
+use cohesion_protocol::directory::EntryClass;
+use cohesion_protocol::region::{CoarseRegion, CoarseRegionTable, RegionKind};
+
+/// One address range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Range {
+    /// First byte.
+    pub start: Addr,
+    /// Size in bytes.
+    pub size: u32,
+}
+
+impl Range {
+    /// Whether `addr` lies inside the range.
+    pub fn contains(&self, addr: Addr) -> bool {
+        addr.0 >= self.start.0 && addr.0 - self.start.0 < self.size
+    }
+
+    /// One past the last byte.
+    pub fn end(&self) -> Addr {
+        Addr(self.start.0 + self.size)
+    }
+}
+
+/// Sizing knobs for the layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayoutConfig {
+    /// Base address of the process's slice of the single address space.
+    /// The default process sits at [`CODE_BASE`]; additional processes
+    /// (§3.5's per-process virtualization) use disjoint higher bases.
+    pub base: u32,
+    /// Base of this process's fine-grain region table (16 MB, 16 MB
+    /// aligned). Each process gets its own table (§3.5).
+    pub fine_table_base: u32,
+    /// Number of cores (each gets a fixed stack).
+    pub cores: u32,
+    /// Bytes of code segment.
+    pub code_bytes: u32,
+    /// Bytes of constant/global segment.
+    pub const_bytes: u32,
+    /// Bytes of stack per core (fixed-size stacks; §3.5).
+    pub stack_bytes_per_core: u32,
+    /// Bytes of coherent heap.
+    pub coherent_heap_bytes: u32,
+    /// Bytes of incoherent heap.
+    pub incoherent_heap_bytes: u32,
+}
+
+impl LayoutConfig {
+    /// The layout for process `pid` of a multiprogrammed machine: each
+    /// process owns a disjoint 256 MB slice of the address space and a
+    /// disjoint 16 MB fine-grain table (§3.5: "virtualized to support
+    /// multiple applications and address spaces concurrently by using
+    /// per-process region tables").
+    ///
+    /// # Panics
+    ///
+    /// Panics for `pid >= 12` (the slices would collide with the tables).
+    pub fn for_process(pid: u32, cores: u32) -> Self {
+        assert!(pid < 12, "at most 12 process slices fit the address space");
+        let mut cfg = Self::new(cores);
+        if pid > 0 {
+            cfg.base = pid * (256 << 20);
+        }
+        cfg.fine_table_base = FINE_TABLE_BASE + pid * FINE_TABLE_BYTES_U32;
+        cfg
+    }
+
+    /// Defaults scaled for simulation: 1 MB code, 1 MB constants, 4 KB
+    /// stacks, 64 MB heaps, process 0's slice of the address space.
+    pub fn new(cores: u32) -> Self {
+        LayoutConfig {
+            base: CODE_BASE,
+            fine_table_base: FINE_TABLE_BASE,
+            cores,
+            code_bytes: 1 << 20,
+            const_bytes: 1 << 20,
+            stack_bytes_per_core: 4 << 10,
+            coherent_heap_bytes: 64 << 20,
+            incoherent_heap_bytes: 64 << 20,
+        }
+    }
+}
+
+/// The computed address-space layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Layout {
+    /// Code segment.
+    pub code: Range,
+    /// Constant/global (immutable) segment.
+    pub const_global: Range,
+    /// All stacks, contiguous.
+    pub stacks: Range,
+    /// Stack bytes per core.
+    pub stack_bytes_per_core: u32,
+    /// Coherent heap.
+    pub coherent_heap: Range,
+    /// Incoherent heap.
+    pub incoherent_heap: Range,
+    /// Base of the fine-grain region table (16 MB).
+    pub fine_table_base: Addr,
+}
+
+/// Base address of the code segment (the low 64 KB are left unmapped to
+/// catch null-pointer-style bugs in kernels).
+pub const CODE_BASE: u32 = 0x0001_0000;
+
+/// Base of process 0's fine-grain table (top of the address space; each
+/// further process's table sits 16 MB higher).
+pub const FINE_TABLE_BASE: u32 = 0xC000_0000;
+
+/// Size of one process's fine-grain table.
+pub const FINE_TABLE_BYTES_U32: u32 = 1 << 24;
+
+impl Layout {
+    /// Computes the layout for `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the segments would overflow into the fine-grain table.
+    pub fn new(cfg: &LayoutConfig) -> Self {
+        let align = |x: u32| (x + 0xFFF) & !0xFFF; // 4 KB segment alignment
+        let base = cfg.base.max(CODE_BASE);
+        let sizes = [
+            align(cfg.code_bytes),
+            align(cfg.const_bytes),
+            align(cfg.cores * cfg.stack_bytes_per_core),
+            align(cfg.coherent_heap_bytes),
+            align(cfg.incoherent_heap_bytes),
+        ];
+        let total: u64 = base as u64 + sizes.iter().map(|&s| s as u64).sum::<u64>();
+        assert!(
+            total <= FINE_TABLE_BASE as u64,
+            "address-space layout overflows into the fine-grain tables"
+        );
+        let code = Range {
+            start: Addr(base),
+            size: sizes[0],
+        };
+        let const_global = Range {
+            start: code.end(),
+            size: sizes[1],
+        };
+        let stacks = Range {
+            start: const_global.end(),
+            size: sizes[2],
+        };
+        let coherent_heap = Range {
+            start: stacks.end(),
+            size: sizes[3],
+        };
+        let incoherent_heap = Range {
+            start: coherent_heap.end(),
+            size: sizes[4],
+        };
+        Layout {
+            code,
+            const_global,
+            stacks,
+            stack_bytes_per_core: cfg.stack_bytes_per_core,
+            coherent_heap,
+            incoherent_heap,
+            fine_table_base: Addr(cfg.fine_table_base),
+        }
+    }
+
+    /// Whether `addr` belongs to this process's slice (code through
+    /// incoherent heap).
+    pub fn owns(&self, addr: Addr) -> bool {
+        addr.0 >= self.code.start.0 && addr.0 < self.incoherent_heap.end().0
+    }
+
+    /// Base address of core `core`'s stack.
+    pub fn stack_base(&self, core: u32) -> Addr {
+        let a = Addr(self.stacks.start.0 + core * self.stack_bytes_per_core);
+        debug_assert!(self.stacks.contains(a));
+        a
+    }
+
+    /// The coarse-grain region table the runtime registers at load time
+    /// (§3.5): code, constants, stacks.
+    pub fn coarse_regions(&self) -> CoarseRegionTable {
+        let mut t = CoarseRegionTable::new();
+        t.add(CoarseRegion {
+            start: self.code.start,
+            size: self.code.size,
+            kind: RegionKind::Code,
+        });
+        t.add(CoarseRegion {
+            start: self.const_global.start,
+            size: self.const_global.size,
+            kind: RegionKind::ConstGlobal,
+        });
+        t.add(CoarseRegion {
+            start: self.stacks.start,
+            size: self.stacks.size,
+            kind: RegionKind::Stack,
+        });
+        t
+    }
+
+    /// Figure 9c classification of an address.
+    pub fn classify(&self, addr: Addr) -> EntryClass {
+        if self.code.contains(addr) {
+            EntryClass::Code
+        } else if self.stacks.contains(addr) {
+            EntryClass::Stack
+        } else {
+            EntryClass::HeapGlobal
+        }
+    }
+}
+
+/// The address space: layout plus the two heap allocators.
+#[derive(Debug, Clone)]
+pub struct AddressSpace {
+    layout: Layout,
+    /// The conventional coherent heap.
+    pub coherent: crate::heap::Heap,
+    /// The incoherent heap (minimum 64-byte allocations; §3.5).
+    pub incoherent: crate::heap::Heap,
+}
+
+impl AddressSpace {
+    /// Builds the address space for `cfg`.
+    pub fn new(cfg: &LayoutConfig) -> Self {
+        let layout = Layout::new(cfg);
+        AddressSpace {
+            layout,
+            coherent: crate::heap::Heap::new(
+                layout.coherent_heap.start,
+                layout.coherent_heap.size,
+                8,
+            ),
+            incoherent: crate::heap::Heap::new(
+                layout.incoherent_heap.start,
+                layout.incoherent_heap.size,
+                64,
+            ),
+        }
+    }
+
+    /// The computed layout.
+    pub fn layout(&self) -> &Layout {
+        &self.layout
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segments_are_disjoint_and_ordered() {
+        let l = Layout::new(&LayoutConfig::new(128));
+        assert!(l.code.start.0 >= CODE_BASE);
+        assert!(l.code.end().0 <= l.const_global.start.0);
+        assert!(l.const_global.end().0 <= l.stacks.start.0);
+        assert!(l.stacks.end().0 <= l.coherent_heap.start.0);
+        assert!(l.coherent_heap.end().0 <= l.incoherent_heap.start.0);
+        assert!(l.incoherent_heap.end().0 <= FINE_TABLE_BASE);
+    }
+
+    #[test]
+    fn stack_bases_are_per_core_disjoint() {
+        let l = Layout::new(&LayoutConfig::new(16));
+        for c in 0..16 {
+            let base = l.stack_base(c);
+            assert!(l.stacks.contains(base));
+            if c > 0 {
+                assert_eq!(
+                    base.0 - l.stack_base(c - 1).0,
+                    l.stack_bytes_per_core,
+                    "stacks are fixed-size and contiguous"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn coarse_regions_cover_code_const_stack() {
+        let l = Layout::new(&LayoutConfig::new(8));
+        let t = l.coarse_regions();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.lookup(l.code.start), Some(RegionKind::Code));
+        assert_eq!(t.lookup(l.const_global.start), Some(RegionKind::ConstGlobal));
+        assert_eq!(t.lookup(l.stack_base(7)), Some(RegionKind::Stack));
+        assert_eq!(t.lookup(l.coherent_heap.start), None, "heaps are not coarse regions");
+    }
+
+    #[test]
+    fn classification_matches_figure_9c_buckets() {
+        let l = Layout::new(&LayoutConfig::new(8));
+        assert_eq!(l.classify(l.code.start), EntryClass::Code);
+        assert_eq!(l.classify(l.stack_base(3)), EntryClass::Stack);
+        assert_eq!(l.classify(l.coherent_heap.start), EntryClass::HeapGlobal);
+        assert_eq!(l.classify(l.incoherent_heap.start), EntryClass::HeapGlobal);
+        assert_eq!(
+            l.classify(l.const_global.start),
+            EntryClass::HeapGlobal,
+            "constants count as global data in Figure 9c"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows")]
+    fn oversized_layout_rejected() {
+        let mut cfg = LayoutConfig::new(8);
+        cfg.coherent_heap_bytes = 0xF000_0000;
+        let _ = Layout::new(&cfg);
+    }
+}

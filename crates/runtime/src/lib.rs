@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! The accelerator runtime: address-space layout, heaps, the Cohesion API
+//! (Table 2), and the bulk-synchronous task/trace programming model.
+//!
+//! The runtime plays the role the paper assigns to system software: it lays
+//! out the single 32-bit address space, sets up the coarse-grain SWcc
+//! regions at load time (code, constants, stacks; §3.5), manages the two
+//! heaps (a conventional coherent heap and the *incoherent heap* whose
+//! allocations may change domains), and expresses programs as phases of
+//! tasks separated by barriers — the BSP idiom the SWcc protocol leverages
+//! (§3.3).
+
+pub mod api;
+pub mod checker;
+pub mod heap;
+pub mod layout;
+pub mod task;
+
+pub use api::{CohesionApi, RuntimeError};
+pub use layout::{AddressSpace, Layout};
+pub use task::{AtomicKind, Op, Phase, RegionOp, Task, TaskBuilder};
+
+#[cfg(test)]
+mod send_sync_tests {
+    fn assert_send<T: Send>() {}
+
+    #[test]
+    fn runtime_types_are_send() {
+        assert_send::<crate::api::CohesionApi>();
+        assert_send::<crate::task::Task>();
+        assert_send::<crate::task::Phase>();
+        assert_send::<crate::heap::Heap>();
+    }
+}

@@ -1,0 +1,111 @@
+//! Newtype identifiers for the hardware components of the baseline machine.
+//!
+//! The baseline (Figure 4) is hierarchical: 8 cores form a *cluster* sharing
+//! an L2; clusters talk through a tree + crossbar interconnect to multi-banked
+//! L3 slices, each with a collocated directory bank. These newtypes keep the
+//! three id spaces (core, cluster, L3 bank) from being confused.
+
+use std::fmt;
+
+/// Identifies one in-order core (0-based, machine-wide).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct CoreId(pub u32);
+
+/// Identifies one 8-core cluster and its shared L2 cache.
+///
+/// Clusters are the participants in the coherence protocol: directory sharer
+/// sets are sets of `ClusterId`s, matching the paper's 128-bit full-map
+/// sharer vectors for 128 clusters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ClusterId(pub u32);
+
+/// Identifies one L3 cache bank (and its collocated directory slice).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct BankId(pub u32);
+
+impl CoreId {
+    /// The cluster this core belongs to, given `cores_per_cluster`.
+    pub fn cluster(self, cores_per_cluster: u32) -> ClusterId {
+        ClusterId(self.0 / cores_per_cluster)
+    }
+
+    /// Index of this core within its cluster.
+    pub fn lane(self, cores_per_cluster: u32) -> u32 {
+        self.0 % cores_per_cluster
+    }
+}
+
+impl ClusterId {
+    /// Iterator over the cores of this cluster.
+    pub fn cores(self, cores_per_cluster: u32) -> impl Iterator<Item = CoreId> {
+        let base = self.0 * cores_per_cluster;
+        (base..base + cores_per_cluster).map(CoreId)
+    }
+}
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "core{}", self.0)
+    }
+}
+
+impl fmt::Display for ClusterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cluster{}", self.0)
+    }
+}
+
+impl fmt::Display for BankId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l3bank{}", self.0)
+    }
+}
+
+impl From<u32> for CoreId {
+    fn from(v: u32) -> Self {
+        CoreId(v)
+    }
+}
+
+impl From<u32> for ClusterId {
+    fn from(v: u32) -> Self {
+        ClusterId(v)
+    }
+}
+
+impl From<u32> for BankId {
+    fn from(v: u32) -> Self {
+        BankId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_to_cluster_mapping() {
+        assert_eq!(CoreId(0).cluster(8), ClusterId(0));
+        assert_eq!(CoreId(7).cluster(8), ClusterId(0));
+        assert_eq!(CoreId(8).cluster(8), ClusterId(1));
+        assert_eq!(CoreId(1023).cluster(8), ClusterId(127));
+        assert_eq!(CoreId(13).lane(8), 5);
+    }
+
+    #[test]
+    fn cluster_core_roundtrip() {
+        let cluster = ClusterId(3);
+        let cores: Vec<_> = cluster.cores(8).collect();
+        assert_eq!(cores.len(), 8);
+        for c in cores {
+            assert_eq!(c.cluster(8), cluster);
+        }
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(CoreId(4).to_string(), "core4");
+        assert_eq!(ClusterId(2).to_string(), "cluster2");
+        assert_eq!(BankId(31).to_string(), "l3bank31");
+    }
+}

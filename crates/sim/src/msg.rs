@@ -1,0 +1,111 @@
+//! The message taxonomy of Figures 2 and 8.
+//!
+//! The paper's central quantitative claim is about *messages sent by the L2s
+//! toward the L3/directory*, broken into eight classes. Every message the
+//! simulated L2s emit is tagged with one of these classes; the benchmark
+//! harness sums them per cluster and normalizes to SWcc exactly as the
+//! figures do.
+
+use std::fmt;
+
+/// Classification of an L2→L3 message, matching the stacked-bar legend of
+/// Figures 2 and 8.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MessageClass {
+    /// Demand data read request (load miss in the L2).
+    ReadRequest,
+    /// Write/ownership request (store miss under HWcc, needing M state).
+    WriteRequest,
+    /// Instruction fetch request (L1I miss that also misses in the L2).
+    InstructionRequest,
+    /// Uncached or atomic read-modify-write operation performed at the L3.
+    UncachedAtomic,
+    /// Writeback of a dirty line evicted from the L2 by capacity/conflict.
+    CacheEviction,
+    /// Writeback triggered by an explicit SWcc flush instruction.
+    SoftwareFlush,
+    /// Notification that a clean HWcc line was evicted (the directory does
+    /// not support silent evictions; §2.1).
+    ReadRelease,
+    /// Response by the L2 to a directory probe (invalidation ack or data
+    /// writeback demanded by the directory).
+    ProbeResponse,
+}
+
+impl MessageClass {
+    /// All classes, in the order the figures stack them (bottom to top:
+    /// reads first, probe responses last).
+    pub const ALL: [MessageClass; 8] = [
+        MessageClass::ReadRequest,
+        MessageClass::WriteRequest,
+        MessageClass::InstructionRequest,
+        MessageClass::UncachedAtomic,
+        MessageClass::CacheEviction,
+        MessageClass::SoftwareFlush,
+        MessageClass::ReadRelease,
+        MessageClass::ProbeResponse,
+    ];
+
+    /// Index of this class into [`MessageClass::ALL`] (and into the fixed
+    /// arrays used by [`crate::stats::MessageCounts`]).
+    pub fn index(self) -> usize {
+        match self {
+            MessageClass::ReadRequest => 0,
+            MessageClass::WriteRequest => 1,
+            MessageClass::InstructionRequest => 2,
+            MessageClass::UncachedAtomic => 3,
+            MessageClass::CacheEviction => 4,
+            MessageClass::SoftwareFlush => 5,
+            MessageClass::ReadRelease => 6,
+            MessageClass::ProbeResponse => 7,
+        }
+    }
+
+    /// The figure-legend label for this class.
+    pub fn label(self) -> &'static str {
+        match self {
+            MessageClass::ReadRequest => "Read Requests",
+            MessageClass::WriteRequest => "Write Requests",
+            MessageClass::InstructionRequest => "Instruction Requests",
+            MessageClass::UncachedAtomic => "Uncached/Atomic Operations",
+            MessageClass::CacheEviction => "Cache Evictions",
+            MessageClass::SoftwareFlush => "Software Flushes",
+            MessageClass::ReadRelease => "Read Releases",
+            MessageClass::ProbeResponse => "Probe Responses",
+        }
+    }
+}
+
+impl fmt::Display for MessageClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_match_all_order() {
+        for (i, class) in MessageClass::ALL.iter().enumerate() {
+            assert_eq!(class.index(), i);
+        }
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let mut labels: Vec<_> = MessageClass::ALL.iter().map(|c| c.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), MessageClass::ALL.len());
+    }
+
+    #[test]
+    fn display_matches_label() {
+        assert_eq!(
+            MessageClass::UncachedAtomic.to_string(),
+            "Uncached/Atomic Operations"
+        );
+    }
+}

@@ -1,0 +1,209 @@
+//! A bounded, structured protocol event log.
+//!
+//! The machine records protocol events (fetches, probes, evictions,
+//! transitions, atomics) into a ring buffer when tracing is armed — either
+//! for one watched line (the `COHESION_WATCH` debugging flow) or for
+//! everything, capacity-bounded. Unlike print-style tracing, the log is a
+//! queryable value: tests assert on event sequences ("the 3a transition
+//! probed the owner before clearing the table bit") instead of scraping
+//! stderr.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::Cycle;
+
+/// One recorded protocol event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// When the event was processed.
+    pub cycle: Cycle,
+    /// The cache line involved (line address, i.e. byte address / 32).
+    pub line: u32,
+    /// A short stable kind tag (`"fetch"`, `"probe"`, `"store"`, ...).
+    pub kind: &'static str,
+    /// Free-form detail for humans.
+    pub detail: String,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:>8}] line {:#010x} {:<10} {}",
+            self.cycle,
+            self.line * 32,
+            self.kind,
+            self.detail
+        )
+    }
+}
+
+/// What the log records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Filter {
+    /// Nothing (disarmed).
+    Off,
+    /// Only events touching one line.
+    Line(u32),
+    /// Everything (bounded by capacity).
+    All,
+}
+
+/// The bounded event log.
+#[derive(Debug, Clone)]
+pub struct TraceLog {
+    filter: Filter,
+    capacity: usize,
+    events: VecDeque<TraceEvent>,
+    dropped: u64,
+    echo: bool,
+}
+
+impl Default for TraceLog {
+    fn default() -> Self {
+        TraceLog {
+            filter: Filter::Off,
+            capacity: 4096,
+            events: VecDeque::new(),
+            dropped: 0,
+            echo: false,
+        }
+    }
+}
+
+impl TraceLog {
+    /// A disarmed log (records nothing).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Arms the log for one line (line address = byte address / 32).
+    /// `echo` additionally prints each event to stderr as it happens.
+    pub fn watch_line(&mut self, line: u32, echo: bool) {
+        self.filter = Filter::Line(line);
+        self.echo = echo;
+    }
+
+    /// Arms the log for all events, keeping the most recent `capacity`.
+    pub fn watch_all(&mut self, capacity: usize) {
+        self.filter = Filter::All;
+        self.capacity = capacity.max(1);
+    }
+
+    /// Disarms and clears the log.
+    pub fn off(&mut self) {
+        self.filter = Filter::Off;
+        self.events.clear();
+        self.dropped = 0;
+    }
+
+    /// Whether any recording is armed (callers may skip building details).
+    pub fn armed(&self) -> bool {
+        self.filter != Filter::Off
+    }
+
+    /// Whether events for `line` would be recorded.
+    pub fn wants(&self, line: u32) -> bool {
+        match self.filter {
+            Filter::Off => false,
+            Filter::Line(l) => l == line,
+            Filter::All => true,
+        }
+    }
+
+    /// Records an event (if the filter matches).
+    pub fn record(&mut self, cycle: Cycle, line: u32, kind: &'static str, detail: String) {
+        if !self.wants(line) {
+            return;
+        }
+        let ev = TraceEvent {
+            cycle,
+            line,
+            kind,
+            detail,
+        };
+        if self.echo {
+            eprintln!("{ev}");
+        }
+        if self.events.len() >= self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(ev);
+    }
+
+    /// The recorded events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Events of one kind, oldest first.
+    pub fn of_kind<'a>(&'a self, kind: &'a str) -> impl Iterator<Item = &'a TraceEvent> {
+        self.events.iter().filter(move |e| e.kind == kind)
+    }
+
+    /// How many events were evicted from the ring.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_records_nothing() {
+        let mut log = TraceLog::new();
+        log.record(1, 42, "fetch", "x".into());
+        assert_eq!(log.events().count(), 0);
+        assert!(!log.armed());
+    }
+
+    #[test]
+    fn line_filter_selects() {
+        let mut log = TraceLog::new();
+        log.watch_line(42, false);
+        log.record(1, 42, "fetch", "hit".into());
+        log.record(2, 43, "fetch", "other".into());
+        log.record(3, 42, "probe", "inv".into());
+        assert_eq!(log.events().count(), 2);
+        assert_eq!(log.of_kind("probe").count(), 1);
+    }
+
+    #[test]
+    fn ring_bounds_memory() {
+        let mut log = TraceLog::new();
+        log.watch_all(3);
+        for i in 0..10u64 {
+            log.record(i, i as u32, "e", String::new());
+        }
+        assert_eq!(log.events().count(), 3);
+        assert_eq!(log.dropped(), 7);
+        assert_eq!(log.events().next().unwrap().cycle, 7, "oldest kept is #7");
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let ev = TraceEvent {
+            cycle: 100,
+            line: 2,
+            kind: "probe",
+            detail: "inv cluster1".into(),
+        };
+        let s = ev.to_string();
+        assert!(s.contains("probe"));
+        assert!(s.contains("0x00000040"));
+    }
+
+    #[test]
+    fn off_clears() {
+        let mut log = TraceLog::new();
+        log.watch_all(8);
+        log.record(1, 1, "e", String::new());
+        log.off();
+        assert_eq!(log.events().count(), 0);
+        assert!(!log.wants(1));
+    }
+}

@@ -1,0 +1,56 @@
+//! Compare all six §4 design points on one kernel — a miniature Figure 10.
+//!
+//! ```sh
+//! cargo run --release --example compare_models [kernel]
+//! ```
+//!
+//! `kernel` defaults to `stencil`; any of
+//! `cg dmm gjk heat kmeans mri sobel stencil` works.
+
+use cohesion::config::DesignPoint;
+use cohesion::config::MachineConfig;
+use cohesion::run::run_workload;
+use cohesion_kernels::{kernel_by_name, Scale, KERNEL_NAMES};
+
+fn main() {
+    let kernel = std::env::args().nth(1).unwrap_or_else(|| "stencil".into());
+    assert!(
+        KERNEL_NAMES.contains(&kernel.as_str()),
+        "unknown kernel {kernel}; pick one of {KERNEL_NAMES:?}"
+    );
+
+    let e = 16 * 1024;
+    let points = [
+        ("Cohesion", DesignPoint::cohesion(e, 128)),
+        ("Cohesion(Dir4B)", DesignPoint::cohesion_dir4b(e, 128)),
+        ("SWcc", DesignPoint::swcc()),
+        ("HWccIdeal", DesignPoint::hwcc_ideal()),
+        ("HWccReal", DesignPoint::hwcc_real(e, 128)),
+        ("HWcc(Dir4B)", DesignPoint::hwcc_dir4b(e, 128)),
+    ];
+
+    println!("kernel: {kernel} (128 cores, small scale)\n");
+    println!(
+        "{:<16} {:>12} {:>9} {:>12} {:>10} {:>10}",
+        "config", "cycles", "runtime", "messages", "dir avg", "dir evict"
+    );
+
+    let mut baseline_cycles = None;
+    for (name, dp) in points {
+        let cfg = MachineConfig::scaled(128, dp);
+        let mut wl = kernel_by_name(&kernel, Scale::Small);
+        let report = run_workload(&cfg, wl.as_mut()).expect("runs and verifies");
+        let base = *baseline_cycles.get_or_insert(report.cycles);
+        println!(
+            "{:<16} {:>12} {:>8.2}x {:>12} {:>10.0} {:>10}",
+            name,
+            report.cycles,
+            report.cycles as f64 / base as f64,
+            report.total_messages(),
+            report.dir_avg_entries,
+            report.dir_evictions,
+        );
+    }
+    println!("\nruntime is normalized to Cohesion (full-map sparse directory),");
+    println!("matching the y-axis of Figure 10.");
+}

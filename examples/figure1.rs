@@ -1,0 +1,132 @@
+//! Figure 1, live: watch cache lines migrate between coherence domains
+//! over time, without copies, in a single address space.
+//!
+//! Runs a small program whose data starts SWcc (born on the incoherent
+//! heap), partially migrates to HWcc mid-program, and partially returns —
+//! printing the fine-grain region table's view of the address range after
+//! every phase, in the spirit of the paper's Figure 1 timeline.
+//!
+//! ```sh
+//! cargo run --release --example figure1
+//! ```
+
+use cohesion::config::{DesignPoint, MachineConfig};
+use cohesion::run::{run_workload, Workload};
+use cohesion_mem::addr::Addr;
+use cohesion_mem::mainmem::MainMemory;
+use cohesion_runtime::api::{CohesionApi, RuntimeError};
+use cohesion_runtime::task::{Phase, TaskBuilder};
+
+const LINES: u32 = 16;
+
+struct Timeline {
+    data: Addr,
+    phase: u32,
+}
+
+impl Workload for Timeline {
+    fn name(&self) -> &'static str {
+        "figure1"
+    }
+
+    fn setup(
+        &mut self,
+        api: &mut CohesionApi,
+        golden: &mut MainMemory,
+    ) -> Result<(), RuntimeError> {
+        self.data = api.coh_malloc(LINES * 32)?;
+        for i in 0..LINES * 8 {
+            golden.write_word(Addr(self.data.0 + 4 * i), i);
+        }
+        Ok(())
+    }
+
+    fn next_phase(&mut self, api: &mut CohesionApi, golden: &mut MainMemory) -> Option<Phase> {
+        let phase = self.phase;
+        self.phase += 1;
+        // Domain choreography, one step per phase (cf. Figure 1's t0..t4):
+        match phase {
+            0 => {} // everything SWcc, as allocated
+            1 => {
+                // Lines 4..12 become hardware-coherent.
+                api.coh_hwcc_region(Addr(self.data.0 + 4 * 32), 8 * 32).ok()?;
+            }
+            2 => {
+                // Lines 0..4 join them.
+                api.coh_hwcc_region(self.data, 4 * 32).ok()?;
+            }
+            3 => {
+                // Lines 4..8 return to software management.
+                api.coh_swcc_region(Addr(self.data.0 + 4 * 32), 4 * 32).ok()?;
+            }
+            4 => {}
+            _ => return None,
+        }
+        // Each phase, four tasks each own a quarter of the range (rotating
+        // ownership each phase, so lines migrate between clusters too) and
+        // increment every word they own. Domain-appropriate coherence
+        // actions are emitted automatically.
+        let mut p = Phase::new("touch");
+        let quarter = LINES * 8 / 4;
+        for t in 0..4u32 {
+            let mut b = TaskBuilder::new(4);
+            let start = ((t + phase) % 4) * quarter;
+            for i in start..start + quarter {
+                let a = Addr(self.data.0 + 4 * i);
+                let v = golden.read_word(a).wrapping_add(1);
+                golden.write_word(a, v);
+                b.load(a, v.wrapping_sub(1)).store(a, v);
+            }
+            b.flush_written(|l| api.software_domain(l.base()) == cohesion_protocol::region::Domain::SWcc);
+            b.invalidate_read(|l| api.software_domain(l.base()) == cohesion_protocol::region::Domain::SWcc);
+            p.tasks.push(b.build());
+        }
+        Some(p)
+    }
+
+    fn verify(&self, mem: &MainMemory) -> Result<(), String> {
+        // Every word was incremented five times (once per phase).
+        for i in 0..LINES * 8 {
+            let got = mem.read_word(Addr(self.data.0 + 4 * i));
+            if got != i + 5 {
+                return Err(format!("word {i}: {got} != {}", i + 5));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn main() {
+    // Print the table's view phase by phase by re-running the choreography
+    // functionally (the simulated run below verifies the data survived it).
+    println!("Figure 1: lines migrating between coherence domains (S = SWcc, H = HWcc)\n");
+    println!("          line: 0123456789abcdef");
+    let mut domains = ['S'; LINES as usize];
+    let snapshots = [
+        ("t0 (allocated)", vec![]),
+        ("t1", vec![(4usize, 12usize, 'H')]),
+        ("t2", vec![(0, 4, 'H')]),
+        ("t3", vec![(4, 8, 'S')]),
+        ("t4", vec![]),
+    ];
+    for (label, changes) in snapshots {
+        for (lo, hi, d) in changes {
+            for x in domains.iter_mut().take(hi).skip(lo) {
+                *x = d;
+            }
+        }
+        println!("{label:>14}: {}", domains.iter().collect::<String>());
+    }
+
+    let cfg = MachineConfig::scaled(32, DesignPoint::cohesion(16 * 1024, 128));
+    let mut wl = Timeline {
+        data: Addr(0),
+        phase: 0,
+    };
+    let report = run_workload(&cfg, &mut wl).expect("runs and verifies");
+    println!("\nsimulated on a 32-core Cohesion machine:");
+    println!("  transitions: {} lines to HWcc, {} back to SWcc", report.transitions.1, report.transitions.0);
+    println!("  cycles: {}, messages: {}", report.cycles, report.total_messages());
+    println!("  verification: every word carries all five phases' updates —");
+    println!("  the data never moved, only its coherence domain did.");
+}

@@ -1,0 +1,45 @@
+//! Multiprogramming with per-process region tables — §3.5's virtualization
+//! sketch, running: two applications share one Cohesion machine, each with
+//! its own address-space slice and its own fine-grain region table, while
+//! the L3, directories, NoC, and DRAM are contended hardware.
+//!
+//! ```sh
+//! cargo run --release --example multi_program
+//! ```
+
+use cohesion::config::{DesignPoint, MachineConfig};
+use cohesion::multi::run_workloads;
+use cohesion_kernels::{kernel_by_name, Scale};
+
+fn main() {
+    let cfg = MachineConfig::scaled(128, DesignPoint::cohesion(16 * 1024, 128));
+    let mut heat = kernel_by_name("heat", Scale::Tiny);
+    let mut kmeans = kernel_by_name("kmeans", Scale::Tiny);
+
+    println!("running heat and kmeans concurrently on one 128-core Cohesion machine");
+    println!("(clusters space-partitioned; per-process region tables at distinct bases)\n");
+
+    let reports =
+        run_workloads(&cfg, vec![heat.as_mut(), kmeans.as_mut()]).expect("both verify");
+
+    println!(
+        "{:<8} {:>12} {:>8} {:>8} {:>12} {:>10} {:>10}",
+        "job", "finished@", "phases", "tasks", "messages", "flushes", "atomics"
+    );
+    for r in &reports {
+        use cohesion_sim::msg::MessageClass::*;
+        println!(
+            "{:<8} {:>12} {:>8} {:>8} {:>12} {:>10} {:>10}",
+            r.kernel,
+            r.finished_at,
+            r.phases,
+            r.tasks,
+            r.messages.total(),
+            r.messages.count(SoftwareFlush),
+            r.messages.count(UncachedAtomic),
+        );
+    }
+    println!("\nboth jobs' final memory images verified against their golden results;");
+    println!("each job's coh_malloc data was born SWcc in its own table, and kmeans'");
+    println!("accumulators lived under HWcc — on shared directory hardware.");
+}

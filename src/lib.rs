@@ -1,0 +1,10 @@
+#![warn(missing_docs)]
+
+//! Workspace-root package hosting the runnable examples (`examples/`) and the
+//! cross-crate integration tests (`tests/`) for the Cohesion reproduction.
+//!
+//! The actual library surface lives in the [`cohesion`] crate; this package
+//! simply re-exports it so examples can `use cohesion_repro as _;` or depend
+//! on `cohesion` directly.
+
+pub use cohesion;

@@ -1,0 +1,88 @@
+//! Golden-statistics regression tests: the simulator is bit-deterministic,
+//! so these exact cycle and message counts (tiny scale, 16 cores) are
+//! locked in. A diff here means the protocol or timing model changed —
+//! fail loudly so the change is either intentional (regenerate with
+//! `cargo run --release -p cohesion-bench --bin golden_gen`) or a bug.
+
+use cohesion::config::{DesignPoint, MachineConfig};
+use cohesion::run::run_workload;
+use cohesion_kernels::{kernel_by_name, Scale};
+
+/// `(kernel, mode, cycles, total L2→L3 messages)` at Tiny scale, 16 cores.
+const GOLDEN: &[(&str, &str, u64, u64)] = &[
+    ("cg", "SWcc", 12846, 411),
+    ("cg", "HWccIdeal", 9911, 314),
+    ("cg", "Cohesion", 13173, 420),
+    ("dmm", "SWcc", 6133, 156),
+    ("dmm", "HWccIdeal", 6148, 180),
+    ("dmm", "Cohesion", 6170, 156),
+    ("gjk", "SWcc", 4789, 325),
+    ("gjk", "HWccIdeal", 4462, 362),
+    ("gjk", "Cohesion", 4453, 258),
+    ("heat", "SWcc", 5588, 216),
+    ("heat", "HWccIdeal", 4977, 208),
+    ("heat", "Cohesion", 5627, 216),
+    ("kmeans", "SWcc", 10061, 990),
+    ("kmeans", "HWccIdeal", 9974, 1016),
+    ("kmeans", "Cohesion", 6309, 300),
+    ("mri", "SWcc", 8343, 96),
+    ("mri", "HWccIdeal", 8384, 144),
+    ("mri", "Cohesion", 8350, 96),
+    ("sobel", "SWcc", 3211, 112),
+    ("sobel", "HWccIdeal", 3220, 136),
+    ("sobel", "Cohesion", 3218, 112),
+    ("stencil", "SWcc", 7114, 356),
+    ("stencil", "HWccIdeal", 6423, 340),
+    ("stencil", "Cohesion", 6388, 292),
+];
+
+fn design_point(mode: &str) -> DesignPoint {
+    match mode {
+        "SWcc" => DesignPoint::swcc(),
+        "HWccIdeal" => DesignPoint::hwcc_ideal(),
+        "Cohesion" => DesignPoint::cohesion(1024, 128),
+        other => panic!("unknown mode {other}"),
+    }
+}
+
+#[test]
+fn golden_statistics_are_stable() {
+    let mut failures = Vec::new();
+    for &(kernel, mode, cycles, messages) in GOLDEN {
+        let cfg = MachineConfig::scaled(16, design_point(mode));
+        let mut wl = kernel_by_name(kernel, Scale::Tiny);
+        let r = run_workload(&cfg, wl.as_mut())
+            .unwrap_or_else(|e| panic!("{kernel}/{mode}: {e}"));
+        if r.cycles != cycles || r.total_messages() != messages {
+            failures.push(format!(
+                "    (\"{kernel}\", \"{mode}\", {}, {}), // was ({cycles}, {messages})",
+                r.cycles,
+                r.total_messages()
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "golden statistics drifted — if intentional, update tests/golden_stats.rs:\n{}",
+        failures.join("\n")
+    );
+}
+
+/// The golden table itself must encode the qualitative claims.
+#[test]
+fn golden_table_encodes_the_paper_claims() {
+    let get = |kernel: &str, mode: &str| {
+        GOLDEN
+            .iter()
+            .find(|(k, m, _, _)| *k == kernel && *m == mode)
+            .map(|&(_, _, c, msgs)| (c, msgs))
+            .expect("present")
+    };
+    // kmeans: Cohesion far cheaper than SWcc in both time and messages.
+    assert!(get("kmeans", "Cohesion").0 < get("kmeans", "SWcc").0);
+    assert!(get("kmeans", "Cohesion").1 < get("kmeans", "SWcc").1 / 2);
+    // Cohesion tracks SWcc's message counts on the partitioned kernels.
+    for k in ["dmm", "heat", "sobel", "mri"] {
+        assert_eq!(get(k, "Cohesion").1, get(k, "SWcc").1, "{k}");
+    }
+}

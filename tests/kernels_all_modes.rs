@@ -1,0 +1,147 @@
+//! Integration: every paper kernel × every §4 design point, end-to-end,
+//! with golden-result verification. A coherence bug anywhere in the stack
+//! (caches, NoC, directory, region tables, transition engine) fails here
+//! as a wrong *answer*, not a suspicious statistic.
+
+use cohesion::config::{DesignPoint, MachineConfig};
+use cohesion::run::run_workload;
+use cohesion_kernels::{kernel_by_name, Scale, KERNEL_NAMES};
+
+fn design_points() -> Vec<(&'static str, DesignPoint)> {
+    vec![
+        ("SWcc", DesignPoint::swcc()),
+        ("HWccIdeal", DesignPoint::hwcc_ideal()),
+        ("HWccReal", DesignPoint::hwcc_real(1024, 128)),
+        ("HWccDir4B", DesignPoint::hwcc_dir4b(1024, 128)),
+        ("Cohesion", DesignPoint::cohesion(1024, 128)),
+        ("CohesionDir4B", DesignPoint::cohesion_dir4b(1024, 128)),
+    ]
+}
+
+#[test]
+fn all_kernels_verify_under_all_design_points() {
+    for kernel in KERNEL_NAMES {
+        for (name, dp) in design_points() {
+            let cfg = MachineConfig::scaled(16, dp);
+            let mut wl = kernel_by_name(kernel, Scale::Tiny);
+            let report = run_workload(&cfg, wl.as_mut())
+                .unwrap_or_else(|e| panic!("{kernel} under {name}: {e}"));
+            assert!(report.cycles > 0, "{kernel}/{name}: time must pass");
+            assert!(
+                report.total_messages() > 0,
+                "{kernel}/{name}: some traffic must flow"
+            );
+            assert_eq!(report.races, 0, "{kernel}/{name}: no SWcc races");
+        }
+    }
+}
+
+#[test]
+fn all_kernels_verify_on_a_larger_machine() {
+    // 64 cores, 8 clusters, 4 banks: a different geometry than the unit
+    // tests use, catching any hidden 16-core assumptions.
+    for kernel in KERNEL_NAMES {
+        let cfg = MachineConfig::scaled(64, DesignPoint::cohesion(2048, 128));
+        let mut wl = kernel_by_name(kernel, Scale::Tiny);
+        run_workload(&cfg, wl.as_mut()).unwrap_or_else(|e| panic!("{kernel} @64 cores: {e}"));
+    }
+}
+
+#[test]
+fn hwcc_mode_never_issues_coherence_instructions() {
+    for kernel in KERNEL_NAMES {
+        let cfg = MachineConfig::scaled(16, DesignPoint::hwcc_ideal());
+        let mut wl = kernel_by_name(kernel, Scale::Tiny);
+        let report = run_workload(&cfg, wl.as_mut()).expect("runs");
+        assert_eq!(
+            report.instr_stats.invalidations_issued + report.instr_stats.writebacks_issued,
+            0,
+            "{kernel}: HWcc variants eliminate programmed coherence actions (§4.1)"
+        );
+    }
+}
+
+#[test]
+fn swcc_mode_never_talks_to_a_directory() {
+    for kernel in KERNEL_NAMES {
+        let cfg = MachineConfig::scaled(16, DesignPoint::swcc());
+        let mut wl = kernel_by_name(kernel, Scale::Tiny);
+        let report = run_workload(&cfg, wl.as_mut()).expect("runs");
+        assert_eq!(report.dir_insertions, 0, "{kernel}: no directory exists");
+        use cohesion_sim::msg::MessageClass::*;
+        assert_eq!(report.messages.count(WriteRequest), 0, "{kernel}");
+        assert_eq!(report.messages.count(ReadRelease), 0, "{kernel}");
+        assert_eq!(report.messages.count(ProbeResponse), 0, "{kernel}");
+    }
+}
+
+#[test]
+fn runs_are_bit_deterministic() {
+    for kernel in ["heat", "kmeans", "gjk"] {
+        let cfg = MachineConfig::scaled(16, DesignPoint::cohesion(1024, 128));
+        let a = run_workload(&cfg, kernel_by_name(kernel, Scale::Tiny).as_mut()).expect("runs");
+        let b = run_workload(&cfg, kernel_by_name(kernel, Scale::Tiny).as_mut()).expect("runs");
+        assert_eq!(a.cycles, b.cycles, "{kernel}: cycle-identical reruns");
+        assert_eq!(a.messages, b.messages, "{kernel}: message-identical reruns");
+        assert_eq!(a.dir_max_entries, b.dir_max_entries, "{kernel}");
+    }
+}
+
+#[test]
+fn invariants_hold_after_every_phase() {
+    // Directory inclusion + single-writer invariants, checked at every
+    // barrier of every kernel under the hybrid model and under pure HWcc.
+    for kernel in KERNEL_NAMES {
+        for dp in [
+            DesignPoint::hwcc_ideal(),
+            DesignPoint::hwcc_real(1024, 128),
+            DesignPoint::cohesion(1024, 128),
+            DesignPoint::cohesion_dir4b(1024, 128),
+        ] {
+            let mut cfg = MachineConfig::scaled(16, dp);
+            cfg.check_invariants = true;
+            let mut wl = kernel_by_name(kernel, Scale::Tiny);
+            run_workload(&cfg, wl.as_mut())
+                .unwrap_or_else(|e| panic!("{kernel} under {dp:?}: {e}"));
+        }
+    }
+}
+
+/// Medium-scale smoke (minutes of CPU); run explicitly with `--ignored`.
+#[test]
+#[ignore = "medium scale takes minutes; run explicitly"]
+fn medium_scale_verifies_under_cohesion() {
+    for kernel in KERNEL_NAMES {
+        let cfg = MachineConfig::scaled(128, DesignPoint::cohesion(16 * 1024, 128));
+        let mut wl = kernel_by_name(kernel, Scale::Medium);
+        let report = run_workload(&cfg, wl.as_mut())
+            .unwrap_or_else(|e| panic!("{kernel} @ medium: {e}"));
+        assert!(report.cycles > 0);
+    }
+}
+
+#[test]
+fn per_cluster_stealing_queues_verify_and_spread_contention() {
+    use cohesion::config::TaskQueueModel;
+    for kernel in KERNEL_NAMES {
+        let mut cfg = MachineConfig::scaled(16, DesignPoint::cohesion(1024, 128));
+        cfg.task_queue = TaskQueueModel::PerClusterStealing;
+        let mut wl = kernel_by_name(kernel, Scale::Tiny);
+        run_workload(&cfg, wl.as_mut())
+            .unwrap_or_else(|e| panic!("{kernel} with stealing queues: {e}"));
+    }
+    // The scheduling-bound kernel benefits from decentralized queues.
+    let mut global = MachineConfig::scaled(64, DesignPoint::swcc());
+    global.task_queue = TaskQueueModel::Global;
+    let g = run_workload(&global, kernel_by_name("gjk", Scale::Small).as_mut()).expect("runs");
+    let mut steal = global;
+    steal.task_queue = TaskQueueModel::PerClusterStealing;
+    let s = run_workload(&steal, kernel_by_name("gjk", Scale::Small).as_mut()).expect("runs");
+    assert!(
+        s.cycles <= g.cycles,
+        "per-cluster queues must not be slower on the dequeue-bound kernel \
+         (stealing {} vs global {})",
+        s.cycles,
+        g.cycles
+    );
+}

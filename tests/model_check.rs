@@ -1,0 +1,543 @@
+//! Bounded model checking of the coherence protocol.
+//!
+//! Exhaustively explores every interleaving of protocol-relevant operations
+//! on a single cache line from two clusters — loads, stores to two
+//! different words, SWcc flush/invalidate instructions, an uncached atomic,
+//! and both coherence-domain transitions — to a bounded depth, checking at
+//! every reachable state:
+//!
+//! * the directory-inclusion invariants (`Machine::check_invariants`);
+//! * value correctness: a drained copy of the machine agrees with a
+//!   reference model of "last write wins" per word.
+//!
+//! Race-creating branches (a second cluster storing to a word already dirty
+//! in another cluster's SWcc copy) are pruned, exactly as the SWcc contract
+//! requires of software; everything else — including transitions landing on
+//! dirty lines, multi-writer disjoint merges, and atomics recalling cached
+//! data — is explored.
+
+use cohesion::config::{DesignPoint, MachineConfig};
+use cohesion::machine::Machine;
+use cohesion_mem::addr::Addr;
+use cohesion_runtime::layout::{Layout, LayoutConfig};
+use cohesion_runtime::task::AtomicKind;
+use cohesion_sim::ids::{ClusterId, CoreId};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Op {
+    Load { cluster: u32, word: usize },
+    Store { cluster: u32, word: usize },
+    Flush { cluster: u32 },
+    Invalidate { cluster: u32 },
+    Atomic { word: usize },
+    ToSwcc,
+    ToHwcc,
+}
+
+const OPS: &[Op] = &[
+    Op::Load { cluster: 0, word: 0 },
+    Op::Load { cluster: 1, word: 0 },
+    Op::Store { cluster: 0, word: 0 },
+    Op::Store { cluster: 1, word: 4 },
+    Op::Flush { cluster: 0 },
+    Op::Invalidate { cluster: 1 },
+    Op::Atomic { word: 0 },
+    Op::ToSwcc,
+    Op::ToHwcc,
+];
+
+#[derive(Clone)]
+struct State {
+    machine: Machine,
+    /// Reference values per word of the line.
+    reference: [u32; 8],
+    /// Which cluster holds un-flushed SWcc dirt per word (race pruning).
+    sw_dirty_by: [Option<u32>; 8],
+    /// Whether a cluster may hold a *stale* cached copy. Under the SWcc
+    /// contract a consumer must invalidate before reading; loads by a
+    /// maybe-stale cluster execute but are not value-asserted. Staleness
+    /// legally survives a SWcc⇒HWcc transition — §3.6: the system can
+    /// always force the transition "but the data values may not be safe".
+    maybe_stale: [bool; 2],
+    t: u64,
+    next_value: u32,
+}
+
+fn small_machine(dp: DesignPoint) -> Machine {
+    let mut cfg = MachineConfig::scaled(16, dp);
+    cfg.l3_total_bytes = 128 * 1024; // keep clones cheap
+    let layout = Layout::new(&LayoutConfig::new(16));
+    let mut m = Machine::new(cfg, layout);
+    m.boot();
+    m
+}
+
+fn line_base(m: &Machine) -> Addr {
+    m.layout().incoherent_heap.start
+}
+
+/// Applies `op`; returns `false` if the branch is pruned (software would
+/// not issue it).
+fn apply(state: &mut State, op: Op) -> bool {
+    let base = line_base(&state.machine);
+    let line = base.line();
+    let m = &mut state.machine;
+    let core = |c: u32| CoreId(c * 8); // first core of each cluster
+    match op {
+        Op::Load { cluster, word } => {
+            // A load of a word dirty in the *other* cluster's SWcc copy is
+            // the race the contract forbids.
+            if let Some(owner) = state.sw_dirty_by[word] {
+                if owner != cluster {
+                    return false;
+                }
+            }
+            let (t2, v) = m.load(core(cluster), base.offset(4 * word as u32), state.t);
+            if !state.maybe_stale[cluster as usize] {
+                assert_eq!(
+                    v, state.reference[word],
+                    "load of word {word} by cluster {cluster} saw a stale value"
+                );
+            }
+            state.t = t2 + 1;
+        }
+        Op::Store { cluster, word } => {
+            if let Some(owner) = state.sw_dirty_by[word] {
+                if owner != cluster {
+                    return false; // would be a 5b race
+                }
+            }
+            state.next_value += 1;
+            let v = state.next_value;
+            let swcc = m.domain_of(line) == cohesion_protocol::region::Domain::SWcc;
+            let t2 = m.store(core(cluster), base.offset(4 * word as u32), v, state.t);
+            state.reference[word] = v;
+            if swcc {
+                // SWcc: other clusters' cached copies are now outdated
+                // until they invalidate.
+                state.sw_dirty_by[word] = Some(cluster);
+                state.maybe_stale[1 - cluster as usize] = true;
+            } else {
+                // HWcc: ownership probes invalidated every other copy, so
+                // *they* will refetch current data — but if this cluster's
+                // own copy carried stale words into the HWcc domain
+                // (§3.6: "the data values may not be safe"), upgrading it
+                // does not clean them.
+                state.maybe_stale[1 - cluster as usize] = false;
+            }
+            state.t = t2 + 1;
+        }
+        Op::Flush { cluster } => {
+            let t2 = m.flush(core(cluster), line, state.t);
+            for w in 0..8 {
+                if state.sw_dirty_by[w] == Some(cluster) {
+                    state.sw_dirty_by[w] = None;
+                }
+            }
+            state.t = t2 + 1;
+        }
+        Op::Invalidate { cluster } => {
+            // Software never invalidates its own un-flushed dirt (that
+            // would discard writes the reference model keeps).
+            if state.sw_dirty_by.contains(&Some(cluster)) {
+                return false;
+            }
+            let swcc = m.domain_of(line) == cohesion_protocol::region::Domain::SWcc;
+            let t2 = m.invalidate(core(cluster), line, state.t);
+            if swcc {
+                // The stale copy (if any) is gone; the next load refetches.
+                state.maybe_stale[cluster as usize] = false;
+            }
+            state.t = t2 + 1;
+        }
+        Op::Atomic { word } => {
+            // An atomic to a word with outstanding SWcc dirt is racy.
+            if state.sw_dirty_by[word].is_some() {
+                return false;
+            }
+            state.next_value += 1;
+            let swcc = m.domain_of(line) == cohesion_protocol::region::Domain::SWcc;
+            let (t2, old) = m
+                .atomic(
+                    ClusterId(0),
+                    base.offset(4 * word as u32),
+                    AtomicKind::Add,
+                    1,
+                    state.t,
+                )
+                .expect("no table address involved");
+            assert_eq!(old, state.reference[word], "atomic read a stale value");
+            state.reference[word] = old.wrapping_add(1);
+            if swcc {
+                // The atomic mutated the L3 behind any cached SWcc copies.
+                state.maybe_stale = [true; 2];
+            } else {
+                // The recall invalidated every cached copy.
+                state.maybe_stale = [false; 2];
+            }
+            state.t = t2 + 1;
+        }
+        Op::ToSwcc | Op::ToHwcc => {
+            // Domain transitions only exist under the hybrid model; under
+            // the pure modes the table is inert and software would never
+            // issue the update.
+            if m.config().design.mode != cohesion_runtime::api::CohMode::Cohesion {
+                return false;
+            }
+            // Transitions with outstanding multi-cluster dirt would be 5b
+            // races; single-cluster dirt is legal (cases 3a/3b).
+            let was = m.domain_of(line);
+            let slot = m.fine_table().slot_of(line);
+            let (kind, operand) = match op {
+                Op::ToSwcc => (AtomicKind::Or, 1u32 << slot.bit),
+                _ => (AtomicKind::And, !(1u32 << slot.bit)),
+            };
+            let (t2, _) = m
+                .atomic(ClusterId(0), slot.word, kind, operand, state.t)
+                .expect("races were pruned");
+            // A same-domain "transition" changes no table bit and runs no
+            // protocol action — the bookkeeping below only applies when
+            // the domain actually flipped.
+            match op {
+                Op::ToHwcc if was == cohesion_protocol::region::Domain::SWcc => {
+                    // The transition publishes all dirt (writeback or
+                    // owner upgrade) — but stale *clean* copies become
+                    // registered sharers of stale data (§3.6's "values may
+                    // not be safe"), so staleness persists.
+                    state.sw_dirty_by = [None; 8];
+                }
+                Op::ToSwcc if was == cohesion_protocol::region::Domain::HWcc => {
+                    // HWcc->SWcc invalidates every sharer (cases 2a/3a):
+                    // no cached copies remain, so nobody is stale.
+                    state.maybe_stale = [false; 2];
+                }
+                _ => {}
+            }
+            state.t = t2 + 1;
+        }
+    }
+    true
+}
+
+fn check(state: &State) {
+    state.machine.check_invariants();
+    let mut drained = state.machine.clone();
+    drained.drain_for_verification();
+    let base = line_base(&state.machine);
+    for w in 0..8 {
+        assert_eq!(
+            drained.mem.read_word(base.offset(4 * w as u32)),
+            state.reference[w],
+            "drained word {w} disagrees with the reference model"
+        );
+    }
+}
+
+fn explore(state: &State, depth: u32, visited: &mut u64, path: &mut Vec<Op>) {
+    if depth == 0 {
+        return;
+    }
+    for &op in OPS {
+        let mut next = state.clone();
+        path.push(op);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if !apply(&mut next, op) {
+                return false;
+            }
+            check(&next);
+            true
+        }));
+        match r {
+            Ok(false) => {
+                path.pop();
+                continue;
+            }
+            Ok(true) => {}
+            Err(e) => {
+                eprintln!("FAILING PATH: {path:?}");
+                std::panic::resume_unwind(e);
+            }
+        }
+        *visited += 1;
+        explore(&next, depth - 1, visited, path);
+        path.pop();
+    }
+}
+
+#[test]
+fn model_check_cohesion_protocol() {
+    let mut state = State {
+        machine: small_machine(DesignPoint::cohesion(256, 64)),
+        reference: [0; 8],
+        sw_dirty_by: [None; 8],
+        maybe_stale: [false; 2],
+        t: 0,
+        next_value: 0,
+    };
+    // Seed the reference with the line's initial contents (zero).
+    state.machine.boot();
+    let mut visited = 0;
+    explore(&state, 4, &mut visited, &mut Vec::new());
+    assert!(visited > 1_000, "explored {visited} states");
+    println!("model-checked {visited} reachable states (depth 4)");
+}
+
+#[test]
+fn model_check_pure_hwcc() {
+    let state = State {
+        machine: small_machine(DesignPoint::hwcc_ideal()),
+        reference: [0; 8],
+        sw_dirty_by: [None; 8],
+        maybe_stale: [false; 2],
+        t: 0,
+        next_value: 0,
+    };
+    let mut visited = 0;
+    // Transitions are meaningless under pure HWcc but harmless; explore
+    // everything anyway.
+    explore(&state, 4, &mut visited, &mut Vec::new());
+    assert!(visited > 1_000, "explored {visited} states");
+}
+
+#[test]
+fn model_check_pure_swcc() {
+    let state = State {
+        machine: small_machine(DesignPoint::swcc()),
+        reference: [0; 8],
+        sw_dirty_by: [None; 8],
+        maybe_stale: [false; 2],
+        t: 0,
+        next_value: 0,
+    };
+    let mut visited = 0;
+    explore(&state, 4, &mut visited, &mut Vec::new());
+    assert!(visited > 1_000, "explored {visited} states");
+}
+
+/// Depth-5 exploration (~10x the states); run explicitly with
+/// `cargo test --release --test model_check -- --ignored`.
+#[test]
+#[ignore = "deep exploration; run explicitly"]
+fn model_check_cohesion_depth5() {
+    let mut state = State {
+        machine: small_machine(DesignPoint::cohesion(256, 64)),
+        reference: [0; 8],
+        sw_dirty_by: [None; 8],
+        maybe_stale: [false; 2],
+        t: 0,
+        next_value: 0,
+    };
+    state.machine.boot();
+    let mut visited = 0;
+    explore(&state, 5, &mut visited, &mut Vec::new());
+    assert!(visited > 10_000, "explored {visited} states");
+}
+
+#[test]
+fn model_check_deeper_with_mesi_ablation() {
+    let mut cfg = MachineConfig::scaled(16, DesignPoint::cohesion(256, 64));
+    cfg.l3_total_bytes = 128 * 1024;
+    cfg.exclusive_state = true;
+    let layout = Layout::new(&LayoutConfig::new(16));
+    let mut m = Machine::new(cfg, layout);
+    m.boot();
+    let state = State {
+        machine: m,
+        reference: [0; 8],
+        sw_dirty_by: [None; 8],
+        maybe_stale: [false; 2],
+        t: 0,
+        next_value: 0,
+    };
+    let mut visited = 0;
+    explore(&state, 4, &mut visited, &mut Vec::new());
+    assert!(visited > 1_000);
+}
+
+/// Three-cluster op set (deeper sharing interleavings); depth 4.
+const OPS3: &[Op] = &[
+    Op::Load { cluster: 0, word: 0 },
+    Op::Load { cluster: 1, word: 0 },
+    Op::Load { cluster: 2, word: 4 },
+    Op::Store { cluster: 0, word: 0 },
+    Op::Store { cluster: 1, word: 4 },
+    Op::Store { cluster: 2, word: 7 },
+    Op::Flush { cluster: 0 },
+    Op::Flush { cluster: 2 },
+    Op::Invalidate { cluster: 1 },
+    Op::ToSwcc,
+    Op::ToHwcc,
+];
+
+fn explore3(state: &State3, depth: u32, visited: &mut u64, path: &mut Vec<Op>) {
+    if depth == 0 {
+        return;
+    }
+    for &op in OPS3 {
+        let mut next = state.clone();
+        path.push(op);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if !apply3(&mut next, op) {
+                return false;
+            }
+            check3(&next);
+            true
+        }));
+        match r {
+            Ok(false) => {
+                path.pop();
+                continue;
+            }
+            Ok(true) => {}
+            Err(e) => {
+                eprintln!("FAILING PATH (3 clusters): {path:?}");
+                std::panic::resume_unwind(e);
+            }
+        }
+        *visited += 1;
+        explore3(&next, depth - 1, visited, path);
+        path.pop();
+    }
+}
+
+/// Three-cluster state: same model, wider staleness vector.
+#[derive(Clone)]
+struct State3 {
+    machine: Machine,
+    reference: [u32; 8],
+    sw_dirty_by: [Option<u32>; 8],
+    maybe_stale: [bool; 3],
+    t: u64,
+    next_value: u32,
+}
+
+fn apply3(state: &mut State3, op: Op) -> bool {
+    // Reuse the 2-cluster semantics with a widened staleness vector.
+    let base = line_base(&state.machine);
+    let line = base.line();
+    let m = &mut state.machine;
+    let core = |c: u32| CoreId(c * 8);
+    match op {
+        Op::Load { cluster, word } => {
+            if let Some(owner) = state.sw_dirty_by[word] {
+                if owner != cluster {
+                    return false;
+                }
+            }
+            let (t2, v) = m.load(core(cluster), base.offset(4 * word as u32), state.t);
+            if !state.maybe_stale[cluster as usize] {
+                assert_eq!(v, state.reference[word], "stale load (3c)");
+            }
+            state.t = t2 + 1;
+        }
+        Op::Store { cluster, word } => {
+            if let Some(owner) = state.sw_dirty_by[word] {
+                if owner != cluster {
+                    return false;
+                }
+            }
+            state.next_value += 1;
+            let v = state.next_value;
+            let swcc = m.domain_of(line) == cohesion_protocol::region::Domain::SWcc;
+            let t2 = m.store(core(cluster), base.offset(4 * word as u32), v, state.t);
+            state.reference[word] = v;
+            if swcc {
+                state.sw_dirty_by[word] = Some(cluster);
+                for (i, st) in state.maybe_stale.iter_mut().enumerate() {
+                    if i as u32 != cluster {
+                        *st = true;
+                    }
+                }
+            } else {
+                for (i, st) in state.maybe_stale.iter_mut().enumerate() {
+                    if i as u32 != cluster {
+                        *st = false;
+                    }
+                }
+            }
+            state.t = t2 + 1;
+        }
+        Op::Flush { cluster } => {
+            let t2 = m.flush(core(cluster), line, state.t);
+            for w in 0..8 {
+                if state.sw_dirty_by[w] == Some(cluster) {
+                    state.sw_dirty_by[w] = None;
+                }
+            }
+            state.t = t2 + 1;
+        }
+        Op::Invalidate { cluster } => {
+            if state.sw_dirty_by.contains(&Some(cluster)) {
+                return false;
+            }
+            let swcc = m.domain_of(line) == cohesion_protocol::region::Domain::SWcc;
+            let t2 = m.invalidate(core(cluster), line, state.t);
+            if swcc {
+                state.maybe_stale[cluster as usize] = false;
+            }
+            state.t = t2 + 1;
+        }
+        Op::Atomic { .. } => return false, // not in OPS3
+        Op::ToSwcc | Op::ToHwcc => {
+            if m.config().design.mode != cohesion_runtime::api::CohMode::Cohesion {
+                return false;
+            }
+            let was = m.domain_of(line);
+            let slot = m.fine_table().slot_of(line);
+            let (kind, operand) = match op {
+                Op::ToSwcc => (AtomicKind::Or, 1u32 << slot.bit),
+                _ => (AtomicKind::And, !(1u32 << slot.bit)),
+            };
+            let (t2, _) = m
+                .atomic(ClusterId(0), slot.word, kind, operand, state.t)
+                .expect("races were pruned");
+            match op {
+                Op::ToHwcc if was == cohesion_protocol::region::Domain::SWcc => {
+                    state.sw_dirty_by = [None; 8];
+                }
+                Op::ToSwcc if was == cohesion_protocol::region::Domain::HWcc => {
+                    state.maybe_stale = [false; 3];
+                }
+                _ => {}
+            }
+            state.t = t2 + 1;
+        }
+    }
+    true
+}
+
+fn check3(state: &State3) {
+    state.machine.check_invariants();
+    let mut drained = state.machine.clone();
+    drained.drain_for_verification();
+    let base = line_base(&state.machine);
+    for w in 0..8 {
+        assert_eq!(
+            drained.mem.read_word(base.offset(4 * w as u32)),
+            state.reference[w],
+            "drained word {w} disagrees (3 clusters)"
+        );
+    }
+}
+
+#[test]
+fn model_check_three_clusters() {
+    let mut cfg = MachineConfig::scaled(32, DesignPoint::cohesion(256, 64));
+    cfg.l3_total_bytes = 128 * 1024;
+    let layout = cohesion_runtime::layout::Layout::new(
+        &cohesion_runtime::layout::LayoutConfig::new(32),
+    );
+    let mut m = Machine::new(cfg, layout);
+    m.boot();
+    let state = State3 {
+        machine: m,
+        reference: [0; 8],
+        sw_dirty_by: [None; 8],
+        maybe_stale: [false; 3],
+        t: 0,
+        next_value: 0,
+    };
+    let mut visited = 0;
+    explore3(&state, 4, &mut visited, &mut Vec::new());
+    assert!(visited > 2_000, "explored {visited} states");
+}

@@ -1,0 +1,47 @@
+//! Every kernel's generated traces satisfy the task-centric SWcc contract
+//! (Figure 6): invalidate shared inputs before reading, flush dirty outputs
+//! before ending, never store to immutable data. Checked *statically*
+//! against the abstract protocol machine — independent of any machine
+//! configuration that might mask a violation dynamically.
+
+use cohesion_mem::addr::LineAddr;
+use cohesion_mem::mainmem::MainMemory;
+use cohesion_runtime::api::{CohMode, CohesionApi};
+use cohesion_runtime::checker::{check_task, LineClass};
+use cohesion_protocol::region::Domain;
+use cohesion_kernels::{kernel_by_name, Scale, KERNEL_NAMES};
+
+#[test]
+fn all_kernel_traces_satisfy_the_swcc_contract() {
+    for kernel in KERNEL_NAMES {
+        for mode in [CohMode::SWcc, CohMode::Cohesion] {
+            let mut wl = kernel_by_name(kernel, Scale::Tiny);
+            let mut api = CohesionApi::new(16, mode);
+            let mut golden = MainMemory::new();
+            wl.setup(&mut api, &mut golden).expect("setup");
+            let immutable = wl.immutable_ranges();
+            let mut phase_no = 0;
+            while let Some(phase) = wl.next_phase(&mut api, &mut golden) {
+                for (ti, task) in phase.tasks.iter().enumerate() {
+                    let classify = |line: LineAddr| {
+                        let a = line.base();
+                        if immutable
+                            .iter()
+                            .any(|&(s, len)| a.0 >= s.0 && a.0 < s.0 + len)
+                        {
+                            LineClass::SwccImmutable
+                        } else if api.software_domain(a) == Domain::HWcc {
+                            LineClass::Hwcc
+                        } else {
+                            LineClass::SwccShared
+                        }
+                    };
+                    check_task(task, classify).unwrap_or_else(|v| {
+                        panic!("{kernel} ({mode:?}) phase {phase_no} task {ti}: {v}")
+                    });
+                }
+                phase_no += 1;
+            }
+        }
+    }
+}
