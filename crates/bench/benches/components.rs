@@ -1,4 +1,5 @@
-//! Microbenchmarks of the simulator's hot structures.
+//! Microbenchmarks of the simulator's hot structures (on the first-party
+//! `cohesion-testkit` wall-clock harness; `harness = false`).
 
 use cohesion_mem::addr::{Addr, AddressMap, LineAddr};
 use cohesion_mem::cache::{Cache, CacheConfig};
@@ -8,11 +9,11 @@ use cohesion_protocol::directory::{DirEntry, DirectoryBank, DirectoryConfig, Ent
 use cohesion_protocol::region::FineTable;
 use cohesion_protocol::sharers::SharerTracking;
 use cohesion_sim::ids::ClusterId;
-use criterion::{criterion_group, criterion_main, Criterion};
+use cohesion_testkit::bench::Harness;
 use std::hint::black_box;
 
-fn bench_cache(c: &mut Criterion) {
-    c.bench_function("l2_cache_hit_access", |b| {
+fn bench_cache(h: &mut Harness) {
+    h.bench("l2_cache_hit_access", |b| {
         let mut cache = Cache::new(CacheConfig::new(64 * 1024, 16));
         for i in 0..2048 {
             cache.allocate(LineAddr(i));
@@ -24,7 +25,7 @@ fn bench_cache(c: &mut Criterion) {
         });
     });
 
-    c.bench_function("l2_cache_miss_allocate_evict", |b| {
+    h.bench("l2_cache_miss_allocate_evict", |b| {
         let mut cache = Cache::new(CacheConfig::new(64 * 1024, 16));
         let mut i = 0u32;
         b.iter(|| {
@@ -37,8 +38,8 @@ fn bench_cache(c: &mut Criterion) {
     });
 }
 
-fn bench_directory(c: &mut Criterion) {
-    c.bench_function("directory_lookup_hit", |b| {
+fn bench_directory(h: &mut Harness) {
+    h.bench("directory_lookup_hit", |b| {
         let mut dir = DirectoryBank::new(DirectoryConfig::realistic(128));
         for i in 0..8192 {
             dir.insert(
@@ -54,7 +55,7 @@ fn bench_directory(c: &mut Criterion) {
         });
     });
 
-    c.bench_function("directory_insert_with_conflict_eviction", |b| {
+    h.bench("directory_insert_with_conflict_eviction", |b| {
         let mut dir = DirectoryBank::new(DirectoryConfig {
             capacity: cohesion_protocol::directory::DirCapacity::Finite {
                 entries: 1024,
@@ -84,8 +85,8 @@ fn bench_directory(c: &mut Criterion) {
     });
 }
 
-fn bench_fine_table(c: &mut Criterion) {
-    c.bench_function("fine_table_slot_of", |b| {
+fn bench_fine_table(h: &mut Harness) {
+    h.bench("fine_table_slot_of", |b| {
         let t = FineTable::new(Addr(0xF000_0000), AddressMap::isca2010());
         let mut i = 0u32;
         b.iter(|| {
@@ -94,7 +95,7 @@ fn bench_fine_table(c: &mut Criterion) {
         });
     });
 
-    c.bench_function("fine_table_domain_lookup", |b| {
+    h.bench("fine_table_domain_lookup", |b| {
         let t = FineTable::new(Addr(0xF000_0000), AddressMap::isca2010());
         let mem = MainMemory::new();
         let mut i = 0u32;
@@ -105,8 +106,8 @@ fn bench_fine_table(c: &mut Criterion) {
     });
 }
 
-fn bench_dram(c: &mut Criterion) {
-    c.bench_function("dram_access_streaming", |b| {
+fn bench_dram(h: &mut Harness) {
+    h.bench("dram_access_streaming", |b| {
         let mut dram = Dram::new(DramConfig::gddr5(), AddressMap::isca2010());
         let mut i = 0u32;
         let mut t = 0u64;
@@ -118,9 +119,9 @@ fn bench_dram(c: &mut Criterion) {
     });
 }
 
-fn bench_slots(c: &mut Criterion) {
+fn bench_slots(h: &mut Harness) {
     use cohesion_sim::slots::SlotReserver;
-    c.bench_function("slot_reserver_in_order", |b| {
+    h.bench("slot_reserver_in_order", |b| {
         let mut r = SlotReserver::new(0, 2);
         let mut t = 0u64;
         b.iter(|| {
@@ -128,7 +129,7 @@ fn bench_slots(c: &mut Criterion) {
             black_box(r.reserve(t))
         });
     });
-    c.bench_function("slot_reserver_out_of_order", |b| {
+    h.bench("slot_reserver_out_of_order", |b| {
         let mut r = SlotReserver::new(0, 1);
         let mut i = 0u64;
         b.iter(|| {
@@ -139,13 +140,13 @@ fn bench_slots(c: &mut Criterion) {
     });
 }
 
-fn bench_tracelog(c: &mut Criterion) {
+fn bench_tracelog(h: &mut Harness) {
     use cohesion_sim::tracelog::TraceLog;
-    c.bench_function("tracelog_disarmed_wants", |b| {
+    h.bench("tracelog_disarmed_wants", |b| {
         let log = TraceLog::new();
         b.iter(|| black_box(log.wants(42)));
     });
-    c.bench_function("tracelog_armed_record", |b| {
+    h.bench("tracelog_armed_record", |b| {
         let mut log = TraceLog::new();
         log.watch_all(1024);
         let mut i = 0u64;
@@ -156,13 +157,12 @@ fn bench_tracelog(c: &mut Criterion) {
     });
 }
 
-fn bench_end_to_end(c: &mut Criterion) {
+fn bench_end_to_end(h: &mut Harness) {
     use cohesion::config::{DesignPoint, MachineConfig};
     use cohesion::run::run_workload;
     use cohesion::workloads::micro::Microbench;
-    let mut g = c.benchmark_group("end_to_end");
-    g.sample_size(10);
-    g.bench_function("producer_consumer_16c", |b| {
+    let mut g = h.group("end_to_end").sample_size(10);
+    g.bench("producer_consumer_16c", |b| {
         b.iter(|| {
             let cfg = MachineConfig::scaled(16, DesignPoint::cohesion(1024, 128));
             let mut wl = Microbench::producer_consumer(16, 32);
@@ -172,14 +172,14 @@ fn bench_end_to_end(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_cache,
-    bench_directory,
-    bench_fine_table,
-    bench_dram,
-    bench_slots,
-    bench_tracelog,
-    bench_end_to_end
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("components");
+    bench_cache(&mut h);
+    bench_directory(&mut h);
+    bench_fine_table(&mut h);
+    bench_dram(&mut h);
+    bench_slots(&mut h);
+    bench_tracelog(&mut h);
+    bench_end_to_end(&mut h);
+    h.finish();
+}

@@ -1,13 +1,14 @@
-//! End-to-end Criterion benches: one group per table/figure of the paper,
-//! each timing the simulation path that regenerates it (at reduced scale so
+//! End-to-end benches: one group per table/figure of the paper, each
+//! timing the simulation path that regenerates it (at reduced scale so
 //! `cargo bench` completes quickly; the full-size tables come from the
-//! `fig*` binaries and `all_figures`).
+//! `fig*` binaries and `all_figures`). Runs on the first-party
+//! `cohesion-testkit` wall-clock harness (`harness = false`).
 
 use cohesion::config::{DesignPoint, DirectoryVariant, MachineConfig};
 use cohesion::run::run_workload;
 use cohesion_kernels::{kernel_by_name, Scale};
 use cohesion_runtime::api::CohMode;
-use criterion::{criterion_group, criterion_main, Criterion};
+use cohesion_testkit::bench::Harness;
 use std::hint::black_box;
 
 fn run(kernel: &str, dp: DesignPoint) -> u64 {
@@ -17,24 +18,22 @@ fn run(kernel: &str, dp: DesignPoint) -> u64 {
 }
 
 /// Figure 2: SWcc vs optimistic HWcc message counting.
-fn fig2_path(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig2");
-    g.sample_size(10);
-    g.bench_function("heat_swcc", |b| {
+fn fig2_path(h: &mut Harness) {
+    let mut g = h.group("fig2").sample_size(10);
+    g.bench("heat_swcc", |b| {
         b.iter(|| black_box(run("heat", DesignPoint::swcc())))
     });
-    g.bench_function("heat_hwcc_ideal", |b| {
+    g.bench("heat_hwcc_ideal", |b| {
         b.iter(|| black_box(run("heat", DesignPoint::hwcc_ideal())))
     });
     g.finish();
 }
 
 /// Figure 3: the L2-size sweep path (smallest and largest points).
-fn fig3_path(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig3");
-    g.sample_size(10);
+fn fig3_path(h: &mut Harness) {
+    let mut g = h.group("fig3").sample_size(10);
     for size in [8 * 1024u32, 128 * 1024] {
-        g.bench_function(format!("heat_l2_{}k", size >> 10), |b| {
+        g.bench(&format!("heat_l2_{}k", size >> 10), |b| {
             b.iter(|| {
                 let mut cfg = MachineConfig::scaled(16, DesignPoint::swcc());
                 cfg.l2 = cohesion_mem::cache::CacheConfig::new(size, 16);
@@ -47,9 +46,8 @@ fn fig3_path(c: &mut Criterion) {
 }
 
 /// Figure 8: the four-configuration comparison path.
-fn fig8_path(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig8");
-    g.sample_size(10);
+fn fig8_path(h: &mut Harness) {
+    let mut g = h.group("fig8").sample_size(10);
     let e = 16 * 1024;
     for (name, dp) in [
         ("swcc", DesignPoint::swcc()),
@@ -57,7 +55,7 @@ fn fig8_path(c: &mut Criterion) {
         ("hwcc_ideal", DesignPoint::hwcc_ideal()),
         ("hwcc_real", DesignPoint::hwcc_real(e, 128)),
     ] {
-        g.bench_function(format!("kmeans_{name}"), |b| {
+        g.bench(&format!("kmeans_{name}"), |b| {
             b.iter(|| black_box(run("kmeans", dp)))
         });
     }
@@ -66,11 +64,10 @@ fn fig8_path(c: &mut Criterion) {
 
 /// Figure 9: the directory-capacity sweep path (smallest point, where
 /// thrash dominates, for both modes).
-fn fig9_path(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig9");
-    g.sample_size(10);
+fn fig9_path(h: &mut Harness) {
+    let mut g = h.group("fig9").sample_size(10);
     for (name, mode) in [("hwcc", CohMode::HWcc), ("cohesion", CohMode::Cohesion)] {
-        g.bench_function(format!("sobel_tiny_dir_{name}"), |b| {
+        g.bench(&format!("sobel_tiny_dir_{name}"), |b| {
             b.iter(|| {
                 let dp = DesignPoint {
                     mode,
@@ -84,9 +81,8 @@ fn fig9_path(c: &mut Criterion) {
 }
 
 /// Figure 10: the six-design-point path on the scheduling-bound kernel.
-fn fig10_path(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig10");
-    g.sample_size(10);
+fn fig10_path(h: &mut Harness) {
+    let mut g = h.group("fig10").sample_size(10);
     let e = 16 * 1024;
     for (name, dp) in [
         ("cohesion", DesignPoint::cohesion(e, 128)),
@@ -94,7 +90,7 @@ fn fig10_path(c: &mut Criterion) {
         ("swcc", DesignPoint::swcc()),
         ("hwcc_dir4b", DesignPoint::hwcc_dir4b(e, 128)),
     ] {
-        g.bench_function(format!("gjk_{name}"), |b| {
+        g.bench(&format!("gjk_{name}"), |b| {
             b.iter(|| black_box(run("gjk", dp)))
         });
     }
@@ -102,9 +98,9 @@ fn fig10_path(c: &mut Criterion) {
 }
 
 /// §4.4: the analytic area model (pure arithmetic).
-fn area_path(c: &mut Criterion) {
+fn area_path(h: &mut Harness) {
     use cohesion_protocol::area::{dir4b, duplicate_tags, full_map, AreaInputs};
-    c.bench_function("area_table", |b| {
+    h.bench("area_table", |b| {
         let inputs = AreaInputs::isca2010();
         b.iter(|| {
             black_box((
@@ -116,13 +112,13 @@ fn area_path(c: &mut Criterion) {
     });
 }
 
-criterion_group!(
-    benches,
-    fig2_path,
-    fig3_path,
-    fig8_path,
-    fig9_path,
-    fig10_path,
-    area_path
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("figures");
+    fig2_path(&mut h);
+    fig3_path(&mut h);
+    fig8_path(&mut h);
+    fig9_path(&mut h);
+    fig10_path(&mut h);
+    area_path(&mut h);
+    h.finish();
+}

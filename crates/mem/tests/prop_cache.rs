@@ -1,10 +1,13 @@
-//! Property tests: the set-associative cache against a reference model.
+//! Property tests: the set-associative cache against a reference model
+//! (on the first-party `cohesion-testkit` harness).
 
 use std::collections::HashMap;
 
 use cohesion_mem::addr::LineAddr;
 use cohesion_mem::cache::{Cache, CacheConfig};
-use proptest::prelude::*;
+use cohesion_testkit::prop::{
+    assume, one_of, range, sample, unique_vec, vec_of, Runner, Strategy,
+};
 
 #[derive(Debug, Clone)]
 enum CacheOp {
@@ -18,104 +21,119 @@ enum CacheOp {
 }
 
 fn op_strategy(lines: u32) -> impl Strategy<Value = CacheOp> {
-    prop_oneof![
-        (0..lines, 0..8usize, any::<u32>())
-            .prop_map(|(line, word, value)| CacheOp::Write { line, word, value }),
-        (0..lines, 0..8usize).prop_map(|(line, word)| CacheOp::Read { line, word }),
-        (0..lines).prop_map(|line| CacheOp::Invalidate { line }),
-    ]
+    one_of(vec![
+        (range(0..lines), range(0..8usize), range(0u32..=u32::MAX))
+            .map(|(line, word, value)| CacheOp::Write { line, word, value })
+            .boxed(),
+        (range(0..lines), range(0..8usize))
+            .map(|(line, word)| CacheOp::Read { line, word })
+            .boxed(),
+        range(0..lines)
+            .map(|line| CacheOp::Invalidate { line })
+            .boxed(),
+    ])
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Every value observed through the cache equals the reference model's
+/// value, under arbitrary interleavings of writes, fills, evictions,
+/// and invalidations.
+#[test]
+fn cache_agrees_with_reference_model() {
+    Runner::new("cache_agrees_with_reference_model")
+        .cases(64)
+        .run(
+            &(
+                vec_of(op_strategy(64), 1..400),
+                range(8u32..11), // 256 B .. 1 KB cache over a 2 KB footprint
+                sample(&[1u32, 2, 4]),
+            ),
+            |(ops, size_pow, assoc)| {
+                let cfg = CacheConfig::new(1 << size_pow, assoc);
+                assume(cfg.sets() >= 1 && cfg.sets().is_power_of_two());
+                let mut cache = Cache::new(cfg);
+                // Reference: authoritative word values, plus backing memory.
+                let mut truth: HashMap<(u32, usize), u32> = HashMap::new();
+                let mut backing: HashMap<(u32, usize), u32> = HashMap::new();
 
-    /// Every value observed through the cache equals the reference model's
-    /// value, under arbitrary interleavings of writes, fills, evictions,
-    /// and invalidations.
-    #[test]
-    fn cache_agrees_with_reference_model(
-        ops in proptest::collection::vec(op_strategy(64), 1..400),
-        size_pow in 8u32..11, // 256 B .. 1 KB cache over a 2 KB footprint
-        assoc in prop_oneof![Just(1u32), Just(2), Just(4)],
-    ) {
-        let cfg = CacheConfig::new(1 << size_pow, assoc);
-        prop_assume!(cfg.sets() >= 1 && cfg.sets().is_power_of_two());
-        let mut cache = Cache::new(cfg);
-        // Reference: authoritative word values, plus backing memory.
-        let mut truth: HashMap<(u32, usize), u32> = HashMap::new();
-        let mut backing: HashMap<(u32, usize), u32> = HashMap::new();
-
-        let spill = |backing: &mut HashMap<(u32, usize), u32>,
-                         ev: cohesion_mem::cache::EvictedLine| {
-            for w in 0..8 {
-                if ev.dirty_words & (1 << w) != 0 {
-                    backing.insert((ev.addr.0, w), ev.data[w]);
-                }
-            }
-        };
-
-        for op in ops {
-            match op {
-                CacheOp::Write { line, word, value } => {
-                    let la = LineAddr(line);
-                    if cache.access(la).is_none() {
-                        let (_, victim) = cache.allocate(la);
-                        if let Some(ev) = victim {
-                            spill(&mut backing, ev);
+                let spill = |backing: &mut HashMap<(u32, usize), u32>,
+                             ev: cohesion_mem::cache::EvictedLine| {
+                    for w in 0..8 {
+                        if ev.dirty_words & (1 << w) != 0 {
+                            backing.insert((ev.addr.0, w), ev.data[w]);
                         }
                     }
-                    cache.peek_mut(la).unwrap().write_word(word, value);
-                    truth.insert((line, word), value);
-                }
-                CacheOp::Read { line, word } => {
-                    let la = LineAddr(line);
-                    if cache.access(la).is_none() {
-                        let (_, victim) = cache.allocate(la);
-                        if let Some(ev) = victim {
-                            spill(&mut backing, ev);
+                };
+
+                for op in ops {
+                    match op {
+                        CacheOp::Write { line, word, value } => {
+                            let la = LineAddr(line);
+                            if cache.access(la).is_none() {
+                                let (_, victim) = cache.allocate(la);
+                                if let Some(ev) = victim {
+                                    spill(&mut backing, ev);
+                                }
+                            }
+                            cache.peek_mut(la).unwrap().write_word(word, value);
+                            truth.insert((line, word), value);
+                        }
+                        CacheOp::Read { line, word } => {
+                            let la = LineAddr(line);
+                            if cache.access(la).is_none() {
+                                let (_, victim) = cache.allocate(la);
+                                if let Some(ev) = victim {
+                                    spill(&mut backing, ev);
+                                }
+                            }
+                            let l = cache.peek_mut(la).unwrap();
+                            if !l.word_valid(word) {
+                                // Fill this word from backing memory.
+                                let mut data = [0u32; 8];
+                                data[word] = backing.get(&(line, word)).copied().unwrap_or(0);
+                                l.fill_masked(&data, 1 << word);
+                            }
+                            let got = cache.peek(la).unwrap().data[word];
+                            let want = truth.get(&(line, word)).copied().unwrap_or(0);
+                            assert_eq!(got, want, "line {} word {}", line, word);
+                        }
+                        CacheOp::Invalidate { line } => {
+                            if let Some(ev) = cache.invalidate(LineAddr(line)) {
+                                spill(&mut backing, ev);
+                            }
                         }
                     }
-                    let l = cache.peek_mut(la).unwrap();
-                    if !l.word_valid(word) {
-                        // Fill this word from backing memory.
-                        let mut data = [0u32; 8];
-                        data[word] = backing.get(&(line, word)).copied().unwrap_or(0);
-                        l.fill_masked(&data, 1 << word);
-                    }
-                    let got = cache.peek(la).unwrap().data[word];
-                    let want = truth.get(&(line, word)).copied().unwrap_or(0);
-                    prop_assert_eq!(got, want, "line {} word {}", line, word);
                 }
-                CacheOp::Invalidate { line } => {
-                    if let Some(ev) = cache.invalidate(LineAddr(line)) {
-                        spill(&mut backing, ev);
-                    }
+
+                // Structural invariants at the end.
+                assert!(cache.occupancy() as u32 <= cfg.lines());
+                for l in cache.iter_lines() {
+                    assert_eq!(
+                        l.dirty_words & !l.valid_words,
+                        0,
+                        "dirty words must be valid"
+                    );
                 }
+            },
+        );
+}
+
+/// Draining the cache returns every resident line exactly once.
+#[test]
+fn drain_is_exhaustive() {
+    Runner::new("drain_is_exhaustive")
+        .cases(64)
+        .run(&unique_vec(range(0u32..64), 1..24), |lines| {
+            let mut cache = Cache::new(CacheConfig::new(64 * 32, 8));
+            for &l in &lines {
+                cache.allocate(LineAddr(l));
             }
-        }
-
-        // Structural invariants at the end.
-        prop_assert!(cache.occupancy() as u32 <= cfg.lines());
-        for l in cache.iter_lines() {
-            prop_assert_eq!(l.dirty_words & !l.valid_words, 0,
-                "dirty words must be valid");
-        }
-    }
-
-    /// Draining the cache returns every resident line exactly once.
-    #[test]
-    fn drain_is_exhaustive(lines in proptest::collection::hash_set(0u32..64, 1..24)) {
-        let mut cache = Cache::new(CacheConfig::new(64 * 32, 8));
-        for &l in &lines {
-            cache.allocate(LineAddr(l));
-        }
-        let drained = cache.drain();
-        prop_assert_eq!(drained.len(), lines.len());
-        let mut got: Vec<u32> = drained.iter().map(|e| e.addr.0).collect();
-        got.sort_unstable();
-        let mut want: Vec<u32> = lines.into_iter().collect();
-        want.sort_unstable();
-        prop_assert_eq!(got, want);
-        prop_assert_eq!(cache.occupancy(), 0);
-    }
+            let drained = cache.drain();
+            assert_eq!(drained.len(), lines.len());
+            let mut got: Vec<u32> = drained.iter().map(|e| e.addr.0).collect();
+            got.sort_unstable();
+            let mut want: Vec<u32> = lines;
+            want.sort_unstable();
+            assert_eq!(got, want);
+            assert_eq!(cache.occupancy(), 0);
+        });
 }

@@ -1,222 +1,718 @@
 //! Property tests for the protocol structures: the fine-grain table hash,
-//! sharer sets, the directory, and the transition classifier.
+//! sharer sets, the directory, the transition classifier, and — the
+//! deepest property — arbitrary region-table/transition interleavings
+//! under which no line's dirty data may ever be silently lost.
+//!
+//! All properties run on the first-party `cohesion-testkit` harness:
+//! ≥ 64 deterministic cases each, greedy shrinking, and
+//! `COHESION_PROP_SEED=<n>` replay on failure.
 
 use std::collections::{HashMap, HashSet};
 
 use cohesion_mem::addr::{Addr, AddressMap, LineAddr};
 use cohesion_mem::mainmem::MainMemory;
-use cohesion_protocol::directory::{DirEntry, DirectoryBank, DirectoryConfig, EntryClass};
+use cohesion_protocol::directory::{
+    DirCapacity, DirEntry, DirState, DirectoryBank, DirectoryConfig, EntryClass,
+};
 use cohesion_protocol::region::{Domain, FineTable};
 use cohesion_protocol::sharers::{SharerSet, SharerTracking};
-use cohesion_protocol::transition::{classify_sw_to_hw, L2View, SwToHw};
+use cohesion_protocol::transition::{classify_hw_to_sw, classify_sw_to_hw, HwToSw, L2View, SwToHw};
 use cohesion_sim::ids::ClusterId;
-use proptest::prelude::*;
+use cohesion_testkit::prop::{
+    assume, bools, one_of, range, sample, unique_vec, vec_of, Runner, Strategy,
+};
 
-fn arb_map() -> impl Strategy<Value = AddressMap> {
-    prop_oneof![
-        Just(AddressMap::isca2010()),
-        Just(AddressMap::new(4, 2)),
-        Just(AddressMap::new(8, 8)),
-        Just(AddressMap::new(16, 4)),
-        Just(AddressMap::new(2, 1)),
-    ]
+fn maps() -> impl Strategy<Value = AddressMap> {
+    sample(&[
+        AddressMap::isca2010(),
+        AddressMap::new(4, 2),
+        AddressMap::new(8, 8),
+        AddressMap::new(16, 4),
+        AddressMap::new(2, 1),
+    ])
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+/// The defining property of the `hybrid.tbloff` hash (§3.4): the table
+/// word describing a line lives in the line's own L3 bank, and the
+/// mapping is invertible.
+#[test]
+fn fine_table_same_bank_and_bijective() {
+    Runner::new("fine_table_same_bank_and_bijective")
+        .cases(128)
+        .run(
+            &(maps(), unique_vec(range(0u32..(1 << 27)), 1..64)),
+            |(map, lines)| {
+                let t = FineTable::new(Addr(0xF000_0000), map);
+                let mut slots = HashSet::new();
+                for &l in &lines {
+                    let line = LineAddr(l);
+                    let slot = t.slot_of(line);
+                    assert!(t.covers(slot.word), "slot escapes the 16 MB table");
+                    assert_eq!(
+                        map.bank_of(slot.word.line()),
+                        map.bank_of(line),
+                        "same-bank property violated for {:?}",
+                        line
+                    );
+                    assert_eq!(t.line_of_slot(slot), line, "not invertible");
+                    assert!(slots.insert((slot.word.0, slot.bit)), "slot collision");
+                }
+            },
+        );
+}
 
-    /// The defining property of the `hybrid.tbloff` hash (§3.4): the table
-    /// word describing a line lives in the line's own L3 bank, and the
-    /// mapping is invertible.
-    #[test]
-    fn fine_table_same_bank_and_bijective(
-        map in arb_map(),
-        lines in proptest::collection::hash_set(0u32..(1 << 27), 1..64),
-    ) {
-        let t = FineTable::new(Addr(0xF000_0000), map);
-        let mut slots = HashSet::new();
-        for &l in &lines {
-            let line = LineAddr(l);
-            let slot = t.slot_of(line);
-            prop_assert!(t.covers(slot.word), "slot escapes the 16 MB table");
-            prop_assert_eq!(map.bank_of(slot.word.line()), map.bank_of(line),
-                "same-bank property violated for {:?}", line);
-            prop_assert_eq!(t.line_of_slot(slot), line, "not invertible");
-            prop_assert!(slots.insert((slot.word.0, slot.bit)), "slot collision");
+/// Bulk fills equal per-line updates, for arbitrary unaligned ranges.
+#[test]
+fn fill_domain_equals_per_line() {
+    Runner::new("fill_domain_equals_per_line")
+        .cases(128)
+        .run(
+            &(maps(), range(0u32..(1 << 20)), range(1u32..200)),
+            |(map, first, count)| {
+                let t = FineTable::new(Addr(0xF000_0000), map);
+                let mut bulk = MainMemory::new();
+                let mut slow = MainMemory::new();
+                t.fill_domain(&mut bulk, LineAddr(first), count, Domain::SWcc);
+                for i in 0..count {
+                    t.set_domain(&mut slow, LineAddr(first + i), Domain::SWcc);
+                }
+                for i in 0..count {
+                    let line = LineAddr(first + i);
+                    assert_eq!(t.domain(&bulk, line), Domain::SWcc);
+                    let slot = t.slot_of(line);
+                    assert_eq!(bulk.read_word(slot.word), slow.read_word(slot.word));
+                }
+                // Neighbours untouched.
+                if first > 0 {
+                    assert_eq!(t.domain(&bulk, LineAddr(first - 1)), Domain::HWcc);
+                }
+                assert_eq!(t.domain(&bulk, LineAddr(first + count)), Domain::HWcc);
+            },
+        );
+}
+
+/// Sharer sets are conservative supersets of an exact model: full-map
+/// is exact; Dir4B may overflow to broadcast but never *loses* a
+/// sharer.
+#[test]
+fn sharer_sets_are_conservative() {
+    Runner::new("sharer_sets_are_conservative")
+        .cases(128)
+        .run(
+            &(vec_of((bools(), range(0u32..32)), 1..60), bools()),
+            |(ops, limited)| {
+                let tracking = if limited {
+                    SharerTracking::dir4b()
+                } else {
+                    SharerTracking::FullMap
+                };
+                let mut set = SharerSet::empty(tracking, 32);
+                let mut model: HashSet<u32> = HashSet::new();
+                for (add, c) in ops {
+                    if add {
+                        set.add(ClusterId(c), tracking);
+                        model.insert(c);
+                    } else {
+                        set.remove(ClusterId(c));
+                        if !set.is_broadcast() {
+                            model.remove(&c);
+                        }
+                    }
+                    for m in &model {
+                        assert!(
+                            set.may_contain(ClusterId(*m)),
+                            "lost sharer {m} (limited={limited})"
+                        );
+                    }
+                    if !limited {
+                        // Full map is exact.
+                        assert_eq!(set.count(), Some(model.len() as u32));
+                        let targets: HashSet<u32> =
+                            set.probe_targets(32).into_iter().map(|c| c.0).collect();
+                        assert_eq!(&targets, &model);
+                    }
+                    // Probe targets always cover the model.
+                    let targets: HashSet<u32> =
+                        set.probe_targets(32).into_iter().map(|c| c.0).collect();
+                    assert!(model.is_subset(&targets));
+                }
+            },
+        );
+}
+
+/// The directory never exceeds its capacity, never loses an entry
+/// without reporting a victim, and its occupancy gauge matches the
+/// actual entry count.
+#[test]
+fn directory_capacity_and_victims() {
+    Runner::new("directory_capacity_and_victims")
+        .cases(128)
+        .run(
+            &(
+                vec_of(range(0u32..512), 1..200),
+                sample(&[8u32, 16, 64]),
+                sample(&[2u32, 4, 8]),
+            ),
+            |(lines, entries, ways)| {
+                assume(
+                    entries >= ways && entries % ways == 0 && (entries / ways).is_power_of_two(),
+                );
+                let cfg = DirectoryConfig {
+                    capacity: DirCapacity::Finite { entries, ways },
+                    tracking: SharerTracking::FullMap,
+                    clusters: 8,
+                };
+                let mut dir = DirectoryBank::new(cfg);
+                let mut model: HashMap<u32, ()> = HashMap::new();
+                let mut now = 0u64;
+                for l in lines {
+                    now += 1;
+                    if dir.peek(LineAddr(l)).is_some() {
+                        dir.remove(now, LineAddr(l));
+                        model.remove(&l);
+                        continue;
+                    }
+                    let entry = DirEntry::shared(
+                        ClusterId(0),
+                        SharerTracking::FullMap,
+                        8,
+                        EntryClass::HeapGlobal,
+                    );
+                    if let Some((victim, _)) = dir.insert(now, LineAddr(l), entry) {
+                        assert!(
+                            model.remove(&victim.0).is_some(),
+                            "victim {victim:?} was not tracked"
+                        );
+                    }
+                    model.insert(l, ());
+                    assert!(dir.occupancy() <= entries as u64);
+                    assert_eq!(dir.occupancy(), model.len() as u64);
+                }
+                // Every modeled line is still present, and vice versa.
+                for l in model.keys() {
+                    assert!(dir.peek(LineAddr(*l)).is_some());
+                }
+                assert_eq!(dir.iter().count(), model.len());
+            },
+        );
+}
+
+/// The SW⇒HW classifier: writers/readers are partitioned correctly and
+/// overlap detection equals a bit-level model.
+#[test]
+fn sw_to_hw_classifier_matches_model() {
+    Runner::new("sw_to_hw_classifier_matches_model")
+        .cases(128)
+        .run(
+            &vec_of((range(0u32..16), range(0u8..=255), range(0u8..=255)), 0..8),
+            |raw_views| {
+                let mut seen = HashSet::new();
+                let views: Vec<L2View> = raw_views
+                    .into_iter()
+                    .filter(|(c, _, _)| seen.insert(*c))
+                    .map(|(c, valid, dirty)| L2View {
+                        cluster: ClusterId(c),
+                        valid_words: valid,
+                        dirty_words: dirty & valid, // dirty ⊆ valid
+                    })
+                    .collect();
+                let writers: Vec<u32> = views
+                    .iter()
+                    .filter(|v| v.valid_words != 0 && v.dirty_words != 0)
+                    .map(|v| v.cluster.0)
+                    .collect();
+                let present: Vec<u32> = views
+                    .iter()
+                    .filter(|v| v.valid_words != 0)
+                    .map(|v| v.cluster.0)
+                    .collect();
+                let mut union = 0u8;
+                let mut overlap = 0u8;
+                for v in &views {
+                    if v.valid_words == 0 {
+                        continue;
+                    }
+                    overlap |= union & v.dirty_words;
+                    union |= v.dirty_words;
+                }
+                match classify_sw_to_hw(&views) {
+                    SwToHw::Case1bNotPresent => assert!(present.is_empty()),
+                    SwToHw::Case2bClean { sharers } => {
+                        assert!(writers.is_empty());
+                        assert_eq!(sharers.len(), present.len());
+                    }
+                    SwToHw::Case3bSingleDirty { owner, readers } => {
+                        assert_eq!(&writers, &vec![owner.0]);
+                        assert_eq!(readers.len(), present.len() - 1);
+                    }
+                    SwToHw::Case4bMultiDirtyDisjoint { writers: w, .. } => {
+                        assert!(writers.len() >= 2);
+                        assert_eq!(w.len(), writers.len());
+                        assert_eq!(overlap, 0);
+                    }
+                    SwToHw::Case5bRace { overlap: o, .. } => {
+                        assert!(writers.len() >= 2);
+                        assert_eq!(o, overlap);
+                        assert!(o != 0);
+                    }
+                }
+            },
+        );
+}
+
+// ---------------------------------------------------------------------------
+// Region-table/transition interleavings: dirty data is never silently lost
+// ---------------------------------------------------------------------------
+
+const ILV_LINES: u32 = 8;
+const ILV_CLUSTERS: u32 = 4;
+
+/// One step of an interleaved history over the line set. How a `Write` or
+/// `Read` behaves depends on the line's *current* domain, so a single op
+/// sequence exercises both protocols plus every Figure 7 transition case.
+#[derive(Debug, Clone, Copy)]
+enum IlvOp {
+    /// A store to the masked words (SWcc: incoherent write into the local
+    /// L2; HWcc: directory write — demand-invalidate other copies).
+    Write { cluster: u32, line: u32, mask: u8 },
+    /// A load of the whole line (SWcc: fill clean words from L3; HWcc:
+    /// downgrade a foreign owner and join the sharer list).
+    Read { cluster: u32, line: u32 },
+    /// Runtime toggles the line's fine-grain table bit, running the
+    /// Figure 7 transition machinery in whichever direction applies.
+    Toggle { line: u32 },
+    /// Sparse-directory capacity pressure forces the line's entry out
+    /// (§3.2): the protocol must flush/invalidate, never drop dirty data.
+    DirEvict { line: u32 },
+}
+
+fn ilv_ops() -> impl Strategy<Value = Vec<IlvOp>> {
+    let op = one_of(vec![
+        (
+            range(0..ILV_CLUSTERS),
+            range(0..ILV_LINES),
+            range(1u8..=255),
+        )
+            .map(|(cluster, line, mask)| IlvOp::Write {
+                cluster,
+                line,
+                mask,
+            })
+            .boxed(),
+        (range(0..ILV_CLUSTERS), range(0..ILV_LINES))
+            .map(|(cluster, line)| IlvOp::Read { cluster, line })
+            .boxed(),
+        range(0..ILV_LINES)
+            .map(|line| IlvOp::Toggle { line })
+            .boxed(),
+        range(0..ILV_LINES)
+            .map(|line| IlvOp::DirEvict { line })
+            .boxed(),
+    ]);
+    vec_of(op, 1..120)
+}
+
+/// A cached copy in the model: word-granular valid/dirty masks plus the
+/// ghost write-token each valid word carries.
+#[derive(Debug, Clone, Copy, Default)]
+struct Copy {
+    valid: u8,
+    dirty: u8,
+    tokens: [u64; 8],
+}
+
+/// The ghost-token machine the interleaving property runs: real
+/// `FineTable` domain bits, a real (tiny, conflict-prone) `DirectoryBank`,
+/// and the real Figure 7 classifiers driving a word-token data-flow model.
+struct IlvWorld {
+    table: FineTable,
+    mem: MainMemory,
+    dir: DirectoryBank,
+    /// Token last written back to the L3 per (line, word).
+    l3: HashMap<(u32, usize), u64>,
+    /// Token of the globally latest store per (line, word).
+    latest: HashMap<(u32, usize), u64>,
+    copies: HashMap<(u32, u32), Copy>,
+    now: u64,
+    next_token: u64,
+}
+
+impl IlvWorld {
+    fn new() -> Self {
+        IlvWorld {
+            table: FineTable::new(Addr(0xF000_0000), AddressMap::new(2, 1)),
+            mem: MainMemory::new(),
+            // 4 entries × 2 ways over 8 lines: constant conflict pressure.
+            dir: DirectoryBank::new(DirectoryConfig {
+                capacity: DirCapacity::Finite {
+                    entries: 4,
+                    ways: 2,
+                },
+                tracking: SharerTracking::FullMap,
+                clusters: ILV_CLUSTERS,
+            }),
+            l3: HashMap::new(),
+            latest: HashMap::new(),
+            copies: HashMap::new(),
+            now: 0,
+            next_token: 1,
         }
     }
 
-    /// Bulk fills equal per-line updates, for arbitrary unaligned ranges.
-    #[test]
-    fn fill_domain_equals_per_line(
-        map in arb_map(),
-        first in 0u32..(1 << 20),
-        count in 1u32..200,
-    ) {
-        let t = FineTable::new(Addr(0xF000_0000), map);
-        let mut bulk = MainMemory::new();
-        let mut slow = MainMemory::new();
-        t.fill_domain(&mut bulk, LineAddr(first), count, Domain::SWcc);
-        for i in 0..count {
-            t.set_domain(&mut slow, LineAddr(first + i), Domain::SWcc);
-        }
-        for i in 0..count {
-            let line = LineAddr(first + i);
-            prop_assert_eq!(t.domain(&bulk, line), Domain::SWcc);
-            let slot = t.slot_of(line);
-            prop_assert_eq!(bulk.read_word(slot.word), slow.read_word(slot.word));
-        }
-        // Neighbours untouched.
-        if first > 0 {
-            prop_assert_eq!(t.domain(&bulk, LineAddr(first - 1)), Domain::HWcc);
-        }
-        prop_assert_eq!(t.domain(&bulk, LineAddr(first + count)), Domain::HWcc);
+    fn domain(&self, line: u32) -> Domain {
+        self.table.domain(&self.mem, LineAddr(line))
     }
 
-    /// Sharer sets are conservative supersets of an exact model: full-map
-    /// is exact; Dir4B may overflow to broadcast but never *loses* a
-    /// sharer.
-    #[test]
-    fn sharer_sets_are_conservative(
-        ops in proptest::collection::vec((any::<bool>(), 0u32..32), 1..60),
-        limited in any::<bool>(),
-    ) {
-        let tracking = if limited {
-            SharerTracking::dir4b()
-        } else {
-            SharerTracking::FullMap
-        };
-        let mut set = SharerSet::empty(tracking, 32);
-        let mut model: HashSet<u32> = HashSet::new();
-        for (add, c) in ops {
-            if add {
-                set.add(ClusterId(c), tracking);
-                model.insert(c);
-            } else {
-                set.remove(ClusterId(c));
-                if !set.is_broadcast() {
-                    model.remove(&c);
+    fn copy(&mut self, line: u32, cluster: u32) -> &mut Copy {
+        self.copies.entry((line, cluster)).or_default()
+    }
+
+    /// Writes a copy's dirty words back to the L3 (per-word merge).
+    fn writeback(&mut self, line: u32, cluster: u32) {
+        if let Some(c) = self.copies.get(&(line, cluster)) {
+            let (dirty, tokens) = (c.dirty, c.tokens);
+            for w in 0..8 {
+                if dirty & (1 << w) != 0 {
+                    self.l3.insert((line, w), tokens[w]);
                 }
             }
-            for m in &model {
-                prop_assert!(set.may_contain(ClusterId(*m)),
-                    "lost sharer {m} (limited={limited})");
-            }
-            if !limited {
-                // Full map is exact.
-                prop_assert_eq!(set.count(), Some(model.len() as u32));
-                let targets: HashSet<u32> =
-                    set.probe_targets(32).into_iter().map(|c| c.0).collect();
-                prop_assert_eq!(&targets, &model);
-            }
-            // Probe targets always cover the model.
-            let targets: HashSet<u32> =
-                set.probe_targets(32).into_iter().map(|c| c.0).collect();
-            prop_assert!(model.is_subset(&targets));
+        }
+        if let Some(c) = self.copies.get_mut(&(line, cluster)) {
+            c.dirty = 0;
         }
     }
 
-    /// The directory never exceeds its capacity, never loses an entry
-    /// without reporting a victim, and its occupancy gauge matches the
-    /// actual entry count.
-    #[test]
-    fn directory_capacity_and_victims(
-        lines in proptest::collection::vec(0u32..512, 1..200),
-        entries in prop_oneof![Just(8u32), Just(16), Just(64)],
-        ways in prop_oneof![Just(2u32), Just(4), Just(8)],
-    ) {
-        prop_assume!(entries >= ways && entries % ways == 0
-            && (entries / ways).is_power_of_two());
-        let cfg = DirectoryConfig {
-            capacity: cohesion_protocol::directory::DirCapacity::Finite { entries, ways },
-            tracking: SharerTracking::FullMap,
-            clusters: 8,
-        };
-        let mut dir = DirectoryBank::new(cfg);
-        let mut model: HashMap<u32, ()> = HashMap::new();
-        let mut now = 0u64;
-        for l in lines {
-            now += 1;
-            if dir.peek(LineAddr(l)).is_some() {
-                dir.remove(now, LineAddr(l));
-                model.remove(&l);
-                continue;
-            }
-            let entry = DirEntry::shared(
-                ClusterId(0),
-                SharerTracking::FullMap,
-                8,
-                EntryClass::HeapGlobal,
-            );
-            if let Some((victim, _)) = dir.insert(now, LineAddr(l), entry) {
-                prop_assert!(model.remove(&victim.0).is_some(),
-                    "victim {victim:?} was not tracked");
-            }
-            model.insert(l, ());
-            prop_assert!(dir.occupancy() <= entries as u64);
-            prop_assert_eq!(dir.occupancy(), model.len() as u64);
-        }
-        // Every modeled line is still present, and vice versa.
-        for l in model.keys() {
-            prop_assert!(dir.peek(LineAddr(*l)).is_some());
-        }
-        prop_assert_eq!(dir.iter().count(), model.len());
+    fn invalidate(&mut self, line: u32, cluster: u32) {
+        self.copies.remove(&(line, cluster));
     }
 
-    /// The SW⇒HW classifier: writers/readers are partitioned correctly and
-    /// overlap detection equals a bit-level model.
-    #[test]
-    fn sw_to_hw_classifier_matches_model(
-        views in proptest::collection::vec(
-            (0u32..16, 0u8..=255, 0u8..=255), 0..8),
-    ) {
-        let mut seen = HashSet::new();
-        let views: Vec<L2View> = views
-            .into_iter()
-            .filter(|(c, _, _)| seen.insert(*c))
-            .map(|(c, valid, dirty)| L2View {
-                cluster: ClusterId(c),
-                valid_words: valid,
-                dirty_words: dirty & valid, // dirty ⊆ valid
-            })
-            .collect();
-        let writers: Vec<u32> = views
-            .iter()
-            .filter(|v| v.valid_words != 0 && v.dirty_words != 0)
-            .map(|v| v.cluster.0)
-            .collect();
-        let present: Vec<u32> = views
-            .iter()
-            .filter(|v| v.valid_words != 0)
-            .map(|v| v.cluster.0)
-            .collect();
-        let mut union = 0u8;
-        let mut overlap = 0u8;
-        for v in &views {
-            if v.valid_words == 0 { continue; }
-            overlap |= union & v.dirty_words;
-            union |= v.dirty_words;
-        }
-        match classify_sw_to_hw(&views) {
-            SwToHw::Case1bNotPresent => prop_assert!(present.is_empty()),
-            SwToHw::Case2bClean { sharers } => {
-                prop_assert!(writers.is_empty());
-                prop_assert_eq!(sharers.len(), present.len());
+    /// The HWcc ⇒ SWcc / directory-eviction action script of Figure 7:
+    /// classify from the directory entry and flush or invalidate so that
+    /// no dirty word is dropped.
+    fn flush_entry(&mut self, line: u32, entry: &DirEntry) {
+        match classify_hw_to_sw(Some(entry), ILV_CLUSTERS) {
+            HwToSw::Case1aUntracked => unreachable!("entry was present"),
+            HwToSw::Case2aShared { sharers } => {
+                for s in sharers {
+                    if let Some(c) = self.copies.get(&(line, s.0)) {
+                        assert_eq!(c.dirty, 0, "HWcc Shared copies must be clean");
+                    }
+                    self.invalidate(line, s.0);
+                }
             }
-            SwToHw::Case3bSingleDirty { owner, readers } => {
-                prop_assert_eq!(&writers, &vec![owner.0]);
-                prop_assert_eq!(readers.len(), present.len() - 1);
-            }
-            SwToHw::Case4bMultiDirtyDisjoint { writers: w, .. } => {
-                prop_assert!(writers.len() >= 2);
-                prop_assert_eq!(w.len(), writers.len());
-                prop_assert_eq!(overlap, 0);
-            }
-            SwToHw::Case5bRace { overlap: o, .. } => {
-                prop_assert!(writers.len() >= 2);
-                prop_assert_eq!(o, overlap);
-                prop_assert!(o != 0);
+            HwToSw::Case3aModified { owner } => {
+                let o = owner.expect("full-map tracking always knows the owner").0;
+                self.writeback(line, o);
+                self.invalidate(line, o);
             }
         }
     }
+
+    /// Inserts a directory entry, running the mandatory flush script on
+    /// any capacity victim (the "never silently evicted dirty" rule).
+    fn dir_insert(&mut self, line: u32, entry: DirEntry) {
+        if let Some((victim, ventry)) = self.dir.insert(self.now, LineAddr(line), entry) {
+            self.flush_entry(victim.0, &ventry);
+        }
+    }
+
+    fn fresh_token(&mut self) -> u64 {
+        let t = self.next_token;
+        self.next_token += 1;
+        t
+    }
+
+    fn step(&mut self, op: IlvOp) {
+        self.now += 1;
+        match op {
+            IlvOp::Write {
+                cluster,
+                line,
+                mask,
+            } => {
+                if self.domain(line) == Domain::HWcc {
+                    // Directory write: take the entry, demote everyone else.
+                    if let Some(entry) = self.dir.remove(self.now, LineAddr(line)) {
+                        match entry.state {
+                            DirState::Modified => {
+                                let o = entry.owner(ILV_CLUSTERS).expect("full map").0;
+                                if o != cluster {
+                                    self.writeback(line, o);
+                                    self.invalidate(line, o);
+                                }
+                            }
+                            DirState::Shared => {
+                                for s in entry.sharers.probe_targets(ILV_CLUSTERS) {
+                                    if s.0 != cluster {
+                                        self.invalidate(line, s.0);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    self.dir_insert(
+                        line,
+                        DirEntry::modified(
+                            ClusterId(cluster),
+                            SharerTracking::FullMap,
+                            ILV_CLUSTERS,
+                            EntryClass::HeapGlobal,
+                        ),
+                    );
+                }
+                let token = self.fresh_token();
+                {
+                    let c = self.copy(line, cluster);
+                    c.valid |= mask;
+                    c.dirty |= mask;
+                    for w in 0..8 {
+                        if mask & (1 << w) != 0 {
+                            c.tokens[w] = token;
+                        }
+                    }
+                }
+                for w in 0..8 {
+                    if mask & (1 << w) != 0 {
+                        self.latest.insert((line, w), token);
+                    }
+                }
+            }
+            IlvOp::Read { cluster, line } => {
+                if self.domain(line) == Domain::HWcc {
+                    match self.dir.remove(self.now, LineAddr(line)) {
+                        None => {
+                            self.dir_insert(
+                                line,
+                                DirEntry::shared(
+                                    ClusterId(cluster),
+                                    SharerTracking::FullMap,
+                                    ILV_CLUSTERS,
+                                    EntryClass::HeapGlobal,
+                                ),
+                            );
+                        }
+                        Some(entry) => {
+                            let mut sharers: Vec<u32> = match entry.state {
+                                DirState::Modified => {
+                                    // Owner writes back and stays as a
+                                    // clean sharer.
+                                    let o = entry.owner(ILV_CLUSTERS).expect("full map").0;
+                                    self.writeback(line, o);
+                                    vec![o]
+                                }
+                                DirState::Shared => entry
+                                    .sharers
+                                    .probe_targets(ILV_CLUSTERS)
+                                    .into_iter()
+                                    .map(|c| c.0)
+                                    .collect(),
+                            };
+                            if !sharers.contains(&cluster) {
+                                sharers.push(cluster);
+                            }
+                            let mut e = DirEntry::shared(
+                                ClusterId(sharers[0]),
+                                SharerTracking::FullMap,
+                                ILV_CLUSTERS,
+                                EntryClass::HeapGlobal,
+                            );
+                            for &s in &sharers[1..] {
+                                e.sharers.add(ClusterId(s), SharerTracking::FullMap);
+                            }
+                            self.dir_insert(line, e);
+                        }
+                    }
+                }
+                // Fill words not already valid from the L3 image.
+                let l3_tokens: [u64; 8] = std::array::from_fn(|w| {
+                    self.l3.get(&(line, w)).copied().unwrap_or(0)
+                });
+                let c = self.copy(line, cluster);
+                for w in 0..8 {
+                    if c.valid & (1 << w) == 0 {
+                        c.tokens[w] = l3_tokens[w];
+                    }
+                }
+                c.valid = 0xff;
+            }
+            IlvOp::Toggle { line } => match self.domain(line) {
+                Domain::HWcc => {
+                    // HWcc ⇒ SWcc: cases 1a–3a.
+                    if let Some(entry) = self.dir.remove(self.now, LineAddr(line)) {
+                        self.flush_entry(line, &entry);
+                    }
+                    self.table
+                        .set_domain(&mut self.mem, LineAddr(line), Domain::SWcc);
+                }
+                Domain::SWcc => {
+                    // SWcc ⇒ HWcc: broadcast clean request, cases 1b–5b.
+                    let views: Vec<L2View> = (0..ILV_CLUSTERS)
+                        .filter_map(|cl| {
+                            self.copies.get(&(line, cl)).map(|c| L2View {
+                                cluster: ClusterId(cl),
+                                valid_words: c.valid,
+                                dirty_words: c.dirty,
+                            })
+                        })
+                        .collect();
+                    match classify_sw_to_hw(&views) {
+                        SwToHw::Case1bNotPresent => {}
+                        SwToHw::Case2bClean { sharers } => {
+                            // Copies stay cached; they become directory
+                            // sharers.
+                            let mut e = DirEntry::shared(
+                                sharers[0],
+                                SharerTracking::FullMap,
+                                ILV_CLUSTERS,
+                                EntryClass::HeapGlobal,
+                            );
+                            for &s in &sharers[1..] {
+                                e.sharers.add(s, SharerTracking::FullMap);
+                            }
+                            self.dir_insert(line, e);
+                        }
+                        SwToHw::Case3bSingleDirty { owner, readers } => {
+                            // No writeback: the dirty copy upgrades in
+                            // place (the paper's bandwidth saving).
+                            for r in readers {
+                                self.invalidate(line, r.0);
+                            }
+                            self.dir_insert(
+                                line,
+                                DirEntry::modified(
+                                    owner,
+                                    SharerTracking::FullMap,
+                                    ILV_CLUSTERS,
+                                    EntryClass::HeapGlobal,
+                                ),
+                            );
+                        }
+                        SwToHw::Case4bMultiDirtyDisjoint { writers, readers }
+                        | SwToHw::Case5bRace {
+                            writers, readers, ..
+                        } => {
+                            // All writers write back (L3 merges by dirty
+                            // mask, later writebacks win overlapping
+                            // words), everyone invalidates. For racy
+                            // (5b) words the hardware-deterministic merge
+                            // winner becomes the authoritative value.
+                            for w in &writers {
+                                if let Some(c) = self.copies.get(&(line, w.0)) {
+                                    let (dirty, tokens) = (c.dirty, c.tokens);
+                                    for word in 0..8 {
+                                        if dirty & (1 << word) != 0 {
+                                            self.l3.insert((line, word), tokens[word]);
+                                            self.latest.insert((line, word), tokens[word]);
+                                        }
+                                    }
+                                }
+                            }
+                            for w in writers {
+                                self.invalidate(line, w.0);
+                            }
+                            for r in readers {
+                                self.invalidate(line, r.0);
+                            }
+                        }
+                    }
+                    self.table
+                        .set_domain(&mut self.mem, LineAddr(line), Domain::HWcc);
+                }
+            },
+            IlvOp::DirEvict { line } => {
+                if let Some(entry) = self.dir.remove(self.now, LineAddr(line)) {
+                    self.flush_entry(line, &entry);
+                }
+            }
+        }
+    }
+
+    /// The safety net the whole history must uphold: wherever a word is
+    /// not dirty in any L2, the L3 must hold its latest token — i.e. no
+    /// transition, directory eviction, or protocol action ever dropped a
+    /// dirty word on the floor. Plus structural sanity.
+    fn check_invariants(&self) {
+        for line in 0..ILV_LINES {
+            for word in 0..8usize {
+                let Some(&latest) = self.latest.get(&(line, word)) else {
+                    continue;
+                };
+                let dirty_holders: Vec<u32> = (0..ILV_CLUSTERS)
+                    .filter(|cl| {
+                        self.copies
+                            .get(&(line, *cl))
+                            .is_some_and(|c| c.dirty & (1 << word) != 0)
+                    })
+                    .collect();
+                if dirty_holders.is_empty() {
+                    assert_eq!(
+                        self.l3.get(&(line, word)).copied(),
+                        Some(latest),
+                        "line {line} word {word}: latest write lost with no dirty copy \
+                         (silent dirty eviction)"
+                    );
+                } else {
+                    assert!(
+                        dirty_holders.iter().any(|cl| {
+                            self.copies.get(&(line, *cl)).unwrap().tokens[word] == latest
+                        }) || self.l3.get(&(line, word)).copied() == Some(latest),
+                        "line {line} word {word}: latest write held nowhere"
+                    );
+                }
+            }
+            // dirty ⊆ valid in every copy.
+            for cl in 0..ILV_CLUSTERS {
+                if let Some(c) = self.copies.get(&(line, cl)) {
+                    assert_eq!(c.dirty & !c.valid, 0, "dirty words must be valid");
+                }
+            }
+            // A directory entry implies the table says HWcc (and a
+            // Modified entry implies nobody *else* caches the line dirty).
+            if let Some(e) = self.dir.peek(LineAddr(line)) {
+                assert_eq!(
+                    self.domain(line),
+                    Domain::HWcc,
+                    "line {line}: directory entry for an SWcc line"
+                );
+                if e.state == DirState::Modified {
+                    let owner = e.owner(ILV_CLUSTERS).expect("full map").0;
+                    for cl in (0..ILV_CLUSTERS).filter(|&cl| cl != owner) {
+                        if let Some(c) = self.copies.get(&(line, cl)) {
+                            assert_eq!(
+                                c.dirty, 0,
+                                "line {line}: non-owner {cl} dirty under Modified"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Across arbitrary interleavings of SWcc/HWcc accesses, fine-grain table
+/// toggles (all Figure 7 cases 1a–3a / 1b–5b), and directory capacity
+/// evictions, no line is ever silently evicted dirty: every store's
+/// token remains reachable (in a dirty L2 copy or in the L3) at every
+/// step of the history.
+#[test]
+fn transitions_and_evictions_never_lose_dirty_data() {
+    Runner::new("transitions_and_evictions_never_lose_dirty_data")
+        .cases(128)
+        .run(&ilv_ops(), |ops| {
+            let mut world = IlvWorld::new();
+            for op in ops {
+                world.step(op);
+                world.check_invariants();
+            }
+            // Drain: toggling every line to SWcc must flush all HWcc
+            // state; after that the directory is empty.
+            for line in 0..ILV_LINES {
+                if world.domain(line) == Domain::HWcc {
+                    world.step(IlvOp::Toggle { line });
+                    world.check_invariants();
+                }
+            }
+            assert_eq!(world.dir.occupancy(), 0, "toggling all lines drains the directory");
+        });
 }

@@ -1,106 +1,123 @@
-//! Property tests for the simulation engine primitives.
+//! Property tests for the simulation engine primitives (on the
+//! first-party `cohesion-testkit` harness; ≥ 64 deterministic cases each,
+//! seed-replayable via `COHESION_PROP_SEED`).
 
 use cohesion_sim::event::EventQueue;
 use cohesion_sim::link::{Link, Throttle};
 use cohesion_sim::slots::SlotReserver;
-use proptest::prelude::*;
+use cohesion_testkit::prop::{range, sample, vec_of, Runner};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Events pop in nondecreasing time order, FIFO within a cycle, and
-    /// nothing is lost.
-    #[test]
-    fn event_queue_orders_and_conserves(times in proptest::collection::vec(0u64..1000, 1..200)) {
-        let mut q = EventQueue::new();
-        for (i, &t) in times.iter().enumerate() {
-            q.schedule(t, i);
-        }
-        let mut popped = Vec::new();
-        let mut last = (0u64, 0usize);
-        let mut first = true;
-        while let Some((t, i)) = q.pop() {
-            if !first {
-                prop_assert!(t >= last.0, "time order violated");
-                if t == last.0 {
-                    prop_assert!(i > last.1, "FIFO within a cycle violated");
-                }
+/// Events pop in nondecreasing time order, FIFO within a cycle, and
+/// nothing is lost.
+#[test]
+fn event_queue_orders_and_conserves() {
+    Runner::new("event_queue_orders_and_conserves")
+        .cases(128)
+        .run(&vec_of(range(0u64..1000), 1..200), |times| {
+            let mut q = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.schedule(t, i);
             }
-            first = false;
-            last = (t, i);
-            popped.push(i);
-        }
-        popped.sort_unstable();
-        prop_assert_eq!(popped, (0..times.len()).collect::<Vec<_>>());
-    }
+            let mut popped = Vec::new();
+            let mut last = (0u64, 0usize);
+            let mut first = true;
+            while let Some((t, i)) = q.pop() {
+                if !first {
+                    assert!(t >= last.0, "time order violated");
+                    if t == last.0 {
+                        assert!(i > last.1, "FIFO within a cycle violated");
+                    }
+                }
+                first = false;
+                last = (t, i);
+                popped.push(i);
+            }
+            popped.sort_unstable();
+            assert_eq!(popped, (0..times.len()).collect::<Vec<_>>());
+        });
+}
 
-    /// A reserver never grants more than `capacity` uses whose grant times
-    /// fall in any single window, for arbitrary (including out-of-order)
-    /// request times.
-    #[test]
-    fn slot_reserver_respects_capacity(
-        requests in proptest::collection::vec(0u64..500, 1..300),
-        window_log2 in 0u32..4,
-        capacity in 1u32..4,
-    ) {
-        let mut r = SlotReserver::new(window_log2, capacity);
-        let mut grants: Vec<u64> = requests.iter().map(|&t| r.reserve(t)).collect();
-        for (&req, &grant) in requests.iter().zip(&grants) {
-            prop_assert!(grant >= req, "grant may not precede the request");
-        }
-        grants.sort_unstable();
-        // Count grants per window.
-        let mut counts = std::collections::HashMap::new();
-        for g in grants {
-            *counts.entry(g >> window_log2).or_insert(0u32) += 1;
-        }
-        for (&w, &n) in &counts {
-            prop_assert!(n <= capacity, "window {w} over-booked: {n} > {capacity}");
-        }
-    }
+/// A reserver never grants more than `capacity` uses whose grant times
+/// fall in any single window, for arbitrary (including out-of-order)
+/// request times.
+#[test]
+fn slot_reserver_respects_capacity() {
+    Runner::new("slot_reserver_respects_capacity")
+        .cases(128)
+        .run(
+            &(
+                vec_of(range(0u64..500), 1..300),
+                range(0u32..4),
+                range(1u32..4),
+            ),
+            |(requests, window_log2, capacity)| {
+                let mut r = SlotReserver::new(window_log2, capacity);
+                let mut grants: Vec<u64> = requests.iter().map(|&t| r.reserve(t)).collect();
+                for (&req, &grant) in requests.iter().zip(&grants) {
+                    assert!(grant >= req, "grant may not precede the request");
+                }
+                grants.sort_unstable();
+                // Count grants per window.
+                let mut counts = std::collections::HashMap::new();
+                for g in grants {
+                    *counts.entry(g >> window_log2).or_insert(0u32) += 1;
+                }
+                for (&w, &n) in &counts {
+                    assert!(n <= capacity, "window {w} over-booked: {n} > {capacity}");
+                }
+            },
+        );
+}
 
-    /// A link delivers every message no earlier than `now + latency` and
-    /// never two messages within one acceptance interval.
-    #[test]
-    fn link_respects_latency_and_bandwidth(
-        sends in proptest::collection::vec(0u64..300, 1..100),
-        latency in 0u64..16,
-        interval in prop_oneof![Just(1u64), Just(2), Just(4)],
-    ) {
-        let mut l = Link::new(latency, interval);
-        let mut departures: Vec<u64> = sends
-            .iter()
-            .map(|&t| l.send(t) - latency)
-            .collect();
-        for (&t, &d) in sends.iter().zip(&departures) {
-            prop_assert!(d >= t);
-        }
-        departures.sort_unstable();
-        let mut counts = std::collections::HashMap::new();
-        for d in departures {
-            *counts.entry(d / interval).or_insert(0u32) += 1;
-        }
-        for &n in counts.values() {
-            prop_assert!(n <= 1, "two departures within one interval");
-        }
-        prop_assert_eq!(l.sent(), sends.len() as u64);
-    }
+/// A link delivers every message no earlier than `now + latency` and
+/// never two messages within one acceptance interval.
+#[test]
+fn link_respects_latency_and_bandwidth() {
+    Runner::new("link_respects_latency_and_bandwidth")
+        .cases(128)
+        .run(
+            &(
+                vec_of(range(0u64..300), 1..100),
+                range(0u64..16),
+                sample(&[1u64, 2, 4]),
+            ),
+            |(sends, latency, interval)| {
+                let mut l = Link::new(latency, interval);
+                let mut departures: Vec<u64> = sends.iter().map(|&t| l.send(t) - latency).collect();
+                for (&t, &d) in sends.iter().zip(&departures) {
+                    assert!(d >= t);
+                }
+                departures.sort_unstable();
+                let mut counts = std::collections::HashMap::new();
+                for d in departures {
+                    *counts.entry(d / interval).or_insert(0u32) += 1;
+                }
+                for &n in counts.values() {
+                    assert!(n <= 1, "two departures within one interval");
+                }
+                assert_eq!(l.sent(), sends.len() as u64);
+            },
+        );
+}
 
-    /// A throttle grants at most `width` accesses per cycle.
-    #[test]
-    fn throttle_respects_width(
-        grants in proptest::collection::vec(0u64..200, 1..200),
-        width in 1u32..4,
-    ) {
-        let mut t = Throttle::new(width);
-        let mut times: Vec<u64> = grants.iter().map(|&g| t.grant(g)).collect();
-        times.sort_unstable();
-        let mut counts = std::collections::HashMap::new();
-        for g in times {
-            *counts.entry(g).or_insert(0u32) += 1;
-        }
-        for &n in counts.values() {
-            prop_assert!(n <= width);
-        }
-    }
+/// A throttle grants at most `width` accesses per cycle.
+#[test]
+fn throttle_respects_width() {
+    Runner::new("throttle_respects_width")
+        .cases(128)
+        .run(
+            &(vec_of(range(0u64..200), 1..200), range(1u32..4)),
+            |(grants, width)| {
+                let mut t = Throttle::new(width);
+                let mut times: Vec<u64> = grants.iter().map(|&g| t.grant(g)).collect();
+                times.sort_unstable();
+                let mut counts = std::collections::HashMap::new();
+                for g in times {
+                    *counts.entry(g).or_insert(0u32) += 1;
+                }
+                for &n in counts.values() {
+                    assert!(n <= width);
+                }
+            },
+        );
 }

@@ -1,0 +1,300 @@
+//! A wall-clock micro-benchmark runner for `harness = false` bench
+//! targets (the workspace's `criterion` replacement).
+//!
+//! Each benchmark calibrates an iteration batch during a short warmup,
+//! then times a fixed number of samples (batches) and reports the median,
+//! p10, and p90 nanoseconds per iteration. [`Harness::finish`] prints a
+//! machine-readable JSON document between `BENCH_JSON_BEGIN`/`_END`
+//! markers and, when `COHESION_BENCH_OUT=<dir>` is set, also writes it to
+//! `<dir>/BENCH_<harness>.json` so benchmark trajectories can be recorded
+//! across commits.
+//!
+//! # Example
+//!
+//! ```
+//! use cohesion_testkit::bench::Harness;
+//! use std::hint::black_box;
+//!
+//! let mut h = Harness::new("example");
+//! h.bench("add", |b| {
+//!     let mut i = 0u64;
+//!     b.iter(|| {
+//!         i += 1;
+//!         black_box(i)
+//!     });
+//! });
+//! let summaries = h.finish();
+//! assert_eq!(summaries.len(), 1);
+//! ```
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Default samples (timed batches) per benchmark.
+pub const DEFAULT_SAMPLES: usize = 30;
+
+/// Environment variable naming a directory to write `BENCH_*.json` into.
+pub const OUT_ENV: &str = "COHESION_BENCH_OUT";
+
+/// Per-benchmark timing summary, in nanoseconds per iteration.
+#[derive(Debug, Clone)]
+pub struct Summary {
+    /// Full benchmark name (`group/name` for grouped benches).
+    pub name: String,
+    /// Median ns/iter across samples.
+    pub median_ns: f64,
+    /// 10th-percentile ns/iter.
+    pub p10_ns: f64,
+    /// 90th-percentile ns/iter.
+    pub p90_ns: f64,
+    /// Mean ns/iter.
+    pub mean_ns: f64,
+    /// Fastest sample's ns/iter.
+    pub min_ns: f64,
+    /// Timed samples taken.
+    pub samples: usize,
+    /// Iterations per sample (the calibrated batch size).
+    pub iters_per_sample: u64,
+}
+
+impl Summary {
+    fn json(&self) -> String {
+        format!(
+            "{{\"name\":\"{}\",\"median_ns\":{:.3},\"p10_ns\":{:.3},\"p90_ns\":{:.3},\"mean_ns\":{:.3},\"min_ns\":{:.3},\"samples\":{},\"iters_per_sample\":{}}}",
+            self.name,
+            self.median_ns,
+            self.p10_ns,
+            self.p90_ns,
+            self.mean_ns,
+            self.min_ns,
+            self.samples,
+            self.iters_per_sample
+        )
+    }
+}
+
+fn human_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:8.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:8.2} µs", ns / 1_000.0)
+    } else {
+        format!("{:8.2} ms", ns / 1_000_000.0)
+    }
+}
+
+/// Passed to each benchmark closure; call [`Bencher::iter`] exactly once
+/// with the code to time (setup stays outside the timed region).
+pub struct Bencher {
+    samples: usize,
+    result: Option<(Vec<f64>, u64)>,
+}
+
+impl Bencher {
+    /// Times `f`: warmup + calibration, then `samples` timed batches. The
+    /// return value of `f` is passed through [`black_box`] so the work is
+    /// not optimized away.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        assert!(self.result.is_none(), "Bencher::iter called twice");
+        // Warmup and calibration: double the batch until one batch takes
+        // long enough to time reliably or the warmup budget is spent.
+        let warmup_budget = Duration::from_millis(20);
+        let warmup_start = Instant::now();
+        let mut batch = 1u64;
+        let per_iter_secs = loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let dt = t0.elapsed();
+            if dt >= Duration::from_millis(2) || warmup_start.elapsed() >= warmup_budget {
+                break dt.as_secs_f64() / batch as f64;
+            }
+            batch = batch.saturating_mul(2);
+        };
+        // Aim for ~1 ms per sample so short benchmarks are averaged over
+        // many iterations while long ones run once per sample.
+        let iters = ((0.001 / per_iter_secs.max(1e-12)) as u64).clamp(1, 1 << 30);
+        let mut times = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            times.push(t0.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        times.sort_by(|a, b| a.total_cmp(b));
+        self.result = Some((times, iters));
+    }
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    let idx = (p * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// A named collection of benchmarks (one per bench target).
+pub struct Harness {
+    name: String,
+    samples: usize,
+    results: Vec<Summary>,
+}
+
+impl Harness {
+    /// A harness named `name` (names the JSON document and output file).
+    pub fn new(name: &str) -> Self {
+        eprintln!("benchmarking {name} (wall-clock; median/p10/p90 per iteration)");
+        Harness {
+            name: name.to_string(),
+            samples: DEFAULT_SAMPLES,
+            results: Vec::new(),
+        }
+    }
+
+    fn bench_with(&mut self, name: &str, samples: usize, f: impl FnOnce(&mut Bencher)) {
+        let mut b = Bencher {
+            samples,
+            result: None,
+        };
+        f(&mut b);
+        let (times, iters) = b
+            .result
+            .unwrap_or_else(|| panic!("benchmark '{name}' never called Bencher::iter"));
+        let summary = Summary {
+            name: name.to_string(),
+            median_ns: percentile(&times, 0.5),
+            p10_ns: percentile(&times, 0.1),
+            p90_ns: percentile(&times, 0.9),
+            mean_ns: times.iter().sum::<f64>() / times.len() as f64,
+            min_ns: times[0],
+            samples: times.len(),
+            iters_per_sample: iters,
+        };
+        eprintln!(
+            "  {:<44} median {}   p10 {}   p90 {}   ({} samples × {} iters)",
+            summary.name,
+            human_time(summary.median_ns),
+            human_time(summary.p10_ns),
+            human_time(summary.p90_ns),
+            summary.samples,
+            summary.iters_per_sample
+        );
+        self.results.push(summary);
+    }
+
+    /// Runs one benchmark with the harness-default sample count.
+    pub fn bench(&mut self, name: &str, f: impl FnOnce(&mut Bencher)) {
+        self.bench_with(name, self.samples, f)
+    }
+
+    /// Starts a named group: benches are reported as `group/name` and may
+    /// use a group-specific sample count (for slow end-to-end paths).
+    pub fn group(&mut self, name: &str) -> Group<'_> {
+        let samples = self.samples;
+        Group {
+            harness: self,
+            prefix: name.to_string(),
+            samples,
+        }
+    }
+
+    /// Prints the JSON document (and writes `BENCH_<name>.json` when
+    /// `COHESION_BENCH_OUT` is set), returning the summaries.
+    pub fn finish(self) -> Vec<Summary> {
+        let body: Vec<String> = self.results.iter().map(|s| format!("  {}", s.json())).collect();
+        let doc = format!(
+            "{{\"harness\":\"{}\",\"benchmarks\":[\n{}\n]}}",
+            self.name,
+            body.join(",\n")
+        );
+        // File first: a consumer piping stdout through `head` closes the
+        // pipe early, and the recording must survive that.
+        if let Some(dir) = std::env::var_os(OUT_ENV) {
+            let dir = std::path::PathBuf::from(dir);
+            let path = dir.join(format!("BENCH_{}.json", self.name));
+            if let Err(e) = std::fs::create_dir_all(&dir)
+                .and_then(|_| std::fs::write(&path, format!("{doc}\n")))
+            {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            } else {
+                eprintln!("wrote {}", path.display());
+            }
+        }
+        println!("BENCH_JSON_BEGIN");
+        println!("{doc}");
+        println!("BENCH_JSON_END");
+        self.results
+    }
+}
+
+/// A benchmark group; see [`Harness::group`].
+pub struct Group<'a> {
+    harness: &'a mut Harness,
+    prefix: String,
+    samples: usize,
+}
+
+impl Group<'_> {
+    /// Overrides the sample count for this group's benches.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.samples = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench(&mut self, name: &str, f: impl FnOnce(&mut Bencher)) {
+        let full = format!("{}/{}", self.prefix, name);
+        self.harness.bench_with(&full, self.samples, f);
+    }
+
+    /// Ends the group (provided for call-site symmetry; dropping works
+    /// too).
+    pub fn finish(self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_produces_sane_stats() {
+        let mut h = Harness::new("selftest");
+        h.bench("noop_counter", |b| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i = i.wrapping_add(1);
+                black_box(i)
+            });
+        });
+        let mut g = h.group("grouped").sample_size(5);
+        g.bench("spin", |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for j in 0..100u64 {
+                    acc = acc.wrapping_add(black_box(j));
+                }
+                acc
+            })
+        });
+        g.finish();
+        let out = h.finish();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].name, "noop_counter");
+        assert_eq!(out[1].name, "grouped/spin");
+        for s in &out {
+            assert!(s.median_ns > 0.0);
+            assert!(s.p10_ns <= s.median_ns && s.median_ns <= s.p90_ns);
+            assert!(s.samples >= 2);
+        }
+        assert_eq!(out[1].samples, 5);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&v, 0.5), 3.0);
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 1.0), 5.0);
+    }
+}

@@ -1,0 +1,25 @@
+//! First-party determinism testkit for the Cohesion reproduction.
+//!
+//! The workspace builds and tests fully offline: nothing here (or anywhere
+//! else in the tree) depends on a crates.io package. The testkit owns the
+//! three pieces of tooling that used to be external:
+//!
+//! * [`rng`] — a seedable SplitMix64 / xoshiro256\*\* PRNG with
+//!   `gen_range` / `shuffle` / `choose`, usable both by the test harness
+//!   and by future kernel input generation.
+//! * [`prop`] — a minimal shrinking property-test harness. Strategies
+//!   cover integer ranges, `one_of` / `sample`, vectors, tuples, and
+//!   mapped compositions; every property runs ≥ 64 deterministic cases by
+//!   default; failing cases are greedily shrunk and every failure prints a
+//!   `COHESION_PROP_SEED=<n>` replay line (the env var is honored for
+//!   deterministic reruns).
+//! * [`bench`] — a `harness = false` wall-clock micro-benchmark runner
+//!   (warmup + timed iterations, median/p10/p90 per benchmark, and
+//!   machine-readable JSON so `BENCH_*.json` trajectories can be
+//!   recorded).
+
+pub mod bench;
+pub mod prop;
+pub mod rng;
+
+pub use rng::Rng;

@@ -1,0 +1,814 @@
+//! A minimal shrinking property-test harness.
+//!
+//! Replaces `proptest` for this workspace with zero dependencies. The
+//! design borrows Hypothesis's key idea: a [`Strategy`] is just a function
+//! from a stream of raw `u64` draws (a [`Source`]) to a value, and the
+//! *shrinker operates on the recorded draw stream*, not on values. Any
+//! composition — `map`, [`one_of`], vectors, tuples — therefore shrinks
+//! for free: the harness deletes, zeroes, and minimizes stream entries and
+//! regenerates, and because every integer strategy maps a draw of 0 to its
+//! low bound, streams shrink toward structurally minimal inputs.
+//!
+//! Properties are plain closures that `assert!`/`panic!` on failure and
+//! may call [`assume`] to discard uninteresting cases. Each property runs
+//! [`DEFAULT_CASES`] deterministic cases by default (seeded from the
+//! property name, so reruns are bit-identical); on failure the harness
+//! greedily shrinks, then reports the minimal counterexample together with
+//! a `COHESION_PROP_SEED=<n>` line. Setting that environment variable (or
+//! calling [`Runner::seed`]) reruns the identical case sequence.
+//!
+//! # Example
+//!
+//! ```
+//! use cohesion_testkit::prop::{self, Strategy};
+//!
+//! prop::Runner::new("reversing_twice_is_identity")
+//!     .run(&prop::vec_of(prop::range(0u32..1000), 0..50), |v| {
+//!         let mut w = v.clone();
+//!         w.reverse();
+//!         w.reverse();
+//!         assert_eq!(v, w);
+//!     });
+//! ```
+
+use std::cell::{Cell, RefCell};
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Once;
+
+use crate::rng::{Rng, SplitMix64};
+
+/// Cases each property runs when [`Runner::cases`] is not called.
+pub const DEFAULT_CASES: u32 = 64;
+
+/// Shrink attempts allowed per failure before reporting the best found.
+pub const DEFAULT_SHRINK_ITERS: u32 = 4096;
+
+/// The environment variable that overrides the base seed for replay.
+pub const SEED_ENV: &str = "COHESION_PROP_SEED";
+
+// ---------------------------------------------------------------------------
+// Draw source
+// ---------------------------------------------------------------------------
+
+/// The stream of raw draws a strategy consumes.
+///
+/// In *fresh* mode draws come from the PRNG; in *replay* mode they come
+/// from a recorded stream (zero-padded when exhausted — by construction
+/// zero draws produce minimal values). Either way every consumed draw is
+/// logged, which is what makes stream-level shrinking possible.
+pub struct Source {
+    rng: Option<Rng>,
+    replay: Vec<u64>,
+    pos: usize,
+    log: Vec<u64>,
+}
+
+impl Source {
+    /// A fresh source drawing from seed `seed`.
+    pub fn fresh(seed: u64) -> Self {
+        Source {
+            rng: Some(Rng::new(seed)),
+            replay: Vec::new(),
+            pos: 0,
+            log: Vec::new(),
+        }
+    }
+
+    /// A replay source that feeds back a recorded stream, then zeroes.
+    pub fn replay(stream: &[u64]) -> Self {
+        Source {
+            rng: None,
+            replay: stream.to_vec(),
+            pos: 0,
+            log: Vec::new(),
+        }
+    }
+
+    /// The next raw draw.
+    pub fn next_u64(&mut self) -> u64 {
+        let v = match &mut self.rng {
+            Some(rng) => rng.next_u64(),
+            None => {
+                let v = self.replay.get(self.pos).copied().unwrap_or(0);
+                self.pos += 1;
+                v
+            }
+        };
+        self.log.push(v);
+        v
+    }
+
+    /// The draws actually consumed (normalized: replay padding included,
+    /// unused tail absent).
+    pub fn into_log(self) -> Vec<u64> {
+        self.log
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategies
+// ---------------------------------------------------------------------------
+
+/// A recipe for generating values from a [`Source`].
+pub trait Strategy {
+    /// The generated type.
+    type Value: fmt::Debug;
+
+    /// Draws one value.
+    fn generate(&self, src: &mut Source) -> Self::Value;
+
+    /// A strategy producing `f(value)`.
+    fn map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        U: fmt::Debug,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy so heterogeneous alternatives can share a
+    /// [`one_of`] list.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+impl<V: fmt::Debug> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, src: &mut Source) -> V {
+        (**self).generate(src)
+    }
+}
+
+/// See [`Strategy::map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    U: fmt::Debug,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn generate(&self, src: &mut Source) -> U {
+        (self.f)(self.inner.generate(src))
+    }
+}
+
+/// An inclusive integer range strategy; a draw of 0 yields the low bound,
+/// so shrinking pulls values toward it.
+#[derive(Debug, Clone, Copy)]
+pub struct IntRange<T> {
+    lo: T,
+    hi_incl: T,
+}
+
+/// Integer types usable with [`range`].
+pub trait RangeValue: Copy + PartialOrd + fmt::Debug {
+    /// Maps a raw draw into `[lo, hi]` (inclusive).
+    fn from_draw_incl(draw: u64, lo: Self, hi: Self) -> Self;
+    /// `self - 1` (never called on the type's minimum).
+    fn decr(self) -> Self;
+}
+
+macro_rules! impl_range_value {
+    ($($t:ty => $wide:ty),*) => {$(
+        impl RangeValue for $t {
+            fn from_draw_incl(draw: u64, lo: Self, hi: Self) -> Self {
+                debug_assert!(lo <= hi);
+                let span = (hi as $wide).wrapping_sub(lo as $wide) as u128 + 1;
+                let off = (draw as u128) % span;
+                (lo as $wide).wrapping_add(off as $wide) as $t
+            }
+            fn decr(self) -> Self {
+                self.wrapping_sub(1)
+            }
+        }
+    )*};
+}
+impl_range_value!(u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+                  i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64);
+
+impl<T: RangeValue> From<Range<T>> for IntRange<T> {
+    fn from(r: Range<T>) -> Self {
+        assert!(r.start < r.end, "range strategy over an empty range");
+        IntRange {
+            lo: r.start,
+            hi_incl: r.end.decr(),
+        }
+    }
+}
+
+impl<T: RangeValue> From<RangeInclusive<T>> for IntRange<T> {
+    fn from(r: RangeInclusive<T>) -> Self {
+        assert!(r.start() <= r.end(), "range strategy over an empty range");
+        IntRange {
+            lo: *r.start(),
+            hi_incl: *r.end(),
+        }
+    }
+}
+
+impl<T: RangeValue> Strategy for IntRange<T> {
+    type Value = T;
+    fn generate(&self, src: &mut Source) -> T {
+        T::from_draw_incl(src.next_u64(), self.lo, self.hi_incl)
+    }
+}
+
+/// Uniform draw from an integer range (`a..b` or `a..=b`).
+pub fn range<T: RangeValue, R: Into<IntRange<T>>>(r: R) -> IntRange<T> {
+    r.into()
+}
+
+/// Always produces a clone of `value` (consumes no draws).
+pub fn just<T: Clone + fmt::Debug>(value: T) -> Just<T> {
+    Just(value)
+}
+
+/// See [`just`].
+#[derive(Debug, Clone)]
+pub struct Just<T>(T);
+
+impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _src: &mut Source) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniformly picks one of the listed values; shrinks toward the first, so
+/// list the simplest value first.
+pub fn sample<T: Clone + fmt::Debug>(items: &[T]) -> Sample<T> {
+    assert!(!items.is_empty(), "sample of an empty list");
+    Sample {
+        items: items.to_vec(),
+    }
+}
+
+/// See [`sample`].
+#[derive(Debug, Clone)]
+pub struct Sample<T> {
+    items: Vec<T>,
+}
+
+impl<T: Clone + fmt::Debug> Strategy for Sample<T> {
+    type Value = T;
+    fn generate(&self, src: &mut Source) -> T {
+        let idx = (src.next_u64() % self.items.len() as u64) as usize;
+        self.items[idx].clone()
+    }
+}
+
+/// Booleans; shrinks toward `false`.
+pub fn bools() -> Bools {
+    Bools
+}
+
+/// See [`bools`].
+#[derive(Debug, Clone, Copy)]
+pub struct Bools;
+
+impl Strategy for Bools {
+    type Value = bool;
+    fn generate(&self, src: &mut Source) -> bool {
+        src.next_u64() & 1 == 1
+    }
+}
+
+/// Uniformly delegates to one of the alternative strategies; shrinks
+/// toward the first alternative, so list the simplest first.
+pub fn one_of<V: fmt::Debug>(alts: Vec<BoxedStrategy<V>>) -> OneOf<V> {
+    assert!(!alts.is_empty(), "one_of of an empty list");
+    OneOf { alts }
+}
+
+/// See [`one_of`].
+pub struct OneOf<V> {
+    alts: Vec<BoxedStrategy<V>>,
+}
+
+impl<V: fmt::Debug> Strategy for OneOf<V> {
+    type Value = V;
+    fn generate(&self, src: &mut Source) -> V {
+        let idx = (src.next_u64() % self.alts.len() as u64) as usize;
+        self.alts[idx].generate(src)
+    }
+}
+
+/// A vector of `elem` draws with length drawn from `len`; shrinks both the
+/// length and the elements.
+pub fn vec_of<S: Strategy, R: Into<IntRange<usize>>>(elem: S, len: R) -> VecOf<S> {
+    VecOf {
+        elem,
+        len: len.into(),
+    }
+}
+
+/// See [`vec_of`].
+pub struct VecOf<S> {
+    elem: S,
+    len: IntRange<usize>,
+}
+
+impl<S: Strategy> Strategy for VecOf<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, src: &mut Source) -> Vec<S::Value> {
+        let n = self.len.generate(src);
+        (0..n).map(|_| self.elem.generate(src)).collect()
+    }
+}
+
+/// Like [`vec_of`] but the produced elements are pairwise distinct (a
+/// deterministic-order replacement for a hash-set strategy). The target
+/// length is best-effort: if the element space is smaller than the drawn
+/// length, fewer (but ≥ 1) elements are produced.
+pub fn unique_vec<S, R>(elem: S, len: R) -> UniqueVec<S>
+where
+    S: Strategy,
+    S::Value: PartialEq,
+    R: Into<IntRange<usize>>,
+{
+    UniqueVec {
+        elem,
+        len: len.into(),
+    }
+}
+
+/// See [`unique_vec`].
+pub struct UniqueVec<S> {
+    elem: S,
+    len: IntRange<usize>,
+}
+
+impl<S> Strategy for UniqueVec<S>
+where
+    S: Strategy,
+    S::Value: PartialEq,
+{
+    type Value = Vec<S::Value>;
+    fn generate(&self, src: &mut Source) -> Vec<S::Value> {
+        let n = self.len.generate(src).max(1);
+        let mut out: Vec<S::Value> = Vec::with_capacity(n);
+        let mut attempts = 0usize;
+        while out.len() < n && attempts < n * 16 {
+            attempts += 1;
+            let v = self.elem.generate(src);
+            if !out.contains(&v) {
+                out.push(v);
+            }
+        }
+        out
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($S:ident $idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn generate(&self, src: &mut Source) -> Self::Value {
+                ($(self.$idx.generate(src),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(A 0, B 1);
+tuple_strategy!(A 0, B 1, C 2);
+tuple_strategy!(A 0, B 1, C 2, D 3);
+tuple_strategy!(A 0, B 1, C 2, D 3, E 4);
+
+// ---------------------------------------------------------------------------
+// Assumptions and panic plumbing
+// ---------------------------------------------------------------------------
+
+/// The sentinel payload `assume` panics with; the runner regenerates the
+/// case instead of failing.
+struct DiscardCase;
+
+/// Discards the current case when `cond` is false (the `prop_assume!`
+/// replacement).
+pub fn assume(cond: bool) {
+    if !cond {
+        panic::panic_any(DiscardCase);
+    }
+}
+
+thread_local! {
+    static CAPTURING: Cell<bool> = const { Cell::new(false) };
+    static LAST_LOCATION: RefCell<Option<String>> = const { RefCell::new(None) };
+}
+
+/// Installs (once, process-wide) a panic hook that stays silent for panics
+/// the harness is about to catch — shrinking re-runs a failing property
+/// hundreds of times and must not spam stderr. Panics outside a property
+/// run are forwarded to the previous hook unchanged.
+fn install_quiet_hook() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if CAPTURING.with(|c| c.get()) {
+                let loc = info.location().map(|l| l.to_string());
+                LAST_LOCATION.with(|p| *p.borrow_mut() = loc);
+            } else {
+                prev(info);
+            }
+        }));
+    });
+}
+
+enum Outcome {
+    Pass,
+    Discard,
+    Fail(String),
+}
+
+fn run_case<V>(prop: &impl Fn(V), value: V) -> Outcome {
+    install_quiet_hook();
+    CAPTURING.with(|c| c.set(true));
+    let result = panic::catch_unwind(AssertUnwindSafe(|| prop(value)));
+    CAPTURING.with(|c| c.set(false));
+    match result {
+        Ok(()) => Outcome::Pass,
+        Err(payload) => {
+            if payload.is::<DiscardCase>() {
+                return Outcome::Discard;
+            }
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "panic with non-string payload".to_string());
+            let msg = match LAST_LOCATION.with(|p| p.borrow_mut().take()) {
+                Some(loc) => format!("{msg}\n    at {loc}"),
+                None => msg,
+            };
+            Outcome::Fail(msg)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runner
+// ---------------------------------------------------------------------------
+
+/// A shrunk counterexample, as returned by [`Runner::run_result`].
+#[derive(Debug)]
+pub struct Failure {
+    /// The base seed of the run (replay with `COHESION_PROP_SEED=<seed>`).
+    pub seed: u64,
+    /// Passing cases before the failure.
+    pub cases_passed: u32,
+    /// Debug rendering of the minimal (shrunk) input.
+    pub minimal: String,
+    /// Debug rendering of the originally failing input.
+    pub original: String,
+    /// The panic message of the minimal input.
+    pub message: String,
+    /// Shrink attempts spent.
+    pub shrink_iters: u32,
+}
+
+impl fmt::Display for Failure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "failed after {} passing case(s)\n  minimal input: {}\n  original input: {}\n  error: {}\n  ({} shrink attempts; rerun with {}={})",
+            self.cases_passed, self.minimal, self.original, self.message, self.shrink_iters, SEED_ENV, self.seed
+        )
+    }
+}
+
+/// Runs one property over a strategy: deterministic cases, greedy stream
+/// shrinking, seed-replay reporting.
+pub struct Runner {
+    name: String,
+    cases: u32,
+    seed: Option<u64>,
+    max_shrink_iters: u32,
+}
+
+impl Runner {
+    /// A runner for the property `name` (the name seeds the default case
+    /// sequence, so distinct properties explore distinct inputs).
+    pub fn new(name: &str) -> Self {
+        Runner {
+            name: name.to_string(),
+            cases: DEFAULT_CASES,
+            seed: None,
+            max_shrink_iters: DEFAULT_SHRINK_ITERS,
+        }
+    }
+
+    /// Overrides the number of cases (the default is [`DEFAULT_CASES`]).
+    pub fn cases(mut self, n: u32) -> Self {
+        assert!(n > 0);
+        self.cases = n;
+        self
+    }
+
+    /// Pins the base seed, overriding both the name-derived default and
+    /// the `COHESION_PROP_SEED` environment variable.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Caps shrink attempts per failure.
+    pub fn max_shrink_iters(mut self, n: u32) -> Self {
+        self.max_shrink_iters = n;
+        self
+    }
+
+    fn resolve_seed(&self) -> u64 {
+        if let Some(s) = self.seed {
+            return s;
+        }
+        if let Ok(v) = std::env::var(SEED_ENV) {
+            match v.trim().parse::<u64>() {
+                Ok(s) => return s,
+                Err(_) => eprintln!("warning: ignoring unparsable {SEED_ENV}={v:?}"),
+            }
+        }
+        // FNV-1a over the property name, mixed once: stable across runs,
+        // distinct across properties.
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in self.name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        SplitMix64::new(h).next_u64()
+    }
+
+    /// Runs the property, panicking with a full report on failure (the
+    /// common entry point for `#[test]` functions).
+    pub fn run<S: Strategy>(&self, strategy: &S, prop: impl Fn(S::Value)) {
+        if let Err(failure) = self.run_result(strategy, prop) {
+            eprintln!("\nproperty '{}' {}\n", self.name, failure);
+            panic!(
+                "property '{}' failed; minimal input: {} — rerun with {}={}",
+                self.name, failure.minimal, SEED_ENV, failure.seed
+            );
+        }
+    }
+
+    /// Runs the property, returning the shrunk counterexample instead of
+    /// panicking (used by the testkit's own tests).
+    pub fn run_result<S: Strategy>(
+        &self,
+        strategy: &S,
+        prop: impl Fn(S::Value),
+    ) -> Result<(), Failure> {
+        let seed = self.resolve_seed();
+        let mut case_seeds = SplitMix64::new(seed);
+        let mut passed = 0u32;
+        let mut attempts = 0u32;
+        let max_attempts = self.cases.saturating_mul(16);
+        while passed < self.cases {
+            attempts += 1;
+            assert!(
+                attempts <= max_attempts,
+                "property '{}': too many discarded cases ({} attempts for {} cases) — weaken the assume()s",
+                self.name,
+                attempts,
+                self.cases
+            );
+            let mut src = Source::fresh(case_seeds.next_u64());
+            let value = strategy.generate(&mut src);
+            let original = format!("{value:?}");
+            match run_case(&prop, value) {
+                Outcome::Pass => passed += 1,
+                Outcome::Discard => {}
+                Outcome::Fail(message) => {
+                    let (stream, message, shrink_iters) =
+                        shrink(strategy, &prop, src.into_log(), message, self.max_shrink_iters);
+                    let minimal = format!("{:?}", strategy.generate(&mut Source::replay(&stream)));
+                    return Err(Failure {
+                        seed,
+                        cases_passed: passed,
+                        minimal,
+                        original,
+                        message,
+                        shrink_iters,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Greedy stream-level shrinking: chunk deletion, chunk zeroing, and
+/// per-draw minimization, to fixpoint or budget exhaustion.
+fn shrink<S: Strategy>(
+    strategy: &S,
+    prop: &impl Fn(S::Value),
+    initial: Vec<u64>,
+    initial_msg: String,
+    budget: u32,
+) -> (Vec<u64>, String, u32) {
+    let mut best = initial;
+    let mut best_msg = initial_msg;
+    let mut iters = 0u32;
+
+    // Progress order: shorter streams first, then lexicographically
+    // smaller. Acceptance is restricted to strict improvements in this
+    // well-founded order, which guarantees termination — a candidate's
+    // *normalized* stream can otherwise grow (e.g. halving a length draw
+    // wraps to a larger length) and cycle forever.
+    fn shortlex_less(a: &[u64], b: &[u64]) -> bool {
+        a.len() < b.len() || (a.len() == b.len() && a < b)
+    }
+
+    // Re-runs the property on a candidate stream; `Some` (with the
+    // normalized consumed stream) iff the property still fails.
+    let try_fail = |stream: &[u64]| -> Option<(Vec<u64>, String)> {
+        let mut src = Source::replay(stream);
+        let value = strategy.generate(&mut src);
+        match run_case(prop, value) {
+            Outcome::Fail(m) => Some((src.into_log(), m)),
+            _ => None,
+        }
+    };
+
+    'outer: loop {
+        let mut improved = false;
+
+        // Pass 1: delete chunks (halving sizes) — shorter streams mean
+        // structurally smaller inputs (fewer/earlier alternatives).
+        let mut size = (best.len() / 2).max(1);
+        loop {
+            let mut start = 0;
+            while start + size <= best.len() {
+                if iters >= budget {
+                    break 'outer;
+                }
+                iters += 1;
+                let mut cand = best.clone();
+                cand.drain(start..start + size);
+                match try_fail(&cand) {
+                    Some((log, m)) if shortlex_less(&log, &best) => {
+                        best = log;
+                        best_msg = m;
+                        improved = true;
+                    }
+                    _ => start += size,
+                }
+            }
+            if size == 1 {
+                break;
+            }
+            size /= 2;
+        }
+
+        // Pass 2: zero chunks — zero draws decode to minimal values.
+        let mut size = (best.len() / 2).max(1);
+        loop {
+            let mut start = 0;
+            while start + size <= best.len() {
+                if best[start..start + size].iter().all(|&v| v == 0) {
+                    start += size;
+                    continue;
+                }
+                if iters >= budget {
+                    break 'outer;
+                }
+                iters += 1;
+                let mut cand = best.clone();
+                cand[start..start + size].fill(0);
+                if let Some((log, m)) = try_fail(&cand) {
+                    if shortlex_less(&log, &best) {
+                        best = log;
+                        best_msg = m;
+                        improved = true;
+                    }
+                }
+                start += size;
+            }
+            if size == 1 {
+                break;
+            }
+            size /= 2;
+        }
+
+        // Pass 3: minimize individual draws toward zero.
+        let mut i = 0;
+        while i < best.len() {
+            loop {
+                let v = match best.get(i) {
+                    Some(&v) if v > 0 => v,
+                    _ => break,
+                };
+                if iters >= budget {
+                    break 'outer;
+                }
+                let mut accepted = false;
+                for cand_v in [0, v / 2, v - 1] {
+                    if cand_v >= v {
+                        continue;
+                    }
+                    if iters >= budget {
+                        break 'outer;
+                    }
+                    iters += 1;
+                    let mut cand = best.clone();
+                    cand[i] = cand_v;
+                    if let Some((log, m)) = try_fail(&cand) {
+                        if shortlex_less(&log, &best) {
+                            best = log;
+                            best_msg = m;
+                            improved = true;
+                            accepted = true;
+                            break;
+                        }
+                    }
+                }
+                if !accepted {
+                    break;
+                }
+            }
+            i += 1;
+        }
+
+        if !improved {
+            break;
+        }
+    }
+
+    (best, best_msg, iters)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_passes() {
+        Runner::new("passing_property_passes")
+            .run(&range(0u32..100), |v| assert!(v < 100));
+    }
+
+    #[test]
+    fn zero_replay_generates_minimal_values() {
+        let mut src = Source::replay(&[]);
+        assert_eq!(range(5u32..50).generate(&mut src), 5);
+        assert_eq!(range(-3i64..=9).generate(&mut src), -3);
+        assert!(!bools().generate(&mut src));
+        let v = vec_of(range(0u8..=255), 2..10).generate(&mut src);
+        assert_eq!(v, vec![0, 0]);
+    }
+
+    #[test]
+    fn tuple_and_map_compose() {
+        let s = (range(1u32..5), sample(&["a", "b"])).map(|(n, tag)| format!("{tag}{n}"));
+        let mut src = Source::fresh(1);
+        for _ in 0..100 {
+            let v = s.generate(&mut src);
+            assert!(v.len() >= 2);
+        }
+    }
+
+    #[test]
+    fn unique_vec_is_unique() {
+        let s = unique_vec(range(0u32..8), 1..8);
+        let mut src = Source::fresh(3);
+        for _ in 0..200 {
+            let v = s.generate(&mut src);
+            for (i, a) in v.iter().enumerate() {
+                assert!(!v[i + 1..].contains(a), "duplicate in {v:?}");
+            }
+            assert!(!v.is_empty());
+        }
+    }
+
+    #[test]
+    fn assume_discards_without_failing() {
+        // Half the cases are discarded; the property still completes.
+        Runner::new("assume_discards_without_failing")
+            .run(&range(0u32..100), |v| {
+                assume(v % 2 == 0);
+                assert!(v % 2 == 0);
+            });
+    }
+
+    #[test]
+    fn too_many_discards_is_an_error() {
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            Runner::new("too_many_discards").run(&range(0u32..100), |_| assume(false));
+        }));
+        let msg = *r.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("too many discarded"), "got: {msg}");
+    }
+}

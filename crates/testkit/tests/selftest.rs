@@ -1,0 +1,143 @@
+//! The testkit tested with itself: shrinker convergence to minimal
+//! counterexamples, deterministic case sequences, and seed replay via the
+//! `COHESION_PROP_SEED` environment variable.
+
+use std::cell::RefCell;
+use std::panic::AssertUnwindSafe;
+
+use cohesion_testkit::prop::{self, Strategy, SEED_ENV};
+
+/// The shrinker must converge to the *boundary* counterexample of a
+/// threshold property, not just any failing value.
+#[test]
+fn shrinker_converges_to_minimal_scalar() {
+    let failure = prop::Runner::new("shrinker_converges_to_minimal_scalar")
+        .run_result(&prop::range(0u64..1000), |v| assert!(v < 42))
+        .expect_err("the property is falsifiable");
+    assert_eq!(failure.minimal, "42", "greedy shrink must reach the boundary");
+    assert!(failure.message.contains("v < 42"));
+}
+
+/// Vector inputs shrink in both length and element values.
+#[test]
+fn shrinker_converges_to_minimal_vector() {
+    let failure = prop::Runner::new("shrinker_converges_to_minimal_vector")
+        .run_result(&prop::vec_of(prop::range(0u32..100), 0..10), |v| {
+            assert!(v.len() < 3, "vectors must stay short");
+        })
+        .expect_err("the property is falsifiable");
+    assert_eq!(
+        failure.minimal, "[0, 0, 0]",
+        "minimal counterexample is the shortest failing vector of minimal elements"
+    );
+}
+
+/// Shrinking works *through* composition (`one_of` + `map`), because it
+/// operates on the draw stream rather than on values.
+#[test]
+fn shrinker_shrinks_through_one_of_and_map() {
+    let strategy = prop::one_of(vec![
+        prop::range(0u32..10).boxed(),
+        prop::range(100u32..200).boxed(),
+    ])
+    .map(|x| x * 2);
+    let failure = prop::Runner::new("shrinker_shrinks_through_one_of_and_map")
+        .run_result(&strategy, |v| assert!(v < 250))
+        .expect_err("the second branch can exceed the threshold");
+    assert_eq!(failure.minimal, "250");
+}
+
+/// The same explicit seed replays the exact same case sequence.
+#[test]
+fn explicit_seed_replays_identical_case_sequence() {
+    let collect = |seed: u64| {
+        let seen = RefCell::new(Vec::new());
+        prop::Runner::new("explicit_seed_replay")
+            .seed(seed)
+            .run(&(prop::range(0u64..1_000_000), prop::bools()), |v| {
+                seen.borrow_mut().push(v);
+            });
+        seen.into_inner()
+    };
+    let a = collect(12345);
+    let b = collect(12345);
+    let c = collect(54321);
+    assert_eq!(a.len(), prop::DEFAULT_CASES as usize);
+    assert_eq!(a, b, "same seed ⇒ same cases");
+    assert_ne!(a, c, "different seed ⇒ different cases");
+}
+
+/// Without a seed, the case sequence is still deterministic (derived from
+/// the property name) — reruns of a green suite are bit-identical.
+#[test]
+fn default_seed_is_deterministic_per_property() {
+    let collect = |name: &str| {
+        let seen = RefCell::new(Vec::new());
+        prop::Runner::new(name).run(&prop::range(0u64..1_000_000), |v| {
+            seen.borrow_mut().push(v);
+        });
+        seen.into_inner()
+    };
+    assert_eq!(collect("prop_a"), collect("prop_a"));
+    assert_ne!(collect("prop_a"), collect("prop_b"));
+}
+
+/// `COHESION_PROP_SEED` reproduces the same case sequence as an explicit
+/// seed, and a failure report carries the replay line.
+#[test]
+fn env_seed_replay_and_failure_report() {
+    // Env-var path vs explicit-seed path.
+    let seen_env = RefCell::new(Vec::new());
+    std::env::set_var(SEED_ENV, "424242");
+    prop::Runner::new("env_seed_replay").run(&prop::range(0u32..10_000), |v| {
+        seen_env.borrow_mut().push(v);
+    });
+    std::env::remove_var(SEED_ENV);
+    let seen_explicit = RefCell::new(Vec::new());
+    prop::Runner::new("env_seed_replay")
+        .seed(424242)
+        .run(&prop::range(0u32..10_000), |v| {
+            seen_explicit.borrow_mut().push(v);
+        });
+    assert_eq!(
+        seen_env.into_inner(),
+        seen_explicit.into_inner(),
+        "{SEED_ENV} must reproduce the explicit-seed sequence"
+    );
+
+    // The panicking entry point names the seed so the line can be pasted.
+    let err = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        prop::Runner::new("always_fails")
+            .seed(7)
+            .run(&prop::range(0u32..10), |_| panic!("boom"));
+    }))
+    .expect_err("property always fails");
+    let msg = err
+        .downcast_ref::<String>()
+        .expect("panic message is a string");
+    assert!(
+        msg.contains(&format!("{SEED_ENV}=7")),
+        "failure must print the replay seed, got: {msg}"
+    );
+}
+
+/// Discarded cases (via `assume`) do not count toward the case budget and
+/// do not disturb determinism.
+#[test]
+fn assume_preserves_determinism() {
+    let collect = || {
+        let seen = RefCell::new(Vec::new());
+        prop::Runner::new("assume_determinism")
+            .seed(99)
+            .cases(100)
+            .run(&prop::range(0u32..1000), |v| {
+                prop::assume(v % 3 == 0);
+                seen.borrow_mut().push(v);
+            });
+        seen.into_inner()
+    };
+    let a = collect();
+    assert_eq!(a.len(), 100, "exactly `cases` non-discarded executions");
+    assert!(a.iter().all(|v| v % 3 == 0));
+    assert_eq!(a, collect());
+}

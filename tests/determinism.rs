@@ -1,0 +1,54 @@
+//! Bit-determinism regression: two runs of the same workload under the
+//! same `MachineConfig` must produce *identical* reports — not just the
+//! same cycle count, but every counter. The golden-statistics tests and
+//! the seed-replay workflow of the property suites both rest on this.
+
+use cohesion::config::{DesignPoint, MachineConfig};
+use cohesion::report::RunReport;
+use cohesion::run::run_workload;
+use cohesion_kernels::{kernel_by_name, Scale};
+
+fn run_once(kernel: &str, dp: DesignPoint) -> RunReport {
+    let cfg = MachineConfig::scaled(16, dp);
+    let mut wl = kernel_by_name(kernel, Scale::Tiny);
+    run_workload(&cfg, wl.as_mut()).unwrap_or_else(|e| panic!("{kernel}: {e}"))
+}
+
+fn assert_identical(kernel: &str, mode: &str, a: &RunReport, b: &RunReport) {
+    let ctx = format!("{kernel}/{mode}");
+    assert_eq!(a.cycles, b.cycles, "{ctx}: cycle counts diverged");
+    assert_eq!(a.messages, b.messages, "{ctx}: message counters diverged");
+    assert_eq!(
+        a.total_messages(),
+        b.total_messages(),
+        "{ctx}: total messages diverged"
+    );
+    assert_eq!(a.phases, b.phases, "{ctx}: phases diverged");
+    assert_eq!(a.tasks, b.tasks, "{ctx}: tasks diverged");
+    assert_eq!(a.ops, b.ops, "{ctx}: ops diverged");
+    assert_eq!(a.transitions, b.transitions, "{ctx}: transitions diverged");
+    assert_eq!(a.dram, b.dram, "{ctx}: DRAM accesses diverged");
+    assert_eq!(a.l2, b.l2, "{ctx}: L2 stats diverged");
+    assert_eq!(a.l3, b.l3, "{ctx}: L3 stats diverged");
+    assert_eq!(a.noc, b.noc, "{ctx}: NoC stats diverged");
+    assert_eq!(a.dir_insertions, b.dir_insertions, "{ctx}: dir insertions diverged");
+    assert_eq!(a.dir_evictions, b.dir_evictions, "{ctx}: dir evictions diverged");
+    assert_eq!(a.races, b.races, "{ctx}: race counts diverged");
+}
+
+#[test]
+fn repeated_runs_are_bit_identical() {
+    let kernels = ["heat", "kmeans", "gjk"];
+    let points = [
+        ("SWcc", DesignPoint::swcc()),
+        ("HWccIdeal", DesignPoint::hwcc_ideal()),
+        ("Cohesion", DesignPoint::cohesion(1024, 128)),
+    ];
+    for kernel in kernels {
+        for (mode, dp) in points {
+            let a = run_once(kernel, dp);
+            let b = run_once(kernel, dp);
+            assert_identical(kernel, mode, &a, &b);
+        }
+    }
+}

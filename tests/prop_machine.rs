@@ -2,33 +2,31 @@
 //! program computes the right answer under *any* design point.
 //!
 //! Random microbenchmark shapes × random machine configurations, each run
-//! end-to-end with golden verification inside `run_workload`.
+//! end-to-end with golden verification inside `run_workload`. Runs on the
+//! first-party `cohesion-testkit` harness: ≥ 64 deterministic cases each,
+//! replayable via `COHESION_PROP_SEED`.
 
 use cohesion::config::{DesignPoint, DirectoryVariant, MachineConfig};
 use cohesion::run::run_workload;
 use cohesion::workloads::micro::Microbench;
 use cohesion_runtime::api::CohMode;
-use proptest::prelude::*;
+use cohesion_testkit::prop::{assume, range, sample, Runner, Strategy};
 
-fn arb_design_point() -> impl Strategy<Value = DesignPoint> {
-    let modes = prop_oneof![
-        Just(CohMode::SWcc),
-        Just(CohMode::HWcc),
-        Just(CohMode::Cohesion)
-    ];
-    let dirs = prop_oneof![
-        Just(DirectoryVariant::FullMapInfinite),
-        Just(DirectoryVariant::Sparse {
+fn design_points() -> impl Strategy<Value = DesignPoint> {
+    let modes = sample(&[CohMode::SWcc, CohMode::HWcc, CohMode::Cohesion]);
+    let dirs = sample(&[
+        DirectoryVariant::FullMapInfinite,
+        DirectoryVariant::Sparse {
             entries: 256,
-            ways: 64
-        }),
-        Just(DirectoryVariant::Dir4B {
+            ways: 64,
+        },
+        DirectoryVariant::Dir4B {
             entries: 256,
-            ways: 64
-        }),
-        Just(DirectoryVariant::FullyAssociative { entries: 32 }),
-    ];
-    (modes, dirs).prop_map(|(mode, directory)| DesignPoint {
+            ways: 64,
+        },
+        DirectoryVariant::FullyAssociative { entries: 32 },
+    ]);
+    (modes, dirs).map(|(mode, directory)| DesignPoint {
         mode,
         directory: if mode == CohMode::SWcc {
             DirectoryVariant::None
@@ -38,67 +36,68 @@ fn arb_design_point() -> impl Strategy<Value = DesignPoint> {
     })
 }
 
-fn arb_workload() -> impl Strategy<Value = Microbench> {
-    let tasks = 1usize..20;
-    let words = 1usize..48;
-    (0u8..6, tasks, words).prop_map(|(pattern, tasks, words)| match pattern {
-        0 => Microbench::read_shared(tasks, words),
-        1 => Microbench::private_blocks(tasks, words),
-        2 => Microbench::producer_consumer(tasks, words),
-        3 => Microbench::atomic_counters(tasks, words.min(16)),
-        4 => Microbench::thread_migration(tasks, words),
-        _ => Microbench::transition_bridge(tasks, words),
-    })
+fn workloads() -> impl Strategy<Value = Microbench> {
+    (range(0u8..6), range(1usize..20), range(1usize..48)).map(
+        |(pattern, tasks, words)| match pattern {
+            0 => Microbench::read_shared(tasks, words),
+            1 => Microbench::private_blocks(tasks, words),
+            2 => Microbench::producer_consumer(tasks, words),
+            3 => Microbench::atomic_counters(tasks, words.min(16)),
+            4 => Microbench::thread_migration(tasks, words),
+            _ => Microbench::transition_bridge(tasks, words),
+        },
+    )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn any_bsp_program_verifies_under_any_design_point(
-        mut wl in arb_workload(),
-        dp in arb_design_point(),
-        cores in prop_oneof![Just(16u32), Just(32), Just(64)],
-    ) {
-        let cfg = MachineConfig::scaled(cores, dp);
-        let report = run_workload(&cfg, &mut wl)
-            .unwrap_or_else(|e| panic!("{dp:?} @{cores}: {e}"));
-        prop_assert!(report.cycles > 0);
-        prop_assert_eq!(report.races, 0, "BSP programs must not race");
-    }
-
-    #[test]
-    fn tiny_l2_and_l1_geometries_stay_correct(
-        mut wl in arb_workload(),
-        l2_pow in 9u32..13, // 512 B .. 4 KB L2
-        dp in arb_design_point(),
-    ) {
-        let mut cfg = MachineConfig::scaled(16, dp);
-        cfg.l2 = cohesion_mem::cache::CacheConfig::new(1 << l2_pow, 16);
-        prop_assume!(cfg.l2.sets() >= 1 && cfg.l2.sets().is_power_of_two());
-        let report = run_workload(&cfg, &mut wl)
-            .unwrap_or_else(|e| panic!("L2 {} B under {dp:?}: {e}", 1 << l2_pow));
-        prop_assert!(report.cycles > 0);
-    }
+#[test]
+fn any_bsp_program_verifies_under_any_design_point() {
+    Runner::new("any_bsp_program_verifies_under_any_design_point")
+        .cases(64)
+        .run(
+            &(workloads(), design_points(), sample(&[16u32, 32, 64])),
+            |(mut wl, dp, cores)| {
+                let cfg = MachineConfig::scaled(cores, dp);
+                let report = run_workload(&cfg, &mut wl)
+                    .unwrap_or_else(|e| panic!("{dp:?} @{cores}: {e}"));
+                assert!(report.cycles > 0);
+                assert_eq!(report.races, 0, "BSP programs must not race");
+            },
+        );
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
+#[test]
+fn tiny_l2_and_l1_geometries_stay_correct() {
+    Runner::new("tiny_l2_and_l1_geometries_stay_correct")
+        .cases(64)
+        .run(
+            &(workloads(), range(9u32..13), design_points()),
+            |(mut wl, l2_pow, dp)| {
+                let mut cfg = MachineConfig::scaled(16, dp);
+                cfg.l2 = cohesion_mem::cache::CacheConfig::new(1 << l2_pow, 16);
+                assume(cfg.l2.sets() >= 1 && cfg.l2.sets().is_power_of_two());
+                let report = run_workload(&cfg, &mut wl)
+                    .unwrap_or_else(|e| panic!("L2 {} B under {dp:?}: {e}", 1 << l2_pow));
+                assert!(report.cycles > 0);
+            },
+        );
+}
 
-    /// Multiprogramming: any pair of random BSP programs sharing the
-    /// machine (with per-process region tables) both verify.
-    #[test]
-    fn multiprogrammed_pairs_verify(
-        mut a in arb_workload(),
-        mut b in arb_workload(),
-        dp in arb_design_point(),
-    ) {
-        let cfg = MachineConfig::scaled(32, dp);
-        let reports = cohesion::multi::run_workloads(&cfg, vec![&mut a, &mut b])
-            .unwrap_or_else(|e| panic!("{dp:?}: {e}"));
-        prop_assert_eq!(reports.len(), 2);
-        for r in &reports {
-            prop_assert!(r.finished_at > 0);
-        }
-    }
+/// Multiprogramming: any pair of random BSP programs sharing the machine
+/// (with per-process region tables) both verify.
+#[test]
+fn multiprogrammed_pairs_verify() {
+    Runner::new("multiprogrammed_pairs_verify")
+        .cases(64)
+        .run(
+            &(workloads(), workloads(), design_points()),
+            |(mut a, mut b, dp)| {
+                let cfg = MachineConfig::scaled(32, dp);
+                let reports = cohesion::multi::run_workloads(&cfg, vec![&mut a, &mut b])
+                    .unwrap_or_else(|e| panic!("{dp:?}: {e}"));
+                assert_eq!(reports.len(), 2);
+                for r in &reports {
+                    assert!(r.finished_at > 0);
+                }
+            },
+        );
 }
