@@ -21,19 +21,53 @@
 //!    line (kmeans, cg reduction slots) *are* racy under this ablation —
 //!    use it with heat/sobel/dmm/stencil/mri/gjk.
 //!
+//! The (kernel × variant) sweep runs on the `--jobs` worker pool; rows are
+//! printed in deterministic input order.
+//!
 //! ```sh
-//! cargo run --release -p cohesion-bench --bin ablation [--cores N] [--scale ...]
+//! cargo run --release -p cohesion-bench --bin ablation [--cores N] [--scale ...] [--jobs N]
 //! ```
 
-use cohesion::config::DesignPoint;
+use cohesion::config::{DesignPoint, MachineConfig};
 use cohesion::run::run_workload;
-use cohesion_bench::harness::Options;
+use cohesion_bench::harness::{run_jobs, Job, Options};
 use cohesion_bench::table::Table;
 use cohesion_kernels::kernel_by_name;
+
+/// The ablated variants: capture-free mutators so jobs stay `Send + Sync`.
+const VARIANTS: [(&str, fn(&mut MachineConfig)); 7] = [
+    ("default (table cache + coarse table)", |_| {}),
+    ("table cached in L3 (paper base)", |c| c.table_cache_bytes = 0),
+    ("no coarse table (all fine-grain)", |c| c.use_coarse_table = false),
+    ("Dir4B sharer pointers", |c| {
+        c.design = DesignPoint::cohesion_dir4b(16 * 1024, 128)
+    }),
+    ("MESI (exclusive state)", |c| c.exclusive_state = true),
+    ("silent clean evictions", |c| c.silent_evictions = true),
+    ("no per-word dirty bits", |c| c.word_granular_swcc = false),
+];
 
 fn main() {
     let opts = Options::from_args();
     let e = 16 * 1024;
+    let jobs: Vec<Job<(String, usize)>> = opts
+        .kernels
+        .iter()
+        .flat_map(|k| {
+            VARIANTS
+                .iter()
+                .enumerate()
+                .map(move |(vi, (name, _))| Job::new(format!("{k} @ {name}"), (k.clone(), vi)))
+        })
+        .collect();
+    let reports = run_jobs(opts.jobs, jobs, |(kernel, vi)| {
+        let (variant, mutate) = VARIANTS[vi];
+        let mut cfg = opts.config(DesignPoint::cohesion(e, 128));
+        mutate(&mut cfg);
+        let mut wl = kernel_by_name(&kernel, opts.scale);
+        run_workload(&cfg, wl.as_mut()).unwrap_or_else(|err| panic!("{kernel} {variant}: {err}"))
+    });
+
     let mut t = Table::new(vec![
         "kernel",
         "variant",
@@ -41,47 +75,9 @@ fn main() {
         "vs default",
         "messages",
     ]);
-    for kernel in &opts.kernels {
-        let mut base_cycles = None;
-        for (variant, f) in [
-            (
-                "default (table cache + coarse table)",
-                Box::new(|_: &mut cohesion::config::MachineConfig| {})
-                    as Box<dyn Fn(&mut cohesion::config::MachineConfig)>,
-            ),
-            (
-                "table cached in L3 (paper base)",
-                Box::new(|c: &mut cohesion::config::MachineConfig| c.table_cache_bytes = 0),
-            ),
-            (
-                "no coarse table (all fine-grain)",
-                Box::new(|c: &mut cohesion::config::MachineConfig| c.use_coarse_table = false),
-            ),
-            (
-                "Dir4B sharer pointers",
-                Box::new(|c: &mut cohesion::config::MachineConfig| {
-                    c.design = DesignPoint::cohesion_dir4b(16 * 1024, 128)
-                }),
-            ),
-            (
-                "MESI (exclusive state)",
-                Box::new(|c: &mut cohesion::config::MachineConfig| c.exclusive_state = true),
-            ),
-            (
-                "silent clean evictions",
-                Box::new(|c: &mut cohesion::config::MachineConfig| c.silent_evictions = true),
-            ),
-            (
-                "no per-word dirty bits",
-                Box::new(|c: &mut cohesion::config::MachineConfig| c.word_granular_swcc = false),
-            ),
-        ] {
-            let mut cfg = opts.config(DesignPoint::cohesion(e, 128));
-            f(&mut cfg);
-            let mut wl = kernel_by_name(kernel, opts.scale);
-            let r = run_workload(&cfg, wl.as_mut())
-                .unwrap_or_else(|err| panic!("{kernel} {variant}: {err}"));
-            let base = *base_cycles.get_or_insert(r.cycles);
+    for (kernel, chunk) in opts.kernels.iter().zip(reports.chunks_exact(VARIANTS.len())) {
+        let base = chunk[0].cycles;
+        for ((variant, _), r) in VARIANTS.iter().zip(chunk) {
             t.row(vec![
                 kernel.clone(),
                 variant.to_string(),

@@ -1,7 +1,11 @@
-//! Regenerates the §4.4 directory-area table (analytic; no simulation).
+//! Regenerates the §4.4 directory-area table (analytic; no simulation —
+//! the only figure binary with nothing to hand the worker pool, though it
+//! accepts the shared flags so every binary has a uniform CLI).
 
 use cohesion_bench::figures::render_area;
+use cohesion_bench::harness::Options;
 
 fn main() {
+    let _ = Options::from_args(); // uniform flag validation (--jobs etc.)
     print!("{}", render_area());
 }

@@ -1,5 +1,9 @@
 //! Regenerates Figure 10: runtime across the six §4 design points,
 //! normalized to Cohesion with a full-map sparse directory.
+//!
+//! The (kernel × design point) sweep runs on the `--jobs` /
+//! `COHESION_JOBS` worker pool; output is identical regardless of worker
+//! count.
 
 use cohesion_bench::figures::{fig10, render_fig10};
 use cohesion_bench::harness::Options;

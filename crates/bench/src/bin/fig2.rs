@@ -1,4 +1,7 @@
 //! Regenerates Figure 2: L2→L3 message counts, SWcc vs optimistic HWcc.
+//!
+//! The (kernel × config) sweep runs on the `--jobs` / `COHESION_JOBS`
+//! worker pool; output is identical regardless of worker count.
 
 use cohesion_bench::figures::{fig2, render_fig2};
 use cohesion_bench::harness::Options;

@@ -1,4 +1,7 @@
 //! Regenerates Figure 3: usefulness of SWcc coherence instructions vs L2 size.
+//!
+//! The (kernel × L2 size) sweep runs on the `--jobs` / `COHESION_JOBS`
+//! worker pool; output is identical regardless of worker count.
 
 use cohesion_bench::figures::{fig3, render_fig3};
 use cohesion_bench::harness::Options;

@@ -1,5 +1,8 @@
 //! Regenerates Figure 8: message counts for SWcc / Cohesion / HWccIdeal /
 //! HWccReal, normalized to SWcc.
+//!
+//! The (kernel × config) sweep runs on the `--jobs` / `COHESION_JOBS`
+//! worker pool; output is identical regardless of worker count.
 
 use cohesion_bench::figures::{fig8, render_fig8};
 use cohesion_bench::harness::Options;

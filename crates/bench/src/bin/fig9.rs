@@ -1,5 +1,9 @@
 //! Regenerates Figure 9: directory-capacity sweeps (a: HWcc, b: Cohesion)
 //! and occupancy breakdown (c). Select with `--part a|b|c`; default all.
+//!
+//! Each part's (kernel × directory size) sweep runs on the `--jobs` /
+//! `COHESION_JOBS` worker pool; output is identical regardless of worker
+//! count.
 
 use cohesion_bench::figures::{fig9_sweep, fig9c, render_fig9_sweep, render_fig9c};
 use cohesion_bench::harness::Options;

@@ -1,26 +1,43 @@
 //! Generates the golden-statistics table for tests/golden_stats.rs
 //! (development tool; run after intentional protocol changes and paste the
 //! output into the test).
+//!
+//! The golden configuration is pinned (16 cores, tiny scale) — only the
+//! worker count is configurable (`COHESION_JOBS`); lines are printed in
+//! deterministic input order, so the pasted table never depends on how
+//! many workers ran the sweep.
 
 use cohesion::config::{DesignPoint, MachineConfig};
 use cohesion::run::run_workload;
+use cohesion_bench::harness::{run_jobs, Job};
 use cohesion_kernels::{kernel_by_name, Scale, KERNEL_NAMES};
+use cohesion_testkit::pool;
 
 fn main() {
-    for kernel in KERNEL_NAMES {
-        for (mode, dp) in [
-            ("SWcc", DesignPoint::swcc()),
-            ("HWccIdeal", DesignPoint::hwcc_ideal()),
-            ("Cohesion", DesignPoint::cohesion(1024, 128)),
-        ] {
-            let cfg = MachineConfig::scaled(16, dp);
-            let mut wl = kernel_by_name(kernel, Scale::Tiny);
-            let r = run_workload(&cfg, wl.as_mut()).expect("verifies");
-            println!(
-                "    (\"{kernel}\", \"{mode}\", {}, {}),",
-                r.cycles,
-                r.total_messages()
-            );
-        }
+    let points = [
+        ("SWcc", DesignPoint::swcc()),
+        ("HWccIdeal", DesignPoint::hwcc_ideal()),
+        ("Cohesion", DesignPoint::cohesion(1024, 128)),
+    ];
+    let jobs: Vec<Job<(&str, &str, DesignPoint)>> = KERNEL_NAMES
+        .iter()
+        .flat_map(|&kernel| {
+            points
+                .iter()
+                .map(move |&(mode, dp)| Job::new(format!("{kernel} @ {mode}"), (kernel, mode, dp)))
+        })
+        .collect();
+    let lines = run_jobs(pool::default_jobs(), jobs, |(kernel, mode, dp)| {
+        let cfg = MachineConfig::scaled(16, dp);
+        let mut wl = kernel_by_name(kernel, Scale::Tiny);
+        let r = run_workload(&cfg, wl.as_mut()).expect("verifies");
+        format!(
+            "    (\"{kernel}\", \"{mode}\", {}, {}),",
+            r.cycles,
+            r.total_messages()
+        )
+    });
+    for line in lines {
+        println!("{line}");
     }
 }

@@ -2,14 +2,17 @@
 //! cores forces coherence actions at every swap under SWcc, while HWcc (and
 //! Cohesion keeping such data hardware-coherent) pulls it on demand.
 //!
+//! The three configurations run as one job list on the `--jobs` worker
+//! pool; rows are printed in deterministic input order.
+//!
 //! ```sh
-//! cargo run --release -p cohesion-bench --bin migration [--cores N]
+//! cargo run --release -p cohesion-bench --bin migration [--cores N] [--jobs N]
 //! ```
 
 use cohesion::config::DesignPoint;
 use cohesion::run::run_workload;
 use cohesion::workloads::micro::Microbench;
-use cohesion_bench::harness::Options;
+use cohesion_bench::harness::{run_jobs, Job, Options};
 use cohesion_bench::table::Table;
 
 fn main() {
@@ -18,6 +21,21 @@ fn main() {
     let words = 64; // 256 B of per-thread state
 
     let e = 16 * 1024;
+    let points = [
+        ("SWcc", DesignPoint::swcc()),
+        ("HWccIdeal", DesignPoint::hwcc_ideal()),
+        ("Cohesion", DesignPoint::cohesion(e, 128)),
+    ];
+    let jobs: Vec<Job<(&str, DesignPoint)>> = points
+        .iter()
+        .map(|&(name, dp)| Job::new(format!("migration @ {name}"), (name, dp)))
+        .collect();
+    let reports = run_jobs(opts.jobs, jobs, |(name, dp)| {
+        let cfg = opts.config(dp);
+        let mut wl = Microbench::thread_migration(threads, words);
+        run_workload(&cfg, &mut wl).unwrap_or_else(|err| panic!("{name}: {err}"))
+    });
+
     let mut t = Table::new(vec![
         "config",
         "cycles",
@@ -25,14 +43,7 @@ fn main() {
         "flushes",
         "invalidations issued",
     ]);
-    for (name, dp) in [
-        ("SWcc", DesignPoint::swcc()),
-        ("HWccIdeal", DesignPoint::hwcc_ideal()),
-        ("Cohesion", DesignPoint::cohesion(e, 128)),
-    ] {
-        let cfg = opts.config(dp);
-        let mut wl = Microbench::thread_migration(threads, words);
-        let r = run_workload(&cfg, &mut wl).unwrap_or_else(|err| panic!("{name}: {err}"));
+    for ((name, _), r) in points.iter().zip(&reports) {
         t.row(vec![
             name.to_string(),
             r.cycles.to_string(),

@@ -6,15 +6,20 @@
 //! main choke point: sixteen clusters share each tree root) and reports how
 //! each memory model's runtime responds to shrinking network capacity.
 //!
+//! The (kernel × config × interval) sweep runs on the `--jobs` worker
+//! pool; rows are printed in deterministic input order.
+//!
 //! ```sh
-//! cargo run --release -p cohesion-bench --bin network_capacity -- [--kernels ...]
+//! cargo run --release -p cohesion-bench --bin network_capacity -- [--kernels ...] [--jobs N]
 //! ```
 
 use cohesion::config::DesignPoint;
 use cohesion::run::run_workload;
-use cohesion_bench::harness::Options;
+use cohesion_bench::harness::{run_jobs, Job, Options};
 use cohesion_bench::table::Table;
 use cohesion_kernels::kernel_by_name;
+
+const INTERVALS: [u64; 3] = [1, 2, 4];
 
 fn main() {
     let opts = Options::from_args();
@@ -24,6 +29,29 @@ fn main() {
         ("Cohesion", DesignPoint::cohesion(e, 128)),
         ("HWccIdeal", DesignPoint::hwcc_ideal()),
     ];
+    let jobs: Vec<Job<(String, &str, DesignPoint, u64)>> = opts
+        .kernels
+        .iter()
+        .flat_map(|k| {
+            points.iter().flat_map(move |&(name, dp)| {
+                INTERVALS.iter().map(move |&interval| {
+                    Job::new(
+                        format!("{k} @ {name} interval {interval}"),
+                        (k.clone(), name, dp, interval),
+                    )
+                })
+            })
+        })
+        .collect();
+    let cycles = run_jobs(opts.jobs, jobs, |(kernel, name, dp, interval)| {
+        let mut cfg = opts.config(dp);
+        cfg.noc.tree_interval = interval;
+        let mut wl = kernel_by_name(&kernel, opts.scale);
+        let r = run_workload(&cfg, wl.as_mut())
+            .unwrap_or_else(|err| panic!("{kernel}/{name}@{interval}: {err}"));
+        r.cycles
+    });
+
     let mut t = Table::new(vec![
         "kernel",
         "config",
@@ -33,25 +61,18 @@ fn main() {
         "half/full",
         "quarter/full",
     ]);
+    let mut chunks = cycles.chunks_exact(INTERVALS.len());
     for kernel in &opts.kernels {
-        for (name, dp) in points {
-            let mut cycles = Vec::new();
-            for interval in [1u64, 2, 4] {
-                let mut cfg = opts.config(dp);
-                cfg.noc.tree_interval = interval;
-                let mut wl = kernel_by_name(kernel, opts.scale);
-                let r = run_workload(&cfg, wl.as_mut())
-                    .unwrap_or_else(|err| panic!("{kernel}/{name}@{interval}: {err}"));
-                cycles.push(r.cycles);
-            }
+        for (name, _) in points {
+            let c = chunks.next().expect("one chunk per (kernel, config)");
             t.row(vec![
                 kernel.clone(),
                 name.to_string(),
-                cycles[0].to_string(),
-                cycles[1].to_string(),
-                cycles[2].to_string(),
-                format!("{:.2}x", cycles[1] as f64 / cycles[0] as f64),
-                format!("{:.2}x", cycles[2] as f64 / cycles[0] as f64),
+                c[0].to_string(),
+                c[1].to_string(),
+                c[2].to_string(),
+                format!("{:.2}x", c[1] as f64 / c[0] as f64),
+                format!("{:.2}x", c[2] as f64 / c[0] as f64),
             ]);
         }
     }

@@ -5,19 +5,42 @@
 //! bank; per-cluster queues with work stealing (the "stolen by another
 //! core" model of §2.3) decentralize it.
 //!
+//! The (kernel × queue model) sweep runs on the `--jobs` worker pool;
+//! rows are printed in deterministic input order.
+//!
 //! ```sh
-//! cargo run --release -p cohesion-bench --bin scheduling [--cores N] [--scale ...]
+//! cargo run --release -p cohesion-bench --bin scheduling [--cores N] [--scale ...] [--jobs N]
 //! ```
 
 use cohesion::config::{DesignPoint, TaskQueueModel};
 use cohesion::run::run_workload;
-use cohesion_bench::harness::Options;
+use cohesion_bench::harness::{run_jobs, Job, Options};
 use cohesion_bench::table::Table;
 use cohesion_kernels::kernel_by_name;
 
 fn main() {
     let opts = Options::from_args();
     let e = 16 * 1024;
+    let models = [
+        ("global", TaskQueueModel::Global),
+        ("per-cluster + stealing", TaskQueueModel::PerClusterStealing),
+    ];
+    let jobs: Vec<Job<(String, &str, TaskQueueModel)>> = opts
+        .kernels
+        .iter()
+        .flat_map(|k| {
+            models
+                .iter()
+                .map(move |&(name, model)| Job::new(format!("{k} @ {name}"), (k.clone(), name, model)))
+        })
+        .collect();
+    let reports = run_jobs(opts.jobs, jobs, |(kernel, name, model)| {
+        let mut cfg = opts.config(DesignPoint::cohesion(e, 128));
+        cfg.task_queue = model;
+        let mut wl = kernel_by_name(&kernel, opts.scale);
+        run_workload(&cfg, wl.as_mut()).unwrap_or_else(|err| panic!("{kernel}/{name}: {err}"))
+    });
+
     let mut t = Table::new(vec![
         "kernel",
         "queue model",
@@ -25,23 +48,14 @@ fn main() {
         "vs global",
         "dequeue atomics",
     ]);
-    for kernel in &opts.kernels {
-        let mut base = None;
-        for (name, model) in [
-            ("global", TaskQueueModel::Global),
-            ("per-cluster + stealing", TaskQueueModel::PerClusterStealing),
-        ] {
-            let mut cfg = opts.config(DesignPoint::cohesion(e, 128));
-            cfg.task_queue = model;
-            let mut wl = kernel_by_name(kernel, opts.scale);
-            let r = run_workload(&cfg, wl.as_mut())
-                .unwrap_or_else(|err| panic!("{kernel}/{name}: {err}"));
-            let b = *base.get_or_insert(r.cycles);
+    for (kernel, chunk) in opts.kernels.iter().zip(reports.chunks_exact(models.len())) {
+        let base = chunk[0].cycles;
+        for ((name, _), r) in models.iter().zip(chunk) {
             t.row(vec![
                 kernel.clone(),
                 name.to_string(),
                 r.cycles.to_string(),
-                format!("{:.2}x", r.cycles as f64 / b as f64),
+                format!("{:.2}x", r.cycles as f64 / base as f64),
                 r.messages
                     .count(cohesion_sim::msg::MessageClass::UncachedAtomic)
                     .to_string(),

@@ -1,5 +1,8 @@
 //! Computes the abstract's headline claims: ~2x message reduction and
 //! ~2.1x directory-utilization reduction vs optimistic HWcc.
+//!
+//! Runs the Figure 8 and 9c sweeps on the `--jobs` / `COHESION_JOBS`
+//! worker pool; output is identical regardless of worker count.
 
 use cohesion_bench::figures::{fig8, fig9c, render_summary, summarize};
 use cohesion_bench::harness::Options;

@@ -2,17 +2,20 @@
 //! what the benchmarks actually ask of the memory system, before any
 //! machine runs them.
 //!
+//! The (kernel × mode) trace generation runs on the `--jobs` worker pool;
+//! rows are printed in deterministic input order.
+//!
 //! ```sh
 //! cargo run --release -p cohesion-bench --bin trace_stats -- \
-//!     [--kernels a,b,c] [--scale tiny|small|medium] [--cores N]
+//!     [--kernels a,b,c] [--scale tiny|small|medium] [--cores N] [--jobs N]
 //! ```
 
-use cohesion_bench::harness::Options;
+use cohesion_bench::harness::{run_jobs, Job, Options};
 use cohesion_bench::table::Table;
+use cohesion_kernels::kernel_by_name;
 use cohesion_mem::mainmem::MainMemory;
 use cohesion_runtime::api::{CohMode, CohesionApi};
 use cohesion_runtime::task::Op;
-use cohesion_kernels::kernel_by_name;
 use std::collections::HashSet;
 
 #[derive(Default)]
@@ -30,45 +33,63 @@ struct Stats {
     lines: HashSet<u32>,
 }
 
+fn collect(opts: &Options, kernel: &str, mode: CohMode) -> Stats {
+    let mut wl = kernel_by_name(kernel, opts.scale);
+    let mut api = CohesionApi::new(opts.cores.min(128), mode);
+    let mut golden = MainMemory::new();
+    wl.setup(&mut api, &mut golden).expect("setup");
+    let mut s = Stats::default();
+    while let Some(phase) = wl.next_phase(&mut api, &mut golden) {
+        s.phases += 1;
+        s.tasks += phase.tasks.len() as u64;
+        for task in &phase.tasks {
+            for op in &task.ops {
+                match *op {
+                    Op::Load { addr, expect } => {
+                        s.loads += 1;
+                        if expect.is_some() {
+                            s.verified_loads += 1;
+                        }
+                        s.lines.insert(addr.line().0);
+                    }
+                    Op::Store { addr, .. } => {
+                        s.stores += 1;
+                        s.lines.insert(addr.line().0);
+                    }
+                    Op::Compute { cycles } => s.compute_cycles += cycles as u64,
+                    Op::Atomic { .. } => s.atomics += 1,
+                    Op::StackLoad { .. } | Op::StackStore { .. } => s.stack_ops += 1,
+                    Op::Flush { .. } => s.flushes += 1,
+                    Op::Invalidate { .. } => s.invalidations += 1,
+                }
+            }
+        }
+    }
+    s
+}
+
 fn main() {
     let opts = Options::from_args();
+    let modes = [CohMode::SWcc, CohMode::Cohesion, CohMode::HWcc];
+    let jobs: Vec<Job<(String, CohMode)>> = opts
+        .kernels
+        .iter()
+        .flat_map(|k| {
+            modes
+                .iter()
+                .map(move |&mode| Job::new(format!("{k} @ {}", mode.label()), (k.clone(), mode)))
+        })
+        .collect();
+    let stats = run_jobs(opts.jobs, jobs, |(kernel, mode)| collect(&opts, &kernel, mode));
+
     let mut t = Table::new(vec![
         "kernel", "mode", "phases", "tasks", "loads", "stores", "atomics", "flush", "inv",
         "stack", "compute/op", "footprint",
     ]);
+    let mut rows = stats.iter();
     for kernel in &opts.kernels {
-        for mode in [CohMode::SWcc, CohMode::Cohesion, CohMode::HWcc] {
-            let mut wl = kernel_by_name(kernel, opts.scale);
-            let mut api = CohesionApi::new(opts.cores.min(128), mode);
-            let mut golden = MainMemory::new();
-            wl.setup(&mut api, &mut golden).expect("setup");
-            let mut s = Stats::default();
-            while let Some(phase) = wl.next_phase(&mut api, &mut golden) {
-                s.phases += 1;
-                s.tasks += phase.tasks.len() as u64;
-                for task in &phase.tasks {
-                    for op in &task.ops {
-                        match *op {
-                            Op::Load { addr, expect } => {
-                                s.loads += 1;
-                                if expect.is_some() {
-                                    s.verified_loads += 1;
-                                }
-                                s.lines.insert(addr.line().0);
-                            }
-                            Op::Store { addr, .. } => {
-                                s.stores += 1;
-                                s.lines.insert(addr.line().0);
-                            }
-                            Op::Compute { cycles } => s.compute_cycles += cycles as u64,
-                            Op::Atomic { .. } => s.atomics += 1,
-                            Op::StackLoad { .. } | Op::StackStore { .. } => s.stack_ops += 1,
-                            Op::Flush { .. } => s.flushes += 1,
-                            Op::Invalidate { .. } => s.invalidations += 1,
-                        }
-                    }
-                }
-            }
+        for mode in modes {
+            let s = rows.next().expect("one stats row per (kernel, mode)");
             let total_ops =
                 s.loads + s.stores + s.atomics + s.stack_ops + s.flushes + s.invalidations;
             t.row(vec![

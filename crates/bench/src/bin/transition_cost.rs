@@ -6,13 +6,17 @@
 //! converting regions from the SWcc domain to the HWcc domain"; this bench
 //! puts numbers on each Figure 7 case.
 //!
+//! Each (region size × scenario) cell builds its own fresh machine, so the
+//! nine cells run as one job list on the `--jobs` worker pool; rows are
+//! printed in deterministic input order.
+//!
 //! ```sh
-//! cargo run --release -p cohesion-bench --bin transition_cost [--cores N]
+//! cargo run --release -p cohesion-bench --bin transition_cost [--cores N] [--jobs N]
 //! ```
 
 use cohesion::config::{DesignPoint, MachineConfig};
 use cohesion::machine::Machine;
-use cohesion_bench::harness::Options;
+use cohesion_bench::harness::{run_jobs, Job, Options};
 use cohesion_bench::table::Table;
 use cohesion_mem::addr::Addr;
 use cohesion_protocol::region::Domain;
@@ -51,8 +55,64 @@ fn convert(m: &mut Machine, lines: u32, to: Domain, t0: u64) -> (u64, u64) {
     (m.total_messages().total() - before, done - t0)
 }
 
+/// The three Figure 7 scenarios, in output order.
+const SCENARIOS: [&str; 3] = [
+    "SWcc->HWcc, uncached (1b)",
+    "SWcc->HWcc, dirty in one L2 (3b)",
+    "HWcc->SWcc, shared by 2 L2s (2a)",
+];
+
+fn measure(opts: &Options, scenario: usize, lines: u32) -> (u64, u64) {
+    match scenario {
+        // 1. SWcc -> HWcc with nothing cached (case 1b): broadcast clean
+        //    requests to every cluster still go out.
+        0 => {
+            let mut m = fresh_machine(opts);
+            convert(&mut m, lines, Domain::HWcc, 0)
+        }
+        // 2. SWcc -> HWcc with every line dirty in one cluster (case 3b):
+        //    owner upgrade, no writeback.
+        1 => {
+            let mut m = fresh_machine(opts);
+            let base = m.layout().incoherent_heap.start;
+            let mut tt = 0;
+            for i in 0..lines {
+                tt = m.store(CoreId(0), Addr(base.0 + 32 * i), i, tt) + 1;
+            }
+            convert(&mut m, lines, Domain::HWcc, tt + 1000)
+        }
+        // 3. HWcc -> SWcc with lines shared by two clusters (case 2a).
+        2 => {
+            let mut m = fresh_machine(opts);
+            let base = m.layout().incoherent_heap.start;
+            convert(&mut m, lines, Domain::HWcc, 0); // make them HWcc first
+            let mut tt = 0;
+            for i in 0..lines {
+                let a = Addr(base.0 + 32 * i);
+                let (t1, _) = m.load(CoreId(0), a, tt);
+                let (t2, _) = m.load(CoreId(m.config().cores - 1), a, t1);
+                tt = t2 + 1;
+            }
+            convert(&mut m, lines, Domain::SWcc, tt + 1000)
+        }
+        _ => unreachable!("three scenarios"),
+    }
+}
+
 fn main() {
     let opts = Options::from_args();
+    let sizes = [32u32, 256, 1024];
+    let jobs: Vec<Job<(usize, u32)>> = sizes
+        .iter()
+        .flat_map(|&lines| {
+            SCENARIOS
+                .iter()
+                .enumerate()
+                .map(move |(si, name)| Job::new(format!("{name} x{lines}"), (si, lines)))
+        })
+        .collect();
+    let cells = run_jobs(opts.jobs, jobs, |(si, lines)| measure(&opts, si, lines));
+
     let mut t = Table::new(vec![
         "scenario",
         "lines",
@@ -60,55 +120,18 @@ fn main() {
         "msgs/line",
         "cycles",
     ]);
-    for lines in [32u32, 256, 1024] {
-        // 1. SWcc -> HWcc with nothing cached (case 1b): broadcast clean
-        //    requests to every cluster still go out.
-        let mut m = fresh_machine(&opts);
-        let (msgs, cyc) = convert(&mut m, lines, Domain::HWcc, 0);
-        t.row(vec![
-            "SWcc->HWcc, uncached (1b)".to_string(),
-            lines.to_string(),
-            msgs.to_string(),
-            format!("{:.1}", msgs as f64 / lines as f64),
-            cyc.to_string(),
-        ]);
-
-        // 2. SWcc -> HWcc with every line dirty in one cluster (case 3b):
-        //    owner upgrade, no writeback.
-        let mut m = fresh_machine(&opts);
-        let base = m.layout().incoherent_heap.start;
-        let mut tt = 0;
-        for i in 0..lines {
-            tt = m.store(CoreId(0), Addr(base.0 + 32 * i), i, tt) + 1;
+    let mut cell = cells.iter();
+    for &lines in &sizes {
+        for name in SCENARIOS {
+            let &(msgs, cyc) = cell.next().expect("one cell per (size, scenario)");
+            t.row(vec![
+                name.to_string(),
+                lines.to_string(),
+                msgs.to_string(),
+                format!("{:.1}", msgs as f64 / lines as f64),
+                cyc.to_string(),
+            ]);
         }
-        let (msgs, cyc) = convert(&mut m, lines, Domain::HWcc, tt + 1000);
-        t.row(vec![
-            "SWcc->HWcc, dirty in one L2 (3b)".to_string(),
-            lines.to_string(),
-            msgs.to_string(),
-            format!("{:.1}", msgs as f64 / lines as f64),
-            cyc.to_string(),
-        ]);
-
-        // 3. HWcc -> SWcc with lines shared by two clusters (case 2a).
-        let mut m = fresh_machine(&opts);
-        let base = m.layout().incoherent_heap.start;
-        convert(&mut m, lines, Domain::HWcc, 0); // make them HWcc first
-        let mut tt = 0;
-        for i in 0..lines {
-            let a = Addr(base.0 + 32 * i);
-            let (t1, _) = m.load(CoreId(0), a, tt);
-            let (t2, _) = m.load(CoreId(m.config().cores - 1), a, t1);
-            tt = t2 + 1;
-        }
-        let (msgs, cyc) = convert(&mut m, lines, Domain::SWcc, tt + 1000);
-        t.row(vec![
-            "HWcc->SWcc, shared by 2 L2s (2a)".to_string(),
-            lines.to_string(),
-            msgs.to_string(),
-            format!("{:.1}", msgs as f64 / lines as f64),
-            cyc.to_string(),
-        ]);
     }
     println!("Coherence-domain transition costs (Figure 7 cases, measured)\n");
     print!("{}", t.render());

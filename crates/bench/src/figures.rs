@@ -12,7 +12,7 @@ use cohesion_kernels::kernel_by_name;
 use cohesion_runtime::api::CohMode;
 use cohesion_sim::msg::MessageClass;
 
-use crate::harness::{pmap, realistic_points, run, Options};
+use crate::harness::{realistic_points, run, run_jobs, Job, Options};
 use crate::table::{frac, ratio, Table};
 
 // ---------------------------------------------------------------------
@@ -32,11 +32,26 @@ pub struct Fig2Row {
 
 /// Runs Figure 2: L2→L3 messages under SWcc and optimistic HWcc.
 pub fn fig2(opts: &Options) -> Vec<Fig2Row> {
-    pmap(opts.kernels.clone(), |k| Fig2Row {
-        swcc: run(opts, &k, DesignPoint::swcc()),
-        hwcc: run(opts, &k, DesignPoint::hwcc_ideal()),
-        kernel: k,
-    })
+    let points = [("SWcc", DesignPoint::swcc()), ("HWcc", DesignPoint::hwcc_ideal())];
+    let jobs: Vec<Job<(String, DesignPoint)>> = opts
+        .kernels
+        .iter()
+        .flat_map(|k| {
+            points
+                .iter()
+                .map(move |(name, dp)| Job::new(format!("fig2 {k} @ {name}"), (k.clone(), *dp)))
+        })
+        .collect();
+    let reports = run_jobs(opts.jobs, jobs, |(k, dp)| run(opts, &k, dp));
+    opts.kernels
+        .iter()
+        .zip(reports.chunks_exact(points.len()))
+        .map(|(k, pair)| Fig2Row {
+            kernel: k.clone(),
+            swcc: pair[0].clone(),
+            hwcc: pair[1].clone(),
+        })
+        .collect()
 }
 
 /// Renders Figure 2 as a per-class table normalized to SWcc.
@@ -89,12 +104,16 @@ pub const FIG3_L2_SIZES: [u32; 5] = [8 << 10, 16 << 10, 32 << 10, 64 << 10, 128 
 
 /// Runs Figure 3: SWcc instruction usefulness across L2 sizes.
 pub fn fig3(opts: &Options) -> Vec<Fig3Row> {
-    let points: Vec<(String, u32)> = opts
+    let jobs: Vec<Job<(String, u32)>> = opts
         .kernels
         .iter()
-        .flat_map(|k| FIG3_L2_SIZES.iter().map(move |&s| (k.clone(), s)))
+        .flat_map(|k| {
+            FIG3_L2_SIZES
+                .iter()
+                .map(move |&s| Job::new(format!("fig3 {k} @ {}K L2", s >> 10), (k.clone(), s)))
+        })
         .collect();
-    pmap(points, |(k, size)| {
+    run_jobs(opts.jobs, jobs, |(k, size)| {
         let mut cfg = opts.config(DesignPoint::swcc());
         cfg.l2 = cohesion_mem::cache::CacheConfig::new(size, 16);
         let mut wl = kernel_by_name(&k, opts.scale);
@@ -149,13 +168,28 @@ pub fn fig8(opts: &Options) -> Vec<Fig8Row> {
         ("HWccIdeal", DesignPoint::hwcc_ideal()),
         ("HWccReal", DesignPoint::hwcc_real(e, 128)),
     ];
-    pmap(opts.kernels.clone(), |k| Fig8Row {
-        reports: points
-            .iter()
-            .map(|(n, dp)| (n.to_string(), run(opts, &k, *dp)))
-            .collect(),
-        kernel: k,
-    })
+    let jobs: Vec<Job<(String, DesignPoint)>> = opts
+        .kernels
+        .iter()
+        .flat_map(|k| {
+            points
+                .iter()
+                .map(move |(name, dp)| Job::new(format!("fig8 {k} @ {name}"), (k.clone(), *dp)))
+        })
+        .collect();
+    let reports = run_jobs(opts.jobs, jobs, |(k, dp)| run(opts, &k, dp));
+    opts.kernels
+        .iter()
+        .zip(reports.chunks_exact(points.len()))
+        .map(|(k, chunk)| Fig8Row {
+            kernel: k.clone(),
+            reports: points
+                .iter()
+                .zip(chunk)
+                .map(|((name, _), rep)| (name.to_string(), rep.clone()))
+                .collect(),
+        })
+        .collect()
 }
 
 /// Renders Figure 8.
@@ -213,32 +247,47 @@ pub struct Fig9Sample {
 
 /// Runs the Figure 9a (HWcc) or 9b (Cohesion) sweep.
 pub fn fig9_sweep(opts: &Options, mode: CohMode) -> Vec<Fig9Sample> {
-    pmap(opts.kernels.clone(), |k| {
-        let baseline_dp = DesignPoint {
-            mode,
-            directory: DirectoryVariant::FullMapInfinite,
+    // One flat job per (kernel, directory size) plus each kernel's
+    // infinite-directory baseline; slowdowns are computed after the pool
+    // returns, so the sweep parallelizes across sizes, not just kernels.
+    let mut jobs: Vec<Job<(String, Option<u32>)>> = Vec::new();
+    for k in &opts.kernels {
+        jobs.push(Job::new(
+            format!("fig9 {k} @ {} infinite", mode.label()),
+            (k.clone(), None),
+        ));
+        for &entries in &FIG9_SIZES {
+            jobs.push(Job::new(
+                format!("fig9 {k} @ {} {entries}/bank", mode.label()),
+                (k.clone(), Some(entries)),
+            ));
+        }
+    }
+    let reports = run_jobs(opts.jobs, jobs, |(k, entries)| {
+        let directory = match entries {
+            None => DirectoryVariant::FullMapInfinite,
+            Some(entries) => DirectoryVariant::FullyAssociative { entries },
         };
-        let baseline = run(opts, &k, baseline_dp);
-        FIG9_SIZES
-            .iter()
-            .map(|&entries| {
-                let dp = DesignPoint {
-                    mode,
-                    directory: DirectoryVariant::FullyAssociative { entries },
-                };
-                let rep = run(opts, &k, dp);
-                Fig9Sample {
+        run(opts, &k, DesignPoint { mode, directory })
+    });
+    let per_kernel = 1 + FIG9_SIZES.len();
+    opts.kernels
+        .iter()
+        .zip(reports.chunks_exact(per_kernel))
+        .flat_map(|(k, chunk)| {
+            let baseline = &chunk[0];
+            FIG9_SIZES
+                .iter()
+                .zip(&chunk[1..])
+                .map(|(&entries, rep)| Fig9Sample {
                     kernel: k.clone(),
                     entries,
-                    slowdown: rep.runtime_relative_to(&baseline),
+                    slowdown: rep.runtime_relative_to(baseline),
                     dir_evictions: rep.dir_evictions,
-                }
-            })
-            .collect::<Vec<_>>()
-    })
-    .into_iter()
-    .flatten()
-    .collect()
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect()
 }
 
 /// Renders a Figure 9a/9b sweep.
@@ -272,15 +321,32 @@ pub struct Fig9cRow {
 
 /// Runs Figure 9c: directory entries allocated under unbounded directories.
 pub fn fig9c(opts: &Options) -> Vec<Fig9cRow> {
-    pmap(opts.kernels.clone(), |k| {
-        let coh = run(opts, &k, DesignPoint::cohesion_infinite());
-        let hw = run(opts, &k, DesignPoint::hwcc_ideal());
-        Fig9cRow {
-            kernel: k,
-            cohesion: (coh.dir_avg_entries, coh.dir_max_entries, coh.dir_avg_by_class),
-            hwcc: (hw.dir_avg_entries, hw.dir_max_entries, hw.dir_avg_by_class),
-        }
-    })
+    let points = [
+        ("Cohesion", DesignPoint::cohesion_infinite()),
+        ("HWcc", DesignPoint::hwcc_ideal()),
+    ];
+    let jobs: Vec<Job<(String, DesignPoint)>> = opts
+        .kernels
+        .iter()
+        .flat_map(|k| {
+            points
+                .iter()
+                .map(move |(name, dp)| Job::new(format!("fig9c {k} @ {name}"), (k.clone(), *dp)))
+        })
+        .collect();
+    let reports = run_jobs(opts.jobs, jobs, |(k, dp)| run(opts, &k, dp));
+    opts.kernels
+        .iter()
+        .zip(reports.chunks_exact(points.len()))
+        .map(|(k, pair)| {
+            let (coh, hw) = (&pair[0], &pair[1]);
+            Fig9cRow {
+                kernel: k.clone(),
+                cohesion: (coh.dir_avg_entries, coh.dir_max_entries, coh.dir_avg_by_class),
+                hwcc: (hw.dir_avg_entries, hw.dir_max_entries, hw.dir_avg_by_class),
+            }
+        })
+        .collect()
 }
 
 /// Renders Figure 9c, including the mean row and the §4.3 reduction factor.
@@ -332,13 +398,29 @@ pub struct Fig10Row {
 
 /// Runs Figure 10: all six design points per kernel.
 pub fn fig10(opts: &Options) -> Vec<Fig10Row> {
-    pmap(opts.kernels.clone(), |k| Fig10Row {
-        reports: realistic_points()
-            .into_iter()
-            .map(|(n, dp)| (n.to_string(), run(opts, &k, dp)))
-            .collect(),
-        kernel: k,
-    })
+    let points = realistic_points();
+    let jobs: Vec<Job<(String, DesignPoint)>> = opts
+        .kernels
+        .iter()
+        .flat_map(|k| {
+            points
+                .iter()
+                .map(move |(name, dp)| Job::new(format!("fig10 {k} @ {name}"), (k.clone(), *dp)))
+        })
+        .collect();
+    let reports = run_jobs(opts.jobs, jobs, |(k, dp)| run(opts, &k, dp));
+    opts.kernels
+        .iter()
+        .zip(reports.chunks_exact(points.len()))
+        .map(|(k, chunk)| Fig10Row {
+            kernel: k.clone(),
+            reports: points
+                .iter()
+                .zip(chunk)
+                .map(|((name, _), rep)| (name.to_string(), rep.clone()))
+                .collect(),
+        })
+        .collect()
 }
 
 /// Renders Figure 10 (runtime normalized to Cohesion with the full-map
@@ -486,6 +568,7 @@ pub fn tiny_options() -> Options {
         cores: 16,
         scale: cohesion_kernels::Scale::Tiny,
         kernels: vec!["sobel".into()],
+        jobs: 2,
     }
 }
 
@@ -533,6 +616,20 @@ mod tests {
         let s = render_area();
         assert!(s.contains("9.28 MB"));
         assert!(s.contains("Dir4B"));
+    }
+
+    #[test]
+    fn parallel_sweeps_are_byte_identical_to_sequential() {
+        // The pool must return results in input order: the rendered
+        // figures (the bytes that become CSVs and EXPERIMENTS.md) have to
+        // match exactly between a sequential and a 4-worker sweep.
+        let mut seq = tiny_options();
+        seq.kernels = vec!["sobel".into(), "heat".into()];
+        seq.jobs = 1;
+        let mut par = seq.clone();
+        par.jobs = 4;
+        assert_eq!(render_fig2(&fig2(&seq)), render_fig2(&fig2(&par)));
+        assert_eq!(render_fig3(&fig3(&seq)), render_fig3(&fig3(&par)));
     }
 
     #[test]

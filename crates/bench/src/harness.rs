@@ -1,9 +1,20 @@
 //! Experiment runners shared by the figure binaries.
+//!
+//! Every sweep in the harness is expressed as a list of labeled [`Job`]s
+//! handed to [`run_jobs`], which executes them on a
+//! [`cohesion_testkit::pool`] worker pool and returns the results in
+//! deterministic input order — so tables, CSV files, and `EXPERIMENTS.md`
+//! are bit-identical whether a sweep ran on one worker or sixteen, while
+//! wall-clock time scales with `--jobs` / `COHESION_JOBS`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
 use cohesion::config::{DesignPoint, MachineConfig};
 use cohesion::report::RunReport;
 use cohesion::run::run_workload;
 use cohesion_kernels::{kernel_by_name, Scale, KERNEL_NAMES};
+use cohesion_testkit::pool;
 
 /// Common command-line options for every figure binary.
 #[derive(Debug, Clone)]
@@ -15,6 +26,9 @@ pub struct Options {
     pub scale: Scale,
     /// Subset of kernels to run (defaults to all eight).
     pub kernels: Vec<String>,
+    /// Worker threads for [`run_jobs`] sweeps (defaults to
+    /// `COHESION_JOBS` or the machine's available parallelism).
+    pub jobs: usize,
 }
 
 impl Default for Options {
@@ -23,13 +37,15 @@ impl Default for Options {
             cores: 128,
             scale: Scale::Small,
             kernels: KERNEL_NAMES.iter().map(|s| s.to_string()).collect(),
+            jobs: pool::default_jobs(),
         }
     }
 }
 
 impl Options {
-    /// Parses `--cores N`, `--scale tiny|small|medium`, `--kernels a,b,c`
-    /// from the process arguments; exits with a usage message on errors.
+    /// Parses `--cores N`, `--scale tiny|small|medium`, `--kernels a,b,c`,
+    /// `--jobs N` from the process arguments; exits with a usage message
+    /// on errors (including kernel names not in [`KERNEL_NAMES`]).
     pub fn from_args() -> Self {
         let mut opts = Options::default();
         let args: Vec<String> = std::env::args().skip(1).collect();
@@ -45,7 +61,7 @@ impl Options {
                 }
                 "--scale" => {
                     i += 1;
-                    opts.scale = match args.get(i).map(String::as_str) {
+                    opts.scale = match args.get(i).map(|s| s.to_ascii_lowercase()).as_deref() {
                         Some("tiny") => Scale::Tiny,
                         Some("small") => Scale::Small,
                         Some("medium") => Scale::Medium,
@@ -61,6 +77,13 @@ impl Options {
                         .map(|s| s.trim().to_string())
                         .collect();
                 }
+                "--jobs" => {
+                    i += 1;
+                    opts.jobs = match args.get(i).and_then(|v| v.parse().ok()) {
+                        Some(n) if n >= 1 => n,
+                        _ => usage("--jobs needs a positive integer"),
+                    };
+                }
                 "--part" | "--out" | "--csv" => {
                     // consumed by fig9 / all_figures separately; skip the value
                     i += 1;
@@ -68,6 +91,14 @@ impl Options {
                 other => usage(&format!("unknown option {other}")),
             }
             i += 1;
+        }
+        for k in &opts.kernels {
+            if !KERNEL_NAMES.contains(&k.as_str()) {
+                usage(&format!(
+                    "unknown kernel {k:?}; valid kernels: {}",
+                    KERNEL_NAMES.join(", ")
+                ));
+            }
         }
         opts
     }
@@ -86,7 +117,7 @@ fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: [--cores N] [--scale tiny|small|medium] [--kernels a,b,c] \
-         [--part a|b|c] [--out PATH] [--csv DIR]"
+         [--jobs N] [--part a|b|c] [--out PATH] [--csv DIR]"
     );
     std::process::exit(2)
 }
@@ -116,6 +147,60 @@ pub fn realistic_points() -> Vec<(&'static str, DesignPoint)> {
     ]
 }
 
+/// One labeled unit of work for [`run_jobs`]: the label is what the
+/// progress line prints (`[7/40] heat @ sparse16k … 1.8s`), the input is
+/// handed to the job closure.
+#[derive(Debug, Clone)]
+pub struct Job<T> {
+    /// Human-readable progress label, e.g. `heat @ sparse16k`.
+    pub label: String,
+    /// The job's input, moved into the closure on execution.
+    pub input: T,
+}
+
+impl<T> Job<T> {
+    /// A job labeled `label` carrying `input`.
+    pub fn new(label: impl Into<String>, input: T) -> Self {
+        Job {
+            label: label.into(),
+            input,
+        }
+    }
+}
+
+/// Executes a labeled job list on `workers` threads (via
+/// [`cohesion_testkit::pool::run_jobs_observed`]), printing a progress
+/// line per completed job to stderr, and returns the results in input
+/// order. Jobs must be `Send` — each simulation owns its `Machine`, so
+/// sweeps are embarrassingly parallel and shared mutable state is
+/// rejected at compile time. A panicking job fails the whole sweep (after
+/// the other jobs finish) with the original panic payload.
+pub fn run_jobs<T, R, F>(workers: usize, jobs: Vec<Job<T>>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let total = jobs.len();
+    let (labels, inputs): (Vec<String>, Vec<T>) =
+        jobs.into_iter().map(|j| (j.label, j.input)).unzip();
+    let sweep_start = Instant::now();
+    let completed = AtomicUsize::new(0);
+    let out = pool::run_jobs_observed(workers, inputs, f, |i, _r, elapsed| {
+        let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
+        eprintln!("[{done}/{total}] {} … {:.1}s", labels[i], elapsed.as_secs_f64());
+    });
+    if total > 1 {
+        eprintln!(
+            "{} jobs in {:.1}s on {} worker(s)",
+            total,
+            sweep_start.elapsed().as_secs_f64(),
+            workers.clamp(1, total)
+        );
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -125,6 +210,7 @@ mod tests {
         let o = Options::default();
         assert_eq!(o.kernels.len(), 8);
         assert_eq!(o.cores, 128);
+        assert!(o.jobs >= 1);
     }
 
     #[test]
@@ -149,86 +235,41 @@ mod tests {
             cores: 16,
             scale: Scale::Tiny,
             kernels: vec!["sobel".into()],
+            jobs: 1,
         };
         let r = run(&o, "sobel", DesignPoint::swcc());
         assert!(r.cycles > 0);
     }
 }
 
-/// Dependency-free parallel map over independent simulation runs.
-///
-/// Each run is single-threaded and deterministic; running different
-/// configurations on different OS threads changes nothing about the
-/// results, only the wall-clock time of the harness. Order of results
-/// matches the input order.
-pub fn pmap<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
-where
-    T: Send,
-    R: Send,
-    F: Fn(T) -> R + Sync,
-{
-    let n = items.len();
-    if n <= 1 {
-        return items.into_iter().map(f).collect();
-    }
-    let workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4)
-        .min(n);
-    let work: Vec<std::sync::Mutex<Option<T>>> = items
-        .into_iter()
-        .map(|t| std::sync::Mutex::new(Some(t)))
-        .collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let results: Vec<std::sync::Mutex<Option<R>>> =
-        (0..n).map(|_| std::sync::Mutex::new(None)).collect();
-    std::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let item = work[i].lock().unwrap().take().expect("taken once");
-                let r = f(item);
-                *results[i].lock().unwrap() = Some(r);
-            });
-        }
-    });
-    results
-        .into_iter()
-        .map(|m| m.into_inner().unwrap().expect("worker filled every slot"))
-        .collect()
-}
-
 #[cfg(test)]
-mod pmap_tests {
-    use super::pmap;
+mod run_jobs_tests {
+    use super::{run, run_jobs, Job, Options};
+    use cohesion::config::DesignPoint;
+    use cohesion_kernels::Scale;
 
     #[test]
     fn preserves_order_and_results() {
-        let out = pmap((0..100).collect(), |i: i32| i * i);
+        let jobs: Vec<Job<i32>> = (0..100).map(|i| Job::new(format!("j{i}"), i)).collect();
+        let out = run_jobs(4, jobs, |i| i * i);
         assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
     }
 
     #[test]
-    fn single_item_runs_inline() {
-        assert_eq!(pmap(vec![7], |i: i32| i + 1), vec![8]);
+    fn single_job_runs_inline() {
+        assert_eq!(run_jobs(4, vec![Job::new("one", 7)], |i: i32| i + 1), vec![8]);
     }
 
     #[test]
     fn parallel_simulation_runs_are_deterministic() {
-        use crate::harness::{run, Options};
-        use cohesion::config::DesignPoint;
-        use cohesion_kernels::Scale;
         let o = Options {
             cores: 16,
             scale: Scale::Tiny,
             kernels: vec!["sobel".into()],
+            jobs: 4,
         };
-        let runs = pmap(vec![(), (), (), ()], |_| {
-            run(&o, "sobel", DesignPoint::swcc()).cycles
-        });
+        let jobs: Vec<Job<()>> = (0..4).map(|i| Job::new(format!("sobel #{i}"), ())).collect();
+        let runs = run_jobs(o.jobs, jobs, |()| run(&o, "sobel", DesignPoint::swcc()).cycles);
         assert!(runs.windows(2).all(|w| w[0] == w[1]), "{runs:?}");
     }
 }

@@ -1,8 +1,10 @@
+#![deny(missing_docs)]
+
 //! First-party determinism testkit for the Cohesion reproduction.
 //!
 //! The workspace builds and tests fully offline: nothing here (or anywhere
 //! else in the tree) depends on a crates.io package. The testkit owns the
-//! three pieces of tooling that used to be external:
+//! pieces of tooling that would otherwise be external:
 //!
 //! * [`rng`] — a seedable SplitMix64 / xoshiro256\*\* PRNG with
 //!   `gen_range` / `shuffle` / `choose`, usable both by the test harness
@@ -13,12 +15,17 @@
 //!   default; failing cases are greedily shrunk and every failure prints a
 //!   `COHESION_PROP_SEED=<n>` replay line (the env var is honored for
 //!   deterministic reruns).
-//! * [`bench`] — a `harness = false` wall-clock micro-benchmark runner
+//! * [`bench`](mod@bench) — a `harness = false` wall-clock micro-benchmark runner
 //!   (warmup + timed iterations, median/p10/p90 per benchmark, and
 //!   machine-readable JSON so `BENCH_*.json` trajectories can be
 //!   recorded).
+//! * [`pool`] — a scoped worker pool (`run_jobs`) that executes
+//!   embarrassingly parallel job lists on `COHESION_JOBS` workers while
+//!   returning results in deterministic input order; the figure harness
+//!   runs every sweep through it.
 
 pub mod bench;
+pub mod pool;
 pub mod prop;
 pub mod rng;
 

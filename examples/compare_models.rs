@@ -5,12 +5,15 @@
 //! ```
 //!
 //! `kernel` defaults to `stencil`; any of
-//! `cg dmm gjk heat kmeans mri sobel stencil` works.
+//! `cg dmm gjk heat kmeans mri sobel stencil` works. The six simulations
+//! run concurrently on the testkit worker pool (`COHESION_JOBS` overrides
+//! the width); rows print in fixed order regardless of worker count.
 
 use cohesion::config::DesignPoint;
 use cohesion::config::MachineConfig;
 use cohesion::run::run_workload;
 use cohesion_kernels::{kernel_by_name, Scale, KERNEL_NAMES};
+use cohesion_testkit::pool;
 
 fn main() {
     let kernel = std::env::args().nth(1).unwrap_or_else(|| "stencil".into());
@@ -35,17 +38,19 @@ fn main() {
         "config", "cycles", "runtime", "messages", "dir avg", "dir evict"
     );
 
-    let mut baseline_cycles = None;
-    for (name, dp) in points {
+    let reports = pool::run_jobs(pool::default_jobs(), points.to_vec(), |(_, dp)| {
         let cfg = MachineConfig::scaled(128, dp);
         let mut wl = kernel_by_name(&kernel, Scale::Small);
-        let report = run_workload(&cfg, wl.as_mut()).expect("runs and verifies");
-        let base = *baseline_cycles.get_or_insert(report.cycles);
+        run_workload(&cfg, wl.as_mut()).expect("runs and verifies")
+    });
+
+    let baseline_cycles = reports[0].cycles;
+    for ((name, _), report) in points.iter().zip(&reports) {
         println!(
             "{:<16} {:>12} {:>8.2}x {:>12} {:>10.0} {:>10}",
             name,
             report.cycles,
-            report.cycles as f64 / base as f64,
+            report.cycles as f64 / baseline_cycles as f64,
             report.total_messages(),
             report.dir_avg_entries,
             report.dir_evictions,

@@ -6,6 +6,10 @@
 //! cliff as the directory shrinks below the working set, Cohesion barely
 //! moves because most lines never enter the directory.
 //!
+//! All sixteen runs (two baselines + 7 sizes × 2 modes) execute
+//! concurrently on the testkit worker pool (`COHESION_JOBS` overrides the
+//! width); rows print in fixed order regardless of worker count.
+//!
 //! ```sh
 //! cargo run --release --example directory_pressure [kernel]
 //! ```
@@ -14,13 +18,9 @@ use cohesion::config::{DesignPoint, DirectoryVariant, MachineConfig};
 use cohesion::run::run_workload;
 use cohesion_kernels::{kernel_by_name, Scale, KERNEL_NAMES};
 use cohesion_runtime::api::CohMode;
+use cohesion_testkit::pool;
 
-fn run_at(mode: CohMode, directory: DirectoryVariant, kernel: &str) -> (u64, u64) {
-    let cfg = MachineConfig::scaled(64, DesignPoint { mode, directory });
-    let mut wl = kernel_by_name(kernel, Scale::Small);
-    let r = run_workload(&cfg, wl.as_mut()).expect("runs and verifies");
-    (r.cycles, r.dir_evictions)
-}
+const SIZES: [u32; 7] = [256, 512, 1024, 2048, 4096, 8192, 16384];
 
 fn main() {
     let kernel = std::env::args().nth(1).unwrap_or_else(|| "sobel".into());
@@ -34,13 +34,29 @@ fn main() {
         "entries/bank", "HWcc slowdown", "HWcc evictions", "Coh. slowdown", "Coh. evictions"
     );
 
-    let (hw_base, _) = run_at(CohMode::HWcc, DirectoryVariant::FullMapInfinite, &kernel);
-    let (coh_base, _) = run_at(CohMode::Cohesion, DirectoryVariant::FullMapInfinite, &kernel);
-
-    for entries in [256u32, 512, 1024, 2048, 4096, 8192, 16384] {
+    // Job list: the two infinite-directory baselines, then (HWcc, Cohesion)
+    // per swept size — flat, so every run parallelizes.
+    let mut jobs: Vec<(CohMode, DirectoryVariant)> = vec![
+        (CohMode::HWcc, DirectoryVariant::FullMapInfinite),
+        (CohMode::Cohesion, DirectoryVariant::FullMapInfinite),
+    ];
+    for entries in SIZES {
         let v = DirectoryVariant::FullyAssociative { entries };
-        let (hw, hw_ev) = run_at(CohMode::HWcc, v, &kernel);
-        let (coh, coh_ev) = run_at(CohMode::Cohesion, v, &kernel);
+        jobs.push((CohMode::HWcc, v));
+        jobs.push((CohMode::Cohesion, v));
+    }
+    let results = pool::run_jobs(pool::default_jobs(), jobs, |(mode, directory)| {
+        let cfg = MachineConfig::scaled(64, DesignPoint { mode, directory });
+        let mut wl = kernel_by_name(&kernel, Scale::Small);
+        let r = run_workload(&cfg, wl.as_mut()).expect("runs and verifies");
+        (r.cycles, r.dir_evictions)
+    });
+
+    let (hw_base, _) = results[0];
+    let (coh_base, _) = results[1];
+    for (i, entries) in SIZES.iter().enumerate() {
+        let (hw, hw_ev) = results[2 + 2 * i];
+        let (coh, coh_ev) = results[3 + 2 * i];
         println!(
             "{:>14} {:>13.2}x {:>16} {:>13.2}x {:>16}",
             entries,
