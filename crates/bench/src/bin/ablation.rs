@@ -30,7 +30,7 @@
 
 use cohesion::config::{DesignPoint, MachineConfig};
 use cohesion::run::run_workload;
-use cohesion_bench::harness::{run_jobs, Job, Options};
+use cohesion_bench::harness::{record_metrics, run_jobs, Job, Options};
 use cohesion_bench::table::Table;
 use cohesion_kernels::kernel_by_name;
 
@@ -65,7 +65,10 @@ fn main() {
         let mut cfg = opts.config(DesignPoint::cohesion(e, 128));
         mutate(&mut cfg);
         let mut wl = kernel_by_name(&kernel, opts.scale);
-        run_workload(&cfg, wl.as_mut()).unwrap_or_else(|err| panic!("{kernel} {variant}: {err}"))
+        let r = run_workload(&cfg, wl.as_mut())
+            .unwrap_or_else(|err| panic!("{kernel} {variant}: {err}"));
+        record_metrics(format!("{kernel} @ {variant}"), &r);
+        r
     });
 
     let mut t = Table::new(vec![
@@ -89,4 +92,5 @@ fn main() {
     }
     println!("Ablation of Cohesion design choices (Cohesion mode, realistic sparse directory)\n");
     print!("{}", t.render());
+    opts.write_metrics("ablation");
 }

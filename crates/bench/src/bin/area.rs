@@ -6,6 +6,7 @@ use cohesion_bench::figures::render_area;
 use cohesion_bench::harness::Options;
 
 fn main() {
-    let _ = Options::from_args(); // uniform flag validation (--jobs etc.)
+    let opts = Options::from_args(); // uniform flag validation (--jobs etc.)
     print!("{}", render_area());
+    opts.write_metrics("area"); // empty runs list: area simulates nothing
 }

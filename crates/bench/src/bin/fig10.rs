@@ -12,4 +12,5 @@ fn main() {
     let opts = Options::from_args();
     let rows = fig10(&opts);
     print!("{}", render_fig10(&rows));
+    opts.write_metrics("fig10");
 }

@@ -10,4 +10,5 @@ fn main() {
     let opts = Options::from_args();
     let rows = fig2(&opts);
     print!("{}", render_fig2(&rows));
+    opts.write_metrics("fig2");
 }

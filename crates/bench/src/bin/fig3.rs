@@ -10,4 +10,5 @@ fn main() {
     let opts = Options::from_args();
     let rows = fig3(&opts);
     print!("{}", render_fig3(&rows));
+    opts.write_metrics("fig3");
 }

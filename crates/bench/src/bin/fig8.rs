@@ -11,4 +11,5 @@ fn main() {
     let opts = Options::from_args();
     let rows = fig8(&opts);
     print!("{}", render_fig8(&rows));
+    opts.write_metrics("fig8");
 }

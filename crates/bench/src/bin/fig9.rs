@@ -31,4 +31,5 @@ fn main() {
     if all || part.as_deref() == Some("c") {
         print!("{}", render_fig9c(&fig9c(&opts)));
     }
+    opts.write_metrics("fig9");
 }

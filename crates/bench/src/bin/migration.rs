@@ -12,7 +12,7 @@
 use cohesion::config::DesignPoint;
 use cohesion::run::run_workload;
 use cohesion::workloads::micro::Microbench;
-use cohesion_bench::harness::{run_jobs, Job, Options};
+use cohesion_bench::harness::{record_metrics, run_jobs, Job, Options};
 use cohesion_bench::table::Table;
 
 fn main() {
@@ -33,7 +33,9 @@ fn main() {
     let reports = run_jobs(opts.jobs, jobs, |(name, dp)| {
         let cfg = opts.config(dp);
         let mut wl = Microbench::thread_migration(threads, words);
-        run_workload(&cfg, &mut wl).unwrap_or_else(|err| panic!("{name}: {err}"))
+        let r = run_workload(&cfg, &mut wl).unwrap_or_else(|err| panic!("{name}: {err}"));
+        record_metrics(format!("migration @ {name}"), &r);
+        r
     });
 
     let mut t = Table::new(vec![
@@ -65,4 +67,5 @@ fn main() {
          Cohesion's runtime moves the migratory state into the HWcc domain once,\n\
          up front (coh_HWcc_region), and gets the hardware behaviour thereafter."
     );
+    opts.write_metrics("migration");
 }

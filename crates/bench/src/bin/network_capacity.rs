@@ -15,7 +15,7 @@
 
 use cohesion::config::DesignPoint;
 use cohesion::run::run_workload;
-use cohesion_bench::harness::{run_jobs, Job, Options};
+use cohesion_bench::harness::{record_metrics, run_jobs, Job, Options};
 use cohesion_bench::table::Table;
 use cohesion_kernels::kernel_by_name;
 
@@ -49,6 +49,7 @@ fn main() {
         let mut wl = kernel_by_name(&kernel, opts.scale);
         let r = run_workload(&cfg, wl.as_mut())
             .unwrap_or_else(|err| panic!("{kernel}/{name}@{interval}: {err}"));
+        record_metrics(format!("{kernel} @ {name} interval {interval}"), &r);
         r.cycles
     });
 
@@ -85,4 +86,5 @@ fn main() {
          SWcc's flush bursts) degrade faster as the concentrator narrows; Cohesion's\n\
          lower message count is what relaxes the network's design constraints (§2.1)."
     );
+    opts.write_metrics("network_capacity");
 }

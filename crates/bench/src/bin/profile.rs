@@ -1,0 +1,317 @@
+//! Hot-spot profiler: renders a human-readable summary of a telemetry
+//! report — top latency histograms, busiest L3 banks and clusters, the
+//! Figure 7 transition-case breakdown, directory/region-table hit rates,
+//! and per-barrier-interval traffic.
+//!
+//! Two modes:
+//!
+//! ```sh
+//! # From a saved report (any binary's --metrics-out output):
+//! cargo run --release -p cohesion-bench --bin profile -- --from report.json
+//! # Validate only (CI): exit non-zero unless the document parses and has
+//! # the required keys.
+//! cargo run --release -p cohesion-bench --bin profile -- --from report.json --check
+//! # Live: run the selected kernels under Cohesion with metrics armed,
+//! # then profile the result (accepts the shared harness flags).
+//! cargo run --release -p cohesion-bench --bin profile -- --kernels sobel --cores 16 --scale tiny
+//! ```
+//!
+//! The live path dogfoods the whole pipeline: it serializes its own runs
+//! with the same writer the figure binaries use, then parses that JSON
+//! back with [`cohesion_bench::jsonv`] before rendering.
+
+use cohesion::config::DesignPoint;
+use cohesion_bench::harness::{self, Options};
+use cohesion_bench::jsonv::{self, Value};
+use cohesion_bench::table::Table;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let from = args
+        .windows(2)
+        .find(|w| w[0] == "--from")
+        .map(|w| w[1].clone());
+    let check_only = args.iter().any(|a| a == "--check");
+
+    let doc = match &from {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("error: cannot read {path}: {e}");
+                std::process::exit(1);
+            });
+            text
+        }
+        None => live_document(),
+    };
+
+    let v = jsonv::parse(&doc).unwrap_or_else(|e| {
+        eprintln!("error: metrics report does not parse as JSON: {e}");
+        std::process::exit(1);
+    });
+    if let Err(e) = validate(&v) {
+        eprintln!("error: invalid metrics report: {e}");
+        std::process::exit(1);
+    }
+    if check_only {
+        let runs = v.get("runs").and_then(Value::as_arr).map_or(0, <[Value]>::len);
+        println!(
+            "ok: {} report from `{}` with {runs} run(s)",
+            v.get("schema").and_then(Value::as_str).unwrap_or("?"),
+            v.get("binary").and_then(Value::as_str).unwrap_or("?"),
+        );
+        return;
+    }
+    print!("{}", render(&v));
+}
+
+/// Runs the shared-CLI kernels under Cohesion with metrics armed and
+/// returns the serialized document (also writing it if `--metrics-out`
+/// was given).
+fn live_document() -> String {
+    let mut opts = Options::from_args();
+    let metrics_out = opts.metrics_out.take();
+    // Arm the registry even without --metrics-out: `config()` keys off
+    // this field, and the sink is drained into the document below.
+    opts.metrics_out = Some(String::new());
+    let e = 16 * 1024;
+    for kernel in opts.kernels.clone() {
+        let _ = harness::run(&opts, &kernel, DesignPoint::cohesion(e, 128));
+    }
+    let mut runs: Vec<(String, String)> = harness::take_recorded_metrics()
+        .into_iter()
+        .map(|(label, snap)| (label, snap.to_json()))
+        .collect();
+    runs.sort();
+    let doc = harness::metrics_document("profile", &opts, &runs);
+    if let Some(path) = metrics_out.filter(|p| !p.is_empty()) {
+        if let Err(err) = std::fs::write(&path, &doc) {
+            eprintln!("error: cannot write metrics report to {path}: {err}");
+            std::process::exit(1);
+        }
+        eprintln!("metrics report written to {path}");
+    }
+    doc
+}
+
+/// Checks the document has the required shape (CI's `--check` contract).
+fn validate(v: &Value) -> Result<(), String> {
+    for key in ["schema", "binary", "options", "runs"] {
+        if v.get(key).is_none() {
+            return Err(format!("missing top-level key {key:?}"));
+        }
+    }
+    let schema = v.get("schema").and_then(Value::as_str).unwrap_or_default();
+    if schema != "cohesion-metrics/v1" {
+        return Err(format!("unknown schema {schema:?}"));
+    }
+    let runs = v
+        .get("runs")
+        .and_then(Value::as_arr)
+        .ok_or("\"runs\" is not an array")?;
+    for (i, run) in runs.iter().enumerate() {
+        if run.get("label").and_then(Value::as_str).is_none() {
+            return Err(format!("run {i} has no label"));
+        }
+        let m = run.get("metrics").ok_or(format!("run {i} has no metrics"))?;
+        for key in ["counters", "gauges", "histograms", "series", "marks"] {
+            if m.get(key).is_none() {
+                return Err(format!("run {i} metrics missing {key:?}"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Sums counters named `prefix/NNN/suffix` into per-index totals, returned
+/// as `(index-label, value)` sorted by value descending.
+fn per_index(counters: &[(String, Value)], prefix: &str, suffix: &str) -> Vec<(String, u64)> {
+    let mut out: Vec<(String, u64)> = counters
+        .iter()
+        .filter_map(|(k, v)| {
+            let rest = k.strip_prefix(prefix)?.strip_prefix('/')?;
+            let (idx, tail) = rest.split_once('/')?;
+            (tail == suffix).then(|| (idx.to_string(), v.as_u64().unwrap_or(0)))
+        })
+        .collect();
+    out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    out
+}
+
+fn counter(counters: &[(String, Value)], name: &str) -> u64 {
+    counters
+        .iter()
+        .find(|(k, _)| k == name)
+        .and_then(|(_, v)| v.as_u64())
+        .unwrap_or(0)
+}
+
+fn render(v: &Value) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Telemetry profile: `{}` report, {} run(s)\n",
+        v.get("binary").and_then(Value::as_str).unwrap_or("?"),
+        v.get("runs").and_then(Value::as_arr).map_or(0, <[Value]>::len),
+    ));
+    let runs = v.get("runs").and_then(Value::as_arr).unwrap_or_default();
+    for run in runs {
+        out.push_str(&render_run(run));
+    }
+    out
+}
+
+fn render_run(run: &Value) -> String {
+    let label = run.get("label").and_then(Value::as_str).unwrap_or("?");
+    let m = run.get("metrics").expect("validated");
+    let counters = m.get("counters").and_then(Value::as_obj).unwrap_or_default();
+    let gauges = m.get("gauges").and_then(Value::as_obj).unwrap_or_default();
+    let hists = m.get("histograms").and_then(Value::as_obj).unwrap_or_default();
+    let marks = m.get("marks").and_then(Value::as_obj).unwrap_or_default();
+
+    let mut out = format!("\n== {label} ==\n");
+    let cycles = gauges
+        .iter()
+        .find(|(k, _)| k == "run/cycles")
+        .and_then(|(_, v)| v.as_f64())
+        .unwrap_or(0.0);
+    out.push_str(&format!(
+        "cycles {}, events scheduled {}, event-wheel peak {}\n",
+        cycles as u64,
+        counter(counters, "events/scheduled"),
+        counter(counters, "events/max_pending"),
+    ));
+
+    // 1. Latency histograms, busiest first.
+    let mut by_count: Vec<_> = hists.iter().collect();
+    by_count.sort_by(|a, b| {
+        let c = |h: &Value| h.get("count").and_then(Value::as_u64).unwrap_or(0);
+        c(&b.1).cmp(&c(&a.1)).then_with(|| a.0.cmp(&b.0))
+    });
+    if !by_count.is_empty() {
+        out.push_str("\nLatency histograms (top 8 by sample count, cycles):\n");
+        let mut t = Table::new(vec!["histogram", "count", "mean", "p50", "p90", "p99", "max"]);
+        for (name, h) in by_count.iter().take(8) {
+            let f = |k: &str| h.get(k).and_then(Value::as_f64).unwrap_or(0.0);
+            t.row(vec![
+                name.clone(),
+                format!("{}", f("count") as u64),
+                format!("{:.1}", f("mean")),
+                format!("{:.0}", f("p50")),
+                format!("{:.0}", f("p90")),
+                format!("{:.0}", f("p99")),
+                format!("{}", f("max") as u64),
+            ]);
+        }
+        out.push_str(&t.render());
+    }
+
+    // 2. Busiest L3 banks and clusters.
+    let banks = per_index(counters, "bank", "port_grants");
+    if !banks.is_empty() {
+        let total: u64 = banks.iter().map(|(_, v)| v).sum();
+        out.push_str(&format!(
+            "\nBusiest L3 banks (port grants; {total} total over {} banks):\n",
+            banks.len()
+        ));
+        for (idx, v) in banks.iter().take(4) {
+            out.push_str(&format!(
+                "  bank {idx}: {v} ({:.1}%)\n",
+                *v as f64 * 100.0 / total.max(1) as f64
+            ));
+        }
+    }
+    let clusters = per_index(counters, "cluster", "messages_total");
+    if !clusters.is_empty() {
+        let total: u64 = clusters.iter().map(|(_, v)| v).sum();
+        out.push_str(&format!(
+            "Busiest clusters (L2 output messages; {total} total over {} clusters):\n",
+            clusters.len()
+        ));
+        for (idx, v) in clusters.iter().take(4) {
+            out.push_str(&format!(
+                "  cluster {idx}: {v} ({:.1}%)\n",
+                *v as f64 * 100.0 / total.max(1) as f64
+            ));
+        }
+    }
+
+    // 3. Figure 7 transition-case breakdown.
+    let cases: Vec<_> = counters
+        .iter()
+        .filter(|(k, _)| k.starts_with("transition/case_"))
+        .collect();
+    if !cases.is_empty() {
+        out.push_str("\nDomain-transition cases (Figure 7):\n");
+        for (k, v) in &cases {
+            out.push_str(&format!(
+                "  {:<28} {}\n",
+                k.strip_prefix("transition/").unwrap_or(k),
+                v.as_u64().unwrap_or(0)
+            ));
+        }
+    }
+
+    // 4. Directory and region-table hit rates.
+    let (dh, dm) = (
+        counter(counters, "directory/lookup_hits"),
+        counter(counters, "directory/lookup_misses"),
+    );
+    if dh + dm > 0 {
+        out.push_str(&format!(
+            "\nDirectory lookups: {} ({:.1}% hit)\n",
+            dh + dm,
+            dh as f64 * 100.0 / (dh + dm) as f64
+        ));
+    }
+    let (fl, fc) = (
+        counter(counters, "table/fine_lookups"),
+        counter(counters, "table/fine_cache_hits"),
+    );
+    let coarse = counter(counters, "table/coarse_hits");
+    if fl + coarse > 0 {
+        out.push_str(&format!(
+            "Region-table lookups: {coarse} coarse short-cuts, {fl} fine ({:.1}% table-cache hit)\n",
+            fc as f64 * 100.0 / fl.max(1) as f64
+        ));
+    }
+
+    // 5. Per-barrier-interval traffic: the barrier marks carry cumulative
+    //    message totals; print the per-interval deltas.
+    if let Some((_, bar)) = marks.iter().find(|(k, _)| k == "barrier/messages") {
+        let points: Vec<(u64, u64)> = bar
+            .as_arr()
+            .unwrap_or_default()
+            .iter()
+            .filter_map(|p| {
+                let pair = p.as_arr()?;
+                Some((pair.first()?.as_u64()?, pair.get(1)?.as_u64()?))
+            })
+            .collect();
+        if !points.is_empty() {
+            out.push_str(&format!(
+                "\nPer-barrier-interval traffic ({} intervals):\n",
+                points.len()
+            ));
+            let mut prev = 0u64;
+            let shown = points.len().min(12);
+            for (i, (cycle, cum)) in points.iter().take(shown).enumerate() {
+                out.push_str(&format!(
+                    "  interval {:>3} (to cycle {:>9}): {:>9} messages\n",
+                    i,
+                    cycle,
+                    cum.saturating_sub(prev)
+                ));
+                prev = *cum;
+            }
+            if points.len() > shown {
+                let last = points.last().expect("non-empty");
+                out.push_str(&format!(
+                    "  … {} more intervals, {} messages total by cycle {}\n",
+                    points.len() - shown,
+                    last.1,
+                    last.0
+                ));
+            }
+        }
+    }
+    out
+}

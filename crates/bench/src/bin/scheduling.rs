@@ -14,7 +14,7 @@
 
 use cohesion::config::{DesignPoint, TaskQueueModel};
 use cohesion::run::run_workload;
-use cohesion_bench::harness::{run_jobs, Job, Options};
+use cohesion_bench::harness::{record_metrics, run_jobs, Job, Options};
 use cohesion_bench::table::Table;
 use cohesion_kernels::kernel_by_name;
 
@@ -38,7 +38,10 @@ fn main() {
         let mut cfg = opts.config(DesignPoint::cohesion(e, 128));
         cfg.task_queue = model;
         let mut wl = kernel_by_name(&kernel, opts.scale);
-        run_workload(&cfg, wl.as_mut()).unwrap_or_else(|err| panic!("{kernel}/{name}: {err}"))
+        let r = run_workload(&cfg, wl.as_mut())
+            .unwrap_or_else(|err| panic!("{kernel}/{name}: {err}"));
+        record_metrics(format!("{kernel} @ {name}"), &r);
+        r
     });
 
     let mut t = Table::new(vec![
@@ -70,4 +73,5 @@ fn main() {
          data moves with them: pulled by the directory for HWcc data, refetched\n\
          after invalidation for SWcc data (§2.3)."
     );
+    opts.write_metrics("scheduling");
 }

@@ -11,4 +11,5 @@ fn main() {
     let opts = Options::from_args();
     let s = summarize(&fig8(&opts), &fig9c(&opts));
     print!("{}", render_summary(&s));
+    opts.write_metrics("summary");
 }

@@ -114,4 +114,5 @@ fn main() {
         "\nSWcc traces carry the explicit flush/invalidate instructions; HWcc traces\n\
          carry none; Cohesion traces carry them only for SWcc-domain data (§4.1)."
     );
+    opts.write_metrics("trace_stats"); // empty runs list: no machine is simulated
 }

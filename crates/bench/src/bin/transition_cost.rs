@@ -16,7 +16,7 @@
 
 use cohesion::config::{DesignPoint, MachineConfig};
 use cohesion::machine::Machine;
-use cohesion_bench::harness::{run_jobs, Job, Options};
+use cohesion_bench::harness::{record_snapshot, run_jobs, Job, Options};
 use cohesion_bench::table::Table;
 use cohesion_mem::addr::Addr;
 use cohesion_protocol::region::Domain;
@@ -63,12 +63,13 @@ const SCENARIOS: [&str; 3] = [
 ];
 
 fn measure(opts: &Options, scenario: usize, lines: u32) -> (u64, u64) {
-    match scenario {
+    let (m, res) = match scenario {
         // 1. SWcc -> HWcc with nothing cached (case 1b): broadcast clean
         //    requests to every cluster still go out.
         0 => {
             let mut m = fresh_machine(opts);
-            convert(&mut m, lines, Domain::HWcc, 0)
+            let r = convert(&mut m, lines, Domain::HWcc, 0);
+            (m, r)
         }
         // 2. SWcc -> HWcc with every line dirty in one cluster (case 3b):
         //    owner upgrade, no writeback.
@@ -79,7 +80,8 @@ fn measure(opts: &Options, scenario: usize, lines: u32) -> (u64, u64) {
             for i in 0..lines {
                 tt = m.store(CoreId(0), Addr(base.0 + 32 * i), i, tt) + 1;
             }
-            convert(&mut m, lines, Domain::HWcc, tt + 1000)
+            let r = convert(&mut m, lines, Domain::HWcc, tt + 1000);
+            (m, r)
         }
         // 3. HWcc -> SWcc with lines shared by two clusters (case 2a).
         2 => {
@@ -93,10 +95,15 @@ fn measure(opts: &Options, scenario: usize, lines: u32) -> (u64, u64) {
                 let (t2, _) = m.load(CoreId(m.config().cores - 1), a, t1);
                 tt = t2 + 1;
             }
-            convert(&mut m, lines, Domain::SWcc, tt + 1000)
+            let r = convert(&mut m, lines, Domain::SWcc, tt + 1000);
+            (m, r)
         }
         _ => unreachable!("three scenarios"),
+    };
+    if let Some(snap) = m.metrics_snapshot(res.1.max(1)) {
+        record_snapshot(format!("{} x{lines}", SCENARIOS[scenario]), snap);
     }
+    res
 }
 
 fn main() {
@@ -142,4 +149,5 @@ fn main() {
          the message increase §4.2 reports for region conversions — while\n\
          HWcc->SWcc costs scale with the directory-known sharer count."
     );
+    opts.write_metrics("transition_cost");
 }

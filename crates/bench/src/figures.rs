@@ -119,6 +119,7 @@ pub fn fig3(opts: &Options) -> Vec<Fig3Row> {
         let mut wl = kernel_by_name(&k, opts.scale);
         let rep = run_workload(&cfg, wl.as_mut())
             .unwrap_or_else(|e| panic!("fig3 {k} @ {size}: {e}"));
+        crate::harness::record_metrics(format!("fig3 {k} @ {}K L2", size >> 10), &rep);
         Fig3Row {
             kernel: k,
             l2_bytes: size,
@@ -569,6 +570,7 @@ pub fn tiny_options() -> Options {
         scale: cohesion_kernels::Scale::Tiny,
         kernels: vec!["sobel".into()],
         jobs: 2,
+        ..Options::default()
     }
 }
 

@@ -8,12 +8,14 @@
 //! wall-clock time scales with `--jobs` / `COHESION_JOBS`.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
-use cohesion::config::{DesignPoint, MachineConfig};
+use cohesion::config::{DesignPoint, DirectoryVariant, MachineConfig};
 use cohesion::report::RunReport;
 use cohesion::run::run_workload;
 use cohesion_kernels::{kernel_by_name, Scale, KERNEL_NAMES};
+use cohesion_sim::metrics::Snapshot;
 use cohesion_testkit::pool;
 
 /// Common command-line options for every figure binary.
@@ -29,6 +31,13 @@ pub struct Options {
     /// Worker threads for [`run_jobs`] sweeps (defaults to
     /// `COHESION_JOBS` or the machine's available parallelism).
     pub jobs: usize,
+    /// Destination for the structured telemetry report (`--metrics-out`).
+    /// When set, every simulation runs with the machine-wide metrics
+    /// registry armed and [`Options::write_metrics`] serializes all
+    /// recorded snapshots as one JSON document. When `None` — the default
+    /// — metrics stay disarmed and every observable output is
+    /// byte-identical to a run without telemetry.
+    pub metrics_out: Option<String>,
 }
 
 impl Default for Options {
@@ -38,6 +47,7 @@ impl Default for Options {
             scale: Scale::Small,
             kernels: KERNEL_NAMES.iter().map(|s| s.to_string()).collect(),
             jobs: pool::default_jobs(),
+            metrics_out: None,
         }
     }
 }
@@ -84,6 +94,14 @@ impl Options {
                         _ => usage("--jobs needs a positive integer"),
                     };
                 }
+                "--metrics-out" => {
+                    i += 1;
+                    opts.metrics_out = Some(
+                        args.get(i)
+                            .unwrap_or_else(|| usage("--metrics-out needs a file path"))
+                            .clone(),
+                    );
+                }
                 "--part" | "--out" | "--csv" => {
                     // consumed by fig9 / all_figures separately; skip the value
                     i += 1;
@@ -104,20 +122,128 @@ impl Options {
     }
 
     /// Builds the machine config for a design point at this option set.
+    /// The telemetry registry is armed exactly when `--metrics-out` was
+    /// given.
     pub fn config(&self, dp: DesignPoint) -> MachineConfig {
-        if self.cores >= 1024 {
+        let mut cfg = if self.cores >= 1024 {
             MachineConfig::isca2010(dp)
         } else {
             MachineConfig::scaled(self.cores, dp)
-        }
+        };
+        cfg.metrics = self.metrics_out.is_some();
+        cfg
     }
+
+    /// Serializes every telemetry snapshot recorded since the last drain
+    /// (see [`record_metrics`]) into the `--metrics-out` file as one JSON
+    /// document, draining the sink. A no-op when `--metrics-out` was not
+    /// given. `binary` names the producing experiment in the document.
+    ///
+    /// Runs are sorted by `(label, serialized snapshot)` before writing,
+    /// so the document is byte-identical at any `--jobs` count.
+    pub fn write_metrics(&self, binary: &str) {
+        let runs = take_recorded_metrics();
+        let Some(path) = &self.metrics_out else {
+            return;
+        };
+        let mut runs: Vec<(String, String)> = runs
+            .into_iter()
+            .map(|(label, snap)| (label, snap.to_json()))
+            .collect();
+        runs.sort();
+        let doc = metrics_document(binary, self, &runs);
+        if let Err(e) = std::fs::write(path, doc) {
+            eprintln!("error: cannot write metrics report to {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("metrics report written to {path}");
+    }
+}
+
+/// Labeled telemetry snapshots recorded by [`run`] (and by experiment
+/// binaries that drive `run_workload` directly) until
+/// [`Options::write_metrics`] or [`take_recorded_metrics`] drains them.
+static METRICS_SINK: Mutex<Vec<(String, Snapshot)>> = Mutex::new(Vec::new());
+
+/// Records `report`'s telemetry snapshot under `label` for the next
+/// [`Options::write_metrics`]. A no-op when the run had metrics disarmed
+/// (no `--metrics-out`), so calling this unconditionally never perturbs
+/// an ordinary run.
+pub fn record_metrics(label: impl Into<String>, report: &RunReport) {
+    if let Some(snap) = &report.metrics {
+        record_snapshot(label, snap.clone());
+    }
+}
+
+/// Records an already-taken snapshot under `label` — for binaries that
+/// drive [`cohesion::machine::Machine`] directly instead of going through
+/// `run_workload` (e.g. `transition_cost`).
+pub fn record_snapshot(label: impl Into<String>, snapshot: Snapshot) {
+    METRICS_SINK
+        .lock()
+        .expect("metrics sink poisoned")
+        .push((label.into(), snapshot));
+}
+
+/// Drains and returns every recorded `(label, snapshot)` pair, in
+/// recording order (nondeterministic under a parallel sweep — sort before
+/// serializing). Exposed for tests and for [`Options::write_metrics`].
+pub fn take_recorded_metrics() -> Vec<(String, Snapshot)> {
+    std::mem::take(&mut *METRICS_SINK.lock().expect("metrics sink poisoned"))
+}
+
+/// A compact, deterministic label for a design point, used to name
+/// telemetry runs (e.g. `Cohesion/sparse16384x128`).
+pub fn design_label(dp: DesignPoint) -> String {
+    let dir = match dp.directory {
+        DirectoryVariant::None => "nodir".to_string(),
+        DirectoryVariant::FullMapInfinite => "infinite".to_string(),
+        DirectoryVariant::Sparse { entries, ways } => format!("sparse{entries}x{ways}"),
+        DirectoryVariant::Dir4B { entries, ways } => format!("dir4b{entries}x{ways}"),
+        DirectoryVariant::FullyAssociative { entries } => format!("fa{entries}"),
+    };
+    format!("{:?}/{dir}", dp.mode)
+}
+
+/// Renders the full `--metrics-out` JSON document from already-serialized
+/// `(label, snapshot-json)` pairs (pre-sorted by the caller). Pure, so
+/// tests can check determinism without touching the filesystem.
+pub fn metrics_document(binary: &str, opts: &Options, runs: &[(String, String)]) -> String {
+    let esc = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+    let scale = match opts.scale {
+        Scale::Tiny => "tiny",
+        Scale::Small => "small",
+        Scale::Medium => "medium",
+    };
+    let kernels: Vec<String> = opts.kernels.iter().map(|k| format!("\"{}\"", esc(k))).collect();
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"cohesion-metrics/v1\",\n");
+    out.push_str(&format!("  \"binary\": \"{}\",\n", esc(binary)));
+    // `jobs` is deliberately absent: the document must be byte-identical
+    // at any worker count.
+    out.push_str(&format!(
+        "  \"options\": {{\"cores\": {}, \"scale\": \"{scale}\", \"kernels\": [{}]}},\n",
+        opts.cores,
+        kernels.join(", ")
+    ));
+    out.push_str("  \"runs\": [\n");
+    for (i, (label, json)) in runs.iter().enumerate() {
+        let comma = if i + 1 < runs.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"label\": \"{}\", \"metrics\": {json}}}{comma}\n",
+            esc(label)
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: [--cores N] [--scale tiny|small|medium] [--kernels a,b,c] \
-         [--jobs N] [--part a|b|c] [--out PATH] [--csv DIR]"
+         [--jobs N] [--metrics-out FILE] [--part a|b|c] [--out PATH] [--csv DIR]"
     );
     std::process::exit(2)
 }
@@ -129,7 +255,10 @@ pub fn run(opts: &Options, kernel: &str, dp: DesignPoint) -> RunReport {
     let cfg = opts.config(dp);
     let mut wl = kernel_by_name(kernel, opts.scale);
     match run_workload(&cfg, wl.as_mut()) {
-        Ok(r) => r,
+        Ok(r) => {
+            record_metrics(format!("{kernel} @ {}", design_label(dp)), &r);
+            r
+        }
         Err(e) => panic!("{kernel} under {dp:?} failed: {e}"),
     }
 }
@@ -236,9 +365,60 @@ mod tests {
             scale: Scale::Tiny,
             kernels: vec!["sobel".into()],
             jobs: 1,
+            ..Options::default()
         };
         let r = run(&o, "sobel", DesignPoint::swcc());
         assert!(r.cycles > 0);
+    }
+
+    /// Arming telemetry must not perturb the simulation: every
+    /// result-bearing field of the run report is identical with metrics on
+    /// and off, and only the armed run carries a snapshot.
+    #[test]
+    fn armed_metrics_do_not_change_results() {
+        let base = Options {
+            cores: 16,
+            scale: Scale::Tiny,
+            kernels: vec!["sobel".into()],
+            jobs: 1,
+            ..Options::default()
+        };
+        let armed = Options {
+            metrics_out: Some("unused.json".into()),
+            ..base.clone()
+        };
+        let dp = DesignPoint::cohesion(16 * 1024, 128);
+        let off = run(&base, "sobel", dp);
+        let on = run(&armed, "sobel", dp);
+        let _ = take_recorded_metrics(); // don't leak into other tests
+        assert!(off.metrics.is_none());
+        assert!(on.metrics.is_some());
+        assert_eq!(off.cycles, on.cycles);
+        assert_eq!(off.messages, on.messages);
+        assert_eq!(off.transitions, on.transitions);
+    }
+
+    /// The serialized document is deterministic given the same recorded
+    /// runs, and sorting makes it independent of recording order — the
+    /// property that keeps `--metrics-out` byte-identical across `--jobs`.
+    #[test]
+    fn metrics_document_is_order_independent() {
+        let o = Options {
+            kernels: vec!["sobel".into()],
+            ..Options::default()
+        };
+        let snap = cohesion_sim::metrics::Registry::armed(100).snapshot();
+        let mut a = vec![
+            ("b".to_string(), snap.to_json()),
+            ("a".to_string(), snap.to_json()),
+        ];
+        let mut b: Vec<(String, String)> = a.iter().rev().cloned().collect();
+        a.sort();
+        b.sort();
+        let doc_a = metrics_document("test", &o, &a);
+        let doc_b = metrics_document("test", &o, &b);
+        assert_eq!(doc_a, doc_b);
+        assert!(doc_a.contains("\"schema\": \"cohesion-metrics/v1\""));
     }
 }
 
@@ -267,6 +447,7 @@ mod run_jobs_tests {
             scale: Scale::Tiny,
             kernels: vec!["sobel".into()],
             jobs: 4,
+            ..Options::default()
         };
         let jobs: Vec<Job<()>> = (0..4).map(|i| Job::new(format!("sobel #{i}"), ())).collect();
         let runs = run_jobs(o.jobs, jobs, |()| run(&o, "sobel", DesignPoint::swcc()).cycles);

@@ -7,4 +7,5 @@
 pub mod csv;
 pub mod figures;
 pub mod harness;
+pub mod jsonv;
 pub mod table;

@@ -241,6 +241,15 @@ pub struct MachineConfig {
     pub word_granular_swcc: bool,
     /// How tasks are distributed to cores.
     pub task_queue: TaskQueueModel,
+    /// Arm the machine-wide telemetry registry
+    /// ([`cohesion_sim::metrics`]). Off by default: with metrics
+    /// disarmed every recording call is an inlined early-return and the
+    /// run's observable outputs are byte-identical to a build without
+    /// the registry.
+    pub metrics: bool,
+    /// Cycle-window width for the telemetry time-series sampler (only
+    /// meaningful when [`MachineConfig::metrics`] is set).
+    pub metrics_window: Cycle,
 }
 
 /// Task-distribution models for the barrier-synchronized work queue.
@@ -290,6 +299,8 @@ impl MachineConfig {
             silent_evictions: false,
             word_granular_swcc: true,
             task_queue: TaskQueueModel::Global,
+            metrics: false,
+            metrics_window: 10_000,
         }
     }
 

@@ -34,6 +34,7 @@ use cohesion_runtime::layout::Layout;
 use cohesion_runtime::task::AtomicKind;
 use cohesion_sim::ids::{BankId, ClusterId, CoreId};
 use cohesion_sim::link::Throttle;
+use cohesion_sim::metrics::{Registry, Snapshot};
 use cohesion_sim::msg::MessageClass;
 use cohesion_sim::stats::{CoherenceInstrStats, MessageCounts};
 use cohesion_sim::Cycle;
@@ -128,6 +129,26 @@ pub struct Machine {
     /// [`Machine::trace_log_mut`] or by `COHESION_WATCH=0xADDR` (which
     /// watches one line and echoes to stderr).
     tracelog: cohesion_sim::tracelog::TraceLog,
+    /// Machine-wide telemetry. Disarmed (every record call a single
+    /// branch) unless [`MachineConfig::metrics`] is set.
+    metrics: Registry,
+}
+
+/// Parses a `COHESION_WATCH` value: a hexadecimal byte address, with or
+/// without a leading `0x`/`0X` prefix.
+fn parse_watch(raw: &str) -> Result<u32, String> {
+    let v = raw.trim();
+    let digits = v
+        .strip_prefix("0x")
+        .or_else(|| v.strip_prefix("0X"))
+        .unwrap_or(v);
+    u32::from_str_radix(digits, 16).map_err(|_| {
+        format!(
+            "cannot parse {raw:?} as a watch address; accepted formats are \
+             hexadecimal byte addresses with or without a 0x prefix \
+             (e.g. COHESION_WATCH=0x40001080 or COHESION_WATCH=40001080)"
+        )
+    })
 }
 
 impl Machine {
@@ -215,13 +236,18 @@ impl Machine {
             profiler: crate::profile::RegionProfiler::default(),
             tracelog: {
                 let mut log = cohesion_sim::tracelog::TraceLog::new();
-                if let Some(a) = std::env::var("COHESION_WATCH")
-                    .ok()
-                    .and_then(|v| u32::from_str_radix(v.trim_start_matches("0x"), 16).ok())
-                {
-                    log.watch_line(Addr(a).line().0, true);
+                if let Ok(v) = std::env::var("COHESION_WATCH") {
+                    match parse_watch(&v) {
+                        Ok(a) => log.watch_line(Addr(a).line().0, true),
+                        Err(e) => eprintln!("COHESION_WATCH ignored: {e}"),
+                    }
                 }
                 log
+            },
+            metrics: if cfg.metrics {
+                Registry::armed(cfg.metrics_window)
+            } else {
+                Registry::disarmed()
             },
             cfg,
         }
@@ -286,8 +312,9 @@ impl Machine {
         self.profiler.snapshot()
     }
 
-    fn note_msg(&mut self, cluster: ClusterId, line: LineAddr, class: MessageClass) {
+    fn note_msg(&mut self, cluster: ClusterId, line: LineAddr, class: MessageClass, t: Cycle) {
         self.l2_msgs[cluster.0 as usize].record(class);
+        self.metrics.sample_add("messages", t, 1);
         if !self.profiler.is_empty() {
             self.profiler.note_message(line, class);
         }
@@ -517,7 +544,7 @@ impl Machine {
         self.trace_kind(t, line, "probe", format_args!(
             "{target} inv={invalidate} wb={:?}", wb.map(|(_, m)| m)
         ));
-        self.note_msg(target, line, MessageClass::ProbeResponse);
+        self.note_msg(target, line, MessageClass::ProbeResponse, t_at_l2);
         self.noc.request(target, bank, t_at_l2)
     }
 
@@ -566,7 +593,7 @@ impl Machine {
         self.trace_kind(t_issue, line, "fetch", format_args!(
             "by {cluster} excl={exclusive} {class:?}"
         ));
-        self.note_msg(cluster, line, class);
+        self.note_msg(cluster, line, class, t_issue);
         let bank = self.bank_of(line);
         let t_arr = self.noc.request(cluster, bank, t_issue);
         let mut t = self.l3_ports[bank.0 as usize].grant(t_arr) + self.cfg.l3_latency;
@@ -579,6 +606,7 @@ impl Machine {
 
         let data = self.l3_read_line(bank, line, &mut t);
         let t_reply = self.noc.reply(bank, cluster, t);
+        self.metrics.record_latency("latency/fetch", t_reply - t_issue);
         (t_reply, data, grant)
     }
 
@@ -604,6 +632,11 @@ impl Machine {
         let hit = self.dirs.as_mut().expect("present")[bank.0 as usize]
             .lookup(line)
             .is_some();
+        self.metrics.inc(if hit {
+            "directory/lookup_hits"
+        } else {
+            "directory/lookup_misses"
+        });
         if hit {
             // HWcc path: MSI at the home bank.
             let (state, targets) = {
@@ -678,6 +711,7 @@ impl Machine {
             (CohMode::Cohesion, None) => Domain::HWcc,
             (CohMode::Cohesion, Some((in_coarse, fine))) => {
                 if in_coarse {
+                    self.metrics.inc("table/coarse_hits");
                     Domain::SWcc
                 } else {
                     // Fine-grain lookup (§3.4): a minimum of one extra
@@ -691,6 +725,10 @@ impl Machine {
                         Some(tc) => tc[bank.0 as usize].access(tline).is_some(),
                         None => false,
                     };
+                    self.metrics.inc("table/fine_lookups");
+                    if tc_hit {
+                        self.metrics.inc("table/fine_cache_hits");
+                    }
                     if !tc_hit {
                         let _ = self.l3_read_line(bank, tline, &mut tt);
                         if let Some(tc) = self.table_cache.as_mut() {
@@ -759,6 +797,7 @@ impl Machine {
                 let v = l.data[w];
                 self.trace_kind(t2, line, "load", format_args!("l2hit by {core} w{w} -> {v:#x}"));
                 self.l1d_fill_word(core, line, w, v);
+                self.metrics.record_latency("latency/load", t2 - t);
                 return (t2, v);
             }
             Some(_) => true,  // partial line, word missing
@@ -791,6 +830,7 @@ impl Machine {
         }
         self.trace_kind(t2, line, "load", format_args!("fill by {core} w{w} -> {value:#x}"));
         self.l1d_fill_word(core, line, w, value);
+        self.metrics.record_latency("latency/load", t2 - t);
         (t2, value)
     }
 
@@ -939,6 +979,7 @@ impl Machine {
                 }
             }
         }
+        self.metrics.record_latency("latency/store", t_done - t);
         t_done
     }
 
@@ -956,7 +997,7 @@ impl Machine {
         t: Cycle,
     ) -> Result<(Cycle, u32), MachineError> {
         let line = addr.line();
-        self.note_msg(cluster, line, MessageClass::UncachedAtomic);
+        self.note_msg(cluster, line, MessageClass::UncachedAtomic, t);
         let bank = self.bank_of(line);
         let t_arr = self.noc.request(cluster, bank, t);
         let mut tb = self.l3_ports[bank.0 as usize].grant(t_arr) + self.cfg.l3_latency;
@@ -1003,6 +1044,7 @@ impl Machine {
         }
 
         let t_done = self.noc.reply(bank, cluster, tb);
+        self.metrics.record_latency("latency/atomic", t_done - t);
         Ok((t_done, old))
     }
 
@@ -1018,6 +1060,7 @@ impl Machine {
         let clusters = self.cfg.clusters();
         self.trace_kind(t, line, "transition", format_args!("to {to:?}"));
         let mut done = t;
+        self.metrics.sample_add("transitions", t, 1);
         match to {
             Domain::SWcc => {
                 self.transitions_to_sw += 1;
@@ -1025,6 +1068,11 @@ impl Machine {
                     self.dirs.as_ref().and_then(|d| d[bank.0 as usize].peek(line)),
                     clusters,
                 );
+                self.metrics.inc(match case {
+                    HwToSw::Case1aUntracked => "transition/case_1a_untracked",
+                    HwToSw::Case2aShared { .. } => "transition/case_2a_shared",
+                    HwToSw::Case3aModified { .. } => "transition/case_3a_modified",
+                });
                 match case {
                     HwToSw::Case1aUntracked => {}
                     HwToSw::Case2aShared { sharers } => {
@@ -1066,7 +1114,7 @@ impl Machine {
                         },
                     };
                     views.push(view);
-                    self.note_msg(target, line, MessageClass::ProbeResponse);
+                    self.note_msg(target, line, MessageClass::ProbeResponse, t_at_l2);
                     t_views = t_views.max(self.noc.request(target, bank, t_at_l2));
                 }
                 done = done.max(t_views);
@@ -1074,7 +1122,15 @@ impl Machine {
                     .config()
                     .tracking;
                 let class = self.classify(line);
-                match classify_sw_to_hw(&views) {
+                let case = classify_sw_to_hw(&views);
+                self.metrics.inc(match case {
+                    SwToHw::Case1bNotPresent => "transition/case_1b_not_present",
+                    SwToHw::Case2bClean { .. } => "transition/case_2b_clean",
+                    SwToHw::Case3bSingleDirty { .. } => "transition/case_3b_single_dirty",
+                    SwToHw::Case4bMultiDirtyDisjoint { .. } => "transition/case_4b_multi_dirty",
+                    SwToHw::Case5bRace { .. } => "transition/case_5b_race",
+                });
+                match case {
                     SwToHw::Case1bNotPresent => {}
                     SwToHw::Case2bClean { sharers } => {
                         let mut entry = DirEntry::shared(sharers[0], tracking, clusters, class);
@@ -1125,6 +1181,20 @@ impl Machine {
                 );
             }
         }
+        if self.metrics.is_armed() {
+            self.metrics.record_latency(
+                match to {
+                    Domain::SWcc => "latency/transition_to_swcc",
+                    Domain::HWcc => "latency/transition_to_hwcc",
+                },
+                done - t,
+            );
+            let occ: u64 = self
+                .dirs
+                .as_ref()
+                .map_or(0, |d| d.iter().map(|b| b.occupancy()).sum());
+            self.metrics.sample_max("dir_occupancy", done, occ);
+        }
         Ok(done)
     }
 
@@ -1161,7 +1231,7 @@ impl Machine {
                 self.l3_write_words(bank, line, &ev.data, ev.dirty_words, t_at_l2);
             }
             self.back_invalidate_l1(wcl, line);
-            self.note_msg(wcl, line, MessageClass::ProbeResponse);
+            self.note_msg(wcl, line, MessageClass::ProbeResponse, t_at_l2);
             done = done.max(self.noc.request(wcl, bank, t_at_l2));
         }
         for &r in readers {
@@ -1191,7 +1261,7 @@ impl Machine {
             Some(_) | None => None,
         };
         if let Some((data, mask)) = wb {
-            self.note_msg(cluster, line, MessageClass::SoftwareFlush);
+            self.note_msg(cluster, line, MessageClass::SoftwareFlush, t2);
             let bank = self.bank_of(line);
             let t_arr = self.noc.request(cluster, bank, t2);
             self.l3_write_words(bank, line, &data, mask, t_arr);
@@ -1262,7 +1332,7 @@ impl Machine {
         self.back_invalidate_l1(cluster, v.addr);
         let bank = self.bank_of(v.addr);
         if v.dirty_words != 0 {
-            self.note_msg(cluster, v.addr, MessageClass::CacheEviction);
+            self.note_msg(cluster, v.addr, MessageClass::CacheEviction, t);
             let t_arr = self.noc.request(cluster, bank, t);
             self.l3_write_words(bank, v.addr, &v.data, v.dirty_words, t_arr);
             if !v.incoherent {
@@ -1282,7 +1352,7 @@ impl Machine {
             }
             // Clean HWcc line: silent evictions are not supported — a read
             // release informs the directory (§2.1).
-            self.note_msg(cluster, v.addr, MessageClass::ReadRelease);
+            self.note_msg(cluster, v.addr, MessageClass::ReadRelease, t);
             let t_arr = self.noc.request(cluster, bank, t);
             if let Some(dirs) = self.dirs.as_mut() {
                 let bank_dir = &mut dirs[bank.0 as usize];
@@ -1393,6 +1463,133 @@ impl Machine {
     /// the test suite checks.
     pub fn noc_stats(&self) -> (u64, u64) {
         (self.noc.requests_sent(), self.noc.replies_sent())
+    }
+
+    /// The machine's telemetry registry (disarmed unless
+    /// [`MachineConfig::metrics`] was set).
+    pub fn metrics(&self) -> &Registry {
+        &self.metrics
+    }
+
+    /// Mutable access to the telemetry registry, for layers above the
+    /// machine (the run loop records event-wheel statistics here).
+    pub fn metrics_mut(&mut self) -> &mut Registry {
+        &mut self.metrics
+    }
+
+    /// Notes a barrier boundary at cycle `now` for the telemetry marks:
+    /// records the cumulative message count, so per-barrier-interval
+    /// traffic is the difference between consecutive marks. No-op when
+    /// telemetry is disarmed.
+    pub fn note_barrier(&mut self, now: Cycle) {
+        if self.metrics.is_armed() {
+            let total = self.total_messages().total();
+            self.metrics.mark("barrier/messages", now, total);
+            let occ: u64 = self
+                .dirs
+                .as_ref()
+                .map_or(0, |d| d.iter().map(|b| b.occupancy()).sum());
+            self.metrics.mark("barrier/dir_occupancy", now, occ);
+        }
+    }
+
+    /// Summarizes the telemetry registry plus the derived per-cluster,
+    /// per-bank, interconnect, DRAM, and tracelog breakdowns into a
+    /// finalized [`Snapshot`], or `None` when telemetry is disarmed.
+    ///
+    /// Everything here is read from counters the machine maintains anyway
+    /// (no cache is accessed, no LRU state touched), so snapshotting never
+    /// perturbs the simulation.
+    pub fn metrics_snapshot(&self, end: Cycle) -> Option<Snapshot> {
+        if !self.metrics.is_armed() {
+            return None;
+        }
+        fn class_slug(class: MessageClass) -> &'static str {
+            match class {
+                MessageClass::ReadRequest => "read_request",
+                MessageClass::WriteRequest => "write_request",
+                MessageClass::InstructionRequest => "instruction_request",
+                MessageClass::UncachedAtomic => "uncached_atomic",
+                MessageClass::CacheEviction => "cache_eviction",
+                MessageClass::SoftwareFlush => "software_flush",
+                MessageClass::ReadRelease => "read_release",
+                MessageClass::ProbeResponse => "probe_response",
+            }
+        }
+        let mut s = self.metrics.snapshot();
+        s.push_gauge("run/cycles", end as f64);
+
+        // Per-cluster message breakdown (the Figure 2/8 taxonomy, but per
+        // cluster instead of machine-wide).
+        for (c, m) in self.l2_msgs.iter().enumerate() {
+            s.push_counter(format!("cluster/{c:03}/messages_total"), m.total());
+            for (class, n) in m.iter() {
+                if n > 0 {
+                    s.push_counter(format!("cluster/{c:03}/messages/{}", class_slug(class)), n);
+                }
+            }
+        }
+        for (c, p) in self.l2_ports.iter().enumerate() {
+            s.push_counter(format!("cluster/{c:03}/l2_port_grants"), p.grants());
+        }
+        let instr = self.coherence_instr_stats();
+        s.push_counter("swcc/invalidations_issued", instr.invalidations_issued);
+        s.push_counter("swcc/invalidations_useful", instr.invalidations_useful);
+        s.push_counter("swcc/writebacks_issued", instr.writebacks_issued);
+        s.push_counter("swcc/writebacks_useful", instr.writebacks_useful);
+
+        // Per-L3-bank occupancy/traffic breakdown.
+        for (b, l3) in self.l3.iter().enumerate() {
+            let (hits, misses, evictions) = l3.stats();
+            s.push_counter(format!("bank/{b:03}/l3_hits"), hits);
+            s.push_counter(format!("bank/{b:03}/l3_misses"), misses);
+            s.push_counter(format!("bank/{b:03}/l3_evictions"), evictions);
+            s.push_counter(format!("bank/{b:03}/port_grants"), self.l3_ports[b].grants());
+        }
+        if let Some(dirs) = &self.dirs {
+            for (b, d) in dirs.iter().enumerate() {
+                s.push_gauge(format!("bank/{b:03}/dir_avg_occupancy"), d.average_occupancy(end));
+                s.push_counter(format!("bank/{b:03}/dir_max_occupancy"), d.max_occupancy());
+                let (ins, ev) = d.churn();
+                s.push_counter(format!("bank/{b:03}/dir_insertions"), ins);
+                s.push_counter(format!("bank/{b:03}/dir_evictions"), ev);
+            }
+        }
+        if let Some(tcs) = &self.table_cache {
+            let (hits, misses, evictions) = tcs.iter().fold((0, 0, 0), |(h, m, e), c| {
+                let (ch, cm, ce) = c.stats();
+                (h + ch, m + cm, e + ce)
+            });
+            s.push_counter("table_cache/hits", hits);
+            s.push_counter("table_cache/misses", misses);
+            s.push_counter("table_cache/evictions", evictions);
+        }
+
+        // Interconnect utilization, per link and total.
+        let (req, rep) = self.noc_stats();
+        s.push_counter("noc/requests_sent", req);
+        s.push_counter("noc/replies_sent", rep);
+        for (label, sent) in self.noc.link_utilization() {
+            if sent > 0 {
+                s.push_counter(format!("noc/link/{label}"), sent);
+            }
+        }
+
+        let (accesses, row_hits) = self.dram_stats();
+        s.push_counter("dram/accesses", accesses);
+        s.push_counter("dram/row_hits", row_hits);
+
+        s.push_counter("transitions/to_swcc", self.transitions_to_sw);
+        s.push_counter("transitions/to_hwcc", self.transitions_to_hw);
+        s.push_counter("races/detected", self.races.len() as u64);
+
+        // Tracelog truncation visibility (the ring drops oldest-first when
+        // full; a non-zero dropped count means the log is a suffix).
+        s.push_counter("tracelog/dropped_events", self.tracelog.dropped());
+        s.push_counter("tracelog/buffered_events", self.tracelog.events().count() as u64);
+
+        s.finalize();
+        Some(s)
     }
 
     /// Aggregate L3 `(hits, misses, evictions)`.
@@ -1529,6 +1726,27 @@ mod tests {
 
     fn inc_addr(m: &Machine, off: u32) -> Addr {
         Addr(m.layout().incoherent_heap.start.0 + off)
+    }
+
+    #[test]
+    fn parse_watch_accepts_hex_with_and_without_prefix() {
+        assert_eq!(parse_watch("0x40001080"), Ok(0x4000_1080));
+        assert_eq!(parse_watch("0X40001080"), Ok(0x4000_1080));
+        assert_eq!(parse_watch("40001080"), Ok(0x4000_1080));
+        assert_eq!(parse_watch("  0xdeadbeef \n"), Ok(0xdead_beef));
+        assert_eq!(parse_watch("0"), Ok(0));
+    }
+
+    #[test]
+    fn parse_watch_rejects_garbage_with_a_clear_error() {
+        for bad in ["", "0x", "xyzzy", "0x1g", "-4", "0x100000000"] {
+            let err = parse_watch(bad).expect_err(bad);
+            assert!(
+                err.contains(&format!("{bad:?}")) && err.contains("0x prefix"),
+                "error for {bad:?} should echo the input and the accepted \
+                 formats, got: {err}"
+            );
+        }
     }
 
     #[test]

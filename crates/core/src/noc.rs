@@ -80,6 +80,25 @@ impl Noc {
     pub fn replies_sent(&self) -> u64 {
         self.down_bank.iter().map(Link::sent).sum()
     }
+
+    /// Per-link message counts for telemetry: every link of both
+    /// directions, labeled `"<dir>/<kind>/<index>"` (e.g. `up/tree/0`),
+    /// in a fixed deterministic order.
+    pub fn link_utilization(&self) -> Vec<(String, u64)> {
+        let mut out = Vec::new();
+        let mut push = |kind: &str, links: &[Link]| {
+            for (i, l) in links.iter().enumerate() {
+                out.push((format!("{kind}/{i:03}"), l.sent()));
+            }
+        };
+        push("up/cluster", &self.up_cluster);
+        push("up/tree", &self.up_tree);
+        push("up/bank", &self.up_bank);
+        push("down/bank", &self.down_bank);
+        push("down/tree", &self.down_tree);
+        push("down/cluster", &self.down_cluster);
+        out
+    }
 }
 
 #[cfg(test)]

@@ -1,5 +1,6 @@
 //! The per-run report the benchmark harness consumes.
 
+use cohesion_sim::metrics::Snapshot;
 use cohesion_sim::stats::{CoherenceInstrStats, MessageCounts};
 use cohesion_sim::Cycle;
 
@@ -52,6 +53,9 @@ pub struct RunReport {
     /// count equals [`RunReport::total_messages`] by construction — a
     /// conservation invariant the test suite checks.
     pub noc: (u64, u64),
+    /// Full telemetry snapshot when the run was executed with
+    /// [`MachineConfig::metrics`] armed; `None` on ordinary runs.
+    pub metrics: Option<Snapshot>,
 }
 
 impl RunReport {
@@ -89,6 +93,7 @@ impl RunReport {
             l2: machine.l2_stats(),
             l3: machine.l3_stats(),
             noc: machine.noc_stats(),
+            metrics: machine.metrics_snapshot(cycles),
         }
     }
 

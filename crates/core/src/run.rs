@@ -218,6 +218,7 @@ pub fn run_workload(cfg: &MachineConfig, workload: &mut dyn Workload) -> Result<
         tasks_total += phase.tasks.len() as u64;
         ops_total += phase.total_ops() as u64;
         exec.run_phase(&mut machine, &region_ops, &phase.tasks, barrier_addr)?;
+        machine.note_barrier(exec.now());
         if cfg.check_invariants {
             machine.check_invariants();
         }
@@ -247,6 +248,12 @@ pub fn run_workload(cfg: &MachineConfig, workload: &mut dyn Workload) -> Result<
         }
     }
     let cycles = exec.now();
+    machine
+        .metrics_mut()
+        .add("events/scheduled", exec.events.scheduled());
+    machine
+        .metrics_mut()
+        .add("events/max_pending", exec.events.max_pending() as u64);
     machine.drain_for_verification();
     workload.verify(&machine.mem).map_err(RunError::Verify)?;
 

@@ -54,6 +54,7 @@ pub struct EventQueue<E> {
     heap: BinaryHeap<Pending<E>>,
     next_seq: u64,
     now: Cycle,
+    max_pending: usize,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -69,6 +70,7 @@ impl<E> EventQueue<E> {
             heap: BinaryHeap::new(),
             next_seq: 0,
             now: 0,
+            max_pending: 0,
         }
     }
 
@@ -87,6 +89,7 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Pending { at, seq, payload });
+        self.max_pending = self.max_pending.max(self.heap.len());
     }
 
     /// Pops the earliest pending event, advancing the clock to its cycle.
@@ -115,6 +118,18 @@ impl<E> EventQueue<E> {
     /// The delivery cycle of the next pending event, if any.
     pub fn peek_cycle(&self) -> Option<Cycle> {
         self.heap.peek().map(|p| p.at)
+    }
+
+    /// Total events ever scheduled on this queue (the sequence counter —
+    /// also the FIFO tie-break watermark).
+    pub fn scheduled(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// High-water mark of simultaneously pending events — how full the
+    /// event wheel ever got.
+    pub fn max_pending(&self) -> usize {
+        self.max_pending
     }
 }
 

@@ -12,6 +12,10 @@
 //!   Figures 2 and 8 of the paper.
 //! * [`stats`] — counters, time-weighted occupancy integrators, and the
 //!   per-class message matrices the benchmark harness consumes.
+//! * [`metrics`] — the opt-in machine-wide telemetry registry: named
+//!   counters, gauges, log2-bucketed latency histograms, and a
+//!   cycle-windowed time-series sampler, snapshotted into deterministic
+//!   JSON run reports.
 //!
 //! The engine is intentionally single-threaded and fully deterministic: two
 //! runs with the same configuration produce bit-identical statistics, which is
@@ -35,6 +39,7 @@
 pub mod event;
 pub mod ids;
 pub mod link;
+pub mod metrics;
 pub mod msg;
 pub mod slots;
 pub mod stats;

@@ -51,6 +51,19 @@ enum Filter {
 }
 
 /// The bounded event log.
+///
+/// # Capacity behavior
+///
+/// The log is a ring of `capacity` events (default 4096; [`watch_all`]
+/// overrides it, clamped to at least 1). Recording into a full ring
+/// evicts the **oldest** event first, so the log always holds the most
+/// recent `capacity` events in arrival order. Every eviction increments
+/// the [`dropped`] counter, which the machine also publishes as the
+/// `tracelog/dropped_events` telemetry counter — a non-zero value means
+/// the window was too small for the run being debugged.
+///
+/// [`watch_all`]: TraceLog::watch_all
+/// [`dropped`]: TraceLog::dropped
 #[derive(Debug, Clone)]
 pub struct TraceLog {
     filter: Filter,
@@ -182,6 +195,25 @@ mod tests {
         assert_eq!(log.events().count(), 3);
         assert_eq!(log.dropped(), 7);
         assert_eq!(log.events().next().unwrap().cycle, 7, "oldest kept is #7");
+    }
+
+    #[test]
+    fn ring_drops_oldest_first_and_keeps_arrival_order() {
+        let mut log = TraceLog::new();
+        log.watch_all(4);
+        for i in 0..25u64 {
+            log.record(i, i as u32, "e", String::new());
+        }
+        // The survivors are exactly the newest `capacity` events, still in
+        // arrival order; everything older was evicted oldest-first.
+        let kept: Vec<Cycle> = log.events().map(|e| e.cycle).collect();
+        assert_eq!(kept, vec![21, 22, 23, 24]);
+        assert_eq!(log.dropped(), 21);
+        // One more record evicts the current oldest survivor, not a newer one.
+        log.record(25, 25, "e", String::new());
+        let kept: Vec<Cycle> = log.events().map(|e| e.cycle).collect();
+        assert_eq!(kept, vec![22, 23, 24, 25]);
+        assert_eq!(log.dropped(), 22);
     }
 
     #[test]

@@ -4,6 +4,8 @@
 
 use cohesion_sim::event::EventQueue;
 use cohesion_sim::link::{Link, Throttle};
+use cohesion_sim::metrics::{Histogram, HISTOGRAM_BUCKETS};
+use cohesion_sim::stats::TimeWeighted;
 use cohesion_sim::slots::SlotReserver;
 use cohesion_testkit::prop::{range, sample, vec_of, Runner};
 
@@ -118,6 +120,128 @@ fn throttle_respects_width() {
                 for &n in counts.values() {
                     assert!(n <= width);
                 }
+            },
+        );
+}
+
+/// `TimeWeighted::set` clamps out-of-order update times to the latest
+/// update seen, so any update sequence integrates identically to the same
+/// sequence with times pre-clamped to their running maximum — and both
+/// match a directly computed level·dt integral.
+#[test]
+fn time_weighted_clamps_out_of_order() {
+    Runner::new("time_weighted_clamps_out_of_order")
+        .cases(128)
+        .run(
+            &(
+                vec_of((range(0u64..1000), range(0u64..100)), 1..100),
+                range(0u64..2000),
+            ),
+            |(updates, end)| {
+                let mut raw = TimeWeighted::new();
+                let mut clamped = TimeWeighted::new();
+                let mut clock = 0u64;
+                let mut integral = 0u128;
+                let mut level = 0u64;
+                let mut peak = 0u64;
+                for &(t, v) in &updates {
+                    raw.set(t, v);
+                    let t = t.max(clock);
+                    clamped.set(t, v);
+                    integral += level as u128 * (t - clock) as u128;
+                    clock = t;
+                    level = v;
+                    peak = peak.max(v);
+                }
+                assert_eq!(raw.level(), clamped.level());
+                assert_eq!(raw.max(), clamped.max());
+                assert_eq!(raw.max(), peak);
+                assert_eq!(raw.average(end).to_bits(), clamped.average(end).to_bits());
+                // Independent oracle: finish the integral at `end` and
+                // compare exactly (both sides do the same u128 → f64 math).
+                integral += level as u128 * end.saturating_sub(clock) as u128;
+                let oracle = if end == 0 { 0.0 } else { integral as f64 / end as f64 };
+                assert_eq!(raw.average(end).to_bits(), oracle.to_bits());
+            },
+        );
+}
+
+/// Every value lands in the bucket whose bounds contain it, and the
+/// log2 buckets tile the `u64` range without gaps or overlap.
+#[test]
+fn histogram_buckets_tile_and_contain() {
+    // Deterministic tiling check: bucket 0 is {0}; bucket i starts one
+    // past where bucket i-1 ends; the last bucket reaches u64::MAX.
+    assert_eq!(Histogram::bucket_bounds(0), (0, 0));
+    for i in 1..HISTOGRAM_BUCKETS {
+        let (lo, hi) = Histogram::bucket_bounds(i);
+        let (_, prev_hi) = Histogram::bucket_bounds(i - 1);
+        assert_eq!(lo, prev_hi + 1, "gap or overlap entering bucket {i}");
+        assert!(hi >= lo);
+    }
+    assert_eq!(Histogram::bucket_bounds(HISTOGRAM_BUCKETS - 1).1, u64::MAX);
+
+    Runner::new("histogram_buckets_tile_and_contain")
+        .cases(128)
+        .run(
+            &vec_of((range(0u64..16), range(0u32..61)), 1..100),
+            |samples| {
+                for &(m, s) in &samples {
+                    let v = m << s; // spans the full magnitude range
+                    let b = Histogram::bucket_of(v);
+                    let (lo, hi) = Histogram::bucket_bounds(b);
+                    assert!(
+                        lo <= v && v <= hi,
+                        "value {v} outside bucket {b} bounds [{lo}, {hi}]"
+                    );
+                }
+            },
+        );
+}
+
+/// Histogram summary statistics against an exact oracle: `count`, `sum`,
+/// `min`, `max`, and `mean` are exact; percentile estimates are clamped
+/// to `[min, max]`, monotone in `p`, and `percentile(1.0)` is exactly
+/// `max`.
+#[test]
+fn histogram_percentiles_are_monotone_and_bounded() {
+    Runner::new("histogram_percentiles_are_monotone_and_bounded")
+        .cases(128)
+        .run(
+            &vec_of((range(0u64..16), range(0u32..61)), 1..128),
+            |samples| {
+                let values: Vec<u64> = samples.iter().map(|&(m, s)| m << s).collect();
+                let mut h = Histogram::new();
+                for &v in &values {
+                    h.record(v);
+                }
+                let (min, max) = (
+                    *values.iter().min().expect("non-empty"),
+                    *values.iter().max().expect("non-empty"),
+                );
+                assert_eq!(h.count(), values.len() as u64);
+                assert_eq!(
+                    h.sum(),
+                    values.iter().fold(0u64, |a, &v| a.saturating_add(v)),
+                    "sum saturates rather than overflowing"
+                );
+                assert_eq!(h.min(), min);
+                assert_eq!(h.max(), max);
+                let mean = h.mean();
+                assert!(min as f64 <= mean && mean <= max as f64);
+
+                let mut prev = f64::NEG_INFINITY;
+                for i in 0..=20 {
+                    let p = i as f64 / 20.0;
+                    let est = h.percentile(p);
+                    assert!(
+                        min as f64 <= est && est <= max as f64,
+                        "p{p} estimate {est} outside [{min}, {max}]"
+                    );
+                    assert!(est >= prev, "percentile not monotone at p={p}");
+                    prev = est;
+                }
+                assert_eq!(h.percentile(1.0), max as f64);
             },
         );
 }
