@@ -1,0 +1,356 @@
+//! `perfstat` — the committed wall-clock benchmark for the simulator's hot
+//! paths.
+//!
+//! Runs a *pinned* sweep — every kernel under all six realistic design
+//! points at a fixed 16-core machine — with telemetry armed, and reports
+//! wall-clock plus events/second per kernel from the machine-wide metrics
+//! registry (`events/scheduled`, `events/max_pending`). The simulated
+//! results are deterministic; only the wall-clock and derived rates vary
+//! between hosts.
+//!
+//! ```sh
+//! # Measure and write BENCH_5.json at the repo root:
+//! cargo run --release -p cohesion-bench --bin perfstat -- --scale tiny
+//! # Embed a prior measurement (e.g. taken at the pre-change commit):
+//! cargo run --release -p cohesion-bench --bin perfstat -- --scale tiny \
+//!     --baseline old.json --out BENCH_5.json
+//! # Validate a committed report's schema (CI): exit non-zero on mismatch.
+//! cargo run --release -p cohesion-bench --bin perfstat -- --check BENCH_5.json
+//! ```
+//!
+//! Perf-focused PRs regenerate the committed `BENCH_N.json` so the repo
+//! carries an auditable before/after trail (see `docs/performance.md`).
+
+use std::time::Instant;
+
+use cohesion::config::DesignPoint;
+use cohesion::run::run_workload;
+use cohesion_bench::harness::realistic_points;
+use cohesion_bench::jsonv::{self, Value};
+use cohesion_kernels::{kernel_by_name, Scale, KERNEL_NAMES};
+
+/// The pinned core count: large enough to exercise clusters, the NoC, and
+/// every directory variant, small enough that the tiny sweep stays quick.
+const CORES: u32 = 16;
+
+/// Schema identifier written to and required from every perfstat report.
+const SCHEMA: &str = "cohesion-perfstat/v1";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Tiny;
+    let mut out = "BENCH_5.json".to_string();
+    let mut baseline: Option<String> = None;
+    let mut check: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = match args.get(i).map(|s| s.to_ascii_lowercase()).as_deref() {
+                    Some("tiny") => Scale::Tiny,
+                    Some("small") => Scale::Small,
+                    _ => usage("--scale must be tiny|small"),
+                };
+            }
+            "--out" => {
+                i += 1;
+                out = args.get(i).unwrap_or_else(|| usage("--out needs a path")).clone();
+            }
+            "--baseline" => {
+                i += 1;
+                baseline =
+                    Some(args.get(i).unwrap_or_else(|| usage("--baseline needs a path")).clone());
+            }
+            "--check" => {
+                i += 1;
+                check = Some(args.get(i).unwrap_or_else(|| usage("--check needs a path")).clone());
+            }
+            other => usage(&format!("unknown option {other}")),
+        }
+        i += 1;
+    }
+
+    if let Some(path) = check {
+        check_report(&path);
+        return;
+    }
+
+    let baseline_doc = baseline.map(|path| {
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("error: cannot read baseline {path}: {e}");
+            std::process::exit(1);
+        });
+        let doc = validate(&text).unwrap_or_else(|e| {
+            eprintln!("error: baseline {path} is not a valid perfstat report: {e}");
+            std::process::exit(1);
+        });
+        reemit(&doc)
+    });
+
+    let scale_name = match scale {
+        Scale::Tiny => "tiny",
+        Scale::Small => "small",
+        Scale::Medium => "medium",
+    };
+    eprintln!(
+        "perfstat: {} kernels x {} design points, {CORES} cores, scale {scale_name}",
+        KERNEL_NAMES.len(),
+        realistic_points().len()
+    );
+
+    let mut kernels = Vec::new();
+    let sweep_start = Instant::now();
+    for kernel in KERNEL_NAMES {
+        let start = Instant::now();
+        let mut events = 0u64;
+        let mut max_pending = 0u64;
+        let mut cycles = 0u64;
+        for (_, dp) in realistic_points() {
+            let report = run_pinned(kernel, scale, dp);
+            cycles += report.0;
+            events += report.1;
+            max_pending = max_pending.max(report.2);
+        }
+        let wall = start.elapsed().as_secs_f64();
+        eprintln!("perfstat: {kernel:<12} {wall:>8.3}s  {events:>12} events");
+        kernels.push(KernelStat {
+            name: kernel,
+            wall,
+            events,
+            max_pending,
+            cycles,
+        });
+    }
+    let total_wall = sweep_start.elapsed().as_secs_f64();
+
+    let doc = render(scale_name, &kernels, total_wall, baseline_doc.as_deref());
+    if let Err(e) = std::fs::write(&out, &doc) {
+        eprintln!("error: cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("perfstat report written to {out} ({total_wall:.3}s total)");
+}
+
+/// Wall-clock and event totals for one kernel across the pinned points.
+struct KernelStat {
+    name: &'static str,
+    wall: f64,
+    events: u64,
+    max_pending: u64,
+    cycles: u64,
+}
+
+/// Runs `kernel` once under `dp` with metrics armed; returns
+/// `(cycles, events_scheduled, max_pending)`.
+fn run_pinned(kernel: &str, scale: Scale, dp: DesignPoint) -> (u64, u64, u64) {
+    let mut cfg = cohesion::config::MachineConfig::scaled(CORES, dp);
+    cfg.metrics = true;
+    let mut wl = kernel_by_name(kernel, scale);
+    let report = match run_workload(&cfg, wl.as_mut()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {kernel} under {dp:?} failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let snap = report.metrics.as_ref().expect("metrics were armed");
+    let counter = |name: &str| {
+        snap.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|&(_, v)| v)
+            .unwrap_or(0)
+    };
+    (report.cycles, counter("events/scheduled"), counter("events/max_pending"))
+}
+
+/// Renders the report document. Hand-rolled JSON in the same
+/// dependency-free style as the telemetry writer.
+fn render(
+    scale: &str,
+    kernels: &[KernelStat],
+    total_wall: f64,
+    baseline: Option<&str>,
+) -> String {
+    let total_events: u64 = kernels.iter().map(|k| k.events).sum();
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+    out.push_str(&format!("  \"scale\": \"{scale}\",\n"));
+    out.push_str(&format!("  \"cores\": {CORES},\n"));
+    out.push_str(&format!("  \"design_points\": {},\n", realistic_points().len()));
+    out.push_str("  \"kernels\": [\n");
+    for (i, k) in kernels.iter().enumerate() {
+        let comma = if i + 1 < kernels.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"wall_seconds\": {:.6}, \"events\": {}, \
+             \"events_per_second\": {:.1}, \"max_pending\": {}, \"cycles\": {}}}{comma}\n",
+            k.name,
+            k.wall,
+            k.events,
+            k.events as f64 / k.wall.max(1e-9),
+            k.max_pending,
+            k.cycles,
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"total\": {{\"wall_seconds\": {:.6}, \"events\": {}, \"events_per_second\": {:.1}}}",
+        total_wall,
+        total_events,
+        total_events as f64 / total_wall.max(1e-9),
+    ));
+    if let Some(b) = baseline {
+        out.push_str(",\n  \"baseline\": ");
+        out.push_str(b);
+        // Headline ratio: how much wall-clock the change removed.
+        if let Ok(doc) = jsonv::parse(b) {
+            if let Some(bw) = doc
+                .get("total")
+                .and_then(|t| t.get("wall_seconds"))
+                .and_then(Value::as_f64)
+            {
+                out.push_str(&format!(
+                    ",\n  \"speedup_vs_baseline\": {:.3}",
+                    bw / total_wall.max(1e-9)
+                ));
+            }
+        }
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+/// Parses and structurally validates a perfstat report; returns the parsed
+/// document.
+fn validate(text: &str) -> Result<Value, String> {
+    let doc = jsonv::parse(text)?;
+    if doc.get("schema").and_then(Value::as_str) != Some(SCHEMA) {
+        return Err(format!("schema is not \"{SCHEMA}\""));
+    }
+    for key in ["scale", "cores", "design_points", "total"] {
+        if doc.get(key).is_none() {
+            return Err(format!("missing key {key:?}"));
+        }
+    }
+    let kernels = doc
+        .get("kernels")
+        .and_then(Value::as_arr)
+        .ok_or("kernels is not an array")?;
+    if kernels.is_empty() {
+        return Err("kernels is empty".into());
+    }
+    let mut events_sum = 0u64;
+    for k in kernels {
+        let name = k.get("name").and_then(Value::as_str).ok_or("kernel without name")?;
+        let wall = k
+            .get("wall_seconds")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("{name}: missing wall_seconds"))?;
+        let events = k
+            .get("events")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("{name}: missing events"))?;
+        if wall <= 0.0 || events == 0 {
+            return Err(format!("{name}: non-positive wall_seconds or events"));
+        }
+        if k.get("events_per_second").and_then(Value::as_f64).is_none() {
+            return Err(format!("{name}: missing events_per_second"));
+        }
+        events_sum += events;
+    }
+    let total_events = doc
+        .get("total")
+        .and_then(|t| t.get("events"))
+        .and_then(Value::as_u64)
+        .ok_or("total.events missing")?;
+    if total_events != events_sum {
+        return Err(format!(
+            "total.events ({total_events}) != sum of kernel events ({events_sum})"
+        ));
+    }
+    Ok(doc)
+}
+
+/// Validates `path` and exits non-zero with a diagnostic on any problem.
+fn check_report(path: &str) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("error: cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    match validate(&text) {
+        Ok(doc) => {
+            let n = doc.get("kernels").and_then(Value::as_arr).map_or(0, |a| a.len());
+            println!("perfstat report OK: {path} ({n} kernels)");
+        }
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Re-serializes the subset of a baseline report worth embedding: scale,
+/// per-kernel rows, and totals (dropping any nested baseline so documents
+/// don't grow without bound across PRs).
+fn reemit(doc: &Value) -> String {
+    let mut out = String::new();
+    out.push_str("{\"scale\": ");
+    emit(doc.get("scale").unwrap_or(&Value::Null), &mut out);
+    out.push_str(", \"kernels\": ");
+    emit(doc.get("kernels").unwrap_or(&Value::Null), &mut out);
+    out.push_str(", \"total\": ");
+    emit(doc.get("total").unwrap_or(&Value::Null), &mut out);
+    out.push('}');
+    out
+}
+
+/// Minimal JSON emitter for [`jsonv::Value`] trees.
+fn emit(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Num(n) => {
+            if n.fract() == 0.0 && n.abs() < 9e15 {
+                out.push_str(&format!("{}", *n as i64));
+            } else {
+                out.push_str(&format!("{n}"));
+            }
+        }
+        Value::Str(s) => {
+            out.push('"');
+            out.push_str(&s.replace('\\', "\\\\").replace('"', "\\\""));
+            out.push('"');
+        }
+        Value::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                emit(item, out);
+            }
+            out.push(']');
+        }
+        Value::Obj(fields) => {
+            out.push('{');
+            for (i, (k, val)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push('"');
+                out.push_str(&k.replace('\\', "\\\\").replace('"', "\\\""));
+                out.push_str("\": ");
+                emit(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: perfstat [--scale tiny|small] [--out FILE] [--baseline FILE] | --check FILE");
+    std::process::exit(2)
+}

@@ -737,7 +737,9 @@ impl Machine {
                         }
                     }
                     *t = tt;
-                    fine.domain(&self.mem, line)
+                    // The slot is already in hand: read the table word
+                    // directly instead of re-running the tbloff hash.
+                    fine.domain_at(&self.mem, slot)
                 }
             }
         };

@@ -195,6 +195,9 @@ impl CacheConfig {
 pub struct Cache {
     cfg: CacheConfig,
     sets: Vec<Vec<Line>>,
+    /// Fold shift for the XOR-folded index, precomputed from the set count
+    /// (`set_index` is on the path of every access).
+    index_bits: u32,
     stamp: u64,
     hits: u64,
     misses: u64,
@@ -222,6 +225,7 @@ impl Cache {
             sets: (0..sets)
                 .map(|_| Vec::with_capacity(cfg.assoc as usize))
                 .collect(),
+            index_bits: sets.trailing_zeros().max(1),
             stamp: 0,
             hits: 0,
             misses: 0,
@@ -241,7 +245,7 @@ impl Cache {
         }
         // XOR-fold the whole line address down into the index so any
         // power-of-two stride distributes across sets.
-        let bits = self.sets.len().trailing_zeros().max(1);
+        let bits = self.index_bits;
         let mut x = line.0;
         let mut folded = 0u32;
         while x != 0 {
@@ -290,26 +294,33 @@ impl Cache {
     ///
     /// # Panics
     ///
-    /// Panics if the line is already present — callers must use
-    /// [`Cache::access`]/[`Cache::peek_mut`] first.
+    /// Panics (in debug builds) if the line is already present — callers
+    /// must use [`Cache::access`]/[`Cache::peek_mut`] first.
     pub fn allocate(&mut self, line: LineAddr) -> (&mut Line, Option<EvictedLine>) {
-        assert!(
-            self.peek(line).is_none(),
-            "allocate called for a line already present: {line}"
-        );
         self.stamp += 1;
         let stamp = self.stamp;
         let assoc = self.cfg.assoc as usize;
         let set_idx = self.set_index(line);
         let set = &mut self.sets[set_idx];
+        // One pass over the set finds both a duplicate (a caller bug,
+        // debug-checked) and the LRU victim. `min` tracking keeps the
+        // first-minimum tie-break of the `min_by_key` scan it replaces,
+        // though stamps are unique in practice.
+        let mut victim_pos = 0;
+        let mut victim_stamp = u64::MAX;
+        for (i, l) in set.iter().enumerate() {
+            debug_assert!(
+                l.addr != line,
+                "allocate called for a line already present: {line}"
+            );
+            if l.lru_stamp < victim_stamp {
+                victim_stamp = l.lru_stamp;
+                victim_pos = i;
+            }
+        }
         let victim = if set.len() >= assoc {
-            let (pos, _) = set
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, l)| l.lru_stamp)
-                .expect("full set has a victim");
             self.evictions += 1;
-            Some(EvictedLine::from(&set.remove(pos)))
+            Some(EvictedLine::from(&set.remove(victim_pos)))
         } else {
             None
         };
@@ -472,6 +483,26 @@ mod tests {
         assert_eq!(l.data[5], 2);
     }
 
+    #[test]
+    fn allocate_into_full_set_evicts_true_lru() {
+        // 2 sets × 4 ways × 32 B; lines 0, 2, 4, 6 all map to set 0.
+        let mut c = Cache::new(CacheConfig::new(256, 4));
+        for l in [0u32, 2, 4, 6] {
+            c.allocate(LineAddr(l));
+        }
+        // Re-touch every way except 4, which becomes the true LRU.
+        c.access(LineAddr(2));
+        c.access(LineAddr(0));
+        c.access(LineAddr(6));
+        let (_, victim) = c.allocate(LineAddr(8));
+        assert_eq!(victim.expect("set was full").addr, LineAddr(4));
+        for l in [0u32, 2, 6, 8] {
+            assert!(c.peek(LineAddr(l)).is_some(), "line {l} must survive");
+        }
+        assert_eq!(c.stats().2, 1, "exactly one eviction");
+    }
+
+    #[cfg(debug_assertions)]
     #[test]
     #[should_panic(expected = "already present")]
     fn double_allocate_panics() {

@@ -3,17 +3,63 @@
 //! The simulator moves *real data* through the cache hierarchy so that
 //! coherence bugs surface as wrong kernel results, not just odd statistics.
 //! Storage is paged and lazily allocated: untouched memory reads as zero.
+//!
+//! # Fast path
+//!
+//! Every fine-grain region-table bit read lands here (Cohesion puts the
+//! table on the path of every coherence-domain lookup), so page lookup must
+//! not hash. Pages live in an insertion-ordered arena and are located
+//! through two lazily-grown direct-index vectors — one for the low window
+//! (code, stacks, heaps; everything below `0xC000_0000`) and one for
+//! the high window where the fine-grain tables live — so a word access is
+//! two array indexes. A one-entry last-page cache in front of the index
+//! short-circuits the streak of same-page accesses that line fills and
+//! table probes produce. Page-number→arena-slot mappings are immutable once
+//! created, so the cache never needs invalidation.
 
 use crate::addr::{Addr, LineAddr, WORDS_PER_LINE};
-use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 const PAGE_WORDS: usize = 1024; // 4 KB pages
 const PAGE_SHIFT: u32 = 12;
 
+/// First byte address of the high index window (the fine-grain region
+/// tables are mapped at and above this address; everything a process
+/// allocates directly lies below it).
+const HIGH_WINDOW_BASE: u32 = 0xC000_0000;
+/// First page number of the high index window.
+const HIGH_WINDOW_PAGE: u32 = HIGH_WINDOW_BASE >> PAGE_SHIFT;
+
 /// Sparse, lazily-allocated main memory holding 32-bit words.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 pub struct MainMemory {
-    pages: HashMap<u32, Box<[u32; PAGE_WORDS]>>,
+    /// Arena of touched pages, in first-touch order (deterministic).
+    arena: Vec<Box<[u32; PAGE_WORDS]>>,
+    /// Page number of each arena entry, parallel to `arena`.
+    page_nos: Vec<u32>,
+    /// Direct index for pages below `HIGH_WINDOW_PAGE`: `page_no` →
+    /// arena slot + 1 (0 = untouched). Grown on demand to the highest
+    /// touched page.
+    index_low: Vec<u32>,
+    /// Direct index for pages at/above `HIGH_WINDOW_PAGE`, offset by it.
+    index_high: Vec<u32>,
+    /// One-entry lookup cache, packed `(page_no + 1) << 32 | arena_slot`;
+    /// tag 0 = empty. Relaxed-atomic (not `Cell`) so shared references stay
+    /// `Sync`: page→slot mappings are immutable once created, so any value
+    /// a reader observes is valid and the cache never needs invalidation.
+    last: AtomicU64,
+}
+
+impl Clone for MainMemory {
+    fn clone(&self) -> Self {
+        MainMemory {
+            arena: self.arena.clone(),
+            page_nos: self.page_nos.clone(),
+            index_low: self.index_low.clone(),
+            index_high: self.index_high.clone(),
+            last: AtomicU64::new(self.last.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl MainMemory {
@@ -22,14 +68,69 @@ impl MainMemory {
         Self::default()
     }
 
+    /// The arena slot of `page_no` plus one, or 0 if untouched.
+    #[inline]
+    fn index_slot(&self, page_no: u32) -> u32 {
+        let (index, off) = if page_no < HIGH_WINDOW_PAGE {
+            (&self.index_low, page_no as usize)
+        } else {
+            (&self.index_high, (page_no - HIGH_WINDOW_PAGE) as usize)
+        };
+        index.get(off).copied().unwrap_or(0)
+    }
+
+    /// The page backing `page_no`, if touched.
+    #[inline]
+    fn page(&self, page_no: u32) -> Option<&[u32; PAGE_WORDS]> {
+        let packed = self.last.load(Ordering::Relaxed);
+        if (packed >> 32) as u32 == page_no + 1 {
+            return Some(&self.arena[packed as u32 as usize]);
+        }
+        match self.index_slot(page_no) {
+            0 => None,
+            s => {
+                let slot = s - 1;
+                self.last
+                    .store(((page_no as u64 + 1) << 32) | slot as u64, Ordering::Relaxed);
+                Some(&self.arena[slot as usize])
+            }
+        }
+    }
+
+    /// The page backing `page_no`, allocating it (zeroed) on first touch.
+    fn page_mut(&mut self, page_no: u32) -> &mut [u32; PAGE_WORDS] {
+        let slot = match self.index_slot(page_no) {
+            0 => {
+                let slot = self.arena.len() as u32;
+                self.arena.push(Box::new([0; PAGE_WORDS]));
+                self.page_nos.push(page_no);
+                let (index, off) = if page_no < HIGH_WINDOW_PAGE {
+                    (&mut self.index_low, page_no as usize)
+                } else {
+                    (&mut self.index_high, (page_no - HIGH_WINDOW_PAGE) as usize)
+                };
+                if index.len() <= off {
+                    index.resize(off + 1, 0);
+                }
+                index[off] = slot + 1;
+                slot
+            }
+            s => s - 1,
+        };
+        self.last
+            .store(((page_no as u64 + 1) << 32) | slot as u64, Ordering::Relaxed);
+        &mut self.arena[slot as usize]
+    }
+
     /// Reads the word at `addr` (must be 4-byte aligned).
     ///
     /// # Panics
     ///
     /// Panics on a misaligned address.
+    #[inline]
     pub fn read_word(&self, addr: Addr) -> u32 {
         assert!(addr.is_word_aligned(), "misaligned word read at {addr}");
-        match self.pages.get(&(addr.0 >> PAGE_SHIFT)) {
+        match self.page(addr.0 >> PAGE_SHIFT) {
             Some(page) => page[(addr.0 as usize >> 2) % PAGE_WORDS],
             None => 0,
         }
@@ -40,52 +141,81 @@ impl MainMemory {
     /// # Panics
     ///
     /// Panics on a misaligned address.
+    #[inline]
     pub fn write_word(&mut self, addr: Addr, value: u32) {
         assert!(addr.is_word_aligned(), "misaligned word write at {addr}");
-        let page = self
-            .pages
-            .entry(addr.0 >> PAGE_SHIFT)
-            .or_insert_with(|| Box::new([0; PAGE_WORDS]));
-        page[(addr.0 as usize >> 2) % PAGE_WORDS] = value;
+        self.page_mut(addr.0 >> PAGE_SHIFT)[(addr.0 as usize >> 2) % PAGE_WORDS] = value;
     }
 
-    /// Reads a whole line.
+    /// Reads a whole line with a single page lookup (lines are 32-byte
+    /// aligned, so they never straddle a 4 KB page).
     pub fn read_line(&self, line: LineAddr) -> [u32; WORDS_PER_LINE] {
-        let mut out = [0; WORDS_PER_LINE];
-        for (i, w) in out.iter_mut().enumerate() {
-            *w = self.read_word(line.word(i));
+        let base = line.word(0);
+        match self.page(base.0 >> PAGE_SHIFT) {
+            Some(page) => {
+                let w = (base.0 as usize >> 2) % PAGE_WORDS;
+                let mut out = [0; WORDS_PER_LINE];
+                out.copy_from_slice(&page[w..w + WORDS_PER_LINE]);
+                out
+            }
+            None => [0; WORDS_PER_LINE],
         }
-        out
     }
 
-    /// Writes the words selected by `mask` from `data` into the line.
+    /// Writes the words selected by `mask` from `data` into the line,
+    /// locating the backing page once.
     pub fn write_line_masked(&mut self, line: LineAddr, data: &[u32; WORDS_PER_LINE], mask: u8) {
+        let base = line.word(0);
+        let page = self.page_mut(base.0 >> PAGE_SHIFT);
+        let w = (base.0 as usize >> 2) % PAGE_WORDS;
         for (i, &word) in data.iter().enumerate() {
             if mask & (1 << i) != 0 {
-                self.write_word(line.word(i), word);
+                page[w + i] = word;
             }
+        }
+    }
+
+    /// Fills `count` consecutive words starting at `addr` with `value`,
+    /// locating each backing page once per page rather than once per word
+    /// (bulk table initialization; see
+    /// `cohesion_protocol::region::FineTable::fill_domain`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a misaligned start address.
+    pub fn fill_words(&mut self, addr: Addr, count: u32, value: u32) {
+        assert!(addr.is_word_aligned(), "misaligned word fill at {addr}");
+        let mut word = addr.0 >> 2;
+        let mut left = count as usize;
+        while left > 0 {
+            let page = self.page_mut(word >> (PAGE_SHIFT - 2));
+            let w = word as usize % PAGE_WORDS;
+            let n = left.min(PAGE_WORDS - w);
+            page[w..w + n].fill(value);
+            word += n as u32;
+            left -= n;
         }
     }
 
     /// Number of 4 KB pages touched so far.
     pub fn pages_touched(&self) -> usize {
-        self.pages.len()
+        self.arena.len()
     }
 
-    /// Iterates `(page_base_byte_address, words)` over every touched page.
+    /// Iterates `(page_base_byte_address, words)` over every touched page,
+    /// in first-touch order.
     pub fn iter_pages(&self) -> impl Iterator<Item = (u32, &[u32; PAGE_WORDS])> {
-        self.pages.iter().map(|(&p, w)| (p << PAGE_SHIFT, &**w))
+        self.page_nos
+            .iter()
+            .zip(&self.arena)
+            .map(|(&p, w)| (p << PAGE_SHIFT, &**w))
     }
 
     /// Copies every touched page of `other` into this memory (used to merge
     /// per-process initial images; address slices must be disjoint).
     pub fn merge_from(&mut self, other: &MainMemory) {
         for (base, words) in other.iter_pages() {
-            let page = self
-                .pages
-                .entry(base >> PAGE_SHIFT)
-                .or_insert_with(|| Box::new([0; PAGE_WORDS]));
-            **page = *words;
+            *self.page_mut(base >> PAGE_SHIFT) = *words;
         }
     }
 }
@@ -142,5 +272,54 @@ mod tests {
     fn misaligned_read_panics() {
         let m = MainMemory::new();
         let _ = m.read_word(Addr(2));
+    }
+
+    #[test]
+    fn fill_words_spans_pages_and_matches_word_writes() {
+        let mut bulk = MainMemory::new();
+        let mut slow = MainMemory::new();
+        // Start mid-page, span two page boundaries.
+        let start = Addr(4096 - 8);
+        let count = 2 * 1024 + 16;
+        bulk.fill_words(start, count, 0x5a5a_5a5a);
+        for i in 0..count {
+            slow.write_word(Addr(start.0 + 4 * i), 0x5a5a_5a5a);
+        }
+        for i in 0..count + 4 {
+            let a = Addr(start.0 + 4 * i);
+            assert_eq!(bulk.read_word(a), slow.read_word(a), "at {a}");
+        }
+        assert_eq!(bulk.pages_touched(), 4);
+    }
+
+    #[test]
+    fn high_window_pages_roundtrip() {
+        // The fine-grain tables live at/above HIGH_WINDOW_BASE; exercise
+        // both index windows and the boundary page.
+        let mut m = MainMemory::new();
+        m.write_word(Addr(HIGH_WINDOW_BASE), 11);
+        m.write_word(Addr(HIGH_WINDOW_BASE - 4), 22);
+        m.write_word(Addr(0xFFFF_FFFC), 33);
+        assert_eq!(m.read_word(Addr(HIGH_WINDOW_BASE)), 11);
+        assert_eq!(m.read_word(Addr(HIGH_WINDOW_BASE - 4)), 22);
+        assert_eq!(m.read_word(Addr(0xFFFF_FFFC)), 33);
+        assert_eq!(m.pages_touched(), 3);
+    }
+
+    #[test]
+    fn iter_pages_is_first_touch_ordered_and_merge_copies() {
+        let mut a = MainMemory::new();
+        a.write_word(Addr(0x9000), 1); // second page number, first touch
+        a.write_word(Addr(0x1000), 2);
+        let bases: Vec<u32> = a.iter_pages().map(|(b, _)| b).collect();
+        assert_eq!(bases, vec![0x9000, 0x1000]);
+
+        let mut b = MainMemory::new();
+        b.write_word(Addr(0x4_0000), 7);
+        b.merge_from(&a);
+        assert_eq!(b.read_word(Addr(0x9000)), 1);
+        assert_eq!(b.read_word(Addr(0x1000)), 2);
+        assert_eq!(b.read_word(Addr(0x4_0000)), 7);
+        assert_eq!(b.pages_touched(), 3);
     }
 }

@@ -65,8 +65,14 @@ impl CoarseRegion {
 
 /// The on-die coarse-grain region table: address ranges that are SWcc for
 /// the lifetime of the application (code, stacks, immutable globals).
+///
+/// Regions are kept sorted by start address, so a lookup — consulted in
+/// parallel with the directory on every classification — is a binary
+/// search, and the no-overlap invariant reduces to checking the two
+/// neighbors of an insertion point.
 #[derive(Debug, Clone, Default)]
 pub struct CoarseRegionTable {
+    /// Sorted by `start`; pairwise disjoint.
     regions: Vec<CoarseRegion>,
 }
 
@@ -76,27 +82,38 @@ impl CoarseRegionTable {
         Self::default()
     }
 
-    /// Registers a region set up by the runtime at application load (§3.5).
+    /// Registers a region set up by the runtime at application load (§3.5),
+    /// keeping the table sorted by start address.
     ///
     /// # Panics
     ///
     /// Panics if the region overlaps an existing one.
     pub fn add(&mut self, region: CoarseRegion) {
-        let end = region.start.0 as u64 + region.size as u64;
-        for r in &self.regions {
-            let r_end = r.start.0 as u64 + r.size as u64;
+        let start = region.start.0 as u64;
+        let end = start + region.size as u64;
+        let pos = self.regions.partition_point(|r| (r.start.0 as u64) < start);
+        // Sorted + disjoint means only the neighbors of the insertion
+        // point can overlap the newcomer.
+        if pos > 0 {
+            let prev = &self.regions[pos - 1];
             assert!(
-                end <= r.start.0 as u64 || region.start.0 as u64 >= r_end,
+                prev.start.0 as u64 + prev.size as u64 <= start,
                 "coarse regions must not overlap"
             );
         }
-        self.regions.push(region);
+        if let Some(next) = self.regions.get(pos) {
+            assert!(end <= next.start.0 as u64, "coarse regions must not overlap");
+        }
+        self.regions.insert(pos, region);
     }
 
     /// Looks up the region kind for `addr`, if it is in a coarse SWcc
-    /// region.
+    /// region (binary search over the sorted table).
     pub fn lookup(&self, addr: Addr) -> Option<RegionKind> {
-        self.regions.iter().find(|r| r.contains(addr)).map(|r| r.kind)
+        // Only the last region starting at or before `addr` can contain it.
+        let pos = self.regions.partition_point(|r| r.start.0 <= addr.0);
+        let r = self.regions[..pos].last()?;
+        if r.contains(addr) { Some(r.kind) } else { None }
     }
 
     /// Number of registered regions (the hardware table is small; the paper
@@ -154,6 +171,73 @@ pub struct FineTable {
     bank_bits: u32,
     chan_pos: u32,
     chan_bits: u32,
+    // Precomputed shift/mask runs for squeezing the reserved positions out
+    // of (or back into) an address — these permutations sit on the path of
+    // every fine-grain classification, so they must not loop over bits.
+    line_runs: BitRuns,
+    off_runs: BitRuns,
+}
+
+/// Maximum contiguous non-reserved runs a bit permutation can have: two
+/// reserved ranges (bank, channel) split the field into at most three runs,
+/// plus one spare for a gap between them.
+const MAX_BIT_RUNS: usize = 4;
+
+/// A precomputed "compress around reserved bit ranges" permutation: each
+/// run copies a contiguous block of non-reserved source bits to a
+/// contiguous block of packed destination bits.
+#[derive(Debug, Clone, Copy)]
+struct BitRuns {
+    /// `(source_shift, dest_shift, mask)` per run; unused runs have mask 0.
+    runs: [(u32, u32, u32); MAX_BIT_RUNS],
+}
+
+impl BitRuns {
+    /// Builds the runs for a `total`-bit field where `reserved(pos)` bits
+    /// are squeezed out.
+    fn build(total: u32, reserved: impl Fn(u32) -> bool) -> Self {
+        let mut runs = [(0u32, 0u32, 0u32); MAX_BIT_RUNS];
+        let mut n = 0;
+        let mut dst = 0u32;
+        let mut pos = 0u32;
+        while pos < total {
+            if reserved(pos) {
+                pos += 1;
+                continue;
+            }
+            let start = pos;
+            while pos < total && !reserved(pos) {
+                pos += 1;
+            }
+            let len = pos - start;
+            assert!(n < MAX_BIT_RUNS, "reserved bit ranges too fragmented");
+            runs[n] = (start, dst, (1u32 << len) - 1);
+            n += 1;
+            dst += len;
+        }
+        BitRuns { runs }
+    }
+
+    /// Packs the non-reserved bits of `x` together (low bits first).
+    #[inline]
+    fn compress(&self, x: u32) -> u32 {
+        let mut out = 0;
+        for &(src, dst, mask) in &self.runs {
+            out |= ((x >> src) & mask) << dst;
+        }
+        out
+    }
+
+    /// Inverse of [`BitRuns::compress`]: spreads packed bits back around
+    /// the reserved positions (which come back as zeros).
+    #[inline]
+    fn expand(&self, x: u32) -> u32 {
+        let mut out = 0;
+        for &(src, dst, mask) in &self.runs {
+            out |= ((x >> dst) & mask) << src;
+        }
+        out
+    }
 }
 
 /// Total size of the fine-grain table covering a 32-bit address space:
@@ -175,13 +259,21 @@ impl FineTable {
         );
         let bank_bits = map.banks_per_channel().trailing_zeros();
         let chan_bits = map.channels().trailing_zeros();
+        let (bank_pos, chan_pos) = (9u32, 11u32);
+        let reserved = |pos: u32| {
+            (pos >= bank_pos && pos < bank_pos + bank_bits)
+                || (pos >= chan_pos && pos < chan_pos + chan_bits)
+        };
         FineTable {
             base,
             map,
-            bank_pos: 9,
+            bank_pos,
             bank_bits,
-            chan_pos: 11,
+            chan_pos,
             chan_bits,
+            // Line-address bit `pos` is byte-address bit `pos + 5`.
+            line_runs: BitRuns::build(27, |pos| reserved(pos + 5)),
+            off_runs: BitRuns::build(24, reserved),
         }
     }
 
@@ -196,48 +288,24 @@ impl FineTable {
         addr.0 >= self.base.0 && addr.0 - self.base.0 < FINE_TABLE_BYTES
     }
 
-    /// Whether a byte-address bit position is one of the reserved
-    /// bank/channel identity positions.
-    fn is_reserved_pos(&self, pos: u32) -> bool {
-        (pos >= self.bank_pos && pos < self.bank_pos + self.bank_bits)
-            || (pos >= self.chan_pos && pos < self.chan_pos + self.chan_bits)
-    }
-
     /// Dense per-bank line index: the line address with the bank/channel
-    /// selection bits squeezed out.
+    /// selection bits squeezed out (precomputed shift/mask runs).
     fn line_index(&self, line: LineAddr) -> u32 {
-        let mut idx = 0u32;
-        let mut out = 0;
-        for pos in 0..27 {
-            // line-address bit `pos` is byte-address bit `pos + 5`
-            if self.is_reserved_pos(pos + 5) {
-                continue;
-            }
-            idx |= ((line.0 >> pos) & 1) << out;
-            out += 1;
-        }
-        idx
+        self.line_runs.compress(line.0)
     }
 
-    /// Inverse of [`FineTable::line_index`] for a given bank.
+    /// Inverse of [`FineTable::line_index`] for a given bank. The reserved
+    /// ranges are contiguous, so the bank/channel identity bits go back in
+    /// with two shifts.
     fn line_from_index(&self, idx: u32, bank: u32) -> LineAddr {
         let per = self.map.banks_per_channel();
         let within = bank % per;
         let channel = bank / per;
-        let mut line = 0u32;
-        let mut in_bit = 0;
-        for pos in 0..27 {
-            let byte_pos = pos + 5;
-            if byte_pos >= self.bank_pos && byte_pos < self.bank_pos + self.bank_bits {
-                line |= ((within >> (byte_pos - self.bank_pos)) & 1) << pos;
-            } else if byte_pos >= self.chan_pos && byte_pos < self.chan_pos + self.chan_bits {
-                line |= ((channel >> (byte_pos - self.chan_pos)) & 1) << pos;
-            } else {
-                line |= ((idx >> in_bit) & 1) << pos;
-                in_bit += 1;
-            }
-        }
-        LineAddr(line)
+        LineAddr(
+            self.line_runs.expand(idx)
+                | (within << (self.bank_pos - 5))
+                | (channel << (self.chan_pos - 5)),
+        )
     }
 
     /// Scatters a within-slice byte offset around the reserved bank/channel
@@ -246,38 +314,14 @@ impl FineTable {
         let per = self.map.banks_per_channel();
         let within = bank % per;
         let channel = bank / per;
-        let mut out = 0u32;
-        let mut body_bit = 0;
-        for pos in 0..24 {
-            if pos >= self.bank_pos && pos < self.bank_pos + self.bank_bits {
-                out |= ((within >> (pos - self.bank_pos)) & 1) << pos;
-            } else if pos >= self.chan_pos && pos < self.chan_pos + self.chan_bits {
-                out |= ((channel >> (pos - self.chan_pos)) & 1) << pos;
-            } else {
-                out |= ((body >> body_bit) & 1) << pos;
-                body_bit += 1;
-            }
-        }
-        out
+        self.off_runs.expand(body) | (within << self.bank_pos) | (channel << self.chan_pos)
     }
 
     /// Inverse of [`FineTable::scatter`]: `(body, bank)`.
     fn gather(&self, offset: u32) -> (u32, u32) {
-        let mut body = 0u32;
-        let mut body_bit = 0;
-        let mut within = 0u32;
-        let mut channel = 0u32;
-        for pos in 0..24 {
-            let bit = (offset >> pos) & 1;
-            if pos >= self.bank_pos && pos < self.bank_pos + self.bank_bits {
-                within |= bit << (pos - self.bank_pos);
-            } else if pos >= self.chan_pos && pos < self.chan_pos + self.chan_bits {
-                channel |= bit << (pos - self.chan_pos);
-            } else {
-                body |= bit << body_bit;
-                body_bit += 1;
-            }
-        }
+        let body = self.off_runs.compress(offset);
+        let within = (offset >> self.bank_pos) & ((1 << self.bank_bits) - 1);
+        let channel = (offset >> self.chan_pos) & ((1 << self.chan_bits) - 1);
         (body, channel * self.map.banks_per_channel() + within)
     }
 
@@ -315,12 +359,33 @@ impl FineTable {
 
     /// Reads the current domain of `line` from the table image in `mem`.
     pub fn domain(&self, mem: &MainMemory, line: LineAddr) -> Domain {
-        let slot = self.slot_of(line);
+        self.domain_at(mem, self.slot_of(line))
+    }
+
+    /// Reads the domain recorded at an already-computed table slot.
+    ///
+    /// Callers that need both the slot and the domain — the directory's
+    /// miss path computes `slot_of` to probe its table cache, then needs
+    /// the domain bit — use this to run the `tbloff` permutation once.
+    pub fn domain_at(&self, mem: &MainMemory, slot: TableSlot) -> Domain {
         if mem.read_word(slot.word) & (1 << slot.bit) != 0 {
             Domain::SWcc
         } else {
             Domain::HWcc
         }
+    }
+
+    /// Batched read: the slot for `line` plus the entire 32-line table word
+    /// holding its bit, fetched with a single memory access.
+    ///
+    /// Bit `i` of the returned word is the domain bit (1 ⇒ SWcc) of the
+    /// line whose dense per-bank index shares `line`'s word-aligned group:
+    /// in particular, for a bank-contiguous group of lines (see
+    /// [`FineTable::fill_domain`]) the bits are consecutive starting at
+    /// `slot.bit`, so one call classifies the whole group.
+    pub fn domain_word(&self, mem: &MainMemory, line: LineAddr) -> (TableSlot, u32) {
+        let slot = self.slot_of(line);
+        (slot, mem.read_word(slot.word))
     }
 
     /// Bulk-fills the table bits for `count` lines starting at `first`
@@ -332,9 +397,76 @@ impl FineTable {
     /// consecutive bit positions, so aligned groups are set with a single
     /// word update.
     pub fn fill_domain(&self, mem: &mut MainMemory, first: LineAddr, count: u32, domain: Domain) {
-        let group = 1u32 << (self.bank_pos - 5); // contiguous lines per bank
-        let mut line = first.0;
         let end = first.0 + count;
+        // Lines-per-block above which no bank/channel bit varies: a block
+        // aligned to `span` contains every bank for each dense index it
+        // covers, so it maps to one contiguous index range *per bank* and
+        // whole table words can be filled without a per-group `slot_of`.
+        let span = 1u32 << (self.chan_pos + self.chan_bits - 5);
+        let a = first.0.next_multiple_of(span);
+        let b = end & !(span - 1);
+        if a >= b {
+            self.fill_domain_groups(mem, first.0, end, domain);
+            return;
+        }
+        self.fill_domain_groups(mem, first.0, a, domain);
+        self.fill_domain_groups(mem, b, end, domain);
+
+        let fill = match domain {
+            Domain::SWcc => u32::MAX,
+            Domain::HWcc => 0,
+        };
+        // Dense per-bank index range covered by [a, b) — identical for
+        // every bank, because the block is fully interleaved.
+        let idx0 = self.line_index(LineAddr(a));
+        let idx1 = idx0 + ((b - a) >> (self.bank_bits + self.chan_bits));
+        // Offsets below `bank_pos` pass through `scatter` unchanged, so a
+        // `low`-aligned chunk of body offsets is contiguous in the table.
+        let low = 1u32 << self.bank_pos;
+        for bank in 0..self.map.banks() {
+            let (w0, w1) = (idx0 >> 5, idx1 >> 5);
+            let (head, tail) = (idx0 & 31, idx1 & 31);
+            if w0 == w1 {
+                self.rmw_word(mem, w0 << 2, bank, ((1u32 << (idx1 - idx0)) - 1) << head, domain);
+                continue;
+            }
+            let ws = if head != 0 {
+                self.rmw_word(mem, w0 << 2, bank, u32::MAX << head, domain);
+                w0 + 1
+            } else {
+                w0
+            };
+            if tail != 0 {
+                self.rmw_word(mem, w1 << 2, bank, (1u32 << tail) - 1, domain);
+            }
+            let mut body = ws << 2;
+            let body_end = w1 << 2;
+            while body < body_end {
+                let chunk = (body_end.min((body / low + 1) * low) - body) >> 2;
+                let addr = Addr(self.base.0 + self.scatter(body, bank));
+                mem.fill_words(addr, chunk, fill);
+                body += chunk << 2;
+            }
+        }
+    }
+
+    /// Applies `domain` to the masked bits of the table word at body
+    /// offset `body` of `bank`'s slice.
+    fn rmw_word(&self, mem: &mut MainMemory, body: u32, bank: u32, mask: u32, domain: Domain) {
+        let addr = Addr(self.base.0 + self.scatter(body, bank));
+        let old = mem.read_word(addr);
+        let new = match domain {
+            Domain::SWcc => old | mask,
+            Domain::HWcc => old & !mask,
+        };
+        mem.write_word(addr, new);
+    }
+
+    /// Group-at-a-time fill for ranges (or range edges) too small for the
+    /// bulk word path of [`FineTable::fill_domain`].
+    fn fill_domain_groups(&self, mem: &mut MainMemory, first: u32, end: u32, domain: Domain) {
+        let group = 1u32 << (self.bank_pos - 5); // contiguous lines per bank
+        let mut line = first;
         while line < end {
             let aligned = line.is_multiple_of(group) && line + group <= end;
             if aligned {
@@ -423,6 +555,133 @@ mod tests {
         assert_eq!(t.lookup(Addr(0x2000)), None);
         assert_eq!(t.lookup(Addr(0x8400)), Some(RegionKind::Stack));
         assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn coarse_regions_added_out_of_order_stay_sorted() {
+        let mut t = CoarseRegionTable::new();
+        t.add(CoarseRegion {
+            start: Addr(0x8000),
+            size: 0x800,
+            kind: RegionKind::Stack,
+        });
+        t.add(CoarseRegion {
+            start: Addr(0x1000),
+            size: 0x1000,
+            kind: RegionKind::Code,
+        });
+        t.add(CoarseRegion {
+            start: Addr(0x4000),
+            size: 0x100,
+            kind: RegionKind::ConstGlobal,
+        });
+        assert_eq!(t.lookup(Addr(0x1800)), Some(RegionKind::Code));
+        assert_eq!(t.lookup(Addr(0x4080)), Some(RegionKind::ConstGlobal));
+        assert_eq!(t.lookup(Addr(0x8000)), Some(RegionKind::Stack));
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn adjacent_coarse_regions_are_allowed() {
+        // Back-to-back regions (end == next start) must not trip the
+        // neighbor overlap check, and boundary addresses must classify to
+        // the correct side.
+        let mut t = CoarseRegionTable::new();
+        t.add(CoarseRegion {
+            start: Addr(0x2000),
+            size: 0x1000,
+            kind: RegionKind::Stack,
+        });
+        t.add(CoarseRegion {
+            start: Addr(0x1000),
+            size: 0x1000,
+            kind: RegionKind::Code,
+        });
+        t.add(CoarseRegion {
+            start: Addr(0x3000),
+            size: 0x1000,
+            kind: RegionKind::ConstGlobal,
+        });
+        assert_eq!(t.lookup(Addr(0xfff)), None);
+        assert_eq!(t.lookup(Addr(0x1000)), Some(RegionKind::Code));
+        assert_eq!(t.lookup(Addr(0x1fff)), Some(RegionKind::Code));
+        assert_eq!(t.lookup(Addr(0x2000)), Some(RegionKind::Stack));
+        assert_eq!(t.lookup(Addr(0x2fff)), Some(RegionKind::Stack));
+        assert_eq!(t.lookup(Addr(0x3000)), Some(RegionKind::ConstGlobal));
+        assert_eq!(t.lookup(Addr(0x3fff)), Some(RegionKind::ConstGlobal));
+        assert_eq!(t.lookup(Addr(0x4000)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap")]
+    fn coarse_region_overlapping_predecessor_rejected() {
+        let mut t = CoarseRegionTable::new();
+        t.add(CoarseRegion {
+            start: Addr(0x1000),
+            size: 0x1000,
+            kind: RegionKind::Code,
+        });
+        // Starts past 0x1000 but inside the existing region.
+        t.add(CoarseRegion {
+            start: Addr(0x1fff),
+            size: 0x10,
+            kind: RegionKind::Stack,
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap")]
+    fn coarse_region_overlapping_successor_rejected() {
+        let mut t = CoarseRegionTable::new();
+        t.add(CoarseRegion {
+            start: Addr(0x2000),
+            size: 0x1000,
+            kind: RegionKind::Code,
+        });
+        // Starts before 0x2000 but runs one byte into it.
+        t.add(CoarseRegion {
+            start: Addr(0x1000),
+            size: 0x1001,
+            kind: RegionKind::Stack,
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap")]
+    fn coarse_region_duplicate_start_rejected() {
+        let mut t = CoarseRegionTable::new();
+        t.add(CoarseRegion {
+            start: Addr(0x1000),
+            size: 0x100,
+            kind: RegionKind::Code,
+        });
+        t.add(CoarseRegion {
+            start: Addr(0x1000),
+            size: 0x20,
+            kind: RegionKind::Stack,
+        });
+    }
+
+    #[test]
+    fn domain_word_matches_per_line_reads() {
+        let t = table();
+        let mut mem = MainMemory::new();
+        // A bank-contiguous, word-aligned group of 16 lines (bank_pos 9 ⇒
+        // 16 lines per group on the isca2010 map).
+        let first = LineAddr(0x2_0040);
+        t.fill_domain(&mut mem, first, 7, Domain::SWcc);
+        let (slot, word) = t.domain_word(&mem, first);
+        assert_eq!(slot, t.slot_of(first));
+        for i in 0..16u32 {
+            let line = LineAddr(first.0 + i);
+            let expect = t.domain(&mem, line);
+            let got = if word & (1 << (slot.bit + i)) != 0 {
+                Domain::SWcc
+            } else {
+                Domain::HWcc
+            };
+            assert_eq!(got, expect, "bit {i} of the batched word");
+        }
     }
 
     #[test]
@@ -525,6 +784,45 @@ mod tests {
         t.fill_domain(&mut bulk, first, count, Domain::HWcc);
         for i in 0..count {
             assert_eq!(t.domain(&bulk, LineAddr(first.0 + i)), Domain::HWcc);
+        }
+    }
+
+    /// A span large enough to trigger the bulk interior (whole fully
+    /// interleaved blocks) must produce the exact table image of per-line
+    /// sets, including the unaligned edges around the interior.
+    #[test]
+    fn fill_domain_bulk_interior_matches_per_line_sets() {
+        for map in [AddressMap::isca2010(), AddressMap::new(4, 2), AddressMap::new(1, 1)] {
+            let t = FineTable::new(Addr(0xC000_0000), map);
+            let mut bulk = MainMemory::new();
+            let mut slow = MainMemory::new();
+            let first = LineAddr(0x1_0003);
+            let count = 2300; // several 512-line blocks plus ragged edges
+            t.fill_domain(&mut bulk, first, count, Domain::SWcc);
+            for i in 0..count {
+                t.set_domain(&mut slow, LineAddr(first.0 + i), Domain::SWcc);
+            }
+            for i in 0..count {
+                let slot = t.slot_of(LineAddr(first.0 + i));
+                assert_eq!(
+                    bulk.read_word(slot.word),
+                    slow.read_word(slot.word),
+                    "line {i} under {map:?}"
+                );
+            }
+            // Lines just outside the span are untouched in both images.
+            for line in [LineAddr(first.0 - 1), LineAddr(first.0 + count)] {
+                assert_eq!(t.domain(&bulk, line), Domain::HWcc, "{line:?}");
+            }
+            // Clearing an interior sub-range through the bulk path leaves
+            // the surrounding fill intact.
+            let sub = LineAddr(first.0 + 600);
+            t.fill_domain(&mut bulk, sub, 1024, Domain::HWcc);
+            for i in 0..count {
+                let line = LineAddr(first.0 + i);
+                let want = if (600..1624).contains(&i) { Domain::HWcc } else { Domain::SWcc };
+                assert_eq!(t.domain(&bulk, line), want, "line {i} under {map:?}");
+            }
         }
     }
 

@@ -4,8 +4,9 @@
 //!
 //! This crate provides the timing substrate every other crate builds on:
 //!
-//! * [`event::EventQueue`] — a deterministic event wheel (binary heap keyed by
-//!   cycle, FIFO-tiebroken by insertion sequence).
+//! * [`event::EventQueue`] — a deterministic event wheel (bucketed timing
+//!   wheel keyed by cycle with a far-future overflow heap, FIFO-tiebroken
+//!   by insertion sequence).
 //! * [`link::Link`] and [`link::Throttle`] — bandwidth/latency models for
 //!   interconnect links and cache/directory ports.
 //! * [`msg::MessageClass`] — the eight-way message taxonomy plotted in

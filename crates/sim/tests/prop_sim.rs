@@ -39,6 +39,60 @@ fn event_queue_orders_and_conserves() {
         });
 }
 
+/// The timing wheel pops in exactly the same `(cycle, seq)` order as a
+/// reference binary-heap model, under random schedule/pop interleavings
+/// that include same-cycle FIFO bursts and far-future overflow events
+/// (cycle deltas well past the wheel window, so promotion and window
+/// re-basing are exercised).
+#[test]
+fn event_queue_matches_binary_heap_model() {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    // One step of the interleaving: schedule a burst of events at
+    // `now + delta` (burst > 1 exercises same-cycle FIFO), or pop a few.
+    // Deltas up to 4096 reach far past the 256-cycle wheel window.
+    let step = (
+        range(0u32..3),                          // 0,1: schedule  2: pop
+        sample(&[0u64, 1, 7, 255, 256, 257, 300, 1000, 4096]),
+        range(1usize..6),                        // burst / pop count
+    );
+    Runner::new("event_queue_matches_binary_heap_model")
+        .cases(96)
+        .run(&vec_of(step, 1..80), |steps| {
+            let mut wheel = EventQueue::new();
+            let mut model: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+            let mut seq = 0u64;
+            for (kind, delta, count) in steps {
+                if kind < 2 {
+                    let at = wheel.now() + delta;
+                    for _ in 0..count {
+                        wheel.schedule(at, seq);
+                        model.push(Reverse((at, seq)));
+                        seq += 1;
+                    }
+                } else {
+                    for _ in 0..count {
+                        let got = wheel.pop();
+                        let want = model.pop().map(|Reverse((at, s))| (at, s));
+                        assert_eq!(got, want, "wheel diverged from heap model");
+                    }
+                }
+                assert_eq!(wheel.len(), model.len());
+                assert_eq!(
+                    wheel.peek_cycle(),
+                    model.peek().map(|Reverse((at, _))| *at)
+                );
+            }
+            // Drain: every remaining event must match the model too.
+            while let Some(Reverse((at, s))) = model.pop() {
+                assert_eq!(wheel.pop(), Some((at, s)));
+            }
+            assert_eq!(wheel.pop(), None);
+            assert_eq!(wheel.scheduled(), seq);
+        });
+}
+
 /// A reserver never grants more than `capacity` uses whose grant times
 /// fall in any single window, for arbitrary (including out-of-order)
 /// request times.
