@@ -1634,6 +1634,90 @@ impl Machine {
         }
     }
 
+    /// Test support: a digest of everything the machine knows about `line`
+    /// — its coherence-domain bit, every cached copy (L1d, L2, L3, and the
+    /// dedicated table cache when configured), the home directory entry,
+    /// and the line's words in backing memory — plus the same view of the
+    /// fine-grain-table line whose bit governs it (domain transitions
+    /// mutate that line through the same memory system).
+    ///
+    /// Two machines with equal digests are indistinguishable to any
+    /// schedule confined to `line` that never evicts for capacity: LRU
+    /// stamps, timing state, and statistics are deliberately excluded so
+    /// that model checkers can deduplicate interleavings that differ only
+    /// in when things happened.
+    #[doc(hidden)]
+    pub fn line_state_digest(&self, line: LineAddr) -> u64 {
+        use std::hash::Hasher as _;
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.hash_line_into(line, &mut h);
+        if let Some(table) = self.fine_table_for(line.base()) {
+            self.hash_line_into(table.slot_of(line).word.line(), &mut h);
+        }
+        h.finish()
+    }
+
+    fn hash_line_into<H: std::hash::Hasher>(&self, line: LineAddr, h: &mut H) {
+        use std::hash::Hash as _;
+        fn hw_tag(s: HwState) -> u8 {
+            match s {
+                HwState::Invalid => 0,
+                HwState::Shared => 1,
+                HwState::Exclusive => 2,
+                HwState::Modified => 3,
+            }
+        }
+        fn cache_view<H: std::hash::Hasher>(c: &Cache, line: LineAddr, h: &mut H) {
+            use std::hash::Hash as _;
+            match c.peek(line) {
+                None => 0u8.hash(h),
+                Some(l) => {
+                    1u8.hash(h);
+                    l.valid_words.hash(h);
+                    l.dirty_words.hash(h);
+                    hw_tag(l.state).hash(h);
+                    l.incoherent.hash(h);
+                    for (i, w) in l.data.iter().enumerate() {
+                        if l.word_valid(i) {
+                            w.hash(h);
+                        }
+                    }
+                }
+            }
+        }
+        (self.domain_of(line) == Domain::SWcc).hash(h);
+        for c in &self.l1d {
+            cache_view(c, line, h);
+        }
+        for c in &self.l2 {
+            cache_view(c, line, h);
+        }
+        for c in &self.l3 {
+            cache_view(c, line, h);
+        }
+        if let Some(tcs) = &self.table_cache {
+            for c in tcs {
+                cache_view(c, line, h);
+            }
+        }
+        if let Some(dirs) = &self.dirs {
+            match dirs[self.map.bank_of(line) as usize].peek(line) {
+                None => 0u8.hash(h),
+                Some(e) => {
+                    1u8.hash(h);
+                    (e.state == DirState::Modified).hash(h);
+                    e.sharers.is_broadcast().hash(h);
+                    for cl in e.sharers.probe_targets(self.cfg.clusters()) {
+                        cl.0.hash(h);
+                    }
+                }
+            }
+        }
+        for w in 0..WORDS_PER_LINE {
+            self.mem.read_word(line.word(w)).hash(h);
+        }
+    }
+
     /// Checks the directory-inclusion invariant: every HWcc line resident in
     /// an L2 is tracked by its home directory with that cluster as a
     /// sharer, and every Modified directory entry has exactly one holder.

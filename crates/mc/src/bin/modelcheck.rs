@@ -1,0 +1,158 @@
+//! The model-check CI gate.
+//!
+//! Runs the exhaustive gate configurations, prints explored-state counts
+//! and the coverage ledger, asserts full Figure 7 / SwccViolation / Figure 6
+//! edge coverage across the union, then runs the negative smoke: every
+//! gremlin must be caught by its target invariant with a minimal,
+//! replayable counterexample trace.
+//!
+//! Usage: `modelcheck [--out summary.json]`
+//!
+//! Exits nonzero on any violation, coverage gap, or un-replayable
+//! counterexample.
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+use cohesion_mc::{replay, Checker, Coverage, Gremlin, McConfig, Replay, Report};
+
+/// The positive gate configurations (no gremlin; must explore clean).
+fn gate_configs() -> Vec<McConfig> {
+    vec![
+        // 2 actors, 1 mutable line, 2 words, reordering bound 4.
+        McConfig::new(2, 1, 2),
+        // 3 actors, 1 mutable line: the full broadcast/merge interleavings.
+        McConfig::new(3, 1, 2),
+        // 2 actors, 2 lines with line 1 immutable: the Immutable contract
+        // states and the Immutable+Store violation.
+        McConfig::new(2, 2, 2).with_immutable(0b10),
+    ]
+}
+
+fn run_positive(out: &mut String) -> Result<Vec<Report>, String> {
+    let mut reports = Vec::new();
+    for cfg in gate_configs() {
+        let checker = Checker::new(cfg);
+        let report = checker.run();
+        println!("{}", report.summary());
+        if let Some(cx) = &report.violation {
+            return Err(format!(
+                "gate configuration {} found a real violation:\n{}",
+                report.name,
+                cx.render()
+            ));
+        }
+        let _ = writeln!(
+            out,
+            "    {{\"name\": \"{}\", \"explored\": {}, \"deduped\": {}, \
+             \"transitions\": {}, \"max_depth\": {}}},",
+            report.name, report.explored, report.deduped, report.transitions, report.max_depth
+        );
+        reports.push(report);
+    }
+    Ok(reports)
+}
+
+fn run_negative(out: &mut String) -> Result<(), String> {
+    for gremlin in Gremlin::ALL {
+        let cfg = McConfig::new(2, 1, 2).with_gremlin(gremlin);
+        let checker = Checker::new(cfg);
+        let report = checker.run();
+        let cx = report
+            .violation
+            .ok_or_else(|| format!("{gremlin:?}: corruption went undetected"))?;
+        if cx.invariant != gremlin.target_invariant() {
+            return Err(format!(
+                "{gremlin:?}: expected {} to fire, got {}",
+                gremlin.target_invariant(),
+                cx.invariant
+            ));
+        }
+        match replay(checker.world(), &cx.trace) {
+            Replay::Violation { at, failure }
+                if at + 1 == cx.trace.len() && failure.invariant == cx.invariant => {}
+            other => {
+                return Err(format!(
+                    "{gremlin:?}: shrunk counterexample does not replay: {other:?}"
+                ))
+            }
+        }
+        println!(
+            "negative {gremlin:?}: caught by {} with a {}-step minimal trace",
+            cx.invariant,
+            cx.trace.len()
+        );
+        print!("{}", cx.render());
+        let _ = writeln!(
+            out,
+            "    {{\"gremlin\": \"{gremlin:?}\", \"invariant\": \"{}\", \"trace_len\": {}}},",
+            cx.invariant,
+            cx.trace.len()
+        );
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut out_path = None;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out_path = args.next(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let mut configs_json = String::new();
+    let mut negative_json = String::new();
+
+    let reports = match run_positive(&mut configs_json) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("FAIL: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut union = Coverage::new();
+    for r in &reports {
+        union.merge(&r.coverage);
+    }
+    println!("union coverage ledger:");
+    print!("{}", union.render());
+    if let Err(e) = union.assert_exhaustive() {
+        eprintln!("FAIL: coverage incomplete: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("coverage: all Fig. 7 cases, all SwccViolation variants, all reachable Fig. 6 edges");
+
+    if let Err(e) = run_negative(&mut negative_json) {
+        eprintln!("FAIL: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    if let Some(path) = out_path {
+        let mut json = String::from("{\n  \"configs\": [\n");
+        json.push_str(configs_json.trim_end_matches(&[',', '\n'][..]));
+        json.push_str("\n  ],\n  \"coverage\": {\n");
+        let entries: Vec<String> = union
+            .iter()
+            .map(|(k, v)| format!("    \"{k}\": {v}"))
+            .collect();
+        json.push_str(&entries.join(",\n"));
+        json.push_str("\n  },\n  \"negative\": [\n");
+        json.push_str(negative_json.trim_end_matches(&[',', '\n'][..]));
+        json.push_str("\n  ]\n}\n");
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("FAIL: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("summary written to {path}");
+    }
+
+    println!("model check PASSED");
+    ExitCode::SUCCESS
+}

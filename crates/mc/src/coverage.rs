@@ -1,0 +1,204 @@
+//! The coverage ledger: proof that exploration reached every protocol case.
+//!
+//! Exhaustive exploration is only meaningful if the interesting cases are
+//! actually inside the explored envelope. The ledger counts, per transition
+//! taken during exploration:
+//!
+//! * every Figure 7 classification (`fig7/1a` … `fig7/3a`, `fig7/1b` …
+//!   `fig7/5b`),
+//! * every Figure 6 `(state, op)` edge (`swcc/Clean+Load`, …),
+//! * every [`SwccViolation`] variant (`violation/Immutable+Store`).
+//!
+//! [`Coverage::assert_exhaustive`] then demands that all Figure 7 cases —
+//! including the 5b multi-writer race — all reachable Figure 6 edges, and
+//! all violation variants were hit, and that the one edge the model must
+//! never take (`PrivateDirty+Invalidate`: software discarding its own
+//! un-flushed writes) was **not** hit. A run that silently misses case 5b
+//! fails the build.
+
+use std::collections::BTreeMap;
+
+use cohesion_protocol::swcc::{self, SwOp, SwState, SwccViolation};
+use cohesion_protocol::transition::{HwToSw, SwToHw};
+
+use crate::world::StepEvents;
+
+/// Monotone counters keyed by stable coverage labels.
+#[derive(Debug, Clone, Default)]
+pub struct Coverage {
+    counts: BTreeMap<String, u64>,
+}
+
+fn edge_key(state: SwState, op: SwOp) -> String {
+    format!("swcc/{state:?}+{op:?}")
+}
+
+impl Coverage {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the events of one applied action.
+    pub fn record(&mut self, ev: &StepEvents) {
+        if let Some(label) = ev.hw_to_sw {
+            *self.counts.entry(format!("fig7/{label}")).or_default() += 1;
+        }
+        if let Some(label) = ev.sw_to_hw {
+            *self.counts.entry(format!("fig7/{label}")).or_default() += 1;
+        }
+        for &(state, op) in &ev.swcc_edges {
+            *self.counts.entry(edge_key(state, op)).or_default() += 1;
+        }
+        for v in &ev.violations {
+            *self.counts.entry(format!("violation/{}", v.label())).or_default() += 1;
+        }
+    }
+
+    /// Folds another ledger into this one (used to union the gate
+    /// configurations).
+    pub fn merge(&mut self, other: &Coverage) {
+        for (k, v) in &other.counts {
+            *self.counts.entry(k.clone()).or_default() += v;
+        }
+    }
+
+    /// The count recorded under `key` (0 if never hit).
+    pub fn count(&self, key: &str) -> u64 {
+        self.counts.get(key).copied().unwrap_or(0)
+    }
+
+    /// Iterates all `(key, count)` pairs in sorted key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counts.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Figure 7 case labels (all eight) never reached.
+    pub fn missing_fig7(&self) -> Vec<&'static str> {
+        HwToSw::CASE_LABELS
+            .iter()
+            .chain(SwToHw::CASE_LABELS.iter())
+            .copied()
+            .filter(|l| self.count(&format!("fig7/{l}")) == 0)
+            .collect()
+    }
+
+    /// Every Figure 6 edge the model can legally take.
+    ///
+    /// This is the full `Ok` set of [`swcc::step`] minus
+    /// `PrivateDirty+Invalidate`: the guard table never lets software
+    /// discard its own un-flushed writes, so that edge must be *provably
+    /// unreachable* (see [`Coverage::forbidden_edges_hit`]).
+    pub fn expected_swcc_edges() -> Vec<(SwState, SwOp)> {
+        let mut edges = Vec::new();
+        for &s in &SwState::ALL {
+            for &op in &SwOp::ALL {
+                if swcc::step(s, op).is_ok()
+                    && !(s == SwState::PrivateDirty && op == SwOp::Invalidate)
+                {
+                    edges.push((s, op));
+                }
+            }
+        }
+        edges
+    }
+
+    /// Reachable Figure 6 edges never taken.
+    pub fn missing_swcc_edges(&self) -> Vec<String> {
+        Self::expected_swcc_edges()
+            .into_iter()
+            .filter(|&(s, op)| self.count(&edge_key(s, op)) == 0)
+            .map(|(s, op)| format!("{s:?}+{op:?}"))
+            .collect()
+    }
+
+    /// [`SwccViolation`] variants never surfaced.
+    pub fn missing_violations(&self) -> Vec<String> {
+        SwccViolation::ALL
+            .iter()
+            .map(|v| v.label())
+            .filter(|l| self.count(&format!("violation/{l}")) == 0)
+            .collect()
+    }
+
+    /// Edges that must never be taken but were (currently only
+    /// `PrivateDirty+Invalidate`).
+    pub fn forbidden_edges_hit(&self) -> Vec<String> {
+        let mut hit = Vec::new();
+        if self.count(&edge_key(SwState::PrivateDirty, SwOp::Invalidate)) != 0 {
+            hit.push("PrivateDirty+Invalidate".to_string());
+        }
+        hit
+    }
+
+    /// Demands full case coverage: all eight Figure 7 cases, every
+    /// reachable Figure 6 edge, every violation variant, and no forbidden
+    /// edge. Returns a description of everything missing on failure.
+    pub fn assert_exhaustive(&self) -> Result<(), String> {
+        let mut problems = Vec::new();
+        let fig7 = self.missing_fig7();
+        if !fig7.is_empty() {
+            problems.push(format!("Figure 7 cases never reached: {fig7:?}"));
+        }
+        let edges = self.missing_swcc_edges();
+        if !edges.is_empty() {
+            problems.push(format!("Figure 6 edges never taken: {edges:?}"));
+        }
+        let viols = self.missing_violations();
+        if !viols.is_empty() {
+            problems.push(format!("SwccViolation variants never surfaced: {viols:?}"));
+        }
+        let forbidden = self.forbidden_edges_hit();
+        if !forbidden.is_empty() {
+            problems.push(format!("forbidden edges taken: {forbidden:?}"));
+        }
+        if problems.is_empty() {
+            Ok(())
+        } else {
+            Err(problems.join("; "))
+        }
+    }
+
+    /// Renders the ledger as an aligned table (for `--nocapture` and the
+    /// CI artifact).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in self.iter() {
+            out.push_str(&format!("  {k:<40} {v}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expected_edge_inventory() {
+        // 25 (state, op) pairs, 1 violation, 1 forbidden edge → 23 expected.
+        assert_eq!(Coverage::expected_swcc_edges().len(), 23);
+    }
+
+    #[test]
+    fn empty_ledger_reports_everything_missing() {
+        let c = Coverage::new();
+        assert_eq!(c.missing_fig7().len(), 8);
+        assert_eq!(c.missing_swcc_edges().len(), 23);
+        assert_eq!(c.missing_violations().len(), 1);
+        assert!(c.forbidden_edges_hit().is_empty());
+        assert!(c.assert_exhaustive().is_err());
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Coverage::new();
+        let mut ev = StepEvents::default();
+        ev.hw_to_sw = Some("1a");
+        a.record(&ev);
+        let mut b = Coverage::new();
+        b.record(&ev);
+        a.merge(&b);
+        assert_eq!(a.count("fig7/1a"), 2);
+    }
+}

@@ -1,0 +1,49 @@
+//! Exhaustive guarded-command model checker for the Cohesion protocol stack.
+//!
+//! This crate explores the **real** `cohesion-protocol` state machines — the
+//! MSI sparse-directory FSM ([`cohesion_protocol::directory`] +
+//! [`cohesion_protocol::sharers`]), the SWcc per-line contract machine
+//! ([`cohesion_protocol::swcc`]), and the Figure 7 coherence-domain
+//! transition engine ([`cohesion_protocol::transition`]) — at small, finite
+//! configurations (2–3 actors, 1–2 lines, 2 words per line), with bounded
+//! in-flight message reordering modeled as a multiset of pending directory
+//! and broadcast messages.
+//!
+//! The design is a classic guarded-command system in the style of Murphi or
+//! the Guarded Action Language:
+//!
+//! * [`world::World`] defines the action alphabet, the guard of each action,
+//!   and its effect. Effects call straight into `cohesion-protocol` APIs
+//!   ([`cohesion_protocol::swcc::step`],
+//!   [`cohesion_protocol::transition::classify_hw_to_sw`],
+//!   [`cohesion_protocol::transition::classify_sw_to_hw`], the real
+//!   [`cohesion_protocol::directory::DirectoryBank`] and the real
+//!   [`cohesion_protocol::region::FineTable`] bit over a
+//!   [`cohesion_mem::mainmem::MainMemory`] word), so the checked model and
+//!   the shipped implementation cannot drift apart silently.
+//! * [`explore::explore`] runs a breadth-first search over the reachable
+//!   state **graph** (canonical state encoding + visited-set deduplication,
+//!   not a tree walk), checking four invariants at every reachable state and
+//!   reconstructing a shortest counterexample trace on failure.
+//! * [`coverage::Coverage`] is the ledger that proves the exploration
+//!   actually reached every Figure 7 classification case (1a–3a, 1b–5b,
+//!   including the 5b multi-writer race) and every
+//!   [`cohesion_protocol::swcc::SwccViolation`] variant — a run that
+//!   silently misses case 5b fails the build.
+//!
+//! Counterexamples are minimal action sequences: shortest by BFS, then
+//! shrunk further by [`explore::shrink_trace`] (chunk-deletion in the style
+//! of `cohesion-testkit`), and replayable with [`explore::replay`]. Run
+//! `cargo test -p cohesion-mc -- --nocapture` to see traces and explored
+//! state counts, or the `modelcheck` binary for the full CI gate.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod coverage;
+pub mod explore;
+pub mod world;
+
+pub use coverage::Coverage;
+pub use explore::{explore, replay, shrink_trace, Checker, Counterexample, Replay, Report};
+pub use world::{Action, Gremlin, Invariant, InvariantFailure, McConfig, State, StepEvents, World};

@@ -1,0 +1,1823 @@
+//! The guarded-command world: states, actions, guards, effects, invariants.
+//!
+//! # State-space model
+//!
+//! A configuration is `actors × lines × words` with a reordering bound
+//! `max_inflight`. The state of the world is:
+//!
+//! * the **fine-grain region table bits** of the modeled lines, stored as
+//!   the raw table words and read/written through the real
+//!   [`FineTable`] slot mapping (domain flips go through
+//!   [`FineTable::set_domain`] against a materialized [`MainMemory`]);
+//! * one real [`DirectoryBank`] (unbounded, full-map — the home bank all
+//!   modeled lines serialize through);
+//! * per `(actor, line)` a cached copy — `valid`/`dirty` word masks exactly
+//!   as the L2 keeps them, plus a *freshness* ghost bit per word (see
+//!   below) — and the [`SwState`] of the Figure 6 contract machine;
+//! * per line: a memory-freshness mask, a `raced` mask of words whose
+//!   latest value was forfeited to a §3.6 data race, and the
+//!   Figure 7 transition progress ([`Trans`]);
+//! * a bounded multiset of in-flight protocol messages ([`Msg`]), kept
+//!   sorted so states differing only in message arrival order collapse.
+//!
+//! # Freshness instead of data values
+//!
+//! Tracking concrete data values would make the state space infinite.
+//! Instead each word carries ghost *freshness* bits: a copy (or memory) is
+//! *fresh* on a word iff it holds the globally latest value. A store makes
+//! the writer fresh and everyone else (memory included) stale. When two
+//! actors hold dirty copies of the same word under SWcc the word is marked
+//! `raced`: the program has lost determinism and hardware resolves the race
+//! by writeback merge order (§3.6), so when the last dirty copy of a raced
+//! word drains, memory is re-baselined as authoritative and the race mark
+//! clears. The *no-silent-dirty-loss* invariant then says: for every
+//! non-raced word, somebody — a cache, an in-flight writeback message, or
+//! memory — still holds the latest value.
+//!
+//! # Invariants
+//!
+//! Checked in this order at every reachable state (the first failure names
+//! the counterexample):
+//!
+//! 1. [`Invariant::SingleWriter`] — under HWcc, no word is dirty in two
+//!    caches, and a Modified directory entry has exactly one (dirty-capable)
+//!    owner.
+//! 2. [`Invariant::NoSilentDirtyLoss`] — no non-raced word loses its latest
+//!    value; immutable lines never accrue dirty data.
+//! 3. [`Invariant::TransitionAtomicity`] — directory, region-table bit, and
+//!    in-flight messages are mutually consistent: no entry for a SWcc line,
+//!    directory inclusion of all HWcc copies, and mid-transition message
+//!    sets exactly matching the transition's progress. Actors that have
+//!    answered a broadcast probe are frozen on that line until the
+//!    transition completes (hardware-side atomicity); unprobed actors may
+//!    still race ahead under SWcc — that is the sanctioned §3.6 window that
+//!    makes Figure 7 cases 4b/5b reachable.
+//! 4. [`Invariant::SwccCorrespondence`] — the Figure 6 contract state of
+//!    every copy agrees with the physical valid/dirty masks.
+
+use std::fmt;
+
+use cohesion_mem::addr::{Addr, AddressMap, LineAddr};
+use cohesion_mem::mainmem::MainMemory;
+use cohesion_protocol::directory::{
+    DirEntry, DirState, DirectoryBank, DirectoryConfig, EntryClass,
+};
+use cohesion_protocol::region::{Domain, FineTable, TableSlot};
+use cohesion_protocol::sharers::SharerTracking;
+use cohesion_protocol::swcc::{self, SwOp, SwState, SwccViolation};
+use cohesion_protocol::transition::{classify_hw_to_sw, classify_sw_to_hw, HwToSw, L2View, SwToHw};
+use cohesion_sim::ids::ClusterId;
+
+/// Base address of the fine-grain region table in the modeled memory.
+const TABLE_BASE: Addr = Addr(0xF000_0000);
+
+/// A deliberate, test-only corruption: each variant breaks exactly one
+/// invariant, proving the checker can fail and produce a replayable trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Gremlin {
+    /// Grant a second actor a dirty copy of a word already dirty elsewhere
+    /// under HWcc → breaks [`Invariant::SingleWriter`].
+    ForgeSecondWriter,
+    /// Drop a dirty copy holding the only fresh value of a word, without a
+    /// writeback → breaks [`Invariant::NoSilentDirtyLoss`].
+    DropDirtyCopy,
+    /// Allocate a directory entry for a line whose region-table bit says
+    /// SWcc → breaks [`Invariant::TransitionAtomicity`].
+    PhantomDirEntry,
+    /// Set a copy's Figure 6 state to `PrivateDirty` while the cache holds
+    /// nothing → breaks [`Invariant::SwccCorrespondence`].
+    LieAboutSwState,
+}
+
+impl Gremlin {
+    /// All gremlins, one per invariant.
+    pub const ALL: [Gremlin; 4] = [
+        Gremlin::ForgeSecondWriter,
+        Gremlin::DropDirtyCopy,
+        Gremlin::PhantomDirEntry,
+        Gremlin::LieAboutSwState,
+    ];
+
+    /// The invariant this corruption is built to violate.
+    pub fn target_invariant(self) -> Invariant {
+        match self {
+            Gremlin::ForgeSecondWriter => Invariant::SingleWriter,
+            Gremlin::DropDirtyCopy => Invariant::NoSilentDirtyLoss,
+            Gremlin::PhantomDirEntry => Invariant::TransitionAtomicity,
+            Gremlin::LieAboutSwState => Invariant::SwccCorrespondence,
+        }
+    }
+}
+
+/// A small, finite model-checking configuration.
+#[derive(Debug, Clone)]
+pub struct McConfig {
+    /// Number of caching actors (clusters), 2..=8.
+    pub actors: u8,
+    /// Number of cache lines, 1..=8.
+    pub lines: u8,
+    /// Words per line, 1..=8 (the paper's lines have 8; 2 keeps the state
+    /// space small while still distinguishing disjoint from overlapping
+    /// write sets — Figure 7 cases 4b vs 5b).
+    pub words: u8,
+    /// Maximum number of in-flight protocol messages (the reordering
+    /// bound). Must be at least `actors` so the SWcc⇒HWcc broadcast fits.
+    pub max_inflight: u8,
+    /// Bitmask of lines that are immutable (`SWIM`) data: permanently SWcc,
+    /// the only source of the `Immutable+Store` [`SwccViolation`].
+    pub immutable_mask: u8,
+    /// Optional seeded corruption (fires at most once per trace).
+    pub gremlin: Option<Gremlin>,
+    /// Abort exploration beyond this many states (misconfiguration guard).
+    pub max_states: u64,
+}
+
+impl McConfig {
+    /// A configuration of `actors` actors over `lines` mutable lines of
+    /// `words` words, reordering bound 4, no gremlin.
+    pub fn new(actors: u8, lines: u8, words: u8) -> Self {
+        McConfig {
+            actors,
+            lines,
+            words,
+            max_inflight: 4,
+            immutable_mask: 0,
+            gremlin: None,
+            max_states: 20_000_000,
+        }
+    }
+
+    /// Sets the in-flight message bound.
+    pub fn with_inflight(mut self, max_inflight: u8) -> Self {
+        self.max_inflight = max_inflight;
+        self
+    }
+
+    /// Marks the given lines (bitmask) as immutable data.
+    pub fn with_immutable(mut self, mask: u8) -> Self {
+        self.immutable_mask = mask;
+        self
+    }
+
+    /// Arms a seeded corruption.
+    pub fn with_gremlin(mut self, g: Gremlin) -> Self {
+        self.gremlin = Some(g);
+        self
+    }
+
+    /// A short name for reports, e.g. `"2a1l2w"`.
+    pub fn name(&self) -> String {
+        let mut n = format!("{}a{}l{}w", self.actors, self.lines, self.words);
+        if self.immutable_mask != 0 {
+            n.push_str("-imm");
+        }
+        if let Some(g) = self.gremlin {
+            n.push_str(&format!("-{g:?}"));
+        }
+        n
+    }
+}
+
+/// The four safety invariants checked at every reachable state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Invariant {
+    /// No two actors hold a dirty copy of the same word under HWcc.
+    SingleWriter,
+    /// Every non-raced word's latest value survives in some cache,
+    /// in-flight writeback, or memory.
+    NoSilentDirtyLoss,
+    /// Directory, region table, and in-flight messages are mutually
+    /// consistent; no actor observes a line mid-transition after it has
+    /// been probed.
+    TransitionAtomicity,
+    /// The Figure 6 contract state of every copy matches its physical
+    /// valid/dirty masks.
+    SwccCorrespondence,
+}
+
+impl Invariant {
+    /// All invariants, in check order.
+    pub const ALL: [Invariant; 4] = [
+        Invariant::SingleWriter,
+        Invariant::NoSilentDirtyLoss,
+        Invariant::TransitionAtomicity,
+        Invariant::SwccCorrespondence,
+    ];
+
+    /// Stable name used in reports and counterexample traces.
+    pub fn name(self) -> &'static str {
+        match self {
+            Invariant::SingleWriter => "single-writer",
+            Invariant::NoSilentDirtyLoss => "no-silent-dirty-loss",
+            Invariant::TransitionAtomicity => "transition-atomicity",
+            Invariant::SwccCorrespondence => "swcc-correspondence",
+        }
+    }
+}
+
+impl fmt::Display for Invariant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// An invariant violation found at a reachable state.
+#[derive(Debug, Clone)]
+pub struct InvariantFailure {
+    /// Which invariant fired.
+    pub invariant: Invariant,
+    /// Human-readable description of the broken condition.
+    pub detail: String,
+}
+
+impl fmt::Display for InvariantFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invariant {} violated: {}", self.invariant, self.detail)
+    }
+}
+
+/// One in-flight protocol message. The network is a bounded multiset:
+/// messages are delivered in any order, modeling directory/broadcast
+/// reordering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Msg {
+    /// Directory ⇒ sharer: invalidate (Figure 7 case 2a).
+    InvReq {
+        /// Target line index.
+        line: u8,
+        /// Actor to invalidate.
+        target: u8,
+    },
+    /// Directory ⇒ owner: write back and invalidate (case 3a).
+    WbInvReq {
+        /// Target line index.
+        line: u8,
+        /// Owning actor.
+        target: u8,
+    },
+    /// Sharer ⇒ directory: invalidation done.
+    InvAck {
+        /// Line index.
+        line: u8,
+        /// Acknowledging actor.
+        from: u8,
+    },
+    /// Owner ⇒ directory: dirty words on their way to the L3.
+    WbData {
+        /// Line index.
+        line: u8,
+        /// Writing actor.
+        from: u8,
+        /// Dirty-word mask being written back.
+        mask: u8,
+        /// Freshness ghost bits of the written words.
+        fresh: u8,
+    },
+    /// Directory ⇒ every L2: broadcast clean request (SWcc ⇒ HWcc, §3.6).
+    CleanReq {
+        /// Line index.
+        line: u8,
+        /// Probed actor.
+        target: u8,
+    },
+    /// L2 ⇒ directory: clean-request response.
+    CleanResp {
+        /// Line index.
+        line: u8,
+        /// Responding actor.
+        from: u8,
+    },
+}
+
+impl Msg {
+    fn line(&self) -> u8 {
+        match *self {
+            Msg::InvReq { line, .. }
+            | Msg::WbInvReq { line, .. }
+            | Msg::InvAck { line, .. }
+            | Msg::WbData { line, .. }
+            | Msg::CleanReq { line, .. }
+            | Msg::CleanResp { line, .. } => line,
+        }
+    }
+
+    fn actor(&self) -> u8 {
+        match *self {
+            Msg::InvReq { target, .. }
+            | Msg::WbInvReq { target, .. }
+            | Msg::CleanReq { target, .. } => target,
+            Msg::InvAck { from, .. }
+            | Msg::WbData { from, .. }
+            | Msg::CleanResp { from, .. } => from,
+        }
+    }
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        match *self {
+            Msg::InvReq { line, target } => out.extend([0, line, target, 0, 0]),
+            Msg::WbInvReq { line, target } => out.extend([1, line, target, 0, 0]),
+            Msg::InvAck { line, from } => out.extend([2, line, from, 0, 0]),
+            Msg::WbData { line, from, mask, fresh } => out.extend([3, line, from, mask, fresh]),
+            Msg::CleanReq { line, target } => out.extend([4, line, target, 0, 0]),
+            Msg::CleanResp { line, from } => out.extend([5, line, from, 0, 0]),
+        }
+    }
+}
+
+impl fmt::Display for Msg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Msg::InvReq { line, target } => write!(f, "InvReq(L{line}→a{target})"),
+            Msg::WbInvReq { line, target } => write!(f, "WbInvReq(L{line}→a{target})"),
+            Msg::InvAck { line, from } => write!(f, "InvAck(L{line}←a{from})"),
+            Msg::WbData { line, from, mask, fresh } => {
+                write!(f, "WbData(L{line}←a{from}, mask={mask:#04x}, fresh={fresh:#04x})")
+            }
+            Msg::CleanReq { line, target } => write!(f, "CleanReq(L{line}→a{target})"),
+            Msg::CleanResp { line, from } => write!(f, "CleanResp(L{line}←a{from})"),
+        }
+    }
+}
+
+/// One guarded action of the model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// An actor loads from a line (interpreted under the line's current
+    /// domain: SWcc fill or HWcc directory read).
+    Load {
+        /// Acting cluster.
+        actor: u8,
+        /// Line index.
+        line: u8,
+    },
+    /// An actor stores to one word of a line.
+    Store {
+        /// Acting cluster.
+        actor: u8,
+        /// Line index.
+        line: u8,
+        /// Word index within the line.
+        word: u8,
+    },
+    /// Software writeback instruction (`WB`) — SWcc lines only.
+    Writeback {
+        /// Acting cluster.
+        actor: u8,
+        /// Line index.
+        line: u8,
+    },
+    /// Software invalidate instruction (`INV`) — SWcc lines only; software
+    /// never discards its own dirty words.
+    Invalidate {
+        /// Acting cluster.
+        actor: u8,
+        /// Line index.
+        line: u8,
+    },
+    /// Capacity eviction of a cached copy (either domain; dirty words are
+    /// written back by hardware).
+    Evict {
+        /// Acting cluster.
+        actor: u8,
+        /// Line index.
+        line: u8,
+    },
+    /// The runtime flips a line HWcc ⇒ SWcc (Figure 7 cases 1a–3a).
+    BeginToSw {
+        /// Line index.
+        line: u8,
+    },
+    /// The runtime flips a line SWcc ⇒ HWcc (broadcast clean request,
+    /// Figure 7 cases 1b–5b).
+    BeginToHw {
+        /// Line index.
+        line: u8,
+    },
+    /// Deliver the `slot`-th pending message (in canonical order) — the
+    /// source of all reordering.
+    Deliver {
+        /// Index into the sorted in-flight multiset.
+        slot: u8,
+    },
+    /// Global synchronization point (Figure 6 `Synchronize` on every SWcc
+    /// copy). Only enabled when the machine is quiescent.
+    Barrier,
+    /// Fire the configured test-only corruption (at most once per trace).
+    Inject,
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Action::Load { actor, line } => write!(f, "a{actor}: load L{line}"),
+            Action::Store { actor, line, word } => write!(f, "a{actor}: store L{line}.w{word}"),
+            Action::Writeback { actor, line } => write!(f, "a{actor}: WB L{line}"),
+            Action::Invalidate { actor, line } => write!(f, "a{actor}: INV L{line}"),
+            Action::Evict { actor, line } => write!(f, "a{actor}: evict L{line}"),
+            Action::BeginToSw { line } => write!(f, "runtime: L{line} HWcc⇒SWcc"),
+            Action::BeginToHw { line } => write!(f, "runtime: L{line} SWcc⇒HWcc"),
+            Action::Deliver { slot } => write!(f, "net: deliver #{slot}"),
+            Action::Barrier => write!(f, "barrier"),
+            Action::Inject => write!(f, "inject corruption"),
+        }
+    }
+}
+
+/// Physical state of one actor's cached copy of one line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CopyState {
+    /// Valid-word mask (as the L2 keeps it).
+    pub valid: u8,
+    /// Dirty-word mask (per-word dirty bits, §2.1).
+    pub dirty: u8,
+    /// Freshness ghost bits: words on which this copy holds the globally
+    /// latest value.
+    pub fresh: u8,
+}
+
+/// Figure 7 transition progress of one line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Trans {
+    /// No transition in progress.
+    Idle,
+    /// HWcc ⇒ SWcc: waiting for invalidation acks / the demanded writeback
+    /// from the actors in `waiting`.
+    ToSw {
+        /// Bitmask of actors still owing a response.
+        waiting: u8,
+    },
+    /// SWcc ⇒ HWcc: broadcast clean request in flight.
+    ToHw {
+        /// Actors whose clean request has been delivered (frozen on the
+        /// line from that point on).
+        probed: u8,
+        /// Actors whose response has reached the directory.
+        responded: u8,
+    },
+}
+
+/// Protocol events recorded while applying one action, consumed by the
+/// coverage ledger.
+#[derive(Debug, Clone, Default)]
+pub struct StepEvents {
+    /// Figure 7 HWcc⇒SWcc case label classified by this step, if any.
+    pub hw_to_sw: Option<&'static str>,
+    /// Figure 7 SWcc⇒HWcc case label classified by this step, if any.
+    pub sw_to_hw: Option<&'static str>,
+    /// Figure 6 `(state, op)` edges taken by this step.
+    pub swcc_edges: Vec<(SwState, SwOp)>,
+    /// SWcc contract violations surfaced by this step.
+    pub violations: Vec<SwccViolation>,
+}
+
+/// One state of the model. Clone-cheap; canonical identity comes from
+/// [`World::canonical_key`], which ignores behaviorally-irrelevant detail
+/// such as directory LRU stamps.
+#[derive(Debug, Clone)]
+pub struct State {
+    /// Raw fine-grain table words (parallel to `World::word_addrs`).
+    table_words: Vec<u32>,
+    /// The real home directory bank.
+    dir: DirectoryBank,
+    /// `actors × lines` copies, actor-major.
+    copies: Vec<CopyState>,
+    /// `actors × lines` Figure 6 states, actor-major.
+    sw: Vec<SwState>,
+    /// Per line: words on which memory holds the latest value.
+    mem_fresh: Vec<u8>,
+    /// Per line: words forfeited to a data race (§3.6).
+    raced: Vec<u8>,
+    /// Per line: Figure 7 transition progress.
+    trans: Vec<Trans>,
+    /// In-flight message multiset, kept sorted (canonical order).
+    net: Vec<Msg>,
+    /// Whether the armed gremlin has fired on this trace.
+    gremlin_fired: bool,
+}
+
+impl State {
+    /// Number of in-flight messages.
+    pub fn net_len(&self) -> usize {
+        self.net.len()
+    }
+
+    /// The in-flight messages, in canonical (delivery-slot) order.
+    pub fn net(&self) -> &[Msg] {
+        &self.net
+    }
+
+    /// The physical copy state of `(actor, line)`.
+    pub fn copy(&self, actor: u8, line: u8, lines: u8) -> CopyState {
+        self.copies[actor as usize * lines as usize + line as usize]
+    }
+}
+
+fn sw_code(s: SwState) -> u8 {
+    match s {
+        SwState::Immutable => 0,
+        SwState::Clean => 1,
+        SwState::PrivateClean => 2,
+        SwState::PrivateDirty => 3,
+        SwState::Invalid => 4,
+    }
+}
+
+/// The guarded-command system for one [`McConfig`]: action alphabet,
+/// guards, effects, invariants, and canonical state encoding.
+pub struct World {
+    cfg: McConfig,
+    table: FineTable,
+    /// Distinct fine-table word addresses backing the modeled lines.
+    word_addrs: Vec<Addr>,
+    /// Per line: the table slot (real `FineTable::slot_of` result).
+    slots: Vec<TableSlot>,
+    /// Per line: index into `word_addrs` of the slot's word.
+    slot_word_idx: Vec<usize>,
+    actions: Vec<Action>,
+}
+
+impl World {
+    /// Builds the world for a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate configurations (fewer than 2 actors, zero
+    /// lines/words, more than 8 of anything, or a reordering bound too
+    /// small for the SWcc⇒HWcc broadcast).
+    pub fn new(cfg: McConfig) -> Self {
+        assert!((2..=8).contains(&cfg.actors), "need 2..=8 actors");
+        assert!((1..=8).contains(&cfg.lines), "need 1..=8 lines");
+        assert!((1..=8).contains(&cfg.words), "need 1..=8 words per line");
+        assert!(
+            cfg.max_inflight >= cfg.actors,
+            "reordering bound must fit the clean-request broadcast"
+        );
+        assert!(
+            cfg.immutable_mask < (1 << cfg.lines),
+            "immutable mask names nonexistent lines"
+        );
+        let table = FineTable::new(TABLE_BASE, AddressMap::new(2, 1));
+        let mut word_addrs: Vec<Addr> = Vec::new();
+        let mut slots = Vec::new();
+        let mut slot_word_idx = Vec::new();
+        for l in 0..cfg.lines {
+            let slot = table.slot_of(LineAddr(l as u32));
+            let idx = match word_addrs.iter().position(|&w| w == slot.word) {
+                Some(i) => i,
+                None => {
+                    word_addrs.push(slot.word);
+                    word_addrs.len() - 1
+                }
+            };
+            slots.push(slot);
+            slot_word_idx.push(idx);
+        }
+        let mut actions = Vec::new();
+        for line in 0..cfg.lines {
+            for actor in 0..cfg.actors {
+                actions.push(Action::Load { actor, line });
+                for word in 0..cfg.words {
+                    actions.push(Action::Store { actor, line, word });
+                }
+                actions.push(Action::Writeback { actor, line });
+                actions.push(Action::Invalidate { actor, line });
+                actions.push(Action::Evict { actor, line });
+            }
+            if cfg.immutable_mask & (1 << line) == 0 {
+                actions.push(Action::BeginToSw { line });
+                actions.push(Action::BeginToHw { line });
+            }
+        }
+        for slot in 0..cfg.max_inflight {
+            actions.push(Action::Deliver { slot });
+        }
+        actions.push(Action::Barrier);
+        if cfg.gremlin.is_some() {
+            actions.push(Action::Inject);
+        }
+        World {
+            cfg,
+            table,
+            word_addrs,
+            slots,
+            slot_word_idx,
+            actions,
+        }
+    }
+
+    /// The configuration this world was built for.
+    pub fn cfg(&self) -> &McConfig {
+        &self.cfg
+    }
+
+    /// The full action alphabet, in canonical order.
+    pub fn actions(&self) -> &[Action] {
+        &self.actions
+    }
+
+    fn full_mask(&self) -> u8 {
+        ((1u16 << self.cfg.words) - 1) as u8
+    }
+
+    fn all_actors_mask(&self) -> u8 {
+        ((1u16 << self.cfg.actors) - 1) as u8
+    }
+
+    fn ci(&self, actor: u8, line: u8) -> usize {
+        actor as usize * self.cfg.lines as usize + line as usize
+    }
+
+    fn line_addr(&self, line: u8) -> LineAddr {
+        LineAddr(line as u32)
+    }
+
+    fn is_immutable(&self, line: u8) -> bool {
+        self.cfg.immutable_mask & (1 << line) != 0
+    }
+
+    /// Materializes the state's table words into a real [`MainMemory`].
+    fn mem_with(&self, words: &[u32]) -> MainMemory {
+        let mut mem = MainMemory::new();
+        for (addr, &value) in self.word_addrs.iter().zip(words) {
+            mem.write_word(*addr, value);
+        }
+        mem
+    }
+
+    /// The coherence domain of a line, read through the line's real
+    /// [`FineTable`] slot (bit-for-bit what `FineTable::domain_at` reads;
+    /// a unit test pins the equivalence).
+    pub fn domain(&self, s: &State, line: u8) -> Domain {
+        let word = s.table_words[self.slot_word_idx[line as usize]];
+        if word & (1 << self.slots[line as usize].bit) != 0 {
+            Domain::SWcc
+        } else {
+            Domain::HWcc
+        }
+    }
+
+    /// Flips the line's domain through the real
+    /// [`FineTable::set_domain`] read-modify-write.
+    fn set_domain(&self, s: &mut State, line: u8, d: Domain) {
+        let mut mem = self.mem_with(&s.table_words);
+        self.table.set_domain(&mut mem, self.line_addr(line), d);
+        for (i, addr) in self.word_addrs.iter().enumerate() {
+            s.table_words[i] = mem.read_word(*addr);
+        }
+    }
+
+    /// The Figure 6 contract state of `(actor, line)`.
+    pub fn sw_of(&self, s: &State, actor: u8, line: u8) -> SwState {
+        s.sw[self.ci(actor, line)]
+    }
+
+    /// The physical copy state of `(actor, line)`.
+    pub fn copy_of(&self, s: &State, actor: u8, line: u8) -> CopyState {
+        s.copies[self.ci(actor, line)]
+    }
+
+    /// The initial state: no copies, empty directory, memory authoritative
+    /// everywhere; mutable lines HWcc, immutable lines SWcc with every
+    /// actor in the `Immutable` contract state.
+    pub fn initial_state(&self) -> State {
+        let n = self.cfg.actors as usize * self.cfg.lines as usize;
+        let mut s = State {
+            table_words: vec![0; self.word_addrs.len()],
+            dir: DirectoryBank::new(DirectoryConfig::optimistic(self.cfg.actors as u32)),
+            copies: vec![CopyState::default(); n],
+            sw: vec![SwState::Invalid; n],
+            mem_fresh: vec![self.full_mask(); self.cfg.lines as usize],
+            raced: vec![0; self.cfg.lines as usize],
+            trans: vec![Trans::Idle; self.cfg.lines as usize],
+            net: Vec::new(),
+            gremlin_fired: false,
+        };
+        for line in 0..self.cfg.lines {
+            if self.is_immutable(line) {
+                self.set_domain(&mut s, line, Domain::SWcc);
+                for actor in 0..self.cfg.actors {
+                    s.sw[self.ci(actor, line)] = SwState::Immutable;
+                }
+            }
+        }
+        s
+    }
+
+    /// Whether `actor` is blocked on `line` by an in-progress transition:
+    /// HWcc⇒SWcc freezes everyone (the directory serializes); SWcc⇒HWcc
+    /// freezes an actor once its clean request has been delivered.
+    fn blocked(&self, s: &State, actor: u8, line: u8) -> bool {
+        match s.trans[line as usize] {
+            Trans::Idle => false,
+            Trans::ToSw { .. } => true,
+            Trans::ToHw { probed, .. } => probed & (1 << actor) != 0,
+        }
+    }
+
+    /// The guard: whether `action` is enabled in `s`.
+    pub fn enabled(&self, s: &State, action: Action) -> bool {
+        match action {
+            Action::Load { actor, line } => !self.blocked(s, actor, line),
+            Action::Store { actor, line, word } => {
+                word < self.cfg.words
+                    && !self.blocked(s, actor, line)
+                    // On immutable data only the `Immutable`-state store is
+                    // modeled: that is the one the Figure 6 machine can
+                    // flag. (A correct program never stores there at all.)
+                    && (!self.is_immutable(line)
+                        || s.sw[self.ci(actor, line)] == SwState::Immutable)
+            }
+            Action::Writeback { actor, line } => {
+                !self.blocked(s, actor, line) && self.domain(s, line) == Domain::SWcc
+            }
+            Action::Invalidate { actor, line } => {
+                !self.blocked(s, actor, line)
+                    && self.domain(s, line) == Domain::SWcc
+                    // Software never discards its own un-flushed writes.
+                    && s.copies[self.ci(actor, line)].dirty == 0
+            }
+            Action::Evict { actor, line } => {
+                !self.blocked(s, actor, line) && s.copies[self.ci(actor, line)].valid != 0
+            }
+            Action::BeginToSw { line } => {
+                !self.is_immutable(line)
+                    && s.trans[line as usize] == Trans::Idle
+                    && self.domain(s, line) == Domain::HWcc
+                    && s.net.len() + self.to_sw_messages(s, line) <= self.cfg.max_inflight as usize
+            }
+            Action::BeginToHw { line } => {
+                !self.is_immutable(line)
+                    && s.trans[line as usize] == Trans::Idle
+                    && self.domain(s, line) == Domain::SWcc
+                    && s.net.len() + self.cfg.actors as usize <= self.cfg.max_inflight as usize
+            }
+            Action::Deliver { slot } => (slot as usize) < s.net.len(),
+            Action::Barrier => {
+                s.net.is_empty() && s.trans.iter().all(|t| *t == Trans::Idle)
+            }
+            Action::Inject => {
+                self.cfg.gremlin.is_some()
+                    && !s.gremlin_fired
+                    && self.gremlin_spot(s).is_some()
+            }
+        }
+    }
+
+    /// Messages a HWcc⇒SWcc transition of `line` would put in flight.
+    fn to_sw_messages(&self, s: &State, line: u8) -> usize {
+        match classify_hw_to_sw(s.dir.peek(self.line_addr(line)), self.cfg.actors as u32) {
+            HwToSw::Case1aUntracked => 0,
+            HwToSw::Case2aShared { sharers } => sharers.len(),
+            HwToSw::Case3aModified { .. } => 1,
+        }
+    }
+
+    fn push_msg(&self, s: &mut State, msg: Msg) {
+        s.net.push(msg);
+        s.net.sort_unstable();
+    }
+
+    /// Writes `mask` words of `(actor, line)` back to memory: memory's
+    /// freshness becomes the copy's, per word; the copy's dirty bits clear
+    /// (its data now matches memory, so its freshness bits survive).
+    fn writeback_words(&self, s: &mut State, line: u8, actor: u8, mask: u8) {
+        let idx = self.ci(actor, line);
+        let fresh = s.copies[idx].fresh;
+        s.mem_fresh[line as usize] =
+            (s.mem_fresh[line as usize] & !mask) | (fresh & mask);
+        s.copies[idx].dirty &= !mask;
+    }
+
+    /// Settles raced words whose last dirty copy (cached or in flight) has
+    /// drained: the deterministic hardware merge winner — whatever memory
+    /// now holds — becomes the authoritative value (§3.6).
+    fn rebaseline(&self, s: &mut State, line: u8) {
+        if s.raced[line as usize] == 0 {
+            return;
+        }
+        let mut still_dirty = 0u8;
+        for actor in 0..self.cfg.actors {
+            still_dirty |= s.copies[self.ci(actor, line)].dirty;
+        }
+        for m in &s.net {
+            if let Msg::WbData { line: l, mask, .. } = *m {
+                if l == line {
+                    still_dirty |= mask;
+                }
+            }
+        }
+        let settled = s.raced[line as usize] & !still_dirty;
+        s.mem_fresh[line as usize] |= settled;
+        s.raced[line as usize] &= !settled;
+    }
+
+    /// Fills the missing words of `(actor, line)` from memory (the L2 fill
+    /// only fetches invalid words; stale valid words stay stale).
+    fn fill(&self, s: &mut State, actor: u8, line: u8) {
+        let idx = self.ci(actor, line);
+        let missing = self.full_mask() & !s.copies[idx].valid;
+        s.copies[idx].fresh |= s.mem_fresh[line as usize] & missing;
+        s.copies[idx].valid = self.full_mask();
+    }
+
+    fn drop_copy(&self, s: &mut State, actor: u8, line: u8) {
+        let idx = self.ci(actor, line);
+        s.copies[idx] = CopyState::default();
+        s.sw[idx] = SwState::Invalid;
+    }
+
+    /// Applies `action` to `s`, returning the successor state and the
+    /// protocol events for the coverage ledger.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a disabled action, and on any internal protocol
+    /// inconsistency (these asserts are what the property suite uses to
+    /// catch guard/effect drift).
+    pub fn apply(&self, s: &State, action: Action) -> (State, StepEvents) {
+        let mut s = s.clone();
+        let mut ev = StepEvents::default();
+        match action {
+            Action::Load { actor, line } => {
+                assert!(!self.blocked(&s, actor, line), "load while blocked");
+                match self.domain(&s, line) {
+                    Domain::SWcc => {
+                        let idx = self.ci(actor, line);
+                        let st = s.sw[idx];
+                        let next = swcc::step(st, SwOp::Load).expect("load is always legal");
+                        ev.swcc_edges.push((st, SwOp::Load));
+                        s.sw[idx] = next;
+                        self.fill(&mut s, actor, line);
+                    }
+                    Domain::HWcc => self.hw_load(&mut s, actor, line),
+                }
+            }
+            Action::Store { actor, line, word } => {
+                assert!(!self.blocked(&s, actor, line), "store while blocked");
+                assert!(word < self.cfg.words);
+                match self.domain(&s, line) {
+                    Domain::SWcc => self.sw_store(&mut s, &mut ev, actor, line, word),
+                    Domain::HWcc => self.hw_store(&mut s, actor, line, word),
+                }
+            }
+            Action::Writeback { actor, line } => {
+                assert_eq!(self.domain(&s, line), Domain::SWcc, "WB is a SWcc instruction");
+                let idx = self.ci(actor, line);
+                let st = s.sw[idx];
+                let next = swcc::step(st, SwOp::Writeback).expect("WB is always legal");
+                ev.swcc_edges.push((st, SwOp::Writeback));
+                s.sw[idx] = next;
+                let dirty = s.copies[idx].dirty;
+                self.writeback_words(&mut s, line, actor, dirty);
+                self.rebaseline(&mut s, line);
+            }
+            Action::Invalidate { actor, line } => {
+                assert_eq!(self.domain(&s, line), Domain::SWcc, "INV is a SWcc instruction");
+                let idx = self.ci(actor, line);
+                assert_eq!(s.copies[idx].dirty, 0, "INV would discard dirty words");
+                let st = s.sw[idx];
+                let next = swcc::step(st, SwOp::Invalidate).expect("INV is always legal");
+                ev.swcc_edges.push((st, SwOp::Invalidate));
+                s.sw[idx] = next;
+                s.copies[idx] = CopyState::default();
+            }
+            Action::Evict { actor, line } => {
+                assert!(!self.blocked(&s, actor, line), "evict while blocked");
+                let idx = self.ci(actor, line);
+                assert_ne!(s.copies[idx].valid, 0, "evicting nothing");
+                match self.domain(&s, line) {
+                    Domain::SWcc => {
+                        let dirty = s.copies[idx].dirty;
+                        self.writeback_words(&mut s, line, actor, dirty);
+                        self.drop_copy(&mut s, actor, line);
+                        self.rebaseline(&mut s, line);
+                    }
+                    Domain::HWcc => self.hw_evict(&mut s, actor, line),
+                }
+            }
+            Action::BeginToSw { line } => self.begin_to_sw(&mut s, &mut ev, line),
+            Action::BeginToHw { line } => {
+                assert_eq!(self.domain(&s, line), Domain::SWcc);
+                assert_eq!(s.trans[line as usize], Trans::Idle);
+                for target in 0..self.cfg.actors {
+                    self.push_msg(&mut s, Msg::CleanReq { line, target });
+                }
+                s.trans[line as usize] = Trans::ToHw {
+                    probed: 0,
+                    responded: 0,
+                };
+            }
+            Action::Deliver { slot } => {
+                assert!((slot as usize) < s.net.len(), "delivering from an empty slot");
+                let msg = s.net.remove(slot as usize);
+                self.deliver(&mut s, &mut ev, msg);
+            }
+            Action::Barrier => {
+                assert!(s.net.is_empty() && s.trans.iter().all(|t| *t == Trans::Idle));
+                for line in 0..self.cfg.lines {
+                    if self.domain(&s, line) != Domain::SWcc {
+                        continue;
+                    }
+                    for actor in 0..self.cfg.actors {
+                        let idx = self.ci(actor, line);
+                        let st = s.sw[idx];
+                        let next =
+                            swcc::step(st, SwOp::Synchronize).expect("sync is always legal");
+                        ev.swcc_edges.push((st, SwOp::Synchronize));
+                        s.sw[idx] = next;
+                    }
+                }
+            }
+            Action::Inject => {
+                let spot = self
+                    .gremlin_spot(&s)
+                    .expect("inject enabled without a target");
+                self.inject(&mut s, spot);
+                s.gremlin_fired = true;
+            }
+        }
+        (s, ev)
+    }
+
+    fn sw_store(&self, s: &mut State, ev: &mut StepEvents, actor: u8, line: u8, word: u8) {
+        let idx = self.ci(actor, line);
+        let st = s.sw[idx];
+        match swcc::step(st, SwOp::Store) {
+            Err(v) => {
+                // The Figure 6 machine rejects the store; the checker
+                // records the violation and the store has no effect.
+                ev.violations.push(v);
+            }
+            Ok(next) => {
+                ev.swcc_edges.push((st, SwOp::Store));
+                s.sw[idx] = next;
+                let bit = 1u8 << word;
+                for other in 0..self.cfg.actors {
+                    if other == actor {
+                        continue;
+                    }
+                    let oi = self.ci(other, line);
+                    if s.copies[oi].dirty & bit != 0 {
+                        // Two un-flushed writers of the same word: the §3.6
+                        // data race. The word's value is now
+                        // merge-order-defined.
+                        s.raced[line as usize] |= bit;
+                    }
+                    s.copies[oi].fresh &= !bit;
+                }
+                s.copies[idx].valid |= bit; // write-allocate, no fill
+                s.copies[idx].dirty |= bit;
+                s.copies[idx].fresh |= bit;
+                s.mem_fresh[line as usize] &= !bit;
+            }
+        }
+    }
+
+    fn hw_load(&self, s: &mut State, actor: u8, line: u8) {
+        let la = self.line_addr(line);
+        let tracking = SharerTracking::FullMap;
+        let clusters = self.cfg.actors as u32;
+        let entry = s.dir.remove(0, la);
+        let new_entry = match entry {
+            None => DirEntry::shared(
+                ClusterId(actor as u32),
+                tracking,
+                clusters,
+                EntryClass::HeapGlobal,
+            ),
+            Some(e) => match e.state {
+                DirState::Shared => {
+                    let mut e = e;
+                    e.sharers.add(ClusterId(actor as u32), tracking);
+                    e
+                }
+                DirState::Modified => {
+                    let owner = e.owner(clusters).expect("full-map owner is known");
+                    if owner.0 == actor as u32 {
+                        e // load hit in the owning cache
+                    } else {
+                        // Downgrade: demand writeback, keep the old owner
+                        // as a sharer.
+                        let o = owner.0 as u8;
+                        let oi = self.ci(o, line);
+                        let dirty = s.copies[oi].dirty;
+                        self.writeback_words(s, line, o, dirty);
+                        s.sw[oi] = SwState::Clean;
+                        let mut e2 = DirEntry::shared(
+                            owner,
+                            tracking,
+                            clusters,
+                            EntryClass::HeapGlobal,
+                        );
+                        e2.sharers.add(ClusterId(actor as u32), tracking);
+                        e2
+                    }
+                }
+            },
+        };
+        s.dir.insert(0, la, new_entry);
+        self.rebaseline(s, line);
+        self.fill(s, actor, line);
+        let idx = self.ci(actor, line);
+        s.sw[idx] = if s.copies[idx].dirty != 0 {
+            SwState::PrivateDirty
+        } else {
+            SwState::Clean
+        };
+    }
+
+    fn hw_store(&self, s: &mut State, actor: u8, line: u8, word: u8) {
+        let la = self.line_addr(line);
+        let clusters = self.cfg.actors as u32;
+        match s.dir.remove(0, la) {
+            None => {}
+            Some(e) => match e.state {
+                DirState::Shared => {
+                    for c in e.sharers.probe_targets(clusters) {
+                        if c.0 == actor as u32 {
+                            continue;
+                        }
+                        let b = c.0 as u8;
+                        assert_eq!(
+                            s.copies[self.ci(b, line)].dirty,
+                            0,
+                            "Shared entry with a dirty sharer"
+                        );
+                        self.drop_copy(s, b, line);
+                    }
+                }
+                DirState::Modified => {
+                    let owner = e.owner(clusters).expect("full-map owner is known");
+                    if owner.0 != actor as u32 {
+                        let o = owner.0 as u8;
+                        let dirty = s.copies[self.ci(o, line)].dirty;
+                        self.writeback_words(s, line, o, dirty);
+                        self.drop_copy(s, o, line);
+                    }
+                }
+            },
+        }
+        s.dir.insert(
+            0,
+            la,
+            DirEntry::modified(
+                ClusterId(actor as u32),
+                SharerTracking::FullMap,
+                clusters,
+                EntryClass::HeapGlobal,
+            ),
+        );
+        self.rebaseline(s, line);
+        // HWcc stores write-allocate with a fill (normal MSI behaviour).
+        self.fill(s, actor, line);
+        let idx = self.ci(actor, line);
+        let bit = 1u8 << word;
+        s.copies[idx].dirty |= bit;
+        s.copies[idx].fresh |= bit;
+        s.mem_fresh[line as usize] &= !bit;
+        s.sw[idx] = SwState::PrivateDirty;
+    }
+
+    fn hw_evict(&self, s: &mut State, actor: u8, line: u8) {
+        let la = self.line_addr(line);
+        let clusters = self.cfg.actors as u32;
+        let idx = self.ci(actor, line);
+        let dirty = s.copies[idx].dirty;
+        self.writeback_words(s, line, actor, dirty);
+        if let Some(e) = s.dir.remove(0, la) {
+            let rest: Vec<ClusterId> = e
+                .sharers
+                .probe_targets(clusters)
+                .into_iter()
+                .filter(|c| c.0 != actor as u32)
+                .collect();
+            if !rest.is_empty() {
+                assert_eq!(e.state, DirState::Shared, "Modified entry has one sharer");
+                let mut e2 = DirEntry::shared(
+                    rest[0],
+                    SharerTracking::FullMap,
+                    clusters,
+                    EntryClass::HeapGlobal,
+                );
+                for c in &rest[1..] {
+                    e2.sharers.add(*c, SharerTracking::FullMap);
+                }
+                s.dir.insert(0, la, e2);
+            }
+        }
+        self.drop_copy(s, actor, line);
+        self.rebaseline(s, line);
+    }
+
+    fn begin_to_sw(&self, s: &mut State, ev: &mut StepEvents, line: u8) {
+        assert_eq!(self.domain(s, line), Domain::HWcc);
+        assert_eq!(s.trans[line as usize], Trans::Idle);
+        let la = self.line_addr(line);
+        let cls = classify_hw_to_sw(s.dir.peek(la), self.cfg.actors as u32);
+        ev.hw_to_sw = Some(cls.case_label());
+        match cls {
+            HwToSw::Case1aUntracked => {
+                // Only the table bit changes.
+                self.set_domain(s, line, Domain::SWcc);
+            }
+            HwToSw::Case2aShared { sharers } => {
+                s.dir.remove(0, la);
+                let mut waiting = 0u8;
+                for c in sharers {
+                    waiting |= 1 << c.0;
+                    self.push_msg(
+                        s,
+                        Msg::InvReq {
+                            line,
+                            target: c.0 as u8,
+                        },
+                    );
+                }
+                s.trans[line as usize] = Trans::ToSw { waiting };
+            }
+            HwToSw::Case3aModified { owner } => {
+                let owner = owner.expect("full-map owner is known");
+                s.dir.remove(0, la);
+                self.push_msg(
+                    s,
+                    Msg::WbInvReq {
+                        line,
+                        target: owner.0 as u8,
+                    },
+                );
+                s.trans[line as usize] = Trans::ToSw {
+                    waiting: 1 << owner.0,
+                };
+            }
+        }
+    }
+
+    fn deliver(&self, s: &mut State, ev: &mut StepEvents, msg: Msg) {
+        match msg {
+            Msg::InvReq { line, target } => {
+                let idx = self.ci(target, line);
+                assert_eq!(s.copies[idx].dirty, 0, "InvReq sent to a dirty copy");
+                self.drop_copy(s, target, line);
+                self.push_msg(s, Msg::InvAck { line, from: target });
+            }
+            Msg::WbInvReq { line, target } => {
+                let idx = self.ci(target, line);
+                let c = s.copies[idx];
+                self.push_msg(
+                    s,
+                    Msg::WbData {
+                        line,
+                        from: target,
+                        mask: c.dirty,
+                        fresh: c.fresh & c.dirty,
+                    },
+                );
+                self.drop_copy(s, target, line);
+            }
+            Msg::InvAck { line, from } => self.complete_to_sw(s, line, from),
+            Msg::WbData {
+                line, from, mask, fresh,
+            } => {
+                s.mem_fresh[line as usize] =
+                    (s.mem_fresh[line as usize] & !mask) | (fresh & mask);
+                self.rebaseline(s, line);
+                self.complete_to_sw(s, line, from);
+            }
+            Msg::CleanReq { line, target } => {
+                let Trans::ToHw { probed, responded } = s.trans[line as usize] else {
+                    panic!("CleanReq outside a SWcc⇒HWcc transition");
+                };
+                s.trans[line as usize] = Trans::ToHw {
+                    probed: probed | (1 << target),
+                    responded,
+                };
+                self.push_msg(s, Msg::CleanResp { line, from: target });
+            }
+            Msg::CleanResp { line, from } => {
+                let Trans::ToHw { probed, responded } = s.trans[line as usize] else {
+                    panic!("CleanResp outside a SWcc⇒HWcc transition");
+                };
+                let responded = responded | (1 << from);
+                assert_eq!(responded & !probed, 0, "response before probe");
+                if responded == self.all_actors_mask() {
+                    self.finalize_to_hw(s, ev, line);
+                } else {
+                    s.trans[line as usize] = Trans::ToHw { probed, responded };
+                }
+            }
+        }
+    }
+
+    fn complete_to_sw(&self, s: &mut State, line: u8, from: u8) {
+        let Trans::ToSw { waiting } = s.trans[line as usize] else {
+            panic!("ack outside a HWcc⇒SWcc transition");
+        };
+        assert_ne!(waiting & (1 << from), 0, "unexpected responder");
+        let waiting = waiting & !(1 << from);
+        if waiting == 0 {
+            self.set_domain(s, line, Domain::SWcc);
+            s.trans[line as usize] = Trans::Idle;
+        } else {
+            s.trans[line as usize] = Trans::ToSw { waiting };
+        }
+    }
+
+    fn finalize_to_hw(&self, s: &mut State, ev: &mut StepEvents, line: u8) {
+        let clusters = self.cfg.actors as u32;
+        let tracking = SharerTracking::FullMap;
+        let views: Vec<L2View> = (0..self.cfg.actors)
+            .map(|a| {
+                let c = s.copies[self.ci(a, line)];
+                L2View {
+                    cluster: ClusterId(a as u32),
+                    valid_words: c.valid,
+                    dirty_words: c.dirty,
+                }
+            })
+            .collect();
+        let cls = classify_sw_to_hw(&views);
+        ev.sw_to_hw = Some(cls.case_label());
+        match cls {
+            SwToHw::Case1bNotPresent => {}
+            SwToHw::Case2bClean { sharers } => {
+                let mut e = DirEntry::shared(sharers[0], tracking, clusters, EntryClass::HeapGlobal);
+                for c in &sharers[1..] {
+                    e.sharers.add(*c, tracking);
+                }
+                s.dir.insert(0, self.line_addr(line), e);
+                for c in sharers {
+                    // Incoherent bit cleared; the copy is now a tracked
+                    // clean sharer.
+                    s.sw[self.ci(c.0 as u8, line)] = SwState::Clean;
+                }
+            }
+            SwToHw::Case3bSingleDirty { owner, readers } => {
+                for r in readers {
+                    self.drop_copy(s, r.0 as u8, line);
+                }
+                s.dir.insert(
+                    0,
+                    self.line_addr(line),
+                    DirEntry::modified(owner, tracking, clusters, EntryClass::HeapGlobal),
+                );
+                // Upgraded to owner with no writeback — the bandwidth
+                // saving §3.6 calls out.
+                s.sw[self.ci(owner.0 as u8, line)] = SwState::PrivateDirty;
+            }
+            SwToHw::Case4bMultiDirtyDisjoint { writers, readers }
+            | SwToHw::Case5bRace {
+                writers, readers, ..
+            } => {
+                // All writers write back; the L3 merges by dirty mask in
+                // deterministic (ascending) order, then everyone
+                // invalidates. For overlapping (raced) words the last
+                // writeback wins — `rebaseline` below then re-anoints
+                // memory as authoritative.
+                for w in writers {
+                    let a = w.0 as u8;
+                    let dirty = s.copies[self.ci(a, line)].dirty;
+                    self.writeback_words(s, line, a, dirty);
+                    self.drop_copy(s, a, line);
+                }
+                for r in readers {
+                    self.drop_copy(s, r.0 as u8, line);
+                }
+            }
+        }
+        self.rebaseline(s, line);
+        self.set_domain(s, line, Domain::HWcc);
+        s.trans[line as usize] = Trans::Idle;
+    }
+
+    /// Deterministically locates where the armed gremlin would strike.
+    fn gremlin_spot(&self, s: &State) -> Option<(Gremlin, u8, u8, u8)> {
+        let g = self.cfg.gremlin?;
+        match g {
+            Gremlin::ForgeSecondWriter => {
+                for line in 0..self.cfg.lines {
+                    if self.domain(s, line) != Domain::HWcc {
+                        continue;
+                    }
+                    for actor in 0..self.cfg.actors {
+                        let dirty = s.copies[self.ci(actor, line)].dirty;
+                        if dirty != 0 {
+                            let word = dirty.trailing_zeros() as u8;
+                            let accomplice =
+                                (0..self.cfg.actors).find(|&b| b != actor).unwrap();
+                            return Some((g, line, accomplice, word));
+                        }
+                    }
+                }
+                None
+            }
+            Gremlin::DropDirtyCopy => {
+                for line in 0..self.cfg.lines {
+                    for actor in 0..self.cfg.actors {
+                        let c = s.copies[self.ci(actor, line)];
+                        if c.dirty & c.fresh & !s.raced[line as usize] != 0 {
+                            return Some((g, line, actor, 0));
+                        }
+                    }
+                }
+                None
+            }
+            Gremlin::PhantomDirEntry => {
+                for line in 0..self.cfg.lines {
+                    if !self.is_immutable(line)
+                        && self.domain(s, line) == Domain::SWcc
+                        && s.trans[line as usize] == Trans::Idle
+                        && s.dir.peek(self.line_addr(line)).is_none()
+                    {
+                        return Some((g, line, 0, 0));
+                    }
+                }
+                None
+            }
+            Gremlin::LieAboutSwState => {
+                for line in 0..self.cfg.lines {
+                    if self.is_immutable(line) {
+                        continue;
+                    }
+                    for actor in 0..self.cfg.actors {
+                        let idx = self.ci(actor, line);
+                        if s.copies[idx].valid == 0 && s.sw[idx] == SwState::Invalid {
+                            return Some((g, line, actor, 0));
+                        }
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    fn inject(&self, s: &mut State, spot: (Gremlin, u8, u8, u8)) {
+        let (g, line, actor, word) = spot;
+        match g {
+            Gremlin::ForgeSecondWriter => {
+                let idx = self.ci(actor, line);
+                let bit = 1u8 << word;
+                s.copies[idx].valid |= bit;
+                s.copies[idx].dirty |= bit;
+                s.sw[idx] = SwState::PrivateDirty;
+            }
+            Gremlin::DropDirtyCopy => {
+                // Vanish without a writeback and without settling the race
+                // ledger: the latest value is silently gone.
+                self.drop_copy(s, actor, line);
+            }
+            Gremlin::PhantomDirEntry => {
+                s.dir.insert(
+                    0,
+                    self.line_addr(line),
+                    DirEntry::shared(
+                        ClusterId(0),
+                        SharerTracking::FullMap,
+                        self.cfg.actors as u32,
+                        EntryClass::HeapGlobal,
+                    ),
+                );
+            }
+            Gremlin::LieAboutSwState => {
+                s.sw[self.ci(actor, line)] = SwState::PrivateDirty;
+            }
+        }
+    }
+
+    /// Canonical byte encoding of a state, used as the visited-set key.
+    ///
+    /// The encoding covers every behaviorally-relevant component (table
+    /// bits, directory contents via [`DirectoryBank::peek`], copies,
+    /// Figure 6 states, freshness/race ghosts, transition progress, sorted
+    /// message multiset, gremlin latch) and deliberately omits directory
+    /// LRU stamps — an unbounded bank never evicts, so they cannot affect
+    /// behaviour. A full byte encoding (not a 64-bit hash) keeps visited-set
+    /// dedup collision-free and therefore sound.
+    pub fn canonical_key(&self, s: &State) -> Vec<u8> {
+        let mut k = Vec::with_capacity(
+            4 * s.table_words.len()
+                + 2 * self.cfg.lines as usize * 4
+                + s.copies.len() * 4
+                + s.net.len() * 5
+                + 8,
+        );
+        for w in &s.table_words {
+            k.extend(w.to_le_bytes());
+        }
+        for line in 0..self.cfg.lines {
+            match s.dir.peek(self.line_addr(line)) {
+                None => k.push(0xFF),
+                Some(e) => {
+                    k.push(match e.state {
+                        DirState::Shared => 0,
+                        DirState::Modified => 1,
+                    });
+                    let mut mask = 0u8;
+                    for c in e.sharers.probe_targets(self.cfg.actors as u32) {
+                        mask |= 1 << c.0;
+                    }
+                    k.push(mask);
+                }
+            }
+        }
+        for c in &s.copies {
+            k.extend([c.valid, c.dirty, c.fresh]);
+        }
+        for st in &s.sw {
+            k.push(sw_code(*st));
+        }
+        for line in 0..self.cfg.lines as usize {
+            k.push(s.mem_fresh[line]);
+            k.push(s.raced[line]);
+            match s.trans[line] {
+                Trans::Idle => k.extend([0, 0, 0]),
+                Trans::ToSw { waiting } => k.extend([1, waiting, 0]),
+                Trans::ToHw { probed, responded } => k.extend([2, probed, responded]),
+            }
+        }
+        k.push(s.net.len() as u8);
+        for m in &s.net {
+            m.encode(&mut k);
+        }
+        k.push(s.gremlin_fired as u8);
+        k
+    }
+
+    /// Checks the four invariants, in order, returning the first failure.
+    pub fn check_invariants(&self, s: &State) -> Result<(), InvariantFailure> {
+        self.check_single_writer(s)?;
+        self.check_no_silent_dirty_loss(s)?;
+        self.check_transition_atomicity(s)?;
+        self.check_swcc_correspondence(s)
+    }
+
+    fn fail(inv: Invariant, detail: String) -> Result<(), InvariantFailure> {
+        Err(InvariantFailure {
+            invariant: inv,
+            detail,
+        })
+    }
+
+    fn check_single_writer(&self, s: &State) -> Result<(), InvariantFailure> {
+        for line in 0..self.cfg.lines {
+            if self.domain(s, line) != Domain::HWcc {
+                continue; // SWcc tolerates multiple writers until Fig. 7 sorts it out
+            }
+            for word in 0..self.cfg.words {
+                let bit = 1u8 << word;
+                let holders: Vec<u8> = (0..self.cfg.actors)
+                    .filter(|&a| s.copies[self.ci(a, line)].dirty & bit != 0)
+                    .collect();
+                if holders.len() > 1 {
+                    return Self::fail(
+                        Invariant::SingleWriter,
+                        format!("word {word} of L{line} dirty in actors {holders:?} under HWcc"),
+                    );
+                }
+            }
+            if s.trans[line as usize] == Trans::Idle {
+                if let Some(e) = s.dir.peek(self.line_addr(line)) {
+                    if e.state == DirState::Modified {
+                        let owner = e
+                            .owner(self.cfg.actors as u32)
+                            .expect("full-map owner is known");
+                        for a in 0..self.cfg.actors {
+                            if a as u32 != owner.0 && s.copies[self.ci(a, line)].dirty != 0 {
+                                return Self::fail(
+                                    Invariant::SingleWriter,
+                                    format!(
+                                        "L{line} is Modified by a{} but a{a} has dirty words",
+                                        owner.0
+                                    ),
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn check_no_silent_dirty_loss(&self, s: &State) -> Result<(), InvariantFailure> {
+        for line in 0..self.cfg.lines {
+            if self.is_immutable(line) {
+                if s.mem_fresh[line as usize] != self.full_mask() {
+                    return Self::fail(
+                        Invariant::NoSilentDirtyLoss,
+                        format!("immutable L{line} lost memory authority"),
+                    );
+                }
+                for a in 0..self.cfg.actors {
+                    if s.copies[self.ci(a, line)].dirty != 0 {
+                        return Self::fail(
+                            Invariant::NoSilentDirtyLoss,
+                            format!("immutable L{line} has dirty words in a{a}"),
+                        );
+                    }
+                }
+                continue;
+            }
+            for word in 0..self.cfg.words {
+                let bit = 1u8 << word;
+                if s.raced[line as usize] & bit != 0 {
+                    continue; // merge-order-defined until the race drains
+                }
+                let mut fresh_somewhere = s.mem_fresh[line as usize] & bit != 0;
+                for a in 0..self.cfg.actors {
+                    fresh_somewhere |= s.copies[self.ci(a, line)].fresh & bit != 0;
+                }
+                for m in &s.net {
+                    if let Msg::WbData { line: l, fresh, .. } = *m {
+                        fresh_somewhere |= l == line && fresh & bit != 0;
+                    }
+                }
+                if !fresh_somewhere {
+                    return Self::fail(
+                        Invariant::NoSilentDirtyLoss,
+                        format!(
+                            "latest value of word {word} of L{line} exists in no cache, \
+                             in-flight writeback, or memory"
+                        ),
+                    );
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn check_transition_atomicity(&self, s: &State) -> Result<(), InvariantFailure> {
+        for line in 0..self.cfg.lines {
+            let la = self.line_addr(line);
+            let msgs: Vec<&Msg> = s.net.iter().filter(|m| m.line() == line).collect();
+            match s.trans[line as usize] {
+                Trans::Idle => {
+                    if !msgs.is_empty() {
+                        return Self::fail(
+                            Invariant::TransitionAtomicity,
+                            format!("L{line} idle but {} message(s) in flight", msgs.len()),
+                        );
+                    }
+                    match self.domain(s, line) {
+                        Domain::SWcc => {
+                            if s.dir.peek(la).is_some() {
+                                return Self::fail(
+                                    Invariant::TransitionAtomicity,
+                                    format!("directory entry exists for SWcc line L{line}"),
+                                );
+                            }
+                        }
+                        Domain::HWcc => {
+                            let cached: u8 = (0..self.cfg.actors)
+                                .filter(|&a| s.copies[self.ci(a, line)].valid != 0)
+                                .fold(0, |m, a| m | (1 << a));
+                            match s.dir.peek(la) {
+                                None => {
+                                    if cached != 0 {
+                                        return Self::fail(
+                                            Invariant::TransitionAtomicity,
+                                            format!(
+                                                "L{line} cached (mask {cached:#04x}) but untracked"
+                                            ),
+                                        );
+                                    }
+                                }
+                                Some(e) => {
+                                    let mut tracked = 0u8;
+                                    for c in e.sharers.probe_targets(self.cfg.actors as u32) {
+                                        tracked |= 1 << c.0;
+                                    }
+                                    if tracked != cached {
+                                        return Self::fail(
+                                            Invariant::TransitionAtomicity,
+                                            format!(
+                                                "L{line} directory tracks {tracked:#04x} but \
+                                                 caches hold {cached:#04x} (inclusion broken)"
+                                            ),
+                                        );
+                                    }
+                                    if e.state == DirState::Modified && tracked.count_ones() != 1 {
+                                        return Self::fail(
+                                            Invariant::TransitionAtomicity,
+                                            format!("Modified L{line} with sharer mask {tracked:#04x}"),
+                                        );
+                                    }
+                                    if e.state == DirState::Shared {
+                                        for a in 0..self.cfg.actors {
+                                            if s.copies[self.ci(a, line)].dirty != 0 {
+                                                return Self::fail(
+                                                    Invariant::TransitionAtomicity,
+                                                    format!(
+                                                        "Shared L{line} but a{a} holds dirty words"
+                                                    ),
+                                                );
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                Trans::ToSw { waiting } => {
+                    if waiting == 0 || self.domain(s, line) != Domain::HWcc
+                        || s.dir.peek(la).is_some()
+                    {
+                        return Self::fail(
+                            Invariant::TransitionAtomicity,
+                            format!("inconsistent HWcc⇒SWcc progress on L{line}"),
+                        );
+                    }
+                    let mut per_actor = [0u8; 8];
+                    for m in &msgs {
+                        match m {
+                            Msg::InvReq { .. }
+                            | Msg::WbInvReq { .. }
+                            | Msg::InvAck { .. }
+                            | Msg::WbData { .. } => per_actor[m.actor() as usize] += 1,
+                            _ => {
+                                return Self::fail(
+                                    Invariant::TransitionAtomicity,
+                                    format!("clean-request traffic on L{line} during HWcc⇒SWcc"),
+                                )
+                            }
+                        }
+                    }
+                    for a in 0..self.cfg.actors {
+                        let expect = u8::from(waiting & (1 << a) != 0);
+                        if per_actor[a as usize] != expect {
+                            return Self::fail(
+                                Invariant::TransitionAtomicity,
+                                format!(
+                                    "L{line} HWcc⇒SWcc: a{a} has {} message(s), expected {expect}",
+                                    per_actor[a as usize]
+                                ),
+                            );
+                        }
+                    }
+                }
+                Trans::ToHw { probed, responded } => {
+                    if self.domain(s, line) != Domain::SWcc
+                        || s.dir.peek(la).is_some()
+                        || responded & !probed != 0
+                    {
+                        return Self::fail(
+                            Invariant::TransitionAtomicity,
+                            format!("inconsistent SWcc⇒HWcc progress on L{line}"),
+                        );
+                    }
+                    for a in 0..self.cfg.actors {
+                        let bit = 1u8 << a;
+                        let reqs = msgs
+                            .iter()
+                            .filter(|m| matches!(m, Msg::CleanReq { target, .. } if *target == a))
+                            .count();
+                        let resps = msgs
+                            .iter()
+                            .filter(|m| matches!(m, Msg::CleanResp { from, .. } if *from == a))
+                            .count();
+                        let (want_req, want_resp) = if probed & bit == 0 {
+                            (1, 0)
+                        } else if responded & bit == 0 {
+                            (0, 1)
+                        } else {
+                            (0, 0)
+                        };
+                        if reqs != want_req || resps != want_resp {
+                            return Self::fail(
+                                Invariant::TransitionAtomicity,
+                                format!(
+                                    "L{line} SWcc⇒HWcc: a{a} has {reqs} req / {resps} resp, \
+                                     expected {want_req}/{want_resp}"
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn check_swcc_correspondence(&self, s: &State) -> Result<(), InvariantFailure> {
+        for line in 0..self.cfg.lines {
+            for actor in 0..self.cfg.actors {
+                let idx = self.ci(actor, line);
+                let c = s.copies[idx];
+                let st = s.sw[idx];
+                if c.dirty & !c.valid != 0 || c.fresh & !c.valid != 0
+                    || c.valid & !self.full_mask() != 0
+                {
+                    return Self::fail(
+                        Invariant::SwccCorrespondence,
+                        format!("a{actor}/L{line}: malformed masks {c:?}"),
+                    );
+                }
+                let ok = if self.is_immutable(line) {
+                    c.dirty == 0
+                        && if c.valid == 0 {
+                            matches!(st, SwState::Immutable | SwState::Invalid)
+                        } else {
+                            matches!(st, SwState::Immutable | SwState::Clean)
+                        }
+                } else if c.valid == 0 {
+                    st == SwState::Invalid
+                } else if c.dirty != 0 {
+                    st == SwState::PrivateDirty
+                } else {
+                    matches!(st, SwState::Clean | SwState::PrivateClean)
+                };
+                if !ok {
+                    return Self::fail(
+                        Invariant::SwccCorrespondence,
+                        format!(
+                            "a{actor}/L{line}: contract state {st:?} contradicts physical \
+                             copy {c:?}"
+                        ),
+                    );
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domain_shortcut_matches_fine_table() {
+        let world = World::new(McConfig::new(2, 4, 2).with_immutable(0b1010));
+        let s = world.initial_state();
+        let mem = world.mem_with(&s.table_words);
+        for line in 0..4 {
+            assert_eq!(
+                world.domain(&s, line),
+                world.table.domain(&mem, world.line_addr(line)),
+                "line {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn initial_state_is_sane() {
+        let world = World::new(McConfig::new(2, 1, 2));
+        let s = world.initial_state();
+        assert!(world.check_invariants(&s).is_ok());
+        assert_eq!(world.domain(&s, 0), Domain::HWcc);
+        // Quiescent machine: barrier enabled, deliveries not.
+        assert!(world.enabled(&s, Action::Barrier));
+        assert!(!world.enabled(&s, Action::Deliver { slot: 0 }));
+    }
+
+    #[test]
+    fn canonical_key_is_deterministic_and_discriminating() {
+        let world = World::new(McConfig::new(2, 1, 2));
+        let s = world.initial_state();
+        assert_eq!(world.canonical_key(&s), world.canonical_key(&s.clone()));
+        let (s2, _) = world.apply(
+            &s,
+            Action::Store {
+                actor: 0,
+                line: 0,
+                word: 0,
+            },
+        );
+        assert_ne!(world.canonical_key(&s), world.canonical_key(&s2));
+    }
+
+    #[test]
+    fn hw_store_single_writer_holds() {
+        let world = World::new(McConfig::new(2, 1, 2));
+        let s = world.initial_state();
+        let (s, _) = world.apply(&s, Action::Store { actor: 0, line: 0, word: 0 });
+        let (s, _) = world.apply(&s, Action::Store { actor: 1, line: 0, word: 0 });
+        // MSI handover: actor 0's copy must be gone, actor 1 owns.
+        assert_eq!(world.copy_of(&s, 0, 0).valid, 0);
+        assert_ne!(world.copy_of(&s, 1, 0).dirty, 0);
+        assert!(world.check_invariants(&s).is_ok());
+    }
+
+    #[test]
+    fn to_sw_and_back_round_trips() {
+        let world = World::new(McConfig::new(2, 1, 2));
+        let s = world.initial_state();
+        // 1a: nothing cached.
+        let (s, ev) = world.apply(&s, Action::BeginToSw { line: 0 });
+        assert_eq!(ev.hw_to_sw, Some("1a"));
+        assert_eq!(world.domain(&s, 0), Domain::SWcc);
+        // Store under SWcc, then flip back: one dirty copy is case 3b.
+        let (s, _) = world.apply(&s, Action::Store { actor: 0, line: 0, word: 1 });
+        let (mut s, _) = world.apply(&s, Action::BeginToHw { line: 0 });
+        let mut label = None;
+        while !s.net.is_empty() {
+            let (s2, ev) = world.apply(&s, Action::Deliver { slot: 0 });
+            s = s2;
+            label = label.or(ev.sw_to_hw);
+        }
+        assert_eq!(label, Some("3b"));
+        assert_eq!(world.domain(&s, 0), Domain::HWcc);
+        assert_eq!(world.sw_of(&s, 0, 0), SwState::PrivateDirty);
+        assert!(world.check_invariants(&s).is_ok());
+    }
+}

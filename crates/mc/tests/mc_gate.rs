@@ -1,0 +1,109 @@
+//! Exhaustive-exploration gate tests.
+//!
+//! Run with `cargo test -p cohesion-mc -- --nocapture` to see explored
+//! state counts and the coverage ledgers. The 3-actor configuration is
+//! `#[ignore]`d under the slow debug profile; the CI `model-check` job runs
+//! it in release via `--include-ignored` (and the `modelcheck` binary
+//! always covers it).
+
+use cohesion_mc::{Checker, Coverage, McConfig, Report};
+
+fn run_clean(cfg: McConfig) -> Report {
+    let report = Checker::new(cfg).run();
+    println!("{}", report.summary());
+    if let Some(cx) = &report.violation {
+        panic!("unexpected violation:\n{}", cx.render());
+    }
+    report
+}
+
+#[test]
+fn two_actors_one_line_exhaustive() {
+    let report = run_clean(McConfig::new(2, 1, 2));
+    // The space is tiny but must be a real graph exploration: thousands of
+    // distinct states, and plenty of transitions collapsing onto visited
+    // states (the whole point of dedup over a tree walk).
+    assert!(report.explored > 1_000, "explored {}", report.explored);
+    assert!(report.deduped > report.explored, "deduped {}", report.deduped);
+    // Every Figure 7 case is reachable with one mutable line: 1a-3a, and
+    // 1b-5b including the multi-writer race.
+    assert_eq!(report.coverage.missing_fig7(), Vec::<&str>::new());
+    assert!(
+        report.coverage.count("fig7/5b") > 0,
+        "the 5b race must be inside the explored envelope"
+    );
+    assert!(report.coverage.forbidden_edges_hit().is_empty());
+}
+
+#[test]
+#[ignore = "846k states: run in release (CI model-check job uses --include-ignored)"]
+fn three_actors_one_line_exhaustive() {
+    let report = run_clean(McConfig::new(3, 1, 2));
+    assert!(report.explored > 100_000, "explored {}", report.explored);
+    assert_eq!(report.coverage.missing_fig7(), Vec::<&str>::new());
+    assert!(report.coverage.count("fig7/4b") > 0);
+    assert!(report.coverage.count("fig7/5b") > 0);
+}
+
+#[test]
+#[ignore = "1.7M transitions: run in release (CI model-check job uses --include-ignored)"]
+fn immutable_beside_mutable_line_exhaustive() {
+    // The richer two-line envelope (also run by the `modelcheck` binary):
+    // immutable traffic interleaved with every mutable-line transition.
+    let report = run_clean(McConfig::new(2, 2, 2).with_immutable(0b10));
+    assert!(report.coverage.count("violation/Immutable+Store") > 0);
+    assert_eq!(report.coverage.missing_fig7(), Vec::<&str>::new());
+}
+
+#[test]
+fn immutable_line_surfaces_the_swcc_violation() {
+    let report = run_clean(McConfig::new(2, 1, 2).with_immutable(0b1));
+    assert_eq!(report.coverage.missing_violations(), Vec::<String>::new());
+    assert!(report.coverage.count("violation/Immutable+Store") > 0);
+    // Immutable contract edges only this configuration can reach.
+    assert!(report.coverage.count("swcc/Immutable+Load") > 0);
+    assert!(report.coverage.count("swcc/Immutable+Invalidate") > 0);
+}
+
+#[test]
+fn union_coverage_is_exhaustive() {
+    // The union of the 2-actor gate configurations must cover every
+    // Figure 7 case, every reachable Figure 6 edge, and every
+    // SwccViolation variant — and never take a forbidden edge. (The
+    // 3-actor run only adds volume, not new cases.)
+    let mut union = Coverage::new();
+    for cfg in [
+        McConfig::new(2, 1, 2),
+        McConfig::new(2, 1, 2).with_immutable(0b1),
+    ] {
+        union.merge(&run_clean(cfg).coverage);
+    }
+    println!("union ledger:\n{}", union.render());
+    union
+        .assert_exhaustive()
+        .expect("exploration silently missed a protocol case");
+}
+
+#[test]
+fn in_flight_messages_genuinely_reorder() {
+    // From a state with two messages in flight, both delivery orders must
+    // be enabled and must diverge — the network is a reordering multiset,
+    // not a queue. (The SWcc⇒HWcc broadcast puts one clean request per
+    // actor in flight at once, so the bound ≥ 2 is exercised on every
+    // transition.)
+    use cohesion_mc::{Action, World};
+    let world = World::new(McConfig::new(2, 1, 2));
+    let s = world.initial_state();
+    let (s, _) = world.apply(&s, Action::BeginToSw { line: 0 });
+    let (s, _) = world.apply(&s, Action::BeginToHw { line: 0 });
+    assert_eq!(s.net_len(), 2, "broadcast puts one probe per actor in flight");
+    assert!(world.enabled(&s, Action::Deliver { slot: 0 }));
+    assert!(world.enabled(&s, Action::Deliver { slot: 1 }));
+    let (a, _) = world.apply(&s, Action::Deliver { slot: 0 });
+    let (b, _) = world.apply(&s, Action::Deliver { slot: 1 });
+    assert_ne!(
+        world.canonical_key(&a),
+        world.canonical_key(&b),
+        "different delivery orders must reach different states"
+    );
+}

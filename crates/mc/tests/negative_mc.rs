@@ -1,0 +1,94 @@
+//! Negative tests: the checker must be shown able to fail.
+//!
+//! Each test arms one test-only corruption ([`Gremlin`]) that breaks
+//! exactly one invariant, and asserts the checker reports a counterexample
+//! trace naming that invariant, minimal and replayable. Run with
+//! `-- --nocapture` to see the traces.
+
+use cohesion_mc::{replay, shrink_trace, Action, Checker, Gremlin, Invariant, McConfig, Replay};
+
+fn catch(gremlin: Gremlin) -> (Checker, cohesion_mc::Counterexample) {
+    let checker = Checker::new(McConfig::new(2, 1, 2).with_gremlin(gremlin));
+    let report = checker.run();
+    let cx = report
+        .violation
+        .unwrap_or_else(|| panic!("{gremlin:?} went undetected"));
+    println!("{}", cx.render());
+    assert_eq!(
+        cx.invariant,
+        gremlin.target_invariant(),
+        "wrong invariant named for {gremlin:?}"
+    );
+    // The rendered trace names the violated invariant for the human.
+    assert!(cx.render().contains(cx.invariant.name()));
+    (checker, cx)
+}
+
+/// The shrunk trace replays to the same violation at its last step, and is
+/// 1-minimal: removing any single action no longer reproduces it.
+fn assert_minimal_and_replayable(checker: &Checker, cx: &cohesion_mc::Counterexample) {
+    match replay(checker.world(), &cx.trace) {
+        Replay::Violation { at, failure } => {
+            assert_eq!(at + 1, cx.trace.len(), "violation must fire at the last step");
+            assert_eq!(failure.invariant, cx.invariant);
+        }
+        other => panic!("counterexample does not replay: {other:?}"),
+    }
+    for skip in 0..cx.trace.len() {
+        let shorter: Vec<Action> = cx
+            .trace
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != skip)
+            .map(|(_, a)| *a)
+            .collect();
+        match replay(checker.world(), &shorter) {
+            Replay::Violation { failure, .. } if failure.invariant == cx.invariant => {
+                panic!("trace not minimal: step {skip} is removable")
+            }
+            _ => {}
+        }
+    }
+}
+
+#[test]
+fn forged_second_writer_breaks_single_writer() {
+    let (checker, cx) = catch(Gremlin::ForgeSecondWriter);
+    assert_eq!(cx.invariant, Invariant::SingleWriter);
+    assert_minimal_and_replayable(&checker, &cx);
+}
+
+#[test]
+fn dropped_dirty_copy_breaks_no_silent_dirty_loss() {
+    let (checker, cx) = catch(Gremlin::DropDirtyCopy);
+    assert_eq!(cx.invariant, Invariant::NoSilentDirtyLoss);
+    assert_minimal_and_replayable(&checker, &cx);
+}
+
+#[test]
+fn phantom_directory_entry_breaks_transition_atomicity() {
+    let (checker, cx) = catch(Gremlin::PhantomDirEntry);
+    assert_eq!(cx.invariant, Invariant::TransitionAtomicity);
+    assert_minimal_and_replayable(&checker, &cx);
+}
+
+#[test]
+fn sw_state_lie_breaks_swcc_correspondence() {
+    let (checker, cx) = catch(Gremlin::LieAboutSwState);
+    assert_eq!(cx.invariant, Invariant::SwccCorrespondence);
+    assert_minimal_and_replayable(&checker, &cx);
+}
+
+#[test]
+fn shrinker_truncates_to_first_violation() {
+    // Pad a violating trace with a harmless tail and a removable prefix:
+    // the shrinker must strip both.
+    let checker = Checker::new(McConfig::new(2, 1, 2).with_gremlin(Gremlin::LieAboutSwState));
+    let padded = vec![
+        Action::Load { actor: 1, line: 0 },
+        Action::Inject,
+        Action::Load { actor: 0, line: 0 },
+    ];
+    let shrunk = shrink_trace(checker.world(), &padded, Invariant::SwccCorrespondence);
+    assert_eq!(shrunk, vec![Action::Inject]);
+}

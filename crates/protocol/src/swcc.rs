@@ -33,6 +33,18 @@ pub enum SwState {
     Invalid,
 }
 
+impl SwState {
+    /// Every state of the Figure 6 machine, in documentation order (used by
+    /// coverage ledgers and exhaustive enumerations).
+    pub const ALL: [SwState; 5] = [
+        SwState::Immutable,
+        SwState::Clean,
+        SwState::PrivateClean,
+        SwState::PrivateDirty,
+        SwState::Invalid,
+    ];
+}
+
 /// Operations the software protocol reasons about.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SwOp {
@@ -48,6 +60,18 @@ pub enum SwOp {
     Synchronize,
 }
 
+impl SwOp {
+    /// Every operation the protocol reasons about, in documentation order
+    /// (used by coverage ledgers and exhaustive enumerations).
+    pub const ALL: [SwOp; 5] = [
+        SwOp::Load,
+        SwOp::Store,
+        SwOp::Invalidate,
+        SwOp::Writeback,
+        SwOp::Synchronize,
+    ];
+}
+
 /// A violation of the SWcc contract.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SwccViolation {
@@ -55,6 +79,22 @@ pub struct SwccViolation {
     pub state: SwState,
     /// The illegal operation.
     pub op: SwOp,
+}
+
+impl SwccViolation {
+    /// A stable ledger key naming this violation (e.g.
+    /// `"Immutable+Store"`), used by the model checker's coverage table.
+    pub fn label(&self) -> String {
+        format!("{:?}+{:?}", self.state, self.op)
+    }
+
+    /// Every violation value [`step`] can actually produce. The Figure 6
+    /// machine forbids exactly one transition — storing to immutable data —
+    /// so this is the complete inventory a coverage ledger must reach.
+    pub const ALL: [SwccViolation; 1] = [SwccViolation {
+        state: SwState::Immutable,
+        op: SwOp::Store,
+    }];
 }
 
 impl fmt::Display for SwccViolation {
@@ -195,6 +235,22 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn violation_inventory_is_exact() {
+        // `SwccViolation::ALL` must be precisely the set of `Err` results
+        // over the full (state, op) cross product.
+        let mut seen = Vec::new();
+        for &s in &SwState::ALL {
+            for &op in &SwOp::ALL {
+                if let Err(v) = step(s, op) {
+                    seen.push(v);
+                }
+            }
+        }
+        assert_eq!(seen, SwccViolation::ALL.to_vec());
+        assert_eq!(SwccViolation::ALL[0].label(), "Immutable+Store");
     }
 
     #[test]

@@ -70,6 +70,21 @@ pub enum HwToSw {
     },
 }
 
+impl HwToSw {
+    /// The Figure 7 case label of this classification (`"1a"`, `"2a"`,
+    /// `"3a"`), used by coverage ledgers and trace printers.
+    pub fn case_label(&self) -> &'static str {
+        match self {
+            HwToSw::Case1aUntracked => "1a",
+            HwToSw::Case2aShared { .. } => "2a",
+            HwToSw::Case3aModified { .. } => "3a",
+        }
+    }
+
+    /// All HWcc ⇒ SWcc case labels, in Figure 7 order.
+    pub const CASE_LABELS: [&'static str; 3] = ["1a", "2a", "3a"];
+}
+
 /// Classifies a HWcc ⇒ SWcc transition from the directory entry (if any).
 pub fn classify_hw_to_sw(entry: Option<&DirEntry>, clusters: u32) -> HwToSw {
     match entry {
@@ -122,6 +137,23 @@ pub enum SwToHw {
         /// Mask of words dirty in more than one cache.
         overlap: u8,
     },
+}
+
+impl SwToHw {
+    /// The Figure 7 case label of this classification (`"1b"` … `"5b"`),
+    /// used by coverage ledgers and trace printers.
+    pub fn case_label(&self) -> &'static str {
+        match self {
+            SwToHw::Case1bNotPresent => "1b",
+            SwToHw::Case2bClean { .. } => "2b",
+            SwToHw::Case3bSingleDirty { .. } => "3b",
+            SwToHw::Case4bMultiDirtyDisjoint { .. } => "4b",
+            SwToHw::Case5bRace { .. } => "5b",
+        }
+    }
+
+    /// All SWcc ⇒ HWcc case labels, in Figure 7 order.
+    pub const CASE_LABELS: [&'static str; 5] = ["1b", "2b", "3b", "4b", "5b"];
 }
 
 /// Classifies a SWcc ⇒ HWcc transition from the broadcast clean-request

@@ -15,6 +15,16 @@
 //! requires of software; everything else — including transitions landing on
 //! dirty lines, multi-writer disjoint merges, and atomics recalling cached
 //! data — is explored.
+//!
+//! The walk deduplicates: states are keyed on
+//! [`Machine::line_state_digest`] (the machine's entire view of the line,
+//! timing excluded) plus the reference-model fields, and a subtree is
+//! re-entered only when it can now be explored deeper than before. Each
+//! test reports how many transitions it checked and how many landed on
+//! already-visited states. (For exhaustive graph exploration of the
+//! protocol *types* themselves, see `crates/mc`.)
+
+use std::collections::HashMap;
 
 use cohesion::config::{DesignPoint, MachineConfig};
 use cohesion::machine::Machine;
@@ -61,6 +71,36 @@ struct State {
     maybe_stale: [bool; 2],
     t: u64,
     next_value: u32,
+}
+
+/// Dedup key: the machine's full view of the line under test (and of the
+/// fine-table line governing it), plus every reference-model field that
+/// steers pruning or value assertions. `t` is deliberately excluded — it
+/// differs along every path but changes only timing, never values or
+/// protocol state (and with one line per set, never an eviction).
+#[derive(Hash, PartialEq, Eq)]
+struct Key {
+    digest: u64,
+    reference: [u32; 8],
+    sw_dirty_by: [Option<u32>; 8],
+    stale_mask: u8,
+    next_value: u32,
+}
+
+fn stale_mask(stale: &[bool]) -> u8 {
+    stale
+        .iter()
+        .enumerate()
+        .fold(0, |m, (i, &s)| m | ((s as u8) << i))
+}
+
+/// Exploration counters: `checked` transitions applied and invariant- and
+/// value-checked; `deduped` of those landed on an already-visited state
+/// with no new depth to give and were not re-expanded.
+#[derive(Default)]
+struct Counts {
+    checked: u64,
+    deduped: u64,
 }
 
 fn small_machine(dp: DesignPoint) -> Machine {
@@ -233,7 +273,25 @@ fn check(state: &State) {
     }
 }
 
-fn explore(state: &State, depth: u32, visited: &mut u64, path: &mut Vec<Op>) {
+fn key_of(state: &State) -> Key {
+    Key {
+        digest: state
+            .machine
+            .line_state_digest(line_base(&state.machine).line()),
+        reference: state.reference,
+        sw_dirty_by: state.sw_dirty_by,
+        stale_mask: stale_mask(&state.maybe_stale),
+        next_value: state.next_value,
+    }
+}
+
+fn explore(
+    state: &State,
+    depth: u32,
+    counts: &mut Counts,
+    visited: &mut HashMap<Key, u32>,
+    path: &mut Vec<Op>,
+) {
     if depth == 0 {
         return;
     }
@@ -258,8 +316,20 @@ fn explore(state: &State, depth: u32, visited: &mut u64, path: &mut Vec<Op>) {
                 std::panic::resume_unwind(e);
             }
         }
-        *visited += 1;
-        explore(&next, depth - 1, visited, path);
+        counts.checked += 1;
+        // Re-enter a visited state only if the remaining budget lets us go
+        // deeper below it than any earlier visit could.
+        match visited.get(&key_of(&next)) {
+            Some(&seen) if seen >= depth - 1 => {
+                counts.deduped += 1;
+                path.pop();
+                continue;
+            }
+            _ => {
+                visited.insert(key_of(&next), depth - 1);
+            }
+        }
+        explore(&next, depth - 1, counts, visited, path);
         path.pop();
     }
 }
@@ -276,10 +346,14 @@ fn model_check_cohesion_protocol() {
     };
     // Seed the reference with the line's initial contents (zero).
     state.machine.boot();
-    let mut visited = 0;
-    explore(&state, 4, &mut visited, &mut Vec::new());
-    assert!(visited > 1_000, "explored {visited} states");
-    println!("model-checked {visited} reachable states (depth 4)");
+    let mut counts = Counts::default();
+    explore(&state, 4, &mut counts, &mut HashMap::new(), &mut Vec::new());
+    assert!(counts.checked > 1_000, "checked {} states", counts.checked);
+    assert!(counts.deduped > 0, "dedup never fired");
+    println!(
+        "model-checked {} transitions, {} deduped (depth 4)",
+        counts.checked, counts.deduped
+    );
 }
 
 #[test]
@@ -292,11 +366,17 @@ fn model_check_pure_hwcc() {
         t: 0,
         next_value: 0,
     };
-    let mut visited = 0;
+    let mut counts = Counts::default();
     // Transitions are meaningless under pure HWcc but harmless; explore
-    // everything anyway.
-    explore(&state, 4, &mut visited, &mut Vec::new());
-    assert!(visited > 1_000, "explored {visited} states");
+    // everything anyway. The pure-mode state graphs are small (transitions
+    // change nothing), so dedup lets us go deeper than the hybrid walk.
+    explore(&state, 6, &mut counts, &mut HashMap::new(), &mut Vec::new());
+    assert!(counts.checked > 1_000, "checked {} states", counts.checked);
+    assert!(counts.deduped > 0, "dedup never fired");
+    println!(
+        "pure HWcc: {} transitions, {} deduped (depth 6)",
+        counts.checked, counts.deduped
+    );
 }
 
 #[test]
@@ -309,16 +389,22 @@ fn model_check_pure_swcc() {
         t: 0,
         next_value: 0,
     };
-    let mut visited = 0;
-    explore(&state, 4, &mut visited, &mut Vec::new());
-    assert!(visited > 1_000, "explored {visited} states");
+    let mut counts = Counts::default();
+    explore(&state, 6, &mut counts, &mut HashMap::new(), &mut Vec::new());
+    assert!(counts.checked > 1_000, "checked {} states", counts.checked);
+    assert!(counts.deduped > 0, "dedup never fired");
+    println!(
+        "pure SWcc: {} transitions, {} deduped (depth 6)",
+        counts.checked, counts.deduped
+    );
 }
 
-/// Depth-5 exploration (~10x the states); run explicitly with
+/// Depth-7 exploration (dedup makes this tractable — the un-deduplicated
+/// tree would be ~9^7 paths); run explicitly with
 /// `cargo test --release --test model_check -- --ignored`.
 #[test]
 #[ignore = "deep exploration; run explicitly"]
-fn model_check_cohesion_depth5() {
+fn model_check_cohesion_depth7() {
     let mut state = State {
         machine: small_machine(DesignPoint::cohesion(256, 64)),
         reference: [0; 8],
@@ -328,9 +414,14 @@ fn model_check_cohesion_depth5() {
         next_value: 0,
     };
     state.machine.boot();
-    let mut visited = 0;
-    explore(&state, 5, &mut visited, &mut Vec::new());
-    assert!(visited > 10_000, "explored {visited} states");
+    let mut counts = Counts::default();
+    explore(&state, 7, &mut counts, &mut HashMap::new(), &mut Vec::new());
+    assert!(counts.checked > 10_000, "checked {} states", counts.checked);
+    assert!(counts.deduped > counts.checked / 2, "dedup barely fired");
+    println!(
+        "depth 7: {} transitions, {} deduped",
+        counts.checked, counts.deduped
+    );
 }
 
 #[test]
@@ -349,9 +440,13 @@ fn model_check_deeper_with_mesi_ablation() {
         t: 0,
         next_value: 0,
     };
-    let mut visited = 0;
-    explore(&state, 4, &mut visited, &mut Vec::new());
-    assert!(visited > 1_000);
+    let mut counts = Counts::default();
+    explore(&state, 4, &mut counts, &mut HashMap::new(), &mut Vec::new());
+    assert!(counts.checked > 1_000);
+    println!(
+        "MESI ablation: {} transitions, {} deduped",
+        counts.checked, counts.deduped
+    );
 }
 
 /// Three-cluster op set (deeper sharing interleavings); depth 4.
@@ -369,7 +464,25 @@ const OPS3: &[Op] = &[
     Op::ToHwcc,
 ];
 
-fn explore3(state: &State3, depth: u32, visited: &mut u64, path: &mut Vec<Op>) {
+fn key_of3(state: &State3) -> Key {
+    Key {
+        digest: state
+            .machine
+            .line_state_digest(line_base(&state.machine).line()),
+        reference: state.reference,
+        sw_dirty_by: state.sw_dirty_by,
+        stale_mask: stale_mask(&state.maybe_stale),
+        next_value: state.next_value,
+    }
+}
+
+fn explore3(
+    state: &State3,
+    depth: u32,
+    counts: &mut Counts,
+    visited: &mut HashMap<Key, u32>,
+    path: &mut Vec<Op>,
+) {
     if depth == 0 {
         return;
     }
@@ -394,8 +507,18 @@ fn explore3(state: &State3, depth: u32, visited: &mut u64, path: &mut Vec<Op>) {
                 std::panic::resume_unwind(e);
             }
         }
-        *visited += 1;
-        explore3(&next, depth - 1, visited, path);
+        counts.checked += 1;
+        match visited.get(&key_of3(&next)) {
+            Some(&seen) if seen >= depth - 1 => {
+                counts.deduped += 1;
+                path.pop();
+                continue;
+            }
+            _ => {
+                visited.insert(key_of3(&next), depth - 1);
+            }
+        }
+        explore3(&next, depth - 1, counts, visited, path);
         path.pop();
     }
 }
@@ -537,7 +660,12 @@ fn model_check_three_clusters() {
         t: 0,
         next_value: 0,
     };
-    let mut visited = 0;
-    explore3(&state, 4, &mut visited, &mut Vec::new());
-    assert!(visited > 2_000, "explored {visited} states");
+    let mut counts = Counts::default();
+    explore3(&state, 4, &mut counts, &mut HashMap::new(), &mut Vec::new());
+    assert!(counts.checked > 2_000, "checked {} states", counts.checked);
+    assert!(counts.deduped > 0, "dedup never fired (3 clusters)");
+    println!(
+        "3 clusters: {} transitions, {} deduped",
+        counts.checked, counts.deduped
+    );
 }
