@@ -14,7 +14,7 @@ use std::time::Instant;
 use cohesion::config::{DesignPoint, DirectoryVariant, MachineConfig};
 use cohesion::report::RunReport;
 use cohesion::run::run_workload;
-use cohesion_kernels::{kernel_by_name, Scale, KERNEL_NAMES};
+use cohesion_kernels::{Scale, KERNEL_NAMES};
 use cohesion_sim::metrics::Snapshot;
 use cohesion_testkit::pool;
 
@@ -31,6 +31,12 @@ pub struct Options {
     /// Worker threads for [`run_jobs`] sweeps (defaults to
     /// `COHESION_JOBS` or the machine's available parallelism).
     pub jobs: usize,
+    /// Trace seed perturbing kernel input generation (`--seed`). `0` — the
+    /// default — reproduces the paper's pinned inputs exactly; any other
+    /// value deterministically reshuffles the generated inputs while the
+    /// golden verification still checks the answer. `cohesiond` keys its
+    /// run cache on this.
+    pub seed: u64,
     /// Destination for the structured telemetry report (`--metrics-out`).
     /// When set, every simulation runs with the machine-wide metrics
     /// registry armed and [`Options::write_metrics`] serializes all
@@ -47,6 +53,7 @@ impl Default for Options {
             scale: Scale::Small,
             kernels: KERNEL_NAMES.iter().map(|s| s.to_string()).collect(),
             jobs: pool::default_jobs(),
+            seed: 0,
             metrics_out: None,
         }
     }
@@ -93,6 +100,13 @@ impl Options {
                         Some(n) if n >= 1 => n,
                         _ => usage("--jobs needs a positive integer"),
                     };
+                }
+                "--seed" => {
+                    i += 1;
+                    opts.seed = args
+                        .get(i)
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--seed needs a u64"));
                 }
                 "--metrics-out" => {
                     i += 1;
@@ -222,8 +236,15 @@ pub fn metrics_document(binary: &str, opts: &Options, runs: &[(String, String)])
     out.push_str(&format!("  \"binary\": \"{}\",\n", esc(binary)));
     // `jobs` is deliberately absent: the document must be byte-identical
     // at any worker count.
+    // A zero seed (the paper's pinned inputs) is omitted so documents
+    // produced before seeds existed stay byte-identical.
+    let seed = if opts.seed != 0 {
+        format!(", \"seed\": {}", opts.seed)
+    } else {
+        String::new()
+    };
     out.push_str(&format!(
-        "  \"options\": {{\"cores\": {}, \"scale\": \"{scale}\", \"kernels\": [{}]}},\n",
+        "  \"options\": {{\"cores\": {}, \"scale\": \"{scale}\", \"kernels\": [{}]{seed}}},\n",
         opts.cores,
         kernels.join(", ")
     ));
@@ -243,7 +264,7 @@ fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: [--cores N] [--scale tiny|small|medium] [--kernels a,b,c] \
-         [--jobs N] [--metrics-out FILE] [--part a|b|c] [--out PATH] [--csv DIR]"
+         [--jobs N] [--seed N] [--metrics-out FILE] [--part a|b|c] [--out PATH] [--csv DIR]"
     );
     std::process::exit(2)
 }
@@ -252,14 +273,33 @@ fn usage(msg: &str) -> ! {
 /// run fails verification — a figure built on wrong data is worse than no
 /// figure.
 pub fn run(opts: &Options, kernel: &str, dp: DesignPoint) -> RunReport {
+    match try_run(opts, kernel, dp) {
+        Ok(r) => r,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Runs one kernel under one design point, returning the failure as a
+/// value instead of panicking — the variant `cohesiond` uses, where a
+/// client's bad request must become a structured wire error, not a dead
+/// worker.
+///
+/// On success the report's telemetry snapshot (if armed) is recorded in
+/// the metrics sink exactly as [`run`] would record it.
+///
+/// # Errors
+///
+/// A human-readable description of the failed run (golden-verification
+/// mismatch, machine error, ...).
+pub fn try_run(opts: &Options, kernel: &str, dp: DesignPoint) -> Result<RunReport, String> {
     let cfg = opts.config(dp);
-    let mut wl = kernel_by_name(kernel, opts.scale);
+    let mut wl = cohesion_kernels::kernel_by_name_seeded(kernel, opts.scale, opts.seed);
     match run_workload(&cfg, wl.as_mut()) {
         Ok(r) => {
             record_metrics(format!("{kernel} @ {}", design_label(dp)), &r);
-            r
+            Ok(r)
         }
-        Err(e) => panic!("{kernel} under {dp:?} failed: {e}"),
+        Err(e) => Err(format!("{kernel} under {dp:?} failed: {e}")),
     }
 }
 

@@ -18,6 +18,7 @@ const TILE: u32 = 8;
 /// The dense-matrix-multiply kernel.
 #[derive(Debug, Default)]
 pub struct Dmm {
+    seed: u64,
     n: u32,
     a: ArrayRef,
     bm: ArrayRef,
@@ -32,6 +33,13 @@ impl Dmm {
             n: scale.pick(16, 128, 192),
             ..Default::default()
         }
+    }
+
+    /// Returns the kernel with its input/trace generation perturbed by
+    /// `seed` (`0` reproduces the paper's pinned inputs exactly).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
     }
 }
 
@@ -49,7 +57,7 @@ impl Workload for Dmm {
         self.a = ArrayRef::alloc_incoherent(api, n * n);
         self.bm = ArrayRef::alloc_incoherent(api, n * n);
         self.c = ArrayRef::alloc_incoherent(api, n * n);
-        let mut rng = XorShift::new(0xd33);
+        let mut rng = XorShift::new(0xd33 ^ self.seed);
         for i in 0..n * n {
             self.a.setf(golden, i, rng.next_f32() - 0.5);
             self.bm.setf(golden, i, rng.next_f32() - 0.5);

@@ -33,6 +33,7 @@ fn fx(v: i32) -> f32 {
 /// The collision-detection kernel.
 #[derive(Debug, Default)]
 pub struct Gjk {
+    seed: u64,
     objects: u32,
     pairs: Vec<(u32, u32)>,
     verts: ArrayRef,   // objects × VERTS × 3 coords (f32)
@@ -96,6 +97,13 @@ impl Gjk {
         }
         1
     }
+
+    /// Returns the kernel with its input/trace generation perturbed by
+    /// `seed` (`0` reproduces the paper's pinned inputs exactly).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
 }
 
 impl Workload for Gjk {
@@ -108,7 +116,7 @@ impl Workload for Gjk {
         api: &mut CohesionApi,
         golden: &mut MainMemory,
     ) -> Result<(), RuntimeError> {
-        let mut rng = XorShift::new(0x91c);
+        let mut rng = XorShift::new(0x91c ^ self.seed);
         // Coherent heap: HWcc under Cohesion (see the module docs).
         self.verts = ArrayRef::alloc_coherent(api, self.objects * VERTS * 3);
         // Clustered objects: centers on a loose grid, some overlapping.

@@ -18,6 +18,7 @@ use crate::common::{swcc_filter, verify_array, ArrayRef, Scale, XorShift};
 /// The 2-D Jacobi kernel.
 #[derive(Debug, Default)]
 pub struct Heat {
+    seed: u64,
     n: u32,
     iters: u32,
     rows_per_task: u32,
@@ -39,6 +40,13 @@ impl Heat {
     fn idx(&self, r: u32, c: u32) -> u32 {
         r * self.n + c
     }
+
+    /// Returns the kernel with its input/trace generation perturbed by
+    /// `seed` (`0` reproduces the paper's pinned inputs exactly).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
 }
 
 impl Workload for Heat {
@@ -56,7 +64,7 @@ impl Workload for Heat {
             ArrayRef::alloc_incoherent(api, n * n),
             ArrayRef::alloc_incoherent(api, n * n),
         ];
-        let mut rng = XorShift::new(0x4ea7);
+        let mut rng = XorShift::new(0x4ea7 ^ self.seed);
         for i in 0..n * n {
             self.buf[0].setf(golden, i, rng.next_f32() * 100.0);
             self.buf[1].setf(golden, i, 0.0);
@@ -127,7 +135,7 @@ impl Workload for Heat {
         // Recompute the full iteration sequence functionally.
         let n = self.n;
         // Regenerate the initial grid exactly as setup did.
-        let mut rng = XorShift::new(0x4ea7);
+        let mut rng = XorShift::new(0x4ea7 ^ self.seed);
         let mut cur: Vec<f32> = (0..n * n).map(|_| rng.next_f32() * 100.0).collect();
         let mut next = vec![0.0f32; (n * n) as usize];
         let at = |v: &Vec<f32>, r: u32, c: u32| v[(r * n + c) as usize];

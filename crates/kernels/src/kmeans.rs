@@ -26,6 +26,7 @@ const K: u32 = 8;
 /// The k-means kernel.
 #[derive(Debug, Default)]
 pub struct Kmeans {
+    seed: u64,
     points: u32,
     iters: u32,
     points_per_task: u32,
@@ -74,6 +75,13 @@ impl Kmeans {
     fn partial_idx(task: u32, c: u32, field: u32) -> u32 {
         (task * K + c) * (1 + DIM) + field
     }
+
+    /// Returns the kernel with its input/trace generation perturbed by
+    /// `seed` (`0` reproduces the paper's pinned inputs exactly).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
 }
 
 #[allow(clippy::manual_checked_ops)]
@@ -95,7 +103,7 @@ impl Workload for Kmeans {
         if api.mode() == CohMode::Cohesion {
             self.partials = ArrayRef::alloc_coherent(api, self.tasks() * K * (1 + DIM));
         }
-        let mut rng = XorShift::new(0x3e3a);
+        let mut rng = XorShift::new(0x3e3a ^ self.seed);
         for i in 0..self.points * DIM {
             self.px.set(golden, i, rng.below(1024));
         }
@@ -227,7 +235,7 @@ impl Workload for Kmeans {
 
     fn verify(&self, mem: &MainMemory) -> Result<(), String> {
         // Recompute the whole clustering functionally.
-        let mut rng = XorShift::new(0x3e3a);
+        let mut rng = XorShift::new(0x3e3a ^ self.seed);
         let px: Vec<u32> = (0..self.points * DIM).map(|_| rng.below(1024)).collect();
         let mut centroids: Vec<u32> = (0..K * DIM).map(|i| px[i as usize]).collect();
         for _ in 0..self.iters {

@@ -20,6 +20,7 @@ const TRIG_CYCLES: u32 = 24;
 /// The MRI-reconstruction kernel.
 #[derive(Debug, Default)]
 pub struct Mri {
+    seed: u64,
     voxels: u32,
     samples: u32,
     kx: ArrayRef,
@@ -48,6 +49,13 @@ impl Mri {
     fn voxel_coord(&self, v: u32) -> f32 {
         v as f32 / self.voxels as f32
     }
+
+    /// Returns the kernel with its input/trace generation perturbed by
+    /// `seed` (`0` reproduces the paper's pinned inputs exactly).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
 }
 
 impl Workload for Mri {
@@ -64,7 +72,7 @@ impl Workload for Mri {
         self.km = ArrayRef::alloc_incoherent(api, self.samples);
         self.out_re = ArrayRef::alloc_incoherent(api, self.voxels);
         self.out_im = ArrayRef::alloc_incoherent(api, self.voxels);
-        let mut rng = XorShift::new(0x3417);
+        let mut rng = XorShift::new(0x3417 ^ self.seed);
         for i in 0..self.samples {
             self.kx.setf(golden, i, rng.next_f32() * 8.0 - 4.0);
             self.km.setf(golden, i, rng.next_f32());
@@ -120,7 +128,7 @@ impl Workload for Mri {
 
     fn verify(&self, mem: &MainMemory) -> Result<(), String> {
         // Setup interleaves the draws (kx[i], km[i]); replicate exactly.
-        let mut rng = XorShift::new(0x3417);
+        let mut rng = XorShift::new(0x3417 ^ self.seed);
         let mut kx = vec![0.0f32; self.samples as usize];
         let mut km = vec![0.0f32; self.samples as usize];
         for i in 0..self.samples as usize {

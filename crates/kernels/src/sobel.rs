@@ -15,6 +15,7 @@ use crate::common::{swcc_filter, verify_array, ArrayRef, Scale, XorShift};
 /// The Sobel edge-detection kernel.
 #[derive(Debug, Default)]
 pub struct Sobel {
+    seed: u64,
     w: u32,
     h: u32,
     src: ArrayRef,
@@ -48,6 +49,13 @@ impl Sobel {
             + px(y + 1, x + 1);
         (gx.abs() + gy.abs()).min(u32::MAX as i64) as u32
     }
+
+    /// Returns the kernel with its input/trace generation perturbed by
+    /// `seed` (`0` reproduces the paper's pinned inputs exactly).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
 }
 
 impl Workload for Sobel {
@@ -62,7 +70,7 @@ impl Workload for Sobel {
     ) -> Result<(), RuntimeError> {
         self.src = ArrayRef::alloc_incoherent(api, self.w * self.h);
         self.dst = ArrayRef::alloc_incoherent(api, self.w * self.h);
-        let mut rng = XorShift::new(0x50be);
+        let mut rng = XorShift::new(0x50be ^ self.seed);
         for i in 0..self.w * self.h {
             self.src.set(golden, i, rng.below(256));
         }
@@ -112,7 +120,7 @@ impl Workload for Sobel {
 
     fn verify(&self, mem: &MainMemory) -> Result<(), String> {
         let (w, h) = (self.w, self.h);
-        let mut rng = XorShift::new(0x50be);
+        let mut rng = XorShift::new(0x50be ^ self.seed);
         let img: Vec<i64> = (0..w * h).map(|_| rng.below(256) as i64).collect();
         let px = |y: u32, x: u32| img[(y * w + x) as usize];
         let mut golden_img = MainMemory::new();

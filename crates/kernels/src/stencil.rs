@@ -22,6 +22,7 @@ use crate::common::{swcc_filter, verify_array, ArrayRef, Scale, XorShift};
 /// The 3-D 7-point stencil kernel.
 #[derive(Debug, Default)]
 pub struct Stencil {
+    seed: u64,
     n: u32,
     iters: u32,
     buf: [ArrayRef; 2],
@@ -53,6 +54,13 @@ impl Stencil {
         let zp = if z + 1 < n { at(z + 1, y, x) } else { c };
         (c + xm + xp + ym + yp + zm + zp) / 7.0
     }
+
+    /// Returns the kernel with its input/trace generation perturbed by
+    /// `seed` (`0` reproduces the paper's pinned inputs exactly).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
 }
 
 impl Workload for Stencil {
@@ -71,7 +79,7 @@ impl Workload for Stencil {
             ArrayRef::alloc_coherent(api, n3),
             ArrayRef::alloc_coherent(api, n3),
         ];
-        let mut rng = XorShift::new(0x57e4);
+        let mut rng = XorShift::new(0x57e4 ^ self.seed);
         for i in 0..n3 {
             self.buf[0].setf(golden, i, rng.next_f32() * 10.0);
         }
@@ -120,7 +128,7 @@ impl Workload for Stencil {
     fn verify(&self, mem: &MainMemory) -> Result<(), String> {
         let n = self.n;
         let n3 = (n * n * n) as usize;
-        let mut rng = XorShift::new(0x57e4);
+        let mut rng = XorShift::new(0x57e4 ^ self.seed);
         let mut cur: Vec<f32> = (0..n3).map(|_| rng.next_f32() * 10.0).collect();
         let mut next = vec![0.0f32; n3];
         for _ in 0..self.iters {

@@ -1,0 +1,280 @@
+//! `cohesion` — the client CLI for `cohesiond`.
+//!
+//! Subcommands: `ping`, `submit`, `sweep`, `fetch`, `shutdown`.
+//! See `docs/cohesiond.md` for the wire protocol.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use cohesion_kernels::Scale;
+use cohesion_service::client::{Client, Event};
+use cohesion_service::request::{parse_scale, RunRequest, SweepRequest};
+
+const USAGE: &str = "\
+cohesion: client for the cohesiond simulation daemon
+
+USAGE:
+  cohesion [--addr HOST:PORT] [--timeout SECS] <COMMAND> [ARGS]
+
+COMMANDS:
+  ping
+        print daemon liveness, job count, and cache statistics
+  submit --kernel NAME [--point SPEC] [--scale S] [--cores N] [--seed N]
+        run one simulation (cache-served when possible), print the report
+  sweep --kernels A,B,... --points P,Q,... [--scale S] [--cores N] [--seed N]
+        run a kernels x points sweep, print each report
+  fetch KEY
+        print the cached report for a 32-hex-digit cache key
+  shutdown
+        ask the daemon to drain and exit
+
+OPTIONS:
+  --addr HOST:PORT   daemon address [default: 127.0.0.1:7411]
+  --timeout SECS     reply timeout  [default: 300]
+  --quiet            suppress progress lines; print only the report(s)
+  --keys-only        print only cache keys, one per job (for scripting)
+
+Design-point specs: swcc, hwcc-ideal, hwcc-real, hwcc-dir4b, cohesion,
+cohesion-dir4b; directory-backed points accept :ENTRIESxWAYS
+(default 16384x128). Scales: tiny, small, medium.";
+
+struct Common {
+    addr: String,
+    timeout: Duration,
+    quiet: bool,
+    keys_only: bool,
+}
+
+fn main() -> ExitCode {
+    match run(std::env::args().skip(1).collect()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) if msg.is_empty() => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("cohesion: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: Vec<String>) -> Result<(), String> {
+    let mut common = Common {
+        addr: "127.0.0.1:7411".into(),
+        timeout: Duration::from_secs(300),
+        quiet: false,
+        keys_only: false,
+    };
+    let mut rest: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => common.addr = it.next().ok_or("--addr needs a value")?,
+            "--timeout" => {
+                common.timeout = Duration::from_secs(
+                    it.next()
+                        .ok_or("--timeout needs a value")?
+                        .parse::<u64>()
+                        .map_err(|e| format!("--timeout: {e}"))?,
+                )
+            }
+            "--quiet" => common.quiet = true,
+            "--keys-only" => common.keys_only = true,
+            "--help" | "-h" => return Err(String::new()),
+            _ => rest.push(arg),
+        }
+    }
+    let mut rest = rest.into_iter();
+    let command = rest.next().ok_or_else(|| format!("no command\n\n{USAGE}"))?;
+    let rest: Vec<String> = rest.collect();
+    match command.as_str() {
+        "ping" => ping(&common),
+        "submit" => submit(&common, &rest),
+        "sweep" => sweep(&common, &rest),
+        "fetch" => fetch(&common, &rest),
+        "shutdown" => shutdown(&common),
+        other => Err(format!("unknown command {other:?}\n\n{USAGE}")),
+    }
+}
+
+fn connect(common: &Common) -> Result<Client, String> {
+    let mut client =
+        Client::connect(&common.addr, Duration::from_secs(5)).map_err(|e| e.to_string())?;
+    client
+        .set_reply_timeout(common.timeout)
+        .map_err(|e| e.to_string())?;
+    Ok(client)
+}
+
+fn ping(common: &Common) -> Result<(), String> {
+    let mut client = connect(common)?;
+    let info = client.server_info().clone();
+    let pong = client.ping().map_err(|e| e.to_string())?;
+    println!(
+        "{} at {} (wire v{}, {})",
+        info.server, common.addr, info.version, info.code_version
+    );
+    println!(
+        "jobs executed: {}; cache: {} hits / {} misses, {} entries",
+        pong.jobs_executed, pong.cache_hits, pong.cache_misses, pong.cache_entries
+    );
+    Ok(())
+}
+
+struct RunArgs {
+    kernels: Vec<String>,
+    points: Vec<String>,
+    scale: Scale,
+    cores: u32,
+    seed: u64,
+}
+
+fn parse_run_args(args: &[String], sweep: bool) -> Result<RunArgs, String> {
+    let mut out = RunArgs {
+        kernels: Vec::new(),
+        points: Vec::new(),
+        scale: Scale::Tiny,
+        cores: 16,
+        seed: 0,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        let csv = |s: String| -> Vec<String> {
+            s.split(',')
+                .map(str::trim)
+                .filter(|p| !p.is_empty())
+                .map(str::to_string)
+                .collect()
+        };
+        match arg.as_str() {
+            "--kernel" if !sweep => out.kernels = vec![value("--kernel")?],
+            "--kernels" if sweep => out.kernels = csv(value("--kernels")?),
+            "--point" if !sweep => out.points = vec![value("--point")?],
+            "--points" if sweep => out.points = csv(value("--points")?),
+            "--scale" => out.scale = parse_scale(&value("--scale")?)?,
+            "--cores" => {
+                out.cores = value("--cores")?
+                    .parse()
+                    .map_err(|e| format!("--cores: {e}"))?
+            }
+            "--seed" => {
+                out.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    if out.kernels.is_empty() {
+        return Err(if sweep {
+            "sweep needs --kernels".into()
+        } else {
+            "submit needs --kernel".into()
+        });
+    }
+    if out.points.is_empty() {
+        if sweep {
+            return Err("sweep needs --points".into());
+        }
+        out.points = vec!["cohesion".into()];
+    }
+    Ok(out)
+}
+
+fn submit(common: &Common, args: &[String]) -> Result<(), String> {
+    let a = parse_run_args(args, false)?;
+    let req = RunRequest {
+        kernel: a.kernels[0].clone(),
+        scale: a.scale,
+        cores: a.cores,
+        point: a.points[0].clone(),
+        seed: a.seed,
+    };
+    let mut client = connect(common)?;
+    let outcome = client
+        .submit_run(&req, |ev| print_event(common, ev))
+        .map_err(|e| e.to_string())?;
+    print_outcome(common, outcome)
+}
+
+fn sweep(common: &Common, args: &[String]) -> Result<(), String> {
+    let a = parse_run_args(args, true)?;
+    let req = SweepRequest {
+        kernels: a.kernels,
+        points: a.points,
+        scale: a.scale,
+        cores: a.cores,
+        seed: a.seed,
+    };
+    let mut client = connect(common)?;
+    let outcome = client
+        .submit_sweep(&req, |ev| print_event(common, ev))
+        .map_err(|e| e.to_string())?;
+    print_outcome(common, outcome)
+}
+
+fn fetch(common: &Common, args: &[String]) -> Result<(), String> {
+    let key = args.first().ok_or("fetch needs a cache key")?;
+    let mut client = connect(common)?;
+    let report = client.fetch(key).map_err(|e| e.to_string())?;
+    println!("{}", report.doc);
+    Ok(())
+}
+
+fn shutdown(common: &Common) -> Result<(), String> {
+    let mut client = connect(common)?;
+    client.shutdown().map_err(|e| e.to_string())?;
+    if !common.quiet {
+        eprintln!("cohesion: daemon is draining");
+    }
+    Ok(())
+}
+
+fn print_event(common: &Common, ev: &Event) {
+    if common.quiet || common.keys_only {
+        return;
+    }
+    match ev {
+        Event::Accepted { jobs, cached } => {
+            eprintln!("accepted: {jobs} job(s), {cached} from cache");
+        }
+        Event::Progress {
+            completed,
+            total,
+            label,
+            cached,
+            ok,
+            ..
+        } => {
+            let how = if *cached { "cache" } else { "sim" };
+            let status = if *ok { "ok" } else { "FAILED" };
+            eprintln!("[{completed}/{total}] {label} ({how}) {status}");
+        }
+        Event::JobFailed { job, message } => {
+            eprintln!("job {job} failed: {message}");
+        }
+    }
+}
+
+fn print_outcome(
+    common: &Common,
+    outcome: cohesion_service::client::Outcome,
+) -> Result<(), String> {
+    for report in &outcome.reports {
+        if common.keys_only {
+            println!("{}", report.key);
+        } else {
+            println!("{}", report.doc);
+        }
+    }
+    if outcome.failed > 0 {
+        return Err(format!("{} job(s) failed", outcome.failed));
+    }
+    Ok(())
+}

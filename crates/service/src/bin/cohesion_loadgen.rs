@@ -1,0 +1,279 @@
+//! `cohesion_loadgen` — replays a bursty multi-tenant request trace
+//! against a running `cohesiond` and reports service latency and cache
+//! hit rate.
+//!
+//! The trace is generated deterministically from `--seed`: each tenant
+//! owns a small working set of distinct requests and draws from it with
+//! a popularity skew (low-index requests are hot), so repeats — and
+//! therefore cache hits — are part of the workload by construction, as
+//! in any multi-tenant sweep service. Latencies land in the same
+//! [`cohesion_sim::metrics`] machinery the simulator itself uses
+//! (`Registry` → `Histogram` → p50/p99), and the summary is written as a
+//! JSON artifact for CI.
+
+use std::process::ExitCode;
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use cohesion_kernels::{Scale, KERNEL_NAMES};
+use cohesion_service::client::Client;
+use cohesion_service::request::RunRequest;
+use cohesion_sim::metrics::Registry;
+use cohesion_testkit::rng::Rng;
+
+const USAGE: &str = "\
+cohesion_loadgen: bursty multi-tenant load generator for cohesiond
+
+USAGE:
+  cohesion_loadgen [OPTIONS]
+
+OPTIONS:
+  --addr HOST:PORT    daemon address            [default: 127.0.0.1:7411]
+  --tenants N         concurrent tenants        [default: 4]
+  --bursts N          bursts per tenant         [default: 4]
+  --burst-size N      requests per burst        [default: 4]
+  --working-set N     distinct requests/tenant  [default: 3]
+  --gap-ms MS         idle gap between bursts   [default: 25]
+  --scale S           problem scale             [default: tiny]
+  --cores N           cores per request         [default: 16]
+  --seed N            trace seed                [default: 1]
+  --timeout SECS      per-reply timeout         [default: 300]
+  --out PATH          write the JSON summary to PATH
+  --min-hits N        exit nonzero unless cache hits >= N [default: 0]
+  --help              print this help";
+
+#[derive(Clone)]
+struct Opts {
+    addr: String,
+    tenants: usize,
+    bursts: usize,
+    burst_size: usize,
+    working_set: usize,
+    gap: Duration,
+    scale: Scale,
+    cores: u32,
+    seed: u64,
+    timeout: Duration,
+    out: Option<String>,
+    min_hits: u64,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Opts {
+            addr: "127.0.0.1:7411".into(),
+            tenants: 4,
+            bursts: 4,
+            burst_size: 4,
+            working_set: 3,
+            gap: Duration::from_millis(25),
+            scale: Scale::Tiny,
+            cores: 16,
+            seed: 1,
+            timeout: Duration::from_secs(300),
+            out: None,
+            min_hits: 0,
+        }
+    }
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut o = Opts::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--addr" => o.addr = value("--addr")?,
+            "--tenants" => o.tenants = parse(&value("--tenants")?, "--tenants")?,
+            "--bursts" => o.bursts = parse(&value("--bursts")?, "--bursts")?,
+            "--burst-size" => o.burst_size = parse(&value("--burst-size")?, "--burst-size")?,
+            "--working-set" => o.working_set = parse(&value("--working-set")?, "--working-set")?,
+            "--gap-ms" => o.gap = Duration::from_millis(parse(&value("--gap-ms")?, "--gap-ms")?),
+            "--scale" => o.scale = cohesion_service::request::parse_scale(&value("--scale")?)?,
+            "--cores" => o.cores = parse(&value("--cores")?, "--cores")?,
+            "--seed" => o.seed = parse(&value("--seed")?, "--seed")?,
+            "--timeout" => o.timeout = Duration::from_secs(parse(&value("--timeout")?, "--timeout")?),
+            "--out" => o.out = Some(value("--out")?),
+            "--min-hits" => o.min_hits = parse(&value("--min-hits")?, "--min-hits")?,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    if o.tenants == 0 || o.bursts == 0 || o.burst_size == 0 || o.working_set == 0 {
+        return Err("tenant/burst/working-set counts must be positive".into());
+    }
+    Ok(o)
+}
+
+fn parse<T: std::str::FromStr>(s: &str, name: &str) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    s.parse().map_err(|e| format!("{name}: {e}"))
+}
+
+/// A tenant's working set: distinct requests, hottest first. Drawn with a
+/// quadratic skew so index 0 takes roughly half the traffic.
+fn working_set(opts: &Opts, tenant: usize) -> Vec<RunRequest> {
+    // Cheap, fully-simulable design points only — the load profile wants
+    // many small requests, not a few slow ones.
+    const POINTS: [&str; 3] = ["swcc", "cohesion", "hwcc-real"];
+    let mut rng = Rng::new(opts.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(tenant as u64 + 1)));
+    let mut set = Vec::with_capacity(opts.working_set);
+    while set.len() < opts.working_set {
+        let req = RunRequest {
+            kernel: KERNEL_NAMES[rng.gen_range(0usize, KERNEL_NAMES.len())].to_string(),
+            scale: opts.scale,
+            cores: opts.cores,
+            point: POINTS[rng.gen_range(0usize, POINTS.len())].to_string(),
+            // Per-tenant seed namespace keeps tenants' requests distinct
+            // while repeats within a tenant stay byte-identical.
+            seed: (tenant as u64) << 32 | rng.gen_range(0u64, 2),
+        };
+        let req = req.validate().expect("generated request is valid");
+        if !set.contains(&req) {
+            set.push(req);
+        }
+    }
+    set
+}
+
+struct Sample {
+    latency_us: u64,
+    cached: bool,
+    failed: bool,
+}
+
+fn tenant_trace(opts: &Opts, tenant: usize, tx: &mpsc::Sender<Sample>) -> Result<(), String> {
+    let set = working_set(opts, tenant);
+    let mut rng = Rng::new(opts.seed.wrapping_add(0xC0FF_EE00 + tenant as u64));
+    let mut client =
+        Client::connect(&opts.addr, Duration::from_secs(10)).map_err(|e| e.to_string())?;
+    client
+        .set_reply_timeout(opts.timeout)
+        .map_err(|e| e.to_string())?;
+    for burst in 0..opts.bursts {
+        if burst > 0 {
+            std::thread::sleep(opts.gap);
+        }
+        for _ in 0..opts.burst_size {
+            // Quadratic skew: squaring a uniform draw concentrates mass
+            // near zero, a serviceable stand-in for zipf popularity.
+            let u = rng.gen_range(0u64, (set.len() * set.len()) as u64);
+            let idx = (u as f64).sqrt() as usize % set.len();
+            let req = &set[idx];
+            let start = Instant::now();
+            let outcome = client
+                .submit_run(req, |_| {})
+                .map_err(|e| format!("tenant {tenant}: {e}"))?;
+            let latency_us = start.elapsed().as_micros() as u64;
+            let _ = tx.send(Sample {
+                latency_us,
+                cached: outcome.cached > 0,
+                failed: outcome.failed > 0,
+            });
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_opts(&args) {
+        Ok(o) => o,
+        Err(msg) if msg.is_empty() => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(msg) => {
+            eprintln!("cohesion_loadgen: {msg}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&opts) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("cohesion_loadgen: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(opts: &Opts) -> Result<(), String> {
+    let started = Instant::now();
+    let (tx, rx) = mpsc::channel::<Sample>();
+    let workers: Vec<_> = (0..opts.tenants)
+        .map(|tenant| {
+            let opts = opts.clone();
+            let tx = tx.clone();
+            std::thread::spawn(move || tenant_trace(&opts, tenant, &tx))
+        })
+        .collect();
+    drop(tx);
+
+    // The loadgen is itself a metrics client: latencies go through the
+    // simulator's registry so the artifact uses the same histogram and
+    // snapshot formats as every other report in this repo.
+    let mut reg = Registry::armed(1);
+    let mut failures = 0u64;
+    for sample in rx {
+        reg.record_latency("loadgen.service_latency_us", sample.latency_us);
+        reg.inc("loadgen.requests");
+        if sample.cached {
+            reg.inc("loadgen.cache_hits");
+        }
+        if sample.failed {
+            failures += 1;
+        }
+    }
+    for w in workers {
+        w.join().map_err(|_| "tenant thread panicked".to_string())??;
+    }
+
+    let requests = reg.counter("loadgen.requests");
+    let hits = reg.counter("loadgen.cache_hits");
+    let (p50, p99, max_us) = {
+        let h = reg
+            .histogram("loadgen.service_latency_us")
+            .ok_or("no latencies recorded")?;
+        (h.percentile(0.50), h.percentile(0.99), h.max())
+    };
+    let hit_rate = if requests > 0 {
+        hits as f64 / requests as f64
+    } else {
+        0.0
+    };
+
+    let mut snap = reg.snapshot();
+    snap.push_gauge("loadgen.cache_hit_rate", hit_rate);
+    snap.push_gauge("loadgen.p50_us", p50);
+    snap.push_gauge("loadgen.p99_us", p99);
+    snap.push_counter("loadgen.failures", failures);
+    snap.push_counter("loadgen.tenants", opts.tenants as u64);
+    snap.finalize();
+    if let Some(path) = &opts.out {
+        std::fs::write(path, snap.to_json()).map_err(|e| format!("write {path}: {e}"))?;
+    }
+
+    println!(
+        "requests: {requests} over {} tenant(s) in {:.2}s",
+        opts.tenants,
+        started.elapsed().as_secs_f64()
+    );
+    println!("service latency: p50 {:.0} us, p99 {:.0} us, max {max_us} us", p50, p99);
+    println!(
+        "cache: {hits} hits / {requests} requests (hit rate {:.1}%)",
+        hit_rate * 100.0
+    );
+    if failures > 0 {
+        return Err(format!("{failures} request(s) failed"));
+    }
+    if hits < opts.min_hits {
+        return Err(format!("expected >= {} cache hits, saw {hits}", opts.min_hits));
+    }
+    Ok(())
+}

@@ -1,0 +1,171 @@
+//! `cohesiond` — the Cohesion simulation daemon.
+//!
+//! Listens for `cohesion-wire/v1` clients, schedules simulation jobs on
+//! a bounded worker pool, and answers repeated requests from a
+//! content-addressed run cache. See `docs/cohesiond.md` for the
+//! protocol spec and operator's guide.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use cohesion_service::cache::CODE_VERSION;
+use cohesion_service::server::{Server, ServerConfig};
+
+const USAGE: &str = "\
+cohesiond: the Cohesion simulation daemon
+
+USAGE:
+  cohesiond [OPTIONS]
+
+OPTIONS:
+  --addr HOST:PORT      listen address          [default: 127.0.0.1:7411]
+  --workers N           simulation worker threads [default: CPU count]
+  --queue-cap N         max queued jobs before queue-full [default: 256]
+  --cache-dir PATH      persist the run cache under PATH (else in-memory)
+  --cache-entries N     max cached reports (LRU)  [default: 4096]
+  --idle-timeout SECS   drop idle connections      [default: 60]
+  --drain-grace SECS    wait for clients on shutdown [default: 10]
+  --help                print this help
+
+SIGTERM/SIGINT drain gracefully: stop accepting, finish queued jobs,
+flush the cache, exit 0.";
+
+/// Set by the signal handler; polled by the accept loop via StopHandle.
+static SIGNALLED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+fn install_signal_handlers() {
+    // Async-signal-safe: the handler only stores to an atomic. Installed
+    // via the libc `signal(2)` symbol directly so the workspace stays
+    // dependency-free.
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    extern "C" fn on_signal(_signum: i32) {
+        SIGNALLED.store(true, Ordering::SeqCst);
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_signal as extern "C" fn(i32) as usize);
+        signal(SIGINT, on_signal as extern "C" fn(i32) as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers() {}
+
+fn parse_args(args: &[String]) -> Result<ServerConfig, String> {
+    let mut cfg = ServerConfig::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--addr" => cfg.addr = value("--addr")?,
+            "--workers" => {
+                cfg.workers = value("--workers")?
+                    .parse::<usize>()
+                    .map_err(|e| format!("--workers: {e}"))?
+                    .max(1)
+            }
+            "--queue-cap" => {
+                cfg.queue_cap = value("--queue-cap")?
+                    .parse::<usize>()
+                    .map_err(|e| format!("--queue-cap: {e}"))?
+                    .max(1)
+            }
+            "--cache-dir" => cfg.cache_dir = Some(PathBuf::from(value("--cache-dir")?)),
+            "--cache-entries" => {
+                cfg.cache_entries = value("--cache-entries")?
+                    .parse::<usize>()
+                    .map_err(|e| format!("--cache-entries: {e}"))?
+                    .max(1)
+            }
+            "--idle-timeout" => {
+                cfg.idle_timeout = Duration::from_secs(
+                    value("--idle-timeout")?
+                        .parse::<u64>()
+                        .map_err(|e| format!("--idle-timeout: {e}"))?,
+                )
+            }
+            "--drain-grace" => {
+                cfg.drain_grace = Duration::from_secs(
+                    value("--drain-grace")?
+                        .parse::<u64>()
+                        .map_err(|e| format!("--drain-grace: {e}"))?,
+                )
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    Ok(cfg)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = match parse_args(&args) {
+        Ok(cfg) => cfg,
+        Err(msg) if msg.is_empty() => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(msg) => {
+            eprintln!("cohesiond: {msg}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    install_signal_handlers();
+
+    let server = match Server::bind(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cohesiond: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = match server.local_addr() {
+        Ok(a) => a.to_string(),
+        Err(e) => {
+            eprintln!("cohesiond: local_addr: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("cohesiond: listening on {addr} ({CODE_VERSION})");
+
+    // Bridge POSIX signals to the server's stop flag from a watcher
+    // thread, so the accept loop itself never has to know about signals.
+    let stop = server.stop_handle();
+    let watcher = std::thread::spawn(move || {
+        while !SIGNALLED.load(Ordering::SeqCst) && !stop.is_stopped() {
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        stop.stop();
+    });
+
+    let result = server.run();
+    // The watcher exits once the stop flag is set (run() sets it on its
+    // way out even when stopping for other reasons).
+    let _ = watcher.join();
+
+    match result {
+        Ok(summary) => {
+            eprintln!(
+                "cohesiond: drained; {} connections, {} jobs executed, cache {}/{} hit/miss",
+                summary.connections, summary.jobs_executed, summary.cache.hits, summary.cache.misses
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("cohesiond: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

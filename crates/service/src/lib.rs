@@ -1,0 +1,32 @@
+//! `cohesiond` — a long-running Cohesion simulation service.
+//!
+//! The pieces, bottom-up:
+//!
+//! - [`wire`] — the `cohesion-wire/v1` framing and message/error
+//!   vocabulary (length-prefixed, tagged, JSON payloads). The normative
+//!   spec lives in `docs/cohesiond.md`; a test cross-checks the doc's
+//!   tables against [`wire::MsgType::ALL`] and [`wire::ErrorCode::ALL`].
+//! - [`request`] — validated run/sweep requests and their canonical
+//!   string form, the input to cache keying.
+//! - [`cache`] — the content-addressed run cache: 128-bit keys over
+//!   `(code version, canonical request)`, optional on-disk persistence,
+//!   LRU bounded, hit/miss accounting.
+//! - [`runner`] — executes one request into its byte-exact
+//!   `cohesion-metrics/v1` document (the cache value).
+//! - [`server`] — the TCP daemon: per-connection threads, a bounded
+//!   [`cohesion_testkit::pool::WorkerPool`] for simulation jobs,
+//!   backpressure, graceful drain.
+//! - [`client`] — a blocking client used by the `cohesion` CLI, the
+//!   `cohesion_loadgen` load generator, and the end-to-end tests.
+//!
+//! Everything is std-only, in keeping with the workspace's
+//! zero-dependency rule.
+
+#![deny(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod request;
+pub mod runner;
+pub mod server;
+pub mod wire;

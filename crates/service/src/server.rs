@@ -1,0 +1,605 @@
+//! The `cohesiond` server: accept loop, per-connection protocol driver,
+//! job scheduling, and graceful drain.
+//!
+//! One OS thread per connection reads frames and answers them in order;
+//! simulation jobs never run on connection threads — they are submitted
+//! to a shared [`WorkerPool`] whose bounded queue is the backpressure
+//! boundary (a full queue is a `queue-full` wire error, not an unbounded
+//! buffer). The run cache sits in front of the pool: a submission first
+//! partitions into cache hits (answered immediately, byte-identical to
+//! the original computation) and misses (scheduled).
+//!
+//! Shutdown — via a `shutdown` frame or the daemon's SIGTERM handler
+//! flipping the [`StopHandle`] — stops the accept loop, lets every open
+//! connection finish its in-flight request, drains the pool, and returns
+//! a [`ServerSummary`].
+
+use std::io::Write as _;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use cohesion_bench::jsonv;
+use cohesion_testkit::pool::{SubmitError, WorkerPool};
+
+use crate::cache::{CacheKey, CacheStats, RunCache, CODE_VERSION};
+use crate::request::{RunRequest, SweepRequest};
+use crate::runner;
+use crate::wire::{
+    error_payload, json_escape, read_frame, write_frame, ErrorCode, FrameError, MsgType,
+    WIRE_VERSION,
+};
+
+/// Tunables for [`Server::bind`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address, e.g. `127.0.0.1:7411` (`:0` picks a free port).
+    pub addr: String,
+    /// Simulation worker threads (the pool the jobs run on).
+    pub workers: usize,
+    /// Bounded job-queue capacity; beyond it submissions get `queue-full`.
+    pub queue_cap: usize,
+    /// Run-cache directory; `None` keeps the cache in memory only.
+    pub cache_dir: Option<std::path::PathBuf>,
+    /// Run-cache entry cap (LRU beyond it).
+    pub cache_entries: usize,
+    /// How long a connection may sit idle (no frame started) before the
+    /// server closes it.
+    pub idle_timeout: Duration,
+    /// How long shutdown waits for open connections before proceeding.
+    pub drain_grace: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:7411".into(),
+            workers: cohesion_testkit::pool::default_jobs(),
+            queue_cap: 256,
+            cache_dir: None,
+            cache_entries: 4096,
+            idle_timeout: Duration::from_secs(60),
+            drain_grace: Duration::from_secs(10),
+        }
+    }
+}
+
+/// A cloneable handle that asks a running [`Server`] to drain and exit.
+#[derive(Debug, Clone, Default)]
+pub struct StopHandle(Arc<AtomicBool>);
+
+impl StopHandle {
+    /// Requests the drain. Idempotent.
+    pub fn stop(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Whether a drain has been requested.
+    pub fn is_stopped(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+/// What the server did over its lifetime, returned by [`Server::run`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServerSummary {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Simulation jobs executed (cache misses that ran).
+    pub jobs_executed: u64,
+    /// Final cache statistics.
+    pub cache: CacheStats,
+}
+
+/// What a scheduled job needs: shared separately from [`Shared`] so job
+/// closures can own an `Arc` of it (`'static`) without touching the pool
+/// that runs them.
+struct JobCtx {
+    cache: RunCache,
+    jobs_executed: AtomicU64,
+}
+
+struct Shared {
+    cfg: ServerConfig,
+    ctx: Arc<JobCtx>,
+    pool: WorkerPool,
+    stop: StopHandle,
+    /// Serializes queue-capacity checks with batch submission so a sweep
+    /// is admitted atomically (all jobs or `queue-full`).
+    submit_gate: Mutex<()>,
+    active_conns: AtomicUsize,
+    connections: AtomicU64,
+}
+
+/// A bound, not-yet-running `cohesiond` server.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds the listener and builds the cache and worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Bind or cache-directory failures.
+    pub fn bind(cfg: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let cache = match &cfg.cache_dir {
+            Some(dir) => RunCache::at_dir(dir.clone(), cfg.cache_entries)?,
+            None => RunCache::in_memory(cfg.cache_entries),
+        };
+        let pool = WorkerPool::new(cfg.workers, cfg.queue_cap);
+        Ok(Server {
+            listener,
+            shared: Arc::new(Shared {
+                cfg,
+                ctx: Arc::new(JobCtx {
+                    cache,
+                    jobs_executed: AtomicU64::new(0),
+                }),
+                pool,
+                stop: StopHandle::default(),
+                submit_gate: Mutex::new(()),
+                active_conns: AtomicUsize::new(0),
+                connections: AtomicU64::new(0),
+            }),
+        })
+    }
+
+    /// The bound address (useful with `:0`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the OS lookup failure.
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that makes [`Server::run`] drain and return.
+    pub fn stop_handle(&self) -> StopHandle {
+        self.shared.stop.clone()
+    }
+
+    /// Serves until the stop handle fires, then drains: stop accepting,
+    /// let open connections finish their in-flight request (bounded by
+    /// `drain_grace`), finish every queued job, join the workers.
+    ///
+    /// # Errors
+    ///
+    /// Fatal listener failures only; per-connection errors are logged to
+    /// stderr and answered on the wire where possible.
+    pub fn run(self) -> std::io::Result<ServerSummary> {
+        self.listener.set_nonblocking(true)?;
+        let mut conn_threads = Vec::new();
+        while !self.shared.stop.is_stopped() {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    self.shared.connections.fetch_add(1, Ordering::Relaxed);
+                    let shared = Arc::clone(&self.shared);
+                    conn_threads.push(std::thread::spawn(move || handle_connection(shared, stream)));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+            conn_threads.retain(|h| !h.is_finished());
+        }
+        // Drain: connections notice the stop flag at their next idle poll
+        // and close; give in-flight requests a grace window.
+        let deadline = Instant::now() + self.shared.cfg.drain_grace;
+        while self.shared.active_conns.load(Ordering::Acquire) > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        for h in conn_threads {
+            let _ = h.join();
+        }
+        let Server { shared, listener } = self;
+        drop(listener);
+        match Arc::try_unwrap(shared) {
+            Ok(shared) => {
+                shared.pool.drain();
+                Ok(ServerSummary {
+                    connections: shared.connections.load(Ordering::Relaxed),
+                    jobs_executed: shared.ctx.jobs_executed.load(Ordering::Relaxed),
+                    cache: shared.ctx.cache.stats(),
+                })
+            }
+            Err(arc) => {
+                // A connection outlived the grace window; queued jobs still
+                // finish when the pool drops (drain-on-drop).
+                eprintln!(
+                    "cohesiond: {} connection(s) outlived drain grace",
+                    arc.active_conns.load(Ordering::Acquire)
+                );
+                Ok(ServerSummary {
+                    connections: arc.connections.load(Ordering::Relaxed),
+                    jobs_executed: arc.ctx.jobs_executed.load(Ordering::Relaxed),
+                    cache: arc.ctx.cache.stats(),
+                })
+            }
+        }
+    }
+}
+
+/// Poll interval for idle reads — bounds how fast a connection notices
+/// the drain flag.
+const POLL: Duration = Duration::from_millis(100);
+
+fn handle_connection(shared: Arc<Shared>, stream: TcpStream) {
+    shared.active_conns.fetch_add(1, Ordering::AcqRel);
+    let outcome = drive_connection(&shared, stream);
+    shared.active_conns.fetch_sub(1, Ordering::AcqRel);
+    if let Err(e) = outcome {
+        eprintln!("cohesiond: connection ended: {e}");
+    }
+}
+
+fn drive_connection(shared: &Shared, mut stream: TcpStream) -> Result<(), String> {
+    // Response sequences are several small frames back to back; without
+    // NODELAY, Nagle stalls each one behind the peer's delayed ACK.
+    let _ = stream.set_nodelay(true);
+    stream
+        .set_read_timeout(Some(POLL))
+        .map_err(|e| e.to_string())?;
+    stream
+        .set_write_timeout(Some(Duration::from_secs(30)))
+        .map_err(|e| e.to_string())?;
+    let mut hello_done = false;
+    let mut idle = Duration::ZERO;
+    loop {
+        let frame = match read_frame(&mut stream) {
+            Ok(f) => {
+                idle = Duration::ZERO;
+                f
+            }
+            Err(FrameError::IdleTimeout) => {
+                idle += POLL;
+                if shared.stop.is_stopped() || idle >= shared.cfg.idle_timeout {
+                    return Ok(());
+                }
+                continue;
+            }
+            Err(FrameError::Closed) => return Ok(()),
+            Err(e @ (FrameError::Io(_) | FrameError::BadUtf8)) => return Err(e.to_string()),
+            Err(e) => {
+                // Malformed but reportable: tell the client, then close —
+                // the stream may be desynchronized.
+                let _ = send(
+                    &mut stream,
+                    MsgType::Error,
+                    &error_payload(ErrorCode::BadFrame, &e.to_string()),
+                );
+                return Err(e.to_string());
+            }
+        };
+        if !frame.msg.client_to_server() {
+            let _ = send(
+                &mut stream,
+                MsgType::Error,
+                &error_payload(
+                    ErrorCode::BadFrame,
+                    &format!("{} is a server-to-client message", frame.msg.name()),
+                ),
+            );
+            return Err(format!("client sent server tag {}", frame.msg.name()));
+        }
+        let payload = match jsonv::parse(&frame.payload) {
+            Ok(v) => v,
+            Err(e) => {
+                let _ = send(
+                    &mut stream,
+                    MsgType::Error,
+                    &error_payload(ErrorCode::BadFrame, &format!("payload is not JSON: {e}")),
+                );
+                return Err("non-JSON payload".into());
+            }
+        };
+        if !hello_done {
+            match frame.msg {
+                MsgType::Hello => {
+                    let supported = payload
+                        .get("versions")
+                        .and_then(jsonv::Value::as_arr)
+                        .map(|vs| {
+                            vs.iter()
+                                .filter_map(jsonv::Value::as_u64)
+                                .any(|v| v == WIRE_VERSION as u64)
+                        })
+                        .unwrap_or(false);
+                    if !supported {
+                        let _ = send(
+                            &mut stream,
+                            MsgType::Error,
+                            &error_payload(
+                                ErrorCode::UnsupportedVersion,
+                                &format!("server speaks only version {WIRE_VERSION}"),
+                            ),
+                        );
+                        return Ok(());
+                    }
+                    send(
+                        &mut stream,
+                        MsgType::HelloAck,
+                        &format!(
+                            "{{\"version\": {WIRE_VERSION}, \"server\": \"cohesiond/{}\", \
+                             \"code_version\": \"{}\", \"workers\": {}}}",
+                            env!("CARGO_PKG_VERSION"),
+                            json_escape(CODE_VERSION),
+                            shared.cfg.workers
+                        ),
+                    )?;
+                    hello_done = true;
+                    continue;
+                }
+                other => {
+                    let _ = send(
+                        &mut stream,
+                        MsgType::Error,
+                        &error_payload(
+                            ErrorCode::BadRequest,
+                            &format!("first message must be hello, got {}", other.name()),
+                        ),
+                    );
+                    return Ok(());
+                }
+            }
+        }
+        match frame.msg {
+            MsgType::Hello => {
+                send_error(&mut stream, ErrorCode::BadRequest, "duplicate hello")?;
+            }
+            MsgType::Ping => {
+                let s = shared.ctx.cache.stats();
+                send(
+                    &mut stream,
+                    MsgType::Pong,
+                    &format!(
+                        "{{\"version\": {WIRE_VERSION}, \"jobs_executed\": {}, \
+                         \"cache\": {{\"hits\": {}, \"misses\": {}, \"entries\": {}, \"evictions\": {}}}}}",
+                        shared.ctx.jobs_executed.load(Ordering::Relaxed),
+                        s.hits,
+                        s.misses,
+                        s.entries,
+                        s.evictions
+                    ),
+                )?;
+            }
+            MsgType::SubmitRun => match RunRequest::from_json(&payload).and_then(|r| r.validate()) {
+                Ok(req) => serve_runs(shared, &mut stream, vec![req])?,
+                Err(e) => send_request_error(&mut stream, &e)?,
+            },
+            MsgType::SubmitSweep => {
+                match SweepRequest::from_json(&payload).and_then(|s| s.expand()) {
+                    Ok(runs) => serve_runs(shared, &mut stream, runs)?,
+                    Err(e) => send_request_error(&mut stream, &e)?,
+                }
+            }
+            MsgType::FetchReport => {
+                let key = payload
+                    .get("key")
+                    .and_then(jsonv::Value::as_str)
+                    .ok_or(())
+                    .and_then(|s| CacheKey::parse(s).map_err(|_| ()));
+                match key {
+                    Ok(key) => match shared.ctx.cache.get(key) {
+                        Some(doc) => {
+                            send(
+                                &mut stream,
+                                MsgType::Report,
+                                &report_payload(0, "fetch", &key, true, &doc),
+                            )?;
+                            send(&mut stream, MsgType::Done, "{\"jobs\": 0, \"cached\": 1, \"failed\": 0}")?;
+                        }
+                        None => send_error(
+                            &mut stream,
+                            ErrorCode::NotFound,
+                            &format!("no cached report for key {key}"),
+                        )?,
+                    },
+                    Err(()) => send_error(
+                        &mut stream,
+                        ErrorCode::BadRequest,
+                        "fetch-report needs a \"key\" of 32 hex digits",
+                    )?,
+                }
+            }
+            MsgType::Shutdown => {
+                send(&mut stream, MsgType::Done, "{}")?;
+                shared.stop.stop();
+                return Ok(());
+            }
+            // Unreachable: server-to-client tags were rejected above.
+            _ => unreachable!("server tags handled earlier"),
+        }
+    }
+}
+
+/// Serves a validated run list: cache hits answered immediately in input
+/// order, misses scheduled on the pool and streamed in completion order.
+fn serve_runs(
+    shared: &Shared,
+    stream: &mut TcpStream,
+    runs: Vec<RunRequest>,
+) -> Result<(), String> {
+    let total = runs.len();
+    let keyed: Vec<(RunRequest, CacheKey)> = runs
+        .into_iter()
+        .map(|r| {
+            let k = CacheKey::for_request(&r);
+            (r, k)
+        })
+        .collect();
+    let hits: Vec<(usize, CacheKey, Arc<String>)> = keyed
+        .iter()
+        .enumerate()
+        .filter_map(|(i, (_, k))| shared.ctx.cache.get(*k).map(|doc| (i, *k, doc)))
+        .collect();
+    let hit_count = hits.len();
+    let hit_set: std::collections::HashSet<usize> = hits.iter().map(|(i, _, _)| *i).collect();
+    let misses: Vec<(usize, RunRequest, CacheKey)> = keyed
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !hit_set.contains(i))
+        .map(|(i, (r, k))| (i, r.clone(), *k))
+        .collect();
+
+    // Admit the whole batch atomically under the submit gate: either every
+    // miss is queued or the submission fails with queue-full / draining.
+    let (tx, rx) = mpsc::channel::<(usize, CacheKey, String, Result<Arc<String>, String>)>();
+    {
+        let _gate = shared.submit_gate.lock().expect("submit gate poisoned");
+        if shared.stop.is_stopped() {
+            return send_error(stream, ErrorCode::Draining, "cohesiond is draining");
+        }
+        if shared.pool.queued() + misses.len() > shared.cfg.queue_cap {
+            return send_error(
+                stream,
+                ErrorCode::QueueFull,
+                &format!(
+                    "queue has {} of {} slots used; {} more needed",
+                    shared.pool.queued(),
+                    shared.cfg.queue_cap,
+                    misses.len()
+                ),
+            );
+        }
+        for (idx, req, key) in &misses {
+            let tx = tx.clone();
+            let idx = *idx;
+            let key = *key;
+            let req = req.clone();
+            let ctx = Arc::clone(&shared.ctx);
+            let label = format!("{} @ {}", req.kernel, req.point);
+            let submit: Result<(), SubmitError> = shared.pool.submit(move || {
+                // Double-check under the job: another connection may have
+                // computed this key while we sat in the queue. `peek`
+                // keeps the hit/miss statistics honest (the admission
+                // lookup already counted this request's miss).
+                let outcome = match ctx.cache.peek(key) {
+                    Some(doc) => Ok(doc),
+                    None => {
+                        let outcome = runner::execute(&req);
+                        ctx.jobs_executed.fetch_add(1, Ordering::Relaxed);
+                        outcome.map(|doc| {
+                            ctx.cache.insert(key, doc.clone());
+                            Arc::new(doc)
+                        })
+                    }
+                };
+                let _ = tx.send((idx, key, label, outcome));
+            });
+            if let Err(e) = submit {
+                // Raced another admission; already-queued jobs of this
+                // batch still run and populate the cache.
+                let code = match e {
+                    SubmitError::Full => ErrorCode::QueueFull,
+                    SubmitError::Draining => ErrorCode::Draining,
+                };
+                return send_error(stream, code, &e.to_string());
+            }
+        }
+    }
+    drop(tx);
+
+    send(
+        stream,
+        MsgType::Accepted,
+        &format!(
+            "{{\"jobs\": {total}, \"cached\": {hit_count}, \"queued\": {}}}",
+            misses.len()
+        ),
+    )?;
+    let mut completed = 0usize;
+    let mut failed = 0usize;
+    for (idx, key, doc) in hits {
+        completed += 1;
+        let label = format!("{} @ {}", keyed[idx].0.kernel, keyed[idx].0.point);
+        send(
+            stream,
+            MsgType::Progress,
+            &progress_payload(idx, &label, completed, total, true, true),
+        )?;
+        send(stream, MsgType::Report, &report_payload(idx, &label, &key, true, &doc))?;
+    }
+    for _ in 0..misses.len() {
+        let (idx, key, label, outcome) = rx
+            .recv()
+            .map_err(|_| "worker dropped without reporting".to_string())?;
+        completed += 1;
+        let ok = outcome.is_ok();
+        send(
+            stream,
+            MsgType::Progress,
+            &progress_payload(idx, &label, completed, total, false, ok),
+        )?;
+        match outcome {
+            Ok(doc) => {
+                send(stream, MsgType::Report, &report_payload(idx, &label, &key, false, &doc))?
+            }
+            Err(e) => {
+                failed += 1;
+                send(
+                    stream,
+                    MsgType::Error,
+                    &format!(
+                        "{{\"code\": \"{}\", \"message\": \"{}\", \"job\": {idx}}}",
+                        ErrorCode::RunFailed.label(),
+                        json_escape(&e)
+                    ),
+                )?;
+            }
+        }
+    }
+    send(
+        stream,
+        MsgType::Done,
+        &format!("{{\"jobs\": {total}, \"cached\": {hit_count}, \"failed\": {failed}}}"),
+    )
+}
+
+fn progress_payload(
+    idx: usize,
+    label: &str,
+    completed: usize,
+    total: usize,
+    cached: bool,
+    ok: bool,
+) -> String {
+    format!(
+        "{{\"job\": {idx}, \"label\": \"{}\", \"completed\": {completed}, \"total\": {total}, \
+         \"cached\": {cached}, \"ok\": {ok}}}",
+        json_escape(label)
+    )
+}
+
+fn report_payload(idx: usize, label: &str, key: &CacheKey, cached: bool, doc: &str) -> String {
+    format!(
+        "{{\"job\": {idx}, \"label\": \"{}\", \"key\": \"{key}\", \"cached\": {cached}, \
+         \"doc\": \"{}\"}}",
+        json_escape(label),
+        json_escape(doc)
+    )
+}
+
+fn send(stream: &mut TcpStream, msg: MsgType, payload: &str) -> Result<(), String> {
+    write_frame(stream, msg, payload).map_err(|e| format!("write {}: {e}", msg.name()))?;
+    stream.flush().map_err(|e| e.to_string())
+}
+
+fn send_error(stream: &mut TcpStream, code: ErrorCode, message: &str) -> Result<(), String> {
+    send(stream, MsgType::Error, &error_payload(code, message))
+}
+
+/// Maps a request-validation failure onto the most specific error code.
+fn send_request_error(stream: &mut TcpStream, e: &str) -> Result<(), String> {
+    let code = if e.contains("unknown kernel") {
+        ErrorCode::UnknownKernel
+    } else {
+        ErrorCode::BadRequest
+    };
+    send_error(stream, code, e)
+}

@@ -1,0 +1,132 @@
+//! Cache-key soundness: the cache is only correct because (a) keys are
+//! a deterministic function of the request and (b) reports are a
+//! deterministic function of the request, regardless of scheduling.
+//! These tests pin both properties, including across worker counts —
+//! the service equivalent of `--jobs 1` vs `--jobs 4`.
+
+use std::time::Duration;
+
+use cohesion_kernels::Scale;
+use cohesion_service::cache::CacheKey;
+use cohesion_service::client::Client;
+use cohesion_service::request::{RunRequest, SweepRequest};
+use cohesion_service::server::{Server, ServerConfig};
+
+fn req(seed: u64) -> RunRequest {
+    RunRequest {
+        kernel: "stencil".into(),
+        scale: Scale::Tiny,
+        cores: 16,
+        point: "cohesion:16384x128".into(),
+        seed,
+    }
+}
+
+#[test]
+fn keys_are_deterministic_and_field_sensitive() {
+    let a = CacheKey::for_request(&req(0));
+    let b = CacheKey::for_request(&req(0));
+    assert_eq!(a, b, "same request, same key");
+    assert_eq!(a.to_string().len(), 32);
+    assert_eq!(CacheKey::parse(&a.to_string()).unwrap(), a);
+
+    // Every canonical field must perturb the key.
+    assert_ne!(CacheKey::for_request(&req(1)), a, "seed must key the cache");
+    let mut other = req(0);
+    other.kernel = "heat".into();
+    assert_ne!(CacheKey::for_request(&other), a);
+    let mut other = req(0);
+    other.cores = 32;
+    assert_ne!(CacheKey::for_request(&other), a);
+    let mut other = req(0);
+    other.point = "swcc".into();
+    assert_ne!(CacheKey::for_request(&other), a);
+    let mut other = req(0);
+    other.scale = Scale::Small;
+    assert_ne!(CacheKey::for_request(&other), a);
+}
+
+/// Runs `sweep` on a fresh server with `workers` threads and returns
+/// `(key, doc)` per job in submission order.
+fn run_with_workers(workers: usize, sweep: &SweepRequest) -> Vec<(String, String)> {
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers,
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let addr = server.local_addr().expect("addr").to_string();
+    let stop = server.stop_handle();
+    let thread = std::thread::spawn(move || server.run().expect("run"));
+    let mut client = Client::connect(&addr, Duration::from_secs(5)).expect("connect");
+    client
+        .set_reply_timeout(Duration::from_secs(120))
+        .expect("timeout");
+    let outcome = client.submit_sweep(sweep, |_| {}).expect("sweep");
+    assert_eq!(outcome.failed, 0);
+    stop.stop();
+    thread.join().expect("server thread");
+    outcome
+        .reports
+        .into_iter()
+        .map(|r| (r.key, r.doc))
+        .collect()
+}
+
+#[test]
+fn reports_are_byte_identical_across_worker_counts() {
+    let sweep = SweepRequest {
+        kernels: vec!["sobel".into(), "gjk".into()],
+        points: vec!["swcc".into(), "cohesion".into()],
+        scale: Scale::Tiny,
+        cores: 16,
+        seed: 0,
+    };
+    let serial = run_with_workers(1, &sweep);
+    let parallel = run_with_workers(4, &sweep);
+    assert_eq!(serial.len(), 4);
+    assert_eq!(
+        serial, parallel,
+        "scheduling must not leak into keys or report bytes"
+    );
+}
+
+#[test]
+fn same_request_twice_hits_and_changed_seed_misses() {
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let addr = server.local_addr().expect("addr").to_string();
+    let stop = server.stop_handle();
+    let thread = std::thread::spawn(move || server.run().expect("run"));
+    let mut client = Client::connect(&addr, Duration::from_secs(5)).expect("connect");
+    client
+        .set_reply_timeout(Duration::from_secs(120))
+        .expect("timeout");
+
+    let first = client.submit_run(&req(0), |_| {}).expect("first");
+    let second = client.submit_run(&req(0), |_| {}).expect("second");
+    assert_eq!(second.cached, 1, "identical request must be a hit");
+    assert_eq!(first.reports[0].key, second.reports[0].key);
+    assert_eq!(
+        first.reports[0].doc, second.reports[0].doc,
+        "hit must be byte-identical"
+    );
+
+    let reseeded = client.submit_run(&req(7), |_| {}).expect("reseeded");
+    assert_eq!(reseeded.cached, 0, "changed seed must be a miss");
+    assert_ne!(reseeded.reports[0].key, first.reports[0].key);
+    assert_ne!(
+        reseeded.reports[0].doc, first.reports[0].doc,
+        "a different trace seed must change the simulation"
+    );
+
+    let pong = client.ping().expect("ping");
+    assert_eq!(pong.jobs_executed, 2, "two distinct requests simulated");
+    assert_eq!(pong.cache_hits, 1);
+    stop.stop();
+    thread.join().expect("server thread");
+}

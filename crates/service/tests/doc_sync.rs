@@ -1,0 +1,126 @@
+//! Keeps `docs/cohesiond.md` honest: the message-type and error-code
+//! tables in the spec are parsed out of the markdown and compared,
+//! entry by entry, against [`MsgType::ALL`] and [`ErrorCode::ALL`].
+//! Adding a message or error without documenting it (or vice versa)
+//! fails here.
+
+use std::collections::BTreeMap;
+
+use cohesion_service::wire::{ErrorCode, MsgType};
+
+fn spec_text() -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../docs/cohesiond.md");
+    std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+/// Splits a markdown table row into trimmed cells, dropping the empty
+/// leading/trailing cells produced by the outer pipes.
+fn cells(row: &str) -> Vec<String> {
+    let mut out: Vec<String> = row.split('|').map(|c| c.trim().to_string()).collect();
+    if out.first().is_some_and(String::is_empty) {
+        out.remove(0);
+    }
+    if out.last().is_some_and(String::is_empty) {
+        out.pop();
+    }
+    out
+}
+
+fn strip_ticks(cell: &str) -> String {
+    cell.trim_matches('`').to_string()
+}
+
+#[test]
+fn message_type_table_matches_the_enum() {
+    let text = spec_text();
+    // Documented rows: | `0xNN` | `name` | C→S or S→C | payload |
+    let mut documented: BTreeMap<u8, (String, bool)> = BTreeMap::new();
+    for line in text.lines() {
+        let c = cells(line);
+        if c.len() == 4 && c[0].starts_with("`0x") {
+            let tag_text = strip_ticks(&c[0]);
+            let tag = u8::from_str_radix(tag_text.trim_start_matches("0x"), 16)
+                .unwrap_or_else(|e| panic!("bad tag {tag_text:?} in spec: {e}"));
+            let name = strip_ticks(&c[1]);
+            let client_to_server = match c[2].as_str() {
+                "C→S" => true,
+                "S→C" => false,
+                other => panic!("row for {name}: direction must be C→S or S→C, got {other:?}"),
+            };
+            assert!(
+                !c[3].is_empty(),
+                "row for {name}: payload column must describe the payload"
+            );
+            let clash = documented.insert(tag, (name.clone(), client_to_server));
+            assert!(clash.is_none(), "tag {tag:#04x} documented twice");
+        }
+    }
+    assert_eq!(
+        documented.len(),
+        MsgType::ALL.len(),
+        "spec documents {} message types, the enum has {}",
+        documented.len(),
+        MsgType::ALL.len()
+    );
+    for m in MsgType::ALL {
+        let (name, dir) = documented
+            .get(&m.tag())
+            .unwrap_or_else(|| panic!("{} (tag {:#04x}) is not in the spec table", m.name(), m.tag()));
+        assert_eq!(name, m.name(), "spec names tag {:#04x} {name:?}", m.tag());
+        assert_eq!(
+            *dir,
+            m.client_to_server(),
+            "spec direction for {} disagrees with the enum",
+            m.name()
+        );
+    }
+}
+
+#[test]
+fn error_code_table_matches_the_enum() {
+    let text = spec_text();
+    // Documented rows: | `label` | meaning | connection fate |
+    let mut documented: Vec<String> = Vec::new();
+    for line in text.lines() {
+        let c = cells(line);
+        if c.len() == 3
+            && c[0].starts_with('`')
+            && ErrorCode::from_label(&strip_ticks(&c[0])).is_some()
+        {
+            assert!(!c[1].is_empty(), "error {} has no meaning column", c[0]);
+            assert!(
+                c[2].contains("closed") || c[2].contains("open"),
+                "error {} must say whether the connection survives",
+                c[0]
+            );
+            documented.push(strip_ticks(&c[0]));
+        }
+    }
+    let mut expected: Vec<String> = ErrorCode::ALL.iter().map(|c| c.label().to_string()).collect();
+    let mut got = documented.clone();
+    expected.sort();
+    got.sort();
+    got.dedup();
+    assert_eq!(
+        got, expected,
+        "spec error-code table disagrees with ErrorCode::ALL"
+    );
+}
+
+#[test]
+fn spec_pins_the_frame_constants() {
+    let text = spec_text();
+    // The framing constants are normative; if the code changes them the
+    // spec must follow.
+    assert!(
+        text.contains("67108864"),
+        "spec must state the 64 MiB frame cap ({})",
+        cohesion_service::wire::MAX_FRAME
+    );
+    assert_eq!(cohesion_service::wire::MAX_FRAME, 64 << 20);
+    assert!(
+        text.contains("cohesion-wire/v1"),
+        "spec must name the protocol version"
+    );
+    assert_eq!(cohesion_service::wire::WIRE_VERSION, 1);
+}

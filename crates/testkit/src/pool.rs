@@ -16,6 +16,13 @@
 //! * [`default_jobs`] picks the worker count: the `COHESION_JOBS`
 //!   environment variable when set, otherwise the machine's available
 //!   parallelism.
+//! * [`WorkerPool`] is the *persistent* counterpart of [`run_jobs`]: a
+//!   long-lived pool with a bounded submission queue (backpressure is an
+//!   explicit [`SubmitError::Full`], never an unbounded buffer), panic
+//!   isolation per job, cooperative cancellation via [`CancelToken`], and
+//!   a graceful [`WorkerPool::drain`] that finishes queued work before
+//!   the threads exit. `cohesiond` schedules client-submitted simulation
+//!   jobs on it.
 //!
 //! Jobs must be [`Send`] closures over [`Send`] inputs: the type system
 //! rejects jobs that smuggle shared mutable state, which is what keeps a
@@ -34,9 +41,10 @@
 //! assert_eq!(squares, (0u64..32).map(|i| i * i).collect::<Vec<_>>());
 //! ```
 
+use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// Environment variable overriding the default worker count.
@@ -175,6 +183,360 @@ where
     out.into_iter()
         .map(|m| m.into_inner().unwrap().expect("every job produced a result"))
         .collect()
+}
+
+// ---------------------------------------------------------------------
+// Persistent pool: long-lived workers, bounded queue, graceful drain
+// ---------------------------------------------------------------------
+
+/// A cooperative cancellation flag shared between a job producer and the
+/// jobs it submitted.
+///
+/// Cancellation is *advisory*: a simulation that is already running is
+/// never interrupted mid-cycle (that would break determinism guarantees);
+/// instead, jobs check [`CancelToken::is_cancelled`] before starting
+/// expensive work and return early. Cloning the token shares the flag.
+///
+/// ```
+/// use cohesion_testkit::pool::CancelToken;
+///
+/// let t = CancelToken::new();
+/// let t2 = t.clone();
+/// assert!(!t2.is_cancelled());
+/// t.cancel();
+/// assert!(t2.is_cancelled());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken(Arc::new(AtomicBool::new(false)))
+    }
+
+    /// Sets the flag. Idempotent; visible to every clone.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Whether [`CancelToken::cancel`] has been called on any clone.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+/// Why [`WorkerPool::submit`] rejected a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue is at capacity — the caller must shed load (this
+    /// is the backpressure signal `cohesiond` turns into a `queue-full`
+    /// wire error) or retry later.
+    Full,
+    /// The pool is draining or has been drained; no new work is accepted.
+    Draining,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Full => write!(f, "worker pool queue is full"),
+            SubmitError::Draining => write!(f, "worker pool is draining"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+type BoxedJob = Box<dyn FnOnce() + Send + 'static>;
+
+#[derive(Default)]
+struct PoolState {
+    queue: VecDeque<BoxedJob>,
+    draining: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    work_ready: Condvar,
+    queue_cap: usize,
+    running: AtomicUsize,
+    completed: AtomicUsize,
+    panicked: AtomicUsize,
+}
+
+/// A long-lived worker pool with a bounded submission queue.
+///
+/// Unlike [`run_jobs`], which executes one fixed job list and returns,
+/// `WorkerPool` keeps `workers` OS threads alive across many independent
+/// submissions — the shape a server needs. Guarantees:
+///
+/// * **Bounded memory.** At most `queue_cap` jobs wait; beyond that,
+///   [`WorkerPool::submit`] returns [`SubmitError::Full`] instead of
+///   buffering without limit.
+/// * **Panic isolation.** A panicking job is caught and counted
+///   ([`WorkerPool::panicked`]); the worker thread survives and moves on
+///   to the next job. (Servers report the failure to one client; they do
+///   not die.)
+/// * **Graceful drain.** [`WorkerPool::drain`] stops intake, lets every
+///   queued and running job finish, then joins the worker threads.
+///   Dropping the pool without calling `drain` drains it too.
+///
+/// Jobs communicate results however they like (typically an
+/// `std::sync::mpsc` channel captured by the closure).
+///
+/// ```
+/// use cohesion_testkit::pool::WorkerPool;
+/// use std::sync::mpsc;
+///
+/// let pool = WorkerPool::new(2, 64);
+/// let (tx, rx) = mpsc::channel();
+/// for i in 0u64..8 {
+///     let tx = tx.clone();
+///     pool.submit(move || tx.send(i * i).unwrap()).unwrap();
+/// }
+/// drop(tx);
+/// let mut got: Vec<u64> = rx.iter().collect();
+/// got.sort();
+/// assert_eq!(got, (0..8).map(|i| i * i).collect::<Vec<_>>());
+/// pool.drain();
+/// ```
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads (clamped to ≥ 1) servicing a queue of at
+    /// most `queue_cap` pending jobs (clamped to ≥ 1).
+    pub fn new(workers: usize, queue_cap: usize) -> Self {
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState::default()),
+            work_ready: Condvar::new(),
+            queue_cap: queue_cap.max(1),
+            running: AtomicUsize::new(0),
+            completed: AtomicUsize::new(0),
+            panicked: AtomicUsize::new(0),
+        });
+        let workers = (0..workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || Self::worker_loop(shared))
+            })
+            .collect();
+        WorkerPool { shared, workers }
+    }
+
+    fn worker_loop(shared: Arc<PoolShared>) {
+        loop {
+            let job = {
+                let mut st = shared.state.lock().expect("pool state poisoned");
+                loop {
+                    if let Some(job) = st.queue.pop_front() {
+                        break job;
+                    }
+                    if st.draining {
+                        return;
+                    }
+                    st = shared.work_ready.wait(st).expect("pool state poisoned");
+                }
+            };
+            shared.running.fetch_add(1, Ordering::AcqRel);
+            let outcome = catch_unwind(AssertUnwindSafe(job));
+            shared.running.fetch_sub(1, Ordering::AcqRel);
+            shared.completed.fetch_add(1, Ordering::AcqRel);
+            if outcome.is_err() {
+                shared.panicked.fetch_add(1, Ordering::AcqRel);
+            }
+            // Wake the drainer (and fellow workers) in case this was the
+            // last job standing between drain() and the exit condition.
+            shared.work_ready.notify_all();
+        }
+    }
+
+    /// Enqueues `job` for execution on some worker.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Full`] when `queue_cap` jobs are already waiting,
+    /// [`SubmitError::Draining`] after [`WorkerPool::drain`] began.
+    pub fn submit<F>(&self, job: F) -> Result<(), SubmitError>
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        let mut st = self.shared.state.lock().expect("pool state poisoned");
+        if st.draining {
+            return Err(SubmitError::Draining);
+        }
+        if st.queue.len() >= self.shared.queue_cap {
+            return Err(SubmitError::Full);
+        }
+        st.queue.push_back(Box::new(job));
+        drop(st);
+        self.shared.work_ready.notify_one();
+        Ok(())
+    }
+
+    /// Jobs waiting in the queue (not yet started).
+    pub fn queued(&self) -> usize {
+        self.shared.state.lock().expect("pool state poisoned").queue.len()
+    }
+
+    /// Jobs currently executing on a worker.
+    pub fn running(&self) -> usize {
+        self.shared.running.load(Ordering::Acquire)
+    }
+
+    /// Jobs that have finished (including panicked ones).
+    pub fn completed(&self) -> usize {
+        self.shared.completed.load(Ordering::Acquire)
+    }
+
+    /// Jobs that panicked (caught; the worker survived).
+    pub fn panicked(&self) -> usize {
+        self.shared.panicked.load(Ordering::Acquire)
+    }
+
+    /// Stops intake, finishes every queued and running job, and joins the
+    /// worker threads. Returns the total number of jobs the pool executed
+    /// over its lifetime.
+    pub fn drain(mut self) -> usize {
+        self.begin_drain();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        self.completed()
+    }
+
+    fn begin_drain(&self) {
+        let mut st = self.shared.state.lock().expect("pool state poisoned");
+        st.draining = true;
+        drop(st);
+        self.shared.work_ready.notify_all();
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.begin_drain();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod worker_pool_tests {
+    use super::*;
+    use std::sync::mpsc;
+
+    #[test]
+    fn executes_submitted_jobs_and_drains() {
+        let pool = WorkerPool::new(4, 128);
+        let (tx, rx) = mpsc::channel();
+        for i in 0u32..50 {
+            let tx = tx.clone();
+            pool.submit(move || tx.send(i).unwrap()).unwrap();
+        }
+        drop(tx);
+        let mut got: Vec<u32> = rx.iter().collect();
+        got.sort();
+        assert_eq!(got, (0..50).collect::<Vec<_>>());
+        assert_eq!(pool.drain(), 50);
+    }
+
+    #[test]
+    fn bounded_queue_rejects_with_full() {
+        // One worker blocked on a gate; capacity 2 → third submit is Full.
+        let pool = WorkerPool::new(1, 2);
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let g = Arc::clone(&gate);
+        pool.submit(move || {
+            let (lock, cv) = &*g;
+            let mut open = lock.lock().unwrap();
+            while !*open {
+                open = cv.wait(open).unwrap();
+            }
+        })
+        .unwrap();
+        // Wait until the gate job occupies the worker so the queue is empty.
+        while pool.running() == 0 {
+            std::thread::yield_now();
+        }
+        pool.submit(|| {}).unwrap();
+        pool.submit(|| {}).unwrap();
+        assert_eq!(pool.submit(|| {}), Err(SubmitError::Full));
+        let (lock, cv) = &*gate;
+        *lock.lock().unwrap() = true;
+        cv.notify_all();
+        assert_eq!(pool.drain(), 3);
+    }
+
+    #[test]
+    fn submit_after_drop_of_drained_pool_is_rejected() {
+        let pool = WorkerPool::new(2, 8);
+        pool.begin_drain();
+        assert_eq!(pool.submit(|| {}), Err(SubmitError::Draining));
+        assert_eq!(pool.drain(), 0);
+    }
+
+    #[test]
+    fn panicking_job_does_not_kill_worker() {
+        let pool = WorkerPool::new(1, 8);
+        pool.submit(|| panic!("job boom")).unwrap();
+        let (tx, rx) = mpsc::channel();
+        pool.submit(move || tx.send(7u8).unwrap()).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_secs(30)), Ok(7));
+        assert_eq!(pool.panicked(), 1);
+        assert_eq!(pool.drain(), 2);
+    }
+
+    #[test]
+    fn drain_finishes_queued_work() {
+        let pool = WorkerPool::new(2, 256);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..100 {
+            let c = Arc::clone(&counter);
+            pool.submit(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap();
+        }
+        assert_eq!(pool.drain(), 100);
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn cancel_token_shares_flag_across_clones() {
+        let t = CancelToken::new();
+        let clone = t.clone();
+        assert!(!t.is_cancelled());
+        clone.cancel();
+        assert!(t.is_cancelled());
+        t.cancel(); // idempotent
+        assert!(clone.is_cancelled());
+    }
+
+    #[test]
+    fn cancelled_jobs_can_skip_work() {
+        let pool = WorkerPool::new(2, 64);
+        let token = CancelToken::new();
+        let ran = Arc::new(AtomicUsize::new(0));
+        token.cancel();
+        for _ in 0..16 {
+            let token = token.clone();
+            let ran = Arc::clone(&ran);
+            pool.submit(move || {
+                if token.is_cancelled() {
+                    return;
+                }
+                ran.fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap();
+        }
+        pool.drain();
+        assert_eq!(ran.load(Ordering::Relaxed), 0);
+    }
 }
 
 #[cfg(test)]
