@@ -8,14 +8,21 @@
 //! results are deterministic; only the wall-clock and derived rates vary
 //! between hosts.
 //!
+//! With `--shards N` (N > 1) the whole sweep runs twice — once at
+//! shards=1 and once at shards=N — so the report carries a per-kernel
+//! `shards` column and a `speedup_shards` headline (wall-clock at 1 shard
+//! over wall-clock at N). The simulated numbers are identical between the
+//! two passes by the sharded executor's determinism contract; only the
+//! wall-clock moves.
+//!
 //! ```sh
-//! # Measure and write BENCH_5.json at the repo root:
-//! cargo run --release -p cohesion-bench --bin perfstat -- --scale tiny
+//! # Measure and write BENCH_8.json at the repo root:
+//! cargo run --release -p cohesion-bench --bin perfstat -- --scale tiny --shards 4
 //! # Embed a prior measurement (e.g. taken at the pre-change commit):
 //! cargo run --release -p cohesion-bench --bin perfstat -- --scale tiny \
-//!     --baseline old.json --out BENCH_5.json
+//!     --baseline old.json --out BENCH_8.json
 //! # Validate a committed report's schema (CI): exit non-zero on mismatch.
-//! cargo run --release -p cohesion-bench --bin perfstat -- --check BENCH_5.json
+//! cargo run --release -p cohesion-bench --bin perfstat -- --check BENCH_8.json
 //! ```
 //!
 //! Perf-focused PRs regenerate the committed `BENCH_N.json` so the repo
@@ -33,18 +40,31 @@ use cohesion_kernels::{kernel_by_name, Scale, KERNEL_NAMES};
 /// every directory variant, small enough that the tiny sweep stays quick.
 const CORES: u32 = 16;
 
-/// Schema identifier written to and required from every perfstat report.
-const SCHEMA: &str = "cohesion-perfstat/v1";
+/// Schema identifier written to every new perfstat report. v2 adds the
+/// per-kernel `shards` column and the optional `speedup_shards` headline.
+const SCHEMA: &str = "cohesion-perfstat/v2";
+
+/// The pre-sharding schema. `--check` still accepts it so the committed
+/// history (`BENCH_5.json`, ...) keeps validating.
+const SCHEMA_V1: &str = "cohesion-perfstat/v1";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Tiny;
-    let mut out = "BENCH_5.json".to_string();
+    let mut out = "BENCH_8.json".to_string();
+    let mut shards = 1u32;
     let mut baseline: Option<String> = None;
     let mut check: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--shards" => {
+                i += 1;
+                shards = match args.get(i).and_then(|v| v.parse().ok()) {
+                    Some(n) if n >= 1 => n,
+                    _ => usage("--shards needs a positive integer"),
+                };
+            }
             "--scale" => {
                 i += 1;
                 scale = match args.get(i).map(|s| s.to_ascii_lowercase()).as_deref() {
@@ -93,38 +113,51 @@ fn main() {
         Scale::Small => "small",
         Scale::Medium => "medium",
     };
+    let shard_counts: Vec<u32> = if shards > 1 { vec![1, shards] } else { vec![1] };
     eprintln!(
-        "perfstat: {} kernels x {} design points, {CORES} cores, scale {scale_name}",
+        "perfstat: {} kernels x {} design points, {CORES} cores, scale {scale_name}, shards {:?}",
         KERNEL_NAMES.len(),
-        realistic_points().len()
+        realistic_points().len(),
+        shard_counts
     );
 
     let mut kernels = Vec::new();
+    let mut pass_walls = Vec::new();
     let sweep_start = Instant::now();
-    for kernel in KERNEL_NAMES {
-        let start = Instant::now();
-        let mut events = 0u64;
-        let mut max_pending = 0u64;
-        let mut cycles = 0u64;
-        for (_, dp) in realistic_points() {
-            let report = run_pinned(kernel, scale, dp);
-            cycles += report.0;
-            events += report.1;
-            max_pending = max_pending.max(report.2);
+    for &shard_count in &shard_counts {
+        let pass_start = Instant::now();
+        for kernel in KERNEL_NAMES {
+            let start = Instant::now();
+            let mut events = 0u64;
+            let mut max_pending = 0u64;
+            let mut cycles = 0u64;
+            for (_, dp) in realistic_points() {
+                let report = run_pinned(kernel, scale, dp, shard_count);
+                cycles += report.0;
+                events += report.1;
+                max_pending = max_pending.max(report.2);
+            }
+            let wall = start.elapsed().as_secs_f64();
+            eprintln!(
+                "perfstat: {kernel:<12} shards={shard_count} {wall:>8.3}s  {events:>12} events"
+            );
+            kernels.push(KernelStat {
+                name: kernel,
+                shards: shard_count,
+                wall,
+                events,
+                max_pending,
+                cycles,
+            });
         }
-        let wall = start.elapsed().as_secs_f64();
-        eprintln!("perfstat: {kernel:<12} {wall:>8.3}s  {events:>12} events");
-        kernels.push(KernelStat {
-            name: kernel,
-            wall,
-            events,
-            max_pending,
-            cycles,
-        });
+        pass_walls.push(pass_start.elapsed().as_secs_f64());
     }
     let total_wall = sweep_start.elapsed().as_secs_f64();
+    // Wall-clock ratio of the shards=1 pass over the shards=N pass — the
+    // headline a multi-core host reads as "what sharding bought".
+    let speedup_shards = (pass_walls.len() == 2).then(|| pass_walls[0] / pass_walls[1].max(1e-9));
 
-    let doc = render(scale_name, &kernels, total_wall, baseline_doc.as_deref());
+    let doc = render(scale_name, &kernels, total_wall, speedup_shards, baseline_doc.as_deref());
     if let Err(e) = std::fs::write(&out, &doc) {
         eprintln!("error: cannot write {out}: {e}");
         std::process::exit(1);
@@ -132,9 +165,11 @@ fn main() {
     eprintln!("perfstat report written to {out} ({total_wall:.3}s total)");
 }
 
-/// Wall-clock and event totals for one kernel across the pinned points.
+/// Wall-clock and event totals for one kernel across the pinned points,
+/// at one shard count.
 struct KernelStat {
     name: &'static str,
+    shards: u32,
     wall: f64,
     events: u64,
     max_pending: u64,
@@ -143,9 +178,10 @@ struct KernelStat {
 
 /// Runs `kernel` once under `dp` with metrics armed; returns
 /// `(cycles, events_scheduled, max_pending)`.
-fn run_pinned(kernel: &str, scale: Scale, dp: DesignPoint) -> (u64, u64, u64) {
+fn run_pinned(kernel: &str, scale: Scale, dp: DesignPoint, shards: u32) -> (u64, u64, u64) {
     let mut cfg = cohesion::config::MachineConfig::scaled(CORES, dp);
     cfg.metrics = true;
+    cfg.shards = shards;
     let mut wl = kernel_by_name(kernel, scale);
     let report = match run_workload(&cfg, wl.as_mut()) {
         Ok(r) => r,
@@ -171,6 +207,7 @@ fn render(
     scale: &str,
     kernels: &[KernelStat],
     total_wall: f64,
+    speedup_shards: Option<f64>,
     baseline: Option<&str>,
 ) -> String {
     let total_events: u64 = kernels.iter().map(|k| k.events).sum();
@@ -184,9 +221,10 @@ fn render(
     for (i, k) in kernels.iter().enumerate() {
         let comma = if i + 1 < kernels.len() { "," } else { "" };
         out.push_str(&format!(
-            "    {{\"name\": \"{}\", \"wall_seconds\": {:.6}, \"events\": {}, \
+            "    {{\"name\": \"{}\", \"shards\": {}, \"wall_seconds\": {:.6}, \"events\": {}, \
              \"events_per_second\": {:.1}, \"max_pending\": {}, \"cycles\": {}}}{comma}\n",
             k.name,
+            k.shards,
             k.wall,
             k.events,
             k.events as f64 / k.wall.max(1e-9),
@@ -201,6 +239,15 @@ fn render(
         total_events,
         total_events as f64 / total_wall.max(1e-9),
     ));
+    if let Some(s) = speedup_shards {
+        // The headline only means "what sharding bought" on a host with
+        // the threads to back it; host_threads is recorded alongside so
+        // a ratio near 1.0 from a single-core box reads as expected, not
+        // as a regression.
+        let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+        out.push_str(&format!(",\n  \"speedup_shards\": {s:.3}"));
+        out.push_str(&format!(",\n  \"host_threads\": {host}"));
+    }
     if let Some(b) = baseline {
         out.push_str(",\n  \"baseline\": ");
         out.push_str(b);
@@ -222,13 +269,16 @@ fn render(
     out
 }
 
-/// Parses and structurally validates a perfstat report; returns the parsed
-/// document.
+/// Parses and structurally validates a perfstat report — either schema
+/// version; v2 additionally requires the per-kernel `shards` column.
+/// Returns the parsed document.
 fn validate(text: &str) -> Result<Value, String> {
     let doc = jsonv::parse(text)?;
-    if doc.get("schema").and_then(Value::as_str) != Some(SCHEMA) {
-        return Err(format!("schema is not \"{SCHEMA}\""));
-    }
+    let v2 = match doc.get("schema").and_then(Value::as_str) {
+        Some(s) if s == SCHEMA => true,
+        Some(s) if s == SCHEMA_V1 => false,
+        _ => return Err(format!("schema is neither \"{SCHEMA}\" nor \"{SCHEMA_V1}\"")),
+    };
     for key in ["scale", "cores", "design_points", "total"] {
         if doc.get(key).is_none() {
             return Err(format!("missing key {key:?}"));
@@ -244,6 +294,9 @@ fn validate(text: &str) -> Result<Value, String> {
     let mut events_sum = 0u64;
     for k in kernels {
         let name = k.get("name").and_then(Value::as_str).ok_or("kernel without name")?;
+        if v2 && !k.get("shards").and_then(Value::as_u64).is_some_and(|n| n >= 1) {
+            return Err(format!("{name}: v2 report without a positive shards column"));
+        }
         let wall = k
             .get("wall_seconds")
             .and_then(Value::as_f64)
@@ -351,6 +404,9 @@ fn emit(v: &Value, out: &mut String) {
 
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
-    eprintln!("usage: perfstat [--scale tiny|small] [--out FILE] [--baseline FILE] | --check FILE");
+    eprintln!(
+        "usage: perfstat [--scale tiny|small] [--shards N] [--out FILE] [--baseline FILE] \
+         | --check FILE"
+    );
     std::process::exit(2)
 }

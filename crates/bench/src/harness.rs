@@ -31,6 +31,13 @@ pub struct Options {
     /// Worker threads for [`run_jobs`] sweeps (defaults to
     /// `COHESION_JOBS` or the machine's available parallelism).
     pub jobs: usize,
+    /// Host threads sharding a *single* simulation (`--shards`, or
+    /// `COHESION_SHARDS`; default 1). Orthogonal to `jobs`: `jobs`
+    /// parallelizes across independent runs of a sweep, `shards`
+    /// parallelizes inside one `Machine`. Like `jobs`, this never
+    /// changes simulated results — every output is byte-identical at
+    /// any shard count — so it is absent from emitted documents.
+    pub shards: u32,
     /// Trace seed perturbing kernel input generation (`--seed`). `0` — the
     /// default — reproduces the paper's pinned inputs exactly; any other
     /// value deterministically reshuffles the generated inputs while the
@@ -53,16 +60,31 @@ impl Default for Options {
             scale: Scale::Small,
             kernels: KERNEL_NAMES.iter().map(|s| s.to_string()).collect(),
             jobs: pool::default_jobs(),
+            shards: default_shards(),
             seed: 0,
             metrics_out: None,
         }
     }
 }
 
+/// Default shard count: `COHESION_SHARDS` when set and valid, else 1.
+/// Unlike `jobs` (which defaults to the host's parallelism), sharding a
+/// single run defaults *off* — sweeps already saturate the host through
+/// `jobs`, and per-run sharding only pays when a single large simulation
+/// is the bottleneck.
+fn default_shards() -> u32 {
+    std::env::var("COHESION_SHARDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
+}
+
 impl Options {
     /// Parses `--cores N`, `--scale tiny|small|medium`, `--kernels a,b,c`,
-    /// `--jobs N` from the process arguments; exits with a usage message
-    /// on errors (including kernel names not in [`KERNEL_NAMES`]).
+    /// `--jobs N`, `--shards N` from the process arguments; exits with a
+    /// usage message on errors (including kernel names not in
+    /// [`KERNEL_NAMES`]).
     pub fn from_args() -> Self {
         let mut opts = Options::default();
         let args: Vec<String> = std::env::args().skip(1).collect();
@@ -99,6 +121,13 @@ impl Options {
                     opts.jobs = match args.get(i).and_then(|v| v.parse().ok()) {
                         Some(n) if n >= 1 => n,
                         _ => usage("--jobs needs a positive integer"),
+                    };
+                }
+                "--shards" => {
+                    i += 1;
+                    opts.shards = match args.get(i).and_then(|v| v.parse().ok()) {
+                        Some(n) if n >= 1 => n,
+                        _ => usage("--shards needs a positive integer"),
                     };
                 }
                 "--seed" => {
@@ -145,6 +174,7 @@ impl Options {
             MachineConfig::scaled(self.cores, dp)
         };
         cfg.metrics = self.metrics_out.is_some();
+        cfg.shards = self.shards;
         cfg
     }
 
@@ -234,8 +264,8 @@ pub fn metrics_document(binary: &str, opts: &Options, runs: &[(String, String)])
     out.push_str("{\n");
     out.push_str("  \"schema\": \"cohesion-metrics/v1\",\n");
     out.push_str(&format!("  \"binary\": \"{}\",\n", esc(binary)));
-    // `jobs` is deliberately absent: the document must be byte-identical
-    // at any worker count.
+    // `jobs` and `shards` are deliberately absent: the document must be
+    // byte-identical at any worker or shard count.
     // A zero seed (the paper's pinned inputs) is omitted so documents
     // produced before seeds existed stay byte-identical.
     let seed = if opts.seed != 0 {
@@ -264,7 +294,8 @@ fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: [--cores N] [--scale tiny|small|medium] [--kernels a,b,c] \
-         [--jobs N] [--seed N] [--metrics-out FILE] [--part a|b|c] [--out PATH] [--csv DIR]"
+         [--jobs N] [--shards N] [--seed N] [--metrics-out FILE] \
+         [--part a|b|c] [--out PATH] [--csv DIR]"
     );
     std::process::exit(2)
 }
@@ -436,6 +467,33 @@ mod tests {
         assert_eq!(off.cycles, on.cycles);
         assert_eq!(off.messages, on.messages);
         assert_eq!(off.transitions, on.transitions);
+    }
+
+    /// `--shards` must be invisible in every emitted artifact: the run
+    /// report is identical at any shard count and the metrics document
+    /// never mentions the flag.
+    #[test]
+    fn shards_are_unobservable_in_outputs() {
+        let base = Options {
+            cores: 16,
+            scale: Scale::Tiny,
+            kernels: vec!["sobel".into()],
+            jobs: 1,
+            shards: 1,
+            ..Options::default()
+        };
+        let sharded = Options {
+            shards: 4,
+            ..base.clone()
+        };
+        let dp = DesignPoint::cohesion(16 * 1024, 128);
+        let a = run(&base, "sobel", dp);
+        let b = run(&sharded, "sobel", dp);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.messages, b.messages);
+        assert_eq!(a.transitions, b.transitions);
+        let doc = metrics_document("test", &sharded, &[]);
+        assert!(!doc.contains("shards"), "{doc}");
     }
 
     /// The serialized document is deterministic given the same recorded

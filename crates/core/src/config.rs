@@ -250,6 +250,13 @@ pub struct MachineConfig {
     /// Cycle-window width for the telemetry time-series sampler (only
     /// meaningful when [`MachineConfig::metrics`] is set).
     pub metrics_window: Cycle,
+    /// Worker threads sharding one run's execution (conservative PDES
+    /// over cluster lanes). This is *host* parallelism only: simulated
+    /// results are byte-identical at any shard count, so `shards` is
+    /// excluded from service cache keys. `1` (the default) runs fully
+    /// inline with no worker pool. Values above the cluster count are
+    /// clamped — a lane is the unit of parallel work.
+    pub shards: u32,
 }
 
 /// Task-distribution models for the barrier-synchronized work queue.
@@ -301,6 +308,7 @@ impl MachineConfig {
             task_queue: TaskQueueModel::Global,
             metrics: false,
             metrics_window: 10_000,
+            shards: 1,
         }
     }
 

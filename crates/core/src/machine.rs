@@ -367,25 +367,7 @@ impl Machine {
     /// Current coherence domain of a line, as the hardware would resolve it
     /// (coarse table, then fine table; HWcc default).
     pub fn domain_of(&self, line: LineAddr) -> Domain {
-        match self.mode {
-            CohMode::SWcc => Domain::SWcc,
-            CohMode::HWcc => Domain::HWcc,
-            CohMode::Cohesion => {
-                let Some(p) = self.process_of(line.base()) else {
-                    // Outside every process slice (runtime scratch): HWcc
-                    // default.
-                    return Domain::HWcc;
-                };
-                if p.coarse.lookup(line.base()).is_some() {
-                    Domain::SWcc
-                } else if p.fine.covers(line.base()) {
-                    // The table itself is never L2-cached; treat as SWcc.
-                    Domain::SWcc
-                } else {
-                    p.fine.domain(&self.mem, line)
-                }
-            }
-        }
+        resolve_domain(self.mode, &self.processes, &self.mem, line)
     }
 
     fn classify(&self, line: LineAddr) -> EntryClass {
@@ -1790,6 +1772,390 @@ impl Machine {
                 }
             }
         }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Sharded execution: per-cluster lanes
+// ----------------------------------------------------------------------
+
+/// Resolves the coherence domain of `line` from borrowed machine parts.
+/// This is [`Machine::domain_of`] in free-function form so a [`LaneCtx`]
+/// (which holds only its lane's slices plus shared read-only state) can
+/// call it too.
+fn resolve_domain(
+    mode: CohMode,
+    processes: &[ProcessCtx],
+    mem: &MainMemory,
+    line: LineAddr,
+) -> Domain {
+    match mode {
+        CohMode::SWcc => Domain::SWcc,
+        CohMode::HWcc => Domain::HWcc,
+        CohMode::Cohesion => {
+            let Some(p) = processes
+                .iter()
+                .find(|p| p.layout.owns(line.base()) || p.fine.covers(line.base()))
+            else {
+                // Outside every process slice (runtime scratch): HWcc
+                // default.
+                return Domain::HWcc;
+            };
+            if p.coarse.lookup(line.base()).is_some() {
+                Domain::SWcc
+            } else if p.fine.covers(line.base()) {
+                // The table itself is never L2-cached; treat as SWcc.
+                Domain::SWcc
+            } else {
+                p.fine.domain(mem, line)
+            }
+        }
+    }
+}
+
+/// Per-lane scratch state for the sharded executor: telemetry recorded
+/// off the serial thread by fast-path operations, folded back into the
+/// machine registry in lane order at the end of the run
+/// ([`Machine::absorb_lane_scratches`]).
+#[derive(Debug)]
+pub struct LaneScratch {
+    /// Lane-local metrics. Only `latency/load` and `latency/store`
+    /// histogram records land here; histogram merges are commutative, so
+    /// the fold order cannot be observed.
+    pub metrics: Registry,
+}
+
+/// One cluster's slice of the machine, usable concurrently with the
+/// other lanes' slices.
+///
+/// A lane owns mutable access to its cluster's L1s, L2, L2 port
+/// throttle, and coherence-instruction counters, plus shared *read-only*
+/// access to the configuration, region tables, and backing memory. The
+/// `try_*` methods attempt each core-visible operation on that state
+/// alone: they either complete it with effects byte-identical to the
+/// corresponding `Machine` method, or return `None` **without mutating
+/// anything**, in which case the caller must escalate the operation to
+/// the serial path (`Machine::load` etc.), which re-runs it from
+/// scratch.
+///
+/// The escalation contract is what keeps sharded runs deterministic: a
+/// `None` leaves no trace, so the serial replay observes exactly the
+/// state a serial-only engine would have produced for that operation.
+#[derive(Debug)]
+pub struct LaneCtx<'a> {
+    cluster: ClusterId,
+    cores_per_cluster: u32,
+    l2_latency: Cycle,
+    word_granular_swcc: bool,
+    mode: CohMode,
+    /// `false` => every operation escalates: the trace log is armed and
+    /// all protocol records must happen serially, in canonical order.
+    fast: bool,
+    /// Profiler active => invalidates escalate (the profiler is
+    /// machine-global state).
+    profiled: bool,
+    processes: &'a [ProcessCtx],
+    mem: &'a MainMemory,
+    l1i: &'a mut [Cache],
+    l1d: &'a mut [Cache],
+    l2: &'a mut Cache,
+    l2_ports: &'a mut Throttle,
+    instr_stats: &'a mut CoherenceInstrStats,
+    scratch: &'a mut LaneScratch,
+}
+
+impl LaneCtx<'_> {
+    /// The cluster this lane simulates.
+    pub fn cluster(&self) -> ClusterId {
+        self.cluster
+    }
+
+    /// Core index within this lane's L1 slices.
+    fn local(&self, core: CoreId) -> usize {
+        debug_assert_eq!(self.cluster, core.cluster(self.cores_per_cluster));
+        (core.0 - self.cluster.0 * self.cores_per_cluster) as usize
+    }
+
+    /// Lane-local replica of `Machine::l1d_fill_word`.
+    fn l1d_fill_word(&mut self, li: usize, line: LineAddr, w: usize, value: u32) {
+        let l1 = &mut self.l1d[li];
+        if let Some(l) = l1.peek_mut(line) {
+            l.data[w] = value;
+            l.valid_words |= 1 << w;
+            return;
+        }
+        let (fresh, _victim) = l1.allocate(line);
+        fresh.data[w] = value;
+        fresh.valid_words = 1 << w;
+        // L1D is write-through: victims are always clean, drop silently.
+    }
+
+    /// Lane-local replica of `Machine::back_invalidate_l1` (the lane's
+    /// L1D slice *is* the cluster's cores).
+    fn back_invalidate_l1(&mut self, line: LineAddr) {
+        for l1 in self.l1d.iter_mut() {
+            l1.invalidate(line);
+        }
+    }
+
+    /// Attempts a load entirely within the lane. `Some` mirrors
+    /// `Machine::load`'s L1-hit and L2-hit returns exactly; `None` means
+    /// a line fetch is needed (global state) and nothing was touched.
+    pub fn try_load(&mut self, core: CoreId, addr: Addr, t: Cycle) -> Option<(Cycle, u32)> {
+        if !self.fast {
+            return None;
+        }
+        let line = addr.line();
+        let w = addr.word_index();
+        let li = self.local(core);
+        // Classify with pure peeks before mutating anything.
+        let l1_ok = self.l1d[li].peek(line).is_some_and(|l| l.word_valid(w));
+        if !l1_ok && !self.l2.peek(line).is_some_and(|l| l.word_valid(w)) {
+            return None;
+        }
+        // L1D (same access/count order as the serial path).
+        if let Some(l) = self.l1d[li].access(line) {
+            if l.word_valid(w) {
+                return Some((t + 1, l.data[w]));
+            }
+        }
+        // L2 hit with the word present.
+        let t2 = self.l2_ports.grant(t + 1) + self.l2_latency;
+        let v = {
+            let l = self.l2.access(line).expect("classified as an L2 hit");
+            debug_assert!(l.word_valid(w));
+            l.data[w]
+        };
+        self.l1d_fill_word(li, line, w, v);
+        self.scratch.metrics.record_latency("latency/load", t2 - t);
+        Some((t2, v))
+    }
+
+    /// Attempts a store entirely within the lane: an L2 write hit, or a
+    /// word-granular SWcc write-allocate whose victim (if any) is
+    /// silent. Ownership upgrades, HWcc misses, and non-silent victims
+    /// escalate untouched.
+    pub fn try_store(&mut self, core: CoreId, addr: Addr, value: u32, t: Cycle) -> Option<Cycle> {
+        if !self.fast {
+            return None;
+        }
+        let line = addr.line();
+        let w = addr.word_index();
+        debug_assert_eq!(self.cluster, core.cluster(self.cores_per_cluster));
+
+        enum Fast {
+            WriteNow,
+            MissSw,
+        }
+        // Classify with pure peeks before mutating anything.
+        let plan = match self.l2.peek(line) {
+            Some(l) => {
+                if l.state == HwState::Exclusive || l.incoherent || l.state == HwState::Modified {
+                    Fast::WriteNow
+                } else {
+                    return None; // Shared HWcc: ownership upgrade (global)
+                }
+            }
+            None => {
+                if !self.word_granular_swcc
+                    || resolve_domain(self.mode, self.processes, self.mem, line) != Domain::SWcc
+                {
+                    return None; // directory transaction (global)
+                }
+                // The allocation's victim must also complete locally:
+                // none, or a clean SWcc line (the silent arm of
+                // `handle_l2_eviction`).
+                match self.l2.victim_preview(line) {
+                    Some(v) if v.dirty_words != 0 || !v.incoherent => return None,
+                    _ => Fast::MissSw,
+                }
+            }
+        };
+
+        // Commit, replicating `Machine::store`'s mutation order.
+        let t2 = self.l2_ports.grant(t + 1) + self.l2_latency;
+        match plan {
+            Fast::WriteNow => {
+                let l = self.l2.access(line).expect("classified as a hit");
+                if l.state == HwState::Exclusive {
+                    // The silent E->M upgrade the MESI ablation buys.
+                    l.state = HwState::Modified;
+                }
+                l.write_word(w, value);
+            }
+            Fast::MissSw => {
+                let missed = self.l2.access(line).is_none();
+                debug_assert!(missed, "classified as a miss");
+                let (fresh, victim) = self.l2.allocate(line);
+                fresh.incoherent = true;
+                fresh.write_word(w, value);
+                if let Some(v) = victim {
+                    debug_assert!(v.dirty_words == 0 && v.incoherent);
+                    // Clean SWcc victim (per the preview): silent, except
+                    // for the L1D back-invalidate.
+                    self.back_invalidate_l1(v.addr);
+                }
+            }
+        }
+        // Sibling L1D write-through snoop (cluster-local by
+        // construction: the lane's L1D slice is the cluster).
+        for l1 in self.l1d.iter_mut() {
+            if let Some(l) = l1.peek_mut(line) {
+                if l.word_valid(w) {
+                    l.data[w] = value;
+                }
+            }
+        }
+        self.scratch.metrics.record_latency("latency/store", t2 - t);
+        Some(t2)
+    }
+
+    /// Attempts an instruction fetch entirely within the lane: an L1I
+    /// hit, or an L1I miss filled from an L2 hit. L3 fetches escalate.
+    pub fn try_ifetch(&mut self, core: CoreId, addr: Addr, t: Cycle) -> Option<Cycle> {
+        if !self.fast {
+            return None;
+        }
+        let line = addr.line();
+        let li = self.local(core);
+        if self.l1i[li].peek(line).is_some() {
+            let hit = self.l1i[li].access(line).is_some();
+            debug_assert!(hit);
+            return Some(t); // overlapped with execution
+        }
+        if self.l2.peek(line).is_none() {
+            return None; // L3 fetch (global)
+        }
+        let missed = self.l1i[li].access(line).is_none();
+        debug_assert!(missed);
+        let t2 = self.l2_ports.grant(t + 1) + self.l2_latency;
+        let hit = self.l2.access(line).is_some();
+        debug_assert!(hit, "classified as an L2 hit");
+        let (fresh, _) = self.l1i[li].allocate(line);
+        fresh.valid_words = 0xff;
+        Some(t2)
+    }
+
+    /// Attempts a flush entirely within the lane. Only the no-writeback
+    /// case is local; a dirty incoherent line needs an L3 message, so it
+    /// escalates untouched.
+    pub fn try_flush(&mut self, core: CoreId, line: LineAddr, t: Cycle) -> Option<Cycle> {
+        if !self.fast {
+            return None;
+        }
+        debug_assert_eq!(self.cluster, core.cluster(self.cores_per_cluster));
+        if self
+            .l2
+            .peek(line)
+            .is_some_and(|l| l.incoherent && l.dirty_words != 0)
+        {
+            return None; // real writeback: L3 message (global)
+        }
+        let t2 = self.l2_ports.grant(t + 1);
+        self.instr_stats.writebacks_issued += 1;
+        Some(t2 + 1)
+    }
+
+    /// Attempts an SWcc invalidate entirely within the lane. Always
+    /// local (the instruction never sends messages) unless the region
+    /// profiler — machine-global state — is active.
+    pub fn try_invalidate(&mut self, core: CoreId, line: LineAddr, t: Cycle) -> Option<Cycle> {
+        if !self.fast || self.profiled {
+            return None;
+        }
+        debug_assert_eq!(self.cluster, core.cluster(self.cores_per_cluster));
+        let t2 = self.l2_ports.grant(t + 1);
+        self.instr_stats.invalidations_issued += 1;
+        if self.l2.peek(line).is_some_and(|l| l.incoherent) {
+            self.instr_stats.invalidations_useful += 1;
+            self.l2.invalidate(line);
+            self.back_invalidate_l1(line);
+        }
+        Some(t2 + 1)
+    }
+}
+
+impl Machine {
+    /// One [`LaneScratch`] per cluster, armed exactly like the machine
+    /// registry so fast-path telemetry is recorded iff metrics are on.
+    pub fn new_lane_scratches(&self) -> Vec<LaneScratch> {
+        (0..self.cfg.clusters())
+            .map(|_| LaneScratch {
+                metrics: if self.metrics.is_armed() {
+                    Registry::armed(self.cfg.metrics_window)
+                } else {
+                    Registry::disarmed()
+                },
+            })
+            .collect()
+    }
+
+    /// Folds lane scratches back into the machine registry, in lane
+    /// order (the fixed order keeps the merged snapshot deterministic).
+    pub fn absorb_lane_scratches(&mut self, scratches: &[LaneScratch]) {
+        for s in scratches {
+            self.metrics.merge_from(&s.metrics);
+        }
+    }
+
+    /// Splits the machine into one [`LaneCtx`] per cluster. The lanes
+    /// borrow disjoint mutable slices (cluster-private caches, port
+    /// throttles, counters) plus shared read-only state, so they can be
+    /// driven concurrently; `MainMemory` is `Sync` by design.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `scratches` has exactly one entry per cluster.
+    pub fn lanes<'a>(&'a mut self, scratches: &'a mut [LaneScratch]) -> Vec<LaneCtx<'a>> {
+        let cfg = self.cfg;
+        let cpc = cfg.cores_per_cluster as usize;
+        assert_eq!(
+            scratches.len(),
+            cfg.clusters() as usize,
+            "one scratch per cluster"
+        );
+        let fast = !self.tracelog.armed();
+        let profiled = !self.profiler.is_empty();
+        let mode = self.mode;
+        let Machine {
+            processes,
+            mem,
+            l1i,
+            l1d,
+            l2,
+            l2_ports,
+            instr_stats,
+            ..
+        } = self;
+        let processes: &[ProcessCtx] = processes;
+        let mem: &MainMemory = mem;
+        l1i.chunks_mut(cpc)
+            .zip(l1d.chunks_mut(cpc))
+            .zip(l2.iter_mut())
+            .zip(l2_ports.iter_mut())
+            .zip(instr_stats.iter_mut())
+            .zip(scratches.iter_mut())
+            .enumerate()
+            .map(
+                |(c, (((((l1i, l1d), l2), l2_ports), instr_stats), scratch))| LaneCtx {
+                    cluster: ClusterId(c as u32),
+                    cores_per_cluster: cfg.cores_per_cluster,
+                    l2_latency: cfg.l2_latency,
+                    word_granular_swcc: cfg.word_granular_swcc,
+                    mode,
+                    fast,
+                    profiled,
+                    processes,
+                    mem,
+                    l1i,
+                    l1d,
+                    l2,
+                    l2_ports,
+                    instr_stats,
+                    scratch,
+                },
+            )
+            .collect()
     }
 }
 

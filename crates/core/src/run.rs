@@ -5,12 +5,14 @@ use cohesion_mem::addr::Addr;
 use cohesion_mem::mainmem::MainMemory;
 use cohesion_runtime::api::{CohesionApi, RuntimeError};
 use cohesion_runtime::task::{AtomicKind, Op, Phase, RegionOp, Task};
+use cohesion_sim::crew::Crew;
 use cohesion_sim::event::EventQueue;
 use cohesion_sim::ids::{ClusterId, CoreId};
+use cohesion_sim::shard::{BatchEvent, LaneQueues};
 use cohesion_sim::Cycle;
 
 use crate::config::MachineConfig;
-use crate::machine::{Machine, MachineError};
+use crate::machine::{LaneCtx, LaneScratch, Machine, MachineError};
 use crate::report::RunReport;
 
 /// A workload: allocates its data through the Cohesion API, produces
@@ -164,7 +166,11 @@ impl From<MachineError> for RunError {
 }
 
 /// Maximum cycles one core advances per scheduling slice; bounds the
-/// timing skew between cores' inline transactions.
+/// timing skew between cores' inline transactions. It is also the epoch
+/// length of the sharded executor: every event re-scheduled by a core
+/// slice lands at least `QUANTUM` cycles after the slice began, so a
+/// window of this width can be drained completely before any of the
+/// work it spawns becomes runnable — the conservative-PDES lookahead.
 const QUANTUM: Cycle = 64;
 
 /// Ops per instruction-fetch line: 32-byte lines hold 8 RISC instructions.
@@ -176,6 +182,9 @@ struct CoreState {
     code_base: Addr,
     /// Index into the phase's task vector + op cursor.
     task: Option<(usize, usize)>,
+    /// Ops remaining before the next instruction fetch; `0` = fetch now.
+    /// A countdown (rather than a wrap-around counter) so a slice that
+    /// escalates mid-quantum resumes with the fetch stream intact.
     fetch_counter: u32,
     pc_line: u32,
     arrived: bool,
@@ -239,6 +248,7 @@ pub fn run_workload(cfg: &MachineConfig, workload: &mut dyn Workload) -> Result<
         phases += 1;
     }
 
+    exec.finish(&mut machine);
     if std::env::var_os("COHESION_OPCOST").is_some() {
         let names = ["load", "store", "compute", "atomic", "stackld", "stackst", "flush", "inv", "?", "ifetch"];
         for (i, (n, c)) in exec.op_cost.iter().enumerate() {
@@ -250,10 +260,10 @@ pub fn run_workload(cfg: &MachineConfig, workload: &mut dyn Workload) -> Result<
     let cycles = exec.now();
     machine
         .metrics_mut()
-        .add("events/scheduled", exec.events.scheduled());
+        .add("events/scheduled", exec.lanes.scheduled());
     machine
         .metrics_mut()
-        .add("events/max_pending", exec.events.max_pending() as u64);
+        .add("events/max_pending", exec.lanes.max_pending() as u64);
     machine.drain_for_verification();
     workload.verify(&machine.mem).map_err(RunError::Verify)?;
 
@@ -268,13 +278,192 @@ pub fn run_workload(cfg: &MachineConfig, workload: &mut dyn Workload) -> Result<
     ))
 }
 
-/// The per-run execution engine (cores + queue + barrier).
+/// The outcome of one core slice attempted on the fast (lane-local)
+/// path during the parallel half of a window.
+enum FastOutcome {
+    /// The slice ran out of budget and was re-scheduled into its lane's
+    /// queue; the payload is the slice's completion cycle.
+    Yielded(Cycle),
+    /// The slice hit an operation that needs machine-global state; the
+    /// core's cursor is saved and the slice must resume on the serial
+    /// path at `t` with the remaining `budget`.
+    Escalate { t: Cycle, budget: Cycle },
+    /// A verified load observed a stale value on the fast path.
+    Fail(MachineError),
+}
+
+/// One lane's bundle of work for a window: its slice of the machine, its
+/// event queue, its cores, and the window's events (canonical order).
+struct LaneWork<'a> {
+    ctx: LaneCtx<'a>,
+    queue: &'a mut EventQueue<u32>,
+    cores: &'a mut [CoreState],
+    core_base: u32,
+    op_cost: &'a mut [(u64, u64); 10],
+    /// `(batch_idx, cycle, core)` — this lane's events, in `(cycle, seq)`
+    /// order (the lane-projection of the batch's canonical order).
+    events: Vec<(usize, Cycle, u32)>,
+    /// Slices needing serial attention, as `(batch_idx, core, outcome)`.
+    out: Vec<(usize, u32, FastOutcome)>,
+    /// Max completion cycle over fast-completed (yielded) slices.
+    max_end: Cycle,
+}
+
+/// Runs one lane's events for the window. Stops at the lane's first
+/// fast-path failure: a serial engine would never have executed this
+/// lane's later slices past an aborting error, and the merge in phase B
+/// surfaces the canonically-first error of the whole batch.
+fn process_lane(w: &mut LaneWork<'_>, tasks: &[Task]) {
+    for i in 0..w.events.len() {
+        let (bi, t, core) = w.events[i];
+        match fast_step(
+            &mut w.ctx, w.queue, w.cores, w.core_base, w.op_cost, core, t, tasks,
+        ) {
+            FastOutcome::Yielded(end) => w.max_end = w.max_end.max(end),
+            out @ FastOutcome::Escalate { .. } => w.out.push((bi, core, out)),
+            out @ FastOutcome::Fail(_) => {
+                w.out.push((bi, core, out));
+                return;
+            }
+        }
+    }
+}
+
+/// Advances one core by up to [`QUANTUM`] cycles using only lane-local
+/// state. Mirrors `Exec::step_core` exactly, except that every operation
+/// goes through the [`LaneCtx`] `try_*` methods and anything they cannot
+/// complete locally escalates with the core's cursor saved and no state
+/// touched for the escalated operation.
+#[allow(clippy::too_many_arguments)]
+fn fast_step(
+    ctx: &mut LaneCtx<'_>,
+    queue: &mut EventQueue<u32>,
+    cores: &mut [CoreState],
+    core_base: u32,
+    op_cost: &mut [(u64, u64); 10],
+    core_idx: u32,
+    t0: Cycle,
+    tasks: &[Task],
+) -> FastOutcome {
+    let budget = t0 + QUANTUM;
+    let mut t = t0;
+    let core = CoreId(core_idx);
+    let li = (core_idx - core_base) as usize;
+    loop {
+        let Some((task_idx, mut op_idx)) = cores[li].task else {
+            // Dequeue and barrier traffic is uncached-atomic: global.
+            return FastOutcome::Escalate { t, budget };
+        };
+        let task = &tasks[task_idx];
+        let stack_base = cores[li].stack_base;
+        while op_idx < task.ops.len() {
+            if t >= budget {
+                cores[li].task = Some((task_idx, op_idx));
+                queue.schedule(t, core_idx);
+                return FastOutcome::Yielded(t);
+            }
+            // Instruction fetch stream: one line per OPS_PER_FETCH ops.
+            if cores[li].fetch_counter == 0 {
+                let line_idx = cores[li].pc_line % task.code_lines;
+                let pc = Addr(cores[li].code_base.0 + 32 * line_idx);
+                match ctx.try_ifetch(core, pc, t) {
+                    Some(t2) => {
+                        op_cost[9].0 += 1;
+                        op_cost[9].1 += t2 - t;
+                        t = t2;
+                        let cs = &mut cores[li];
+                        cs.pc_line = cs.pc_line.wrapping_add(1);
+                        cs.fetch_counter = OPS_PER_FETCH;
+                    }
+                    None => {
+                        cores[li].task = Some((task_idx, op_idx));
+                        return FastOutcome::Escalate { t, budget };
+                    }
+                }
+            }
+            let op = task.ops[op_idx];
+            let done: Option<(usize, Cycle)> = match op {
+                Op::Load { addr, expect } => match ctx.try_load(core, addr, t) {
+                    Some((t2, v)) => {
+                        if let Some(e) = expect {
+                            if v != e {
+                                cores[li].task = Some((task_idx, op_idx));
+                                return FastOutcome::Fail(MachineError::StaleLoad {
+                                    addr,
+                                    got: v,
+                                    expected: e,
+                                });
+                            }
+                        }
+                        Some((0, t2))
+                    }
+                    None => None,
+                },
+                Op::Store { addr, value } => {
+                    ctx.try_store(core, addr, value, t).map(|t2| (1, t2))
+                }
+                Op::Compute { cycles } => Some((2, t + cycles as Cycle)),
+                Op::Atomic { .. } => None, // uncached: global
+                Op::StackLoad { offset } => ctx
+                    .try_load(core, stack_base.offset(offset), t)
+                    .map(|(t2, _)| (4, t2)),
+                Op::StackStore { offset, value } => ctx
+                    .try_store(core, stack_base.offset(offset), value, t)
+                    .map(|t2| (5, t2)),
+                Op::Flush { line } => ctx.try_flush(core, line, t).map(|t2| (6, t2)),
+                Op::Invalidate { line } => ctx.try_invalidate(core, line, t).map(|t2| (7, t2)),
+            };
+            match done {
+                Some((kind, t2)) => {
+                    op_cost[kind].0 += 1;
+                    op_cost[kind].1 += t2 - t;
+                    t = t2;
+                    op_idx += 1;
+                    cores[li].fetch_counter -= 1;
+                }
+                None => {
+                    cores[li].task = Some((task_idx, op_idx));
+                    return FastOutcome::Escalate { t, budget };
+                }
+            }
+        }
+        cores[li].task = None;
+        // Loop back: the next action is a dequeue, which escalates above.
+    }
+}
+
+/// The per-run execution engine (cores + queue + barrier), sharded.
+///
+/// Simulated time advances in windows of [`QUANTUM`] cycles. Each window
+/// is drained in two phases:
+///
+/// * **Phase A (parallel):** every cluster lane steps its own cores
+///   through the window on lane-local state only ([`fast_step`]), in the
+///   lane-projection of the batch's canonical `(cycle, lane, seq)`
+///   order. Anything touching global state (L3, directory, NoC,
+///   uncached atomics, task queues) escalates untouched.
+/// * **Phase B (serial):** escalated slices resume on the full machine
+///   in canonical batch order.
+///
+/// The batch composition, the A/B split, and both processing orders are
+/// functions of simulated state alone — never of the host thread count —
+/// so simulated results are byte-identical at any [`MachineConfig::shards`]
+/// value. `shards` only chooses how many host threads run phase A.
 struct Exec {
     /// Per-op-kind `(count, total cycles)` latency accounting, reported to
     /// stderr when `COHESION_OPCOST` is set.
     op_cost: [(u64, u64); 10],
+    /// Per-lane `op_cost` shards, folded into `op_cost` by `finish`.
+    lane_op_cost: Vec<[(u64, u64); 10]>,
     cores: Vec<CoreState>,
-    events: EventQueue<u32>,
+    lanes: LaneQueues<u32>,
+    /// Per-lane metrics scratches, absorbed into the machine by `finish`.
+    scratches: Vec<LaneScratch>,
+    /// Worker threads for phase A; `None` = run lanes inline (shards=1).
+    crew: Option<Crew>,
+    cores_per_cluster: usize,
+    /// Reused window buffer.
+    batch: Vec<BatchEvent<u32>>,
     queue_addr: Addr,
     now: Cycle,
     // Per-phase state.
@@ -303,10 +492,18 @@ impl Exec {
                 arrived: false,
             })
             .collect();
+        let n_lanes = cfg.clusters().max(1) as usize;
+        // More threads than lanes cannot help; the caller is a worker too.
+        let threads = (cfg.shards.max(1) as usize).min(n_lanes);
         Exec {
             op_cost: [(0, 0); 10],
+            lane_op_cost: vec![[(0, 0); 10]; n_lanes],
             cores,
-            events: EventQueue::new(),
+            lanes: LaneQueues::new(n_lanes),
+            scratches: machine.new_lane_scratches(),
+            crew: (threads > 1).then(|| Crew::new(threads - 1)),
+            cores_per_cluster: cfg.cores_per_cluster as usize,
+            batch: Vec::new(),
             queue_addr,
             now: 0,
             next_task: 0,
@@ -321,6 +518,21 @@ impl Exec {
 
     fn now(&self) -> Cycle {
         self.now
+    }
+
+    /// Folds per-lane accounting back into the run-wide totals (op-cost
+    /// shards and metrics scratches, both in fixed lane order).
+    fn finish(&mut self, machine: &mut Machine) {
+        for lane in &self.lane_op_cost {
+            for (i, (n, c)) in lane.iter().enumerate() {
+                self.op_cost[i].0 += n;
+                self.op_cost[i].1 += c;
+            }
+        }
+        for lane in self.lane_op_cost.iter_mut() {
+            *lane = [(0, 0); 10];
+        }
+        machine.absorb_lane_scratches(&self.scratches);
     }
 
     fn run_phase(
@@ -355,36 +567,102 @@ impl Exec {
             c.fetch_counter = 0;
         }
         for i in 0..self.cores.len() as u32 {
-            self.events.schedule(t, i);
+            let lane = self.cores[i as usize].cluster.0 as usize;
+            self.lanes.schedule(lane, t, i);
         }
 
-        // 3. Pump events until every core reaches the barrier.
+        // 3. Pump windows until every core reaches the barrier.
         let mut phase_end = t;
+        let mut batch = std::mem::take(&mut self.batch);
         while self.arrived < self.cores.len() as u32 {
-            let (et, core) = self
-                .events
-                .pop()
+            self.lanes
+                .pop_window(QUANTUM, &mut batch)
                 .expect("cores pending but no events scheduled");
-            let end = self.step_core(machine, core, et, tasks, barrier_addr)?;
-            phase_end = phase_end.max(end);
+
+            // Phase A: lanes step their cores on lane-local state.
+            let n_lanes = self.lanes.lanes();
+            let mut per_lane: Vec<Vec<(usize, Cycle, u32)>> = vec![Vec::new(); n_lanes];
+            for (bi, ev) in batch.iter().enumerate() {
+                per_lane[ev.lane as usize].push((bi, ev.cycle, ev.payload));
+            }
+            let mut works: Vec<LaneWork<'_>> = machine
+                .lanes(&mut self.scratches)
+                .into_iter()
+                .zip(self.lanes.as_mut_slice().iter_mut())
+                .zip(self.cores.chunks_mut(self.cores_per_cluster))
+                .zip(self.lane_op_cost.iter_mut())
+                .zip(per_lane)
+                .enumerate()
+                .map(|(c, ((((ctx, queue), cores), op_cost), events))| LaneWork {
+                    ctx,
+                    queue,
+                    cores,
+                    core_base: (c * self.cores_per_cluster) as u32,
+                    op_cost,
+                    events,
+                    out: Vec::new(),
+                    max_end: 0,
+                })
+                .collect();
+            match &self.crew {
+                Some(crew) => {
+                    let mut jobs: Vec<_> = works
+                        .iter_mut()
+                        .map(|w| move || process_lane(w, tasks))
+                        .collect();
+                    let mut refs: Vec<&mut (dyn FnMut() + Send)> = jobs
+                        .iter_mut()
+                        .map(|j| j as &mut (dyn FnMut() + Send))
+                        .collect();
+                    crew.run(&mut refs);
+                }
+                None => {
+                    for w in works.iter_mut() {
+                        process_lane(w, tasks);
+                    }
+                }
+            }
+            let mut serial: Vec<(usize, u32, FastOutcome)> = Vec::new();
+            for w in works.iter_mut() {
+                phase_end = phase_end.max(w.max_end);
+                serial.append(&mut w.out);
+            }
+            drop(works);
+
+            // Phase B: escalated slices resume serially, in canonical
+            // batch order; the canonically-first error aborts the run.
+            serial.sort_unstable_by_key(|&(bi, _, _)| bi);
+            for (_bi, core, out) in serial {
+                match out {
+                    FastOutcome::Escalate { t, budget } => {
+                        let end =
+                            self.step_core(machine, core, t, budget, tasks, barrier_addr)?;
+                        phase_end = phase_end.max(end);
+                    }
+                    FastOutcome::Fail(e) => return Err(RunError::Machine(e)),
+                    FastOutcome::Yielded(_) => unreachable!("yields are not escalated"),
+                }
+            }
         }
+        self.batch = batch;
 
         // 4. Barrier release broadcast.
         self.now = phase_end + self.barrier_release;
         Ok(())
     }
 
-    /// Advances one core by up to [`QUANTUM`] cycles of work. Returns the
-    /// core's barrier-arrival time when it arrives (else the current time).
+    /// Advances one core on the full machine until `budget` expires, it
+    /// arrives at the barrier, or it errors. Returns the core's
+    /// barrier-arrival time when it arrives (else the current time).
     fn step_core(
         &mut self,
         machine: &mut Machine,
         core_idx: u32,
         mut t: Cycle,
+        budget: Cycle,
         tasks: &[Task],
         barrier_addr: Addr,
     ) -> Result<Cycle, RunError> {
-        let budget = t + QUANTUM;
         let core = CoreId(core_idx);
         loop {
             // Need a task?
@@ -458,8 +736,10 @@ impl Exec {
             let task = &tasks[task_idx];
             while op_idx < task.ops.len() {
                 if t >= budget {
-                    self.cores[core_idx as usize].task = Some((task_idx, op_idx));
-                    self.events.schedule(t, core_idx);
+                    let cs = &mut self.cores[core_idx as usize];
+                    cs.task = Some((task_idx, op_idx));
+                    let lane = cs.cluster.0 as usize;
+                    self.lanes.schedule(lane, t, core_idx);
                     return Ok(t);
                 }
                 // Instruction fetch stream: one line per OPS_PER_FETCH ops.
@@ -468,13 +748,13 @@ impl Exec {
                     if cs.fetch_counter == 0 {
                         let line_idx = cs.pc_line % task.code_lines;
                         cs.pc_line = cs.pc_line.wrapping_add(1);
+                        cs.fetch_counter = OPS_PER_FETCH;
                         let pc = Addr(cs.code_base.0 + 32 * line_idx);
                         let t0 = t;
                         t = machine.ifetch(core, pc, t);
                         self.op_cost[9].0 += 1;
                         self.op_cost[9].1 += t - t0;
                     }
-                    cs.fetch_counter = (cs.fetch_counter + 1) % OPS_PER_FETCH;
                 }
                 let op = task.ops[op_idx];
                 op_idx += 1;
@@ -500,6 +780,7 @@ impl Exec {
                 })?;
                 self.op_cost[kind].0 += 1;
                 self.op_cost[kind].1 += t - t0;
+                self.cores[core_idx as usize].fetch_counter -= 1;
             }
             self.cores[core_idx as usize].task = None;
         }

@@ -332,6 +332,20 @@ impl Cache {
         (l, victim)
     }
 
+    /// The line that [`Cache::allocate`] *would* evict for `line` right
+    /// now, or `None` if the set still has a free way. Pure: no LRU or
+    /// counter updates. The sharded executor's fast path uses this to
+    /// decide — before mutating anything — whether an allocation's
+    /// victim would need protocol messages.
+    pub fn victim_preview(&self, line: LineAddr) -> Option<&Line> {
+        let set = &self.sets[self.set_index(line)];
+        if set.len() < self.cfg.assoc as usize {
+            return None;
+        }
+        // Mirror allocate's scan exactly: first minimum lru_stamp wins.
+        set.iter().min_by_key(|l| l.lru_stamp)
+    }
+
     /// Removes `line` from the cache, returning its final contents.
     pub fn invalidate(&mut self, line: LineAddr) -> Option<EvictedLine> {
         let set = self.set_index(line);
@@ -500,6 +514,20 @@ mod tests {
             assert!(c.peek(LineAddr(l)).is_some(), "line {l} must survive");
         }
         assert_eq!(c.stats().2, 1, "exactly one eviction");
+    }
+
+    #[test]
+    fn victim_preview_matches_allocate() {
+        let mut c = small();
+        assert!(c.victim_preview(LineAddr(8)).is_none(), "empty set");
+        c.allocate(LineAddr(0));
+        assert!(c.victim_preview(LineAddr(8)).is_none(), "free way left");
+        c.allocate(LineAddr(4));
+        c.access(LineAddr(0)); // 4 becomes LRU
+        let predicted = c.victim_preview(LineAddr(8)).expect("set full").addr;
+        let (_, victim) = c.allocate(LineAddr(8));
+        assert_eq!(predicted, victim.expect("set was full").addr);
+        assert_eq!(predicted, LineAddr(4));
     }
 
     #[cfg(debug_assertions)]

@@ -19,9 +19,9 @@ USAGE:
 COMMANDS:
   ping
         print daemon liveness, job count, and cache statistics
-  submit --kernel NAME [--point SPEC] [--scale S] [--cores N] [--seed N]
+  submit --kernel NAME [--point SPEC] [--scale S] [--cores N] [--seed N] [--shards N]
         run one simulation (cache-served when possible), print the report
-  sweep --kernels A,B,... --points P,Q,... [--scale S] [--cores N] [--seed N]
+  sweep --kernels A,B,... --points P,Q,... [--scale S] [--cores N] [--seed N] [--shards N]
         run a kernels x points sweep, print each report
   fetch KEY
         print the cached report for a 32-hex-digit cache key
@@ -128,6 +128,7 @@ struct RunArgs {
     scale: Scale,
     cores: u32,
     seed: u64,
+    shards: u32,
 }
 
 fn parse_run_args(args: &[String], sweep: bool) -> Result<RunArgs, String> {
@@ -137,6 +138,7 @@ fn parse_run_args(args: &[String], sweep: bool) -> Result<RunArgs, String> {
         scale: Scale::Tiny,
         cores: 16,
         seed: 0,
+        shards: 1,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -168,6 +170,11 @@ fn parse_run_args(args: &[String], sweep: bool) -> Result<RunArgs, String> {
                     .parse()
                     .map_err(|e| format!("--seed: {e}"))?
             }
+            "--shards" => {
+                out.shards = value("--shards")?
+                    .parse()
+                    .map_err(|e| format!("--shards: {e}"))?
+            }
             other => return Err(format!("unknown option {other}")),
         }
     }
@@ -195,6 +202,7 @@ fn submit(common: &Common, args: &[String]) -> Result<(), String> {
         cores: a.cores,
         point: a.points[0].clone(),
         seed: a.seed,
+        shards: a.shards,
     };
     let mut client = connect(common)?;
     let outcome = client
@@ -211,6 +219,7 @@ fn sweep(common: &Common, args: &[String]) -> Result<(), String> {
         scale: a.scale,
         cores: a.cores,
         seed: a.seed,
+        shards: a.shards,
     };
     let mut client = connect(common)?;
     let outcome = client

@@ -133,6 +133,7 @@ fn working_set(opts: &Opts, tenant: usize) -> Vec<RunRequest> {
             // Per-tenant seed namespace keeps tenants' requests distinct
             // while repeats within a tenant stay byte-identical.
             seed: (tenant as u64) << 32 | rng.gen_range(0u64, 2),
+            shards: 1,
         };
         let req = req.validate().expect("generated request is valid");
         if !set.contains(&req) {

@@ -297,6 +297,7 @@ mod tests {
             cores: 16,
             point: "swcc".into(),
             seed,
+            shards: 1,
         }
     }
 

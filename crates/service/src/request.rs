@@ -30,6 +30,12 @@ pub struct RunRequest {
     pub point: String,
     /// Trace seed perturbing kernel input generation (0 = paper inputs).
     pub seed: u64,
+    /// Host threads sharding the single simulation (default 1). An
+    /// execution hint only: the sharded executor's determinism contract
+    /// makes the report byte-identical at any shard count, so this field
+    /// is deliberately excluded from [`RunRequest::canonical`] — the same
+    /// run at different shard counts shares one cache entry.
+    pub shards: u32,
 }
 
 impl RunRequest {
@@ -49,6 +55,9 @@ impl RunRequest {
         if self.cores == 0 || self.cores > MAX_CORES {
             return Err(format!("cores must be 1..={MAX_CORES}, got {}", self.cores));
         }
+        if self.shards == 0 {
+            return Err("shards must be >= 1".into());
+        }
         let dp = parse_point(&self.point)?;
         Ok(RunRequest {
             point: point_spec(&dp),
@@ -65,8 +74,10 @@ impl RunRequest {
         parse_point(&self.point)
     }
 
-    /// The stable string the cache key hashes: every field, fixed order,
-    /// unambiguous separators.
+    /// The stable string the cache key hashes: every *result-bearing*
+    /// field, fixed order, unambiguous separators. `shards` is absent on
+    /// purpose: it cannot change the simulated results, so including it
+    /// would split one logical run across cache entries.
     pub fn canonical(&self) -> String {
         format!(
             "kernel={};scale={};cores={};point={};seed={}",
@@ -78,10 +89,17 @@ impl RunRequest {
         )
     }
 
-    /// The request as a `submit-run` JSON payload.
+    /// The request as a `submit-run` JSON payload. The default shard
+    /// count (1) is omitted so payloads from before sharding existed stay
+    /// byte-identical.
     pub fn to_json(&self) -> String {
+        let shards = if self.shards != 1 {
+            format!(", \"shards\": {}", self.shards)
+        } else {
+            String::new()
+        };
         format!(
-            "{{\"kernel\": \"{}\", \"scale\": \"{}\", \"cores\": {}, \"point\": \"{}\", \"seed\": {}}}",
+            "{{\"kernel\": \"{}\", \"scale\": \"{}\", \"cores\": {}, \"point\": \"{}\", \"seed\": {}{shards}}}",
             json_escape(&self.kernel),
             scale_name(self.scale),
             self.cores,
@@ -102,6 +120,7 @@ impl RunRequest {
             cores: u64_field(v, "cores")? as u32,
             point: str_field(v, "point")?,
             seed: u64_field(v, "seed").unwrap_or(0),
+            shards: u64_field(v, "shards").unwrap_or(1) as u32,
         })
     }
 }
@@ -119,6 +138,8 @@ pub struct SweepRequest {
     pub cores: u32,
     /// Trace seed.
     pub seed: u64,
+    /// Host threads sharding each simulation (see [`RunRequest::shards`]).
+    pub shards: u32,
 }
 
 impl SweepRequest {
@@ -142,6 +163,7 @@ impl SweepRequest {
                         cores: self.cores,
                         point: p.clone(),
                         seed: self.seed,
+                        shards: self.shards,
                     }
                     .validate()?,
                 );
@@ -150,7 +172,8 @@ impl SweepRequest {
         Ok(runs)
     }
 
-    /// The request as a `submit-sweep` JSON payload.
+    /// The request as a `submit-sweep` JSON payload. Like
+    /// [`RunRequest::to_json`], a shard count of 1 is omitted.
     pub fn to_json(&self) -> String {
         let kernels: Vec<String> = self
             .kernels
@@ -162,8 +185,13 @@ impl SweepRequest {
             .iter()
             .map(|p| format!("\"{}\"", json_escape(p)))
             .collect();
+        let shards = if self.shards != 1 {
+            format!(", \"shards\": {}", self.shards)
+        } else {
+            String::new()
+        };
         format!(
-            "{{\"kernels\": [{}], \"points\": [{}], \"scale\": \"{}\", \"cores\": {}, \"seed\": {}}}",
+            "{{\"kernels\": [{}], \"points\": [{}], \"scale\": \"{}\", \"cores\": {}, \"seed\": {}{shards}}}",
             kernels.join(", "),
             points.join(", "),
             scale_name(self.scale),
@@ -196,6 +224,7 @@ impl SweepRequest {
             scale: parse_scale(&str_field(v, "scale")?)?,
             cores: u64_field(v, "cores")? as u32,
             seed: u64_field(v, "seed").unwrap_or(0),
+            shards: u64_field(v, "shards").unwrap_or(1) as u32,
         })
     }
 }
@@ -326,6 +355,7 @@ mod tests {
             cores: 16,
             point: "swcc".into(),
             seed: 7,
+            shards: 1,
         }
     }
 
@@ -336,6 +366,24 @@ mod tests {
         let mut other = req();
         other.seed = 8;
         assert_ne!(base, other.canonical());
+    }
+
+    /// `shards` is an execution hint: it never reaches the canonical
+    /// string (so shard counts share cache entries), and the default is
+    /// omitted from the wire payload (so pre-sharding payload bytes are
+    /// unchanged).
+    #[test]
+    fn shards_are_not_canonical_and_default_is_elided() {
+        let mut sharded = req();
+        sharded.shards = 4;
+        assert_eq!(req().canonical(), sharded.canonical());
+        assert!(!req().to_json().contains("shards"));
+        assert!(sharded.to_json().contains("\"shards\": 4"));
+        let v = jsonv::parse(&sharded.to_json()).unwrap();
+        assert_eq!(RunRequest::from_json(&v).unwrap(), sharded);
+        let mut zero = req();
+        zero.shards = 0;
+        assert!(zero.validate().unwrap_err().contains("shards"));
     }
 
     #[test]
@@ -349,6 +397,7 @@ mod tests {
             scale: Scale::Tiny,
             cores: 16,
             seed: 0,
+            shards: 1,
         };
         let v = jsonv::parse(&s.to_json()).unwrap();
         assert_eq!(SweepRequest::from_json(&v).unwrap(), s);

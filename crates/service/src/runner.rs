@@ -31,6 +31,7 @@ pub fn execute(req: &RunRequest) -> Result<String, String> {
         scale: req.scale,
         kernels: vec![req.kernel.clone()],
         jobs: 1,
+        shards: req.shards,
         seed: req.seed,
         metrics_out: None,
     };
@@ -60,6 +61,7 @@ mod tests {
             cores: 16,
             point: "swcc".into(),
             seed,
+            shards: 1,
         }
     }
 

@@ -19,6 +19,7 @@ fn req(seed: u64) -> RunRequest {
         cores: 16,
         point: "cohesion:16384x128".into(),
         seed,
+        shards: 1,
     }
 }
 
@@ -44,6 +45,27 @@ fn keys_are_deterministic_and_field_sensitive() {
     let mut other = req(0);
     other.scale = Scale::Small;
     assert_ne!(CacheKey::for_request(&other), a);
+
+    // ... and the one non-canonical field must NOT: shards is an
+    // execution hint, so the same run at any shard count is one entry.
+    let mut other = req(0);
+    other.shards = 4;
+    assert_eq!(CacheKey::for_request(&other), a, "shards must not key the cache");
+}
+
+/// The end-to-end shard contract on the service path: executing the same
+/// request at shards=1 and shards=4 produces byte-identical report
+/// documents, which is what makes the shared cache key above sound.
+#[test]
+fn reports_are_byte_identical_across_shard_counts() {
+    let serial = cohesion_service::runner::execute(&req(0)).expect("shards=1");
+    let mut sharded_req = req(0);
+    sharded_req.shards = 4;
+    let sharded = cohesion_service::runner::execute(&sharded_req).expect("shards=4");
+    assert_eq!(
+        serial, sharded,
+        "shard count must be unobservable in the report bytes"
+    );
 }
 
 /// Runs `sweep` on a fresh server with `workers` threads and returns
@@ -81,6 +103,7 @@ fn reports_are_byte_identical_across_worker_counts() {
         scale: Scale::Tiny,
         cores: 16,
         seed: 0,
+        shards: 1,
     };
     let serial = run_with_workers(1, &sweep);
     let parallel = run_with_workers(4, &sweep);

@@ -107,6 +107,45 @@ fn error_code_table_matches_the_enum() {
     );
 }
 
+/// The `shards` request field is documented exactly as implemented: it
+/// appears in both submit payload rows and in the request-field list,
+/// and the canonical form it is excluded from really excludes it.
+#[test]
+fn spec_documents_the_shards_hint() {
+    let text = spec_text();
+    let payload_rows: Vec<&str> = text
+        .lines()
+        .filter(|l| l.starts_with("| `0x03`") || l.starts_with("| `0x04`"))
+        .collect();
+    assert_eq!(payload_rows.len(), 2, "both submit rows must be in the table");
+    for row in payload_rows {
+        assert!(row.contains("\"shards\""), "payload row must show shards: {row}");
+    }
+    assert!(
+        text.contains("not part of the canonical form or the cache key"),
+        "spec must state that shards never keys the cache"
+    );
+    // The canonical-form template must NOT mention shards — that line is
+    // what the implementation hashes.
+    let canonical = text
+        .lines()
+        .find(|l| l.starts_with("kernel=<kernel>"))
+        .expect("spec must show the canonical-form template");
+    assert!(!canonical.contains("shards"), "canonical form must exclude shards");
+    // And the implementation agrees with the doc on both counts.
+    let mut req = cohesion_service::request::RunRequest {
+        kernel: "sobel".into(),
+        scale: cohesion_kernels::Scale::Tiny,
+        cores: 16,
+        point: "swcc".into(),
+        seed: 0,
+        shards: 1,
+    };
+    let base = req.canonical();
+    req.shards = 4;
+    assert_eq!(req.canonical(), base);
+}
+
 #[test]
 fn spec_pins_the_frame_constants() {
     let text = spec_text();

@@ -48,6 +48,7 @@ fn tiny_run(seed: u64) -> RunRequest {
         cores: 16,
         point: "swcc".into(),
         seed,
+        shards: 1,
     }
 }
 
@@ -109,6 +110,7 @@ fn sweep_streams_every_job_and_reassembles_in_order() {
         scale: Scale::Tiny,
         cores: 16,
         seed: 0,
+        shards: 1,
     };
     let mut accepted_jobs = 0;
     let outcome = client
@@ -301,6 +303,7 @@ fn tiny_queue_returns_queue_full() {
         scale: Scale::Tiny,
         cores: 16,
         seed: 0,
+        shards: 1,
     };
     let err = client.submit_sweep(&sweep, |_| {}).expect_err("queue full");
     assert_eq!(err.code, Some(ErrorCode::QueueFull), "{err}");

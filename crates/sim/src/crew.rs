@@ -1,0 +1,281 @@
+//! A persistent phase-barrier worker crew for sharded execution.
+//!
+//! The sharded executor runs ~10⁵ short parallel windows per simulation,
+//! so spawning threads per window is out of the question. A [`Crew`]
+//! keeps `workers` threads parked on a condvar; [`Crew::run`] publishes
+//! a batch of jobs, wakes everyone, has the *calling* thread claim jobs
+//! alongside the workers, and returns only when every job has finished.
+//! Between calls the workers cost nothing but their parked stacks.
+//!
+//! Jobs borrow caller state (per-lane machine slices, per-lane event
+//! queues), so they cannot be `'static` — the crew erases their
+//! lifetimes into raw pointers that are only ever dereferenced while
+//! [`Crew::run`] is blocked, which is what makes the erasure sound. A
+//! panicking job is caught, the rest of the batch completes, and the
+//! panic is re-raised on the calling thread.
+//!
+//! Jobs in one batch run concurrently in an unspecified order, so they
+//! must touch disjoint state; any cross-job ordering requirement
+//! belongs in serial code between batches. Determinism therefore never
+//! depends on the crew: with the work partitioned by lane, the same
+//! batch produces the same per-lane results whether it runs here or
+//! inline on one thread.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A lifetime-erased job pointer. Only dereferenced between the moment
+/// `Crew::run` publishes a batch and the moment it observes the batch
+/// complete, during which the caller's borrow is alive and blocked.
+#[derive(Clone, Copy)]
+struct RawJob(*mut (dyn FnMut() + Send));
+
+// SAFETY: the pointee is `FnMut() + Send`, and the pointer is only
+// dereferenced by exactly one thread at a time (each job index is
+// claimed once under the mutex).
+unsafe impl Send for RawJob {}
+
+impl RawJob {
+    /// Erases the borrow's lifetime. Sound only because `Crew::run`
+    /// blocks until the batch drains and clears the job list before
+    /// returning, so no pointer survives the borrow it came from.
+    fn erase<'a>(j: &mut (dyn FnMut() + Send + 'a)) -> RawJob {
+        let ptr = j as *mut (dyn FnMut() + Send + 'a);
+        RawJob(unsafe {
+            std::mem::transmute::<
+                *mut (dyn FnMut() + Send + 'a),
+                *mut (dyn FnMut() + Send + 'static),
+            >(ptr)
+        })
+    }
+}
+
+struct State {
+    /// Bumped once per batch; workers sleep until it changes.
+    epoch: u64,
+    jobs: Vec<RawJob>,
+    /// Next unclaimed job index.
+    next: usize,
+    /// Jobs finished (completed or panicked).
+    done: usize,
+    /// At least one job in the current batch panicked.
+    panicked: bool,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Workers wait here for a new epoch (or shutdown).
+    work: Condvar,
+    /// The batch caller waits here for `done == jobs.len()`.
+    idle: Condvar,
+}
+
+impl Shared {
+    /// Claims and runs jobs from the current batch until none are left.
+    /// Returns with the lock released.
+    fn drain_batch(&self) {
+        loop {
+            let job = {
+                let mut st = self.state.lock().unwrap();
+                if st.next >= st.jobs.len() {
+                    return;
+                }
+                let job = st.jobs[st.next];
+                st.next += 1;
+                job
+            };
+            // SAFETY: see `RawJob` — unique claim, caller borrow alive.
+            let outcome = catch_unwind(AssertUnwindSafe(|| unsafe { (*job.0)() }));
+            let mut st = self.state.lock().unwrap();
+            if outcome.is_err() {
+                st.panicked = true;
+            }
+            st.done += 1;
+            if st.done == st.jobs.len() {
+                self.idle.notify_all();
+            }
+        }
+    }
+}
+
+/// A fixed-size pool of parked worker threads executing batches of
+/// lifetime-erased jobs with a barrier per batch. See the module docs.
+pub struct Crew {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Crew {
+    /// Spawns `workers` parked threads. The thread calling [`Crew::run`]
+    /// also executes jobs, so a crew sized `n - 1` saturates `n` cores.
+    /// `workers == 0` is valid: every batch then runs inline on the
+    /// caller.
+    pub fn new(workers: usize) -> Self {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                epoch: 0,
+                jobs: Vec::new(),
+                next: 0,
+                done: 0,
+                panicked: false,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            idle: Condvar::new(),
+        });
+        let workers = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("cohesion-crew-{i}"))
+                    .spawn(move || {
+                        let mut seen = 0u64;
+                        loop {
+                            {
+                                let mut st = shared.state.lock().unwrap();
+                                while st.epoch == seen && !st.shutdown {
+                                    st = shared.work.wait(st).unwrap();
+                                }
+                                if st.shutdown {
+                                    return;
+                                }
+                                seen = st.epoch;
+                            }
+                            shared.drain_batch();
+                        }
+                    })
+                    .expect("spawn crew worker")
+            })
+            .collect();
+        Crew { shared, workers }
+    }
+
+    /// Number of worker threads (not counting the caller).
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Runs every job in `jobs` to completion, the caller participating
+    /// alongside the workers, and returns when all have finished.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises on this thread if any job panicked (after the whole
+    /// batch has drained, so no job pointer outlives its borrow).
+    pub fn run(&self, jobs: &mut [&mut (dyn FnMut() + Send)]) {
+        if jobs.is_empty() {
+            return;
+        }
+        let total = jobs.len();
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.jobs = jobs.iter_mut().map(|j| RawJob::erase(*j)).collect();
+            st.next = 0;
+            st.done = 0;
+            st.panicked = false;
+            st.epoch += 1;
+            self.shared.work.notify_all();
+        }
+        self.shared.drain_batch();
+        let panicked = {
+            let mut st = self.shared.state.lock().unwrap();
+            while st.done < total {
+                st = self.shared.idle.wait(st).unwrap();
+            }
+            st.jobs.clear();
+            st.panicked
+        };
+        if panicked {
+            panic!("a crew job panicked (rethrown on the batch caller)");
+        }
+    }
+}
+
+impl Drop for Crew {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.shutdown = true;
+            self.shared.work.notify_all();
+        }
+        for w in self.workers.drain(..) {
+            // A worker that panicked outside a job (impossible today) is
+            // already accounted for; don't double-panic in drop.
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_every_job_exactly_once() {
+        let crew = Crew::new(3);
+        for batch in 0..50 {
+            let hits = AtomicUsize::new(0);
+            let mut sum = vec![0u64; 8];
+            {
+                let mut jobs: Vec<Box<dyn FnMut() + Send>> = sum
+                    .iter_mut()
+                    .map(|slot| {
+                        let hits = &hits;
+                        Box::new(move || {
+                            *slot += batch + 1;
+                            hits.fetch_add(1, Ordering::SeqCst);
+                        }) as Box<dyn FnMut() + Send>
+                    })
+                    .collect();
+                let mut refs: Vec<&mut (dyn FnMut() + Send)> =
+                    jobs.iter_mut().map(|b| b.as_mut() as _).collect();
+                crew.run(&mut refs);
+            }
+            assert_eq!(hits.load(Ordering::SeqCst), 8);
+            assert!(sum.iter().all(|&s| s == batch + 1));
+        }
+    }
+
+    #[test]
+    fn zero_worker_crew_runs_inline() {
+        let crew = Crew::new(0);
+        let mut x = 0;
+        let mut job = |/* inline on caller */| x += 1;
+        let mut jobs: [&mut (dyn FnMut() + Send); 1] = [&mut job];
+        crew.run(&mut jobs);
+        assert_eq!(x, 1);
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let crew = Crew::new(2);
+        crew.run(&mut []);
+    }
+
+    #[test]
+    fn job_panic_is_rethrown_after_the_batch_drains() {
+        let crew = Crew::new(2);
+        let finished = AtomicUsize::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let mut a = || panic!("boom");
+            let b_fin = &finished;
+            let mut b = || {
+                b_fin.fetch_add(1, Ordering::SeqCst);
+            };
+            let mut jobs: [&mut (dyn FnMut() + Send); 2] = [&mut a, &mut b];
+            crew.run(&mut jobs);
+        }));
+        assert!(result.is_err());
+        assert_eq!(finished.load(Ordering::SeqCst), 1, "other jobs still ran");
+        // The crew survives a panicked batch.
+        let mut ok = || {
+            finished.fetch_add(1, Ordering::SeqCst);
+        };
+        let mut jobs: [&mut (dyn FnMut() + Send); 1] = [&mut ok];
+        crew.run(&mut jobs);
+        assert_eq!(finished.load(Ordering::SeqCst), 2);
+    }
+}

@@ -18,10 +18,14 @@
 //!   cycle-windowed time-series sampler, snapshotted into deterministic
 //!   JSON run reports.
 //!
-//! The engine is intentionally single-threaded and fully deterministic: two
-//! runs with the same configuration produce bit-identical statistics, which is
-//! what makes the paper's figures reproducible artifacts rather than noisy
-//! measurements.
+//! The engine is fully deterministic: two runs with the same
+//! configuration produce bit-identical statistics, which is what makes
+//! the paper's figures reproducible artifacts rather than noisy
+//! measurements. Parallel execution of one run is layered on top without
+//! weakening that: [`shard::LaneQueues`] partitions events into per-lane
+//! wheels drained in deterministically-merged windows, and [`crew::Crew`]
+//! supplies the worker threads — host parallelism is never observable in
+//! simulated results.
 //!
 //! # Example
 //!
@@ -37,11 +41,13 @@
 //! assert_eq!(q.pop(), Some((10, "fill")));
 //! ```
 
+pub mod crew;
 pub mod event;
 pub mod ids;
 pub mod link;
 pub mod metrics;
 pub mod msg;
+pub mod shard;
 pub mod slots;
 pub mod stats;
 pub mod tracelog;

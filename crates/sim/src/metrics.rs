@@ -375,6 +375,50 @@ impl Registry {
         }
     }
 
+    /// Folds `other` into this registry: counters add, histograms merge
+    /// bucket-wise, sampler series add element-wise (window sizes must
+    /// match), gauges are overwritten by `other`'s values (last write
+    /// wins, as with [`Registry::set_gauge`]), and marks append in
+    /// `other`'s record order.
+    ///
+    /// Merging is associative, and commutative for everything except
+    /// gauge overwrites and mark order — so callers that need
+    /// deterministic output (the sharded executor folding per-lane
+    /// scratch registries) must merge in a fixed order (lane 0, 1, …).
+    ///
+    /// Merging into a disarmed registry is a no-op, mirroring every
+    /// other record call.
+    pub fn merge_from(&mut self, other: &Registry) {
+        if !self.armed {
+            return;
+        }
+        for (name, n) in &other.counters {
+            *self.counters.entry(name).or_insert(0) += n;
+        }
+        for (name, v) in &other.gauges {
+            self.gauges.insert(name, *v);
+        }
+        for (name, h) in &other.histograms {
+            self.histograms.entry(name).or_default().merge(h);
+        }
+        debug_assert_eq!(
+            self.sampler.window, other.sampler.window,
+            "merging samplers with different windows misaligns every series"
+        );
+        for (name, src) in &other.sampler.series {
+            let dst = self.sampler.series.entry(name).or_default();
+            if dst.len() < src.len() {
+                dst.resize(src.len(), 0);
+            }
+            for (d, s) in dst.iter_mut().zip(src.iter()) {
+                *d += s;
+            }
+        }
+        for (name, v) in &other.marks {
+            self.marks.entry(name).or_default().extend_from_slice(v);
+        }
+    }
+
     /// Read access to counter `name` (0 if never recorded).
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)
@@ -668,6 +712,41 @@ mod tests {
         assert!(json.contains("\"occ\":1.500"));
         // Stable across repeated serialization.
         assert_eq!(json, snap.to_json());
+    }
+
+    #[test]
+    fn merge_from_matches_single_registry_recording() {
+        let mut whole = Registry::armed(10);
+        let mut a = Registry::armed(10);
+        let mut b = Registry::armed(10);
+        for (m, k) in [(&mut whole, 3u64), (&mut a, 3)] {
+            m.add("hits", k);
+            m.record_latency("lat", 7);
+            m.sample_add("traffic", 5, 2);
+            m.mark("barrier", 10, 1);
+        }
+        for (m, k) in [(&mut whole, 4u64), (&mut b, 4)] {
+            m.add("hits", k);
+            m.add("misses", 1);
+            m.record_latency("lat", 70);
+            m.sample_add("traffic", 25, 1);
+            m.set_gauge("occ", 2.5);
+        }
+        a.merge_from(&b);
+        let mut merged = a.snapshot();
+        let mut reference = whole.snapshot();
+        merged.finalize();
+        reference.finalize();
+        assert_eq!(merged.to_json(), reference.to_json());
+    }
+
+    #[test]
+    fn merge_into_disarmed_is_noop() {
+        let mut dst = Registry::disarmed();
+        let mut src = Registry::armed(1);
+        src.inc("a");
+        dst.merge_from(&src);
+        assert!(dst.snapshot().counters.is_empty());
     }
 
     #[test]

@@ -1,0 +1,237 @@
+//! Sharded event scheduling for conservative parallel simulation.
+//!
+//! [`LaneQueues`] partitions one logical event stream across a fixed set
+//! of *lanes* (in the machine: one lane per cluster), each backed by its
+//! own timing-wheel [`EventQueue`]. The executor drains events in
+//! *windows*: [`LaneQueues::pop_window`] collects every event scheduled
+//! strictly before `horizon = min-pending-cycle + window` from all lanes
+//! and returns them merged under the fixed rule
+//!
+//! > ascending `(cycle, lane, seq)`
+//!
+//! where `seq` is the lane-local pop order (itself the `(cycle, seq)`
+//! pop order the per-lane wheel guarantees). Within a window, events in
+//! *different* lanes may be processed concurrently as long as they touch
+//! only lane-private state; the merged order is what any cross-lane
+//! (serial) work must follow.
+//!
+//! # Determinism contract
+//!
+//! The lane count is part of the *logical* configuration (the machine's
+//! cluster count), not the host parallelism: batch contents and merge
+//! order depend only on the sequence of [`LaneQueues::schedule`] calls
+//! and the window size. How many worker threads execute a batch — one or
+//! sixteen — cannot be observed through this type, which is the
+//! foundation of the `--shards N` byte-identity guarantee.
+
+use crate::event::EventQueue;
+use crate::Cycle;
+
+/// One event drained from a [`LaneQueues`] window, tagged with its merge
+/// key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchEvent<E> {
+    /// Cycle the event was scheduled for.
+    pub cycle: Cycle,
+    /// Lane the event belongs to.
+    pub lane: u32,
+    /// Lane-local pop sequence within this window (0, 1, 2, …).
+    pub seq: u32,
+    /// The event payload.
+    pub payload: E,
+}
+
+/// A fixed set of per-lane timing-wheel event queues with windowed,
+/// deterministically-merged draining. See the module docs for the
+/// ordering contract.
+#[derive(Debug, Clone)]
+pub struct LaneQueues<E> {
+    lanes: Vec<EventQueue<E>>,
+}
+
+impl<E: Copy> LaneQueues<E> {
+    /// Creates `lanes` empty queues.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is zero.
+    pub fn new(lanes: usize) -> Self {
+        assert!(lanes >= 1, "need at least one lane");
+        LaneQueues {
+            lanes: (0..lanes).map(|_| EventQueue::new()).collect(),
+        }
+    }
+
+    /// Number of lanes.
+    pub fn lanes(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Schedules `payload` on `lane` at cycle `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range or `at` is before the lane's
+    /// current time (its last popped cycle).
+    pub fn schedule(&mut self, lane: usize, at: Cycle, payload: E) {
+        self.lanes[lane].schedule(at, payload);
+    }
+
+    /// Direct access to one lane's queue — for a lane worker rescheduling
+    /// its own cores during a parallel window.
+    pub fn lane_mut(&mut self, lane: usize) -> &mut EventQueue<E> {
+        &mut self.lanes[lane]
+    }
+
+    /// The per-lane queues as a mutable slice (for split borrows across
+    /// lane workers).
+    pub fn as_mut_slice(&mut self) -> &mut [EventQueue<E>] {
+        &mut self.lanes
+    }
+
+    /// Earliest pending cycle across all lanes, or `None` when every lane
+    /// is empty.
+    pub fn next_cycle(&self) -> Option<Cycle> {
+        self.lanes.iter().filter_map(EventQueue::peek_cycle).min()
+    }
+
+    /// Total pending events across all lanes.
+    pub fn len(&self) -> usize {
+        self.lanes.iter().map(EventQueue::len).sum()
+    }
+
+    /// Whether every lane is empty.
+    pub fn is_empty(&self) -> bool {
+        self.lanes.iter().all(EventQueue::is_empty)
+    }
+
+    /// Total `schedule` calls across all lanes (matches the single-queue
+    /// `events/scheduled` accounting: one count per call, independent of
+    /// the lane partition only in total).
+    pub fn scheduled(&self) -> u64 {
+        self.lanes.iter().map(EventQueue::scheduled).sum()
+    }
+
+    /// Sum of each lane's high-water mark of pending events. The lane
+    /// partition is fixed by the machine configuration, so this is
+    /// deterministic — but it is a per-lane sum, not the high-water mark
+    /// of one merged queue.
+    pub fn max_pending(&self) -> usize {
+        self.lanes.iter().map(EventQueue::max_pending).sum()
+    }
+
+    /// Drains the next window into `batch` (cleared first): every event
+    /// with `cycle < min-pending + window`, merged by ascending
+    /// `(cycle, lane, seq)`. Returns the exclusive horizon, or `None`
+    /// (leaving `batch` empty) when all lanes are empty.
+    ///
+    /// A `window` of zero still drains the events at exactly the minimum
+    /// pending cycle (the horizon is at least one cycle past it), so the
+    /// drain always makes progress.
+    pub fn pop_window(&mut self, window: Cycle, batch: &mut Vec<BatchEvent<E>>) -> Option<Cycle> {
+        batch.clear();
+        let start = self.next_cycle()?;
+        let horizon = start + window.max(1);
+        for (lane, q) in self.lanes.iter_mut().enumerate() {
+            let mut seq = 0u32;
+            while q.peek_cycle().is_some_and(|c| c < horizon) {
+                let (cycle, payload) = q.pop().expect("peeked");
+                batch.push(BatchEvent {
+                    cycle,
+                    lane: lane as u32,
+                    seq,
+                    payload,
+                });
+                seq += 1;
+            }
+        }
+        // Lanes were visited in order and each lane pops in (cycle, seq)
+        // order, so sorting by the full key is a deterministic merge.
+        batch.sort_unstable_by_key(|e| (e.cycle, e.lane, e.seq));
+        Some(horizon)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_lane_matches_plain_queue_order() {
+        let mut lq = LaneQueues::new(1);
+        let mut q = EventQueue::new();
+        for (at, p) in [(5u64, 1u32), (3, 2), (5, 3), (9, 4)] {
+            lq.schedule(0, at, p);
+            q.schedule(at, p);
+        }
+        let mut batch = Vec::new();
+        let mut merged = Vec::new();
+        while lq.pop_window(1000, &mut batch).is_some() {
+            merged.extend(batch.iter().map(|e| (e.cycle, e.payload)));
+        }
+        let mut reference = Vec::new();
+        while let Some(ev) = q.pop() {
+            reference.push(ev);
+        }
+        assert_eq!(merged, reference);
+    }
+
+    #[test]
+    fn window_bounds_the_drain() {
+        let mut lq = LaneQueues::new(2);
+        lq.schedule(0, 10, 'a');
+        lq.schedule(1, 14, 'b');
+        lq.schedule(0, 15, 'c'); // exactly at the horizon: next window
+        lq.schedule(1, 30, 'd');
+        let mut batch = Vec::new();
+        let horizon = lq.pop_window(5, &mut batch).unwrap();
+        assert_eq!(horizon, 15);
+        let got: Vec<char> = batch.iter().map(|e| e.payload).collect();
+        assert_eq!(got, vec!['a', 'b']);
+        let horizon = lq.pop_window(5, &mut batch).unwrap();
+        assert_eq!(horizon, 20);
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].payload, 'c');
+    }
+
+    #[test]
+    fn same_cycle_events_merge_by_lane_then_seq() {
+        let mut lq = LaneQueues::new(3);
+        lq.schedule(2, 7, 'x');
+        lq.schedule(0, 7, 'y');
+        lq.schedule(0, 7, 'z');
+        lq.schedule(1, 7, 'w');
+        let mut batch = Vec::new();
+        lq.pop_window(64, &mut batch);
+        let got: Vec<(u32, u32, char)> = batch.iter().map(|e| (e.lane, e.seq, e.payload)).collect();
+        assert_eq!(got, vec![(0, 0, 'y'), (0, 1, 'z'), (1, 0, 'w'), (2, 0, 'x')]);
+    }
+
+    #[test]
+    fn zero_window_still_progresses() {
+        let mut lq = LaneQueues::new(2);
+        lq.schedule(0, 4, 1u32);
+        lq.schedule(1, 4, 2);
+        let mut batch = Vec::new();
+        assert_eq!(lq.pop_window(0, &mut batch), Some(5));
+        assert_eq!(batch.len(), 2);
+        assert!(lq.pop_window(0, &mut batch).is_none());
+        assert!(batch.is_empty());
+    }
+
+    #[test]
+    fn stats_sum_over_lanes() {
+        let mut lq = LaneQueues::new(2);
+        lq.schedule(0, 1, 1u32);
+        lq.schedule(0, 2, 2);
+        lq.schedule(1, 1, 3);
+        assert_eq!(lq.scheduled(), 3);
+        assert_eq!(lq.len(), 3);
+        assert_eq!(lq.max_pending(), 3);
+        assert_eq!(lq.next_cycle(), Some(1));
+        let mut batch = Vec::new();
+        lq.pop_window(100, &mut batch);
+        assert!(lq.is_empty());
+        assert_eq!(lq.scheduled(), 3, "scheduled counts calls, not occupancy");
+    }
+}

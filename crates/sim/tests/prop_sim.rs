@@ -2,9 +2,11 @@
 //! first-party `cohesion-testkit` harness; ≥ 64 deterministic cases each,
 //! seed-replayable via `COHESION_PROP_SEED`).
 
+use cohesion_sim::crew::Crew;
 use cohesion_sim::event::EventQueue;
 use cohesion_sim::link::{Link, Throttle};
-use cohesion_sim::metrics::{Histogram, HISTOGRAM_BUCKETS};
+use cohesion_sim::metrics::{Histogram, Registry, HISTOGRAM_BUCKETS};
+use cohesion_sim::shard::{BatchEvent, LaneQueues};
 use cohesion_sim::stats::TimeWeighted;
 use cohesion_sim::slots::SlotReserver;
 use cohesion_testkit::prop::{range, sample, vec_of, Runner};
@@ -93,9 +95,256 @@ fn event_queue_matches_binary_heap_model() {
         });
 }
 
-/// A reserver never grants more than `capacity` uses whose grant times
-/// fall in any single window, for arbitrary (including out-of-order)
-/// request times.
+/// `LaneQueues::pop_window` against a reference model: each window's
+/// batch holds, for every lane, exactly the pending events with
+/// `cycle < horizon` in that lane's `(cycle, insertion)` order, merged
+/// by `(cycle, lane, seq)` — including same-cycle bursts across lanes
+/// and events landing exactly on the horizon (which must wait for the
+/// next window).
+#[test]
+fn lane_queues_match_per_lane_reference() {
+    // One step: schedule a burst into a lane at `now + delta` (deltas
+    // straddle the window boundary of 16), or drain one window.
+    let step = (
+        range(0u32..4),                    // 0..=2: schedule  3: drain
+        range(0usize..8),                  // lane (mod lane count)
+        sample(&[0u64, 1, 15, 16, 17, 48]), // delta vs window 16
+        range(1usize..5),                  // burst size
+    );
+    Runner::new("lane_queues_match_per_lane_reference")
+        .cases(96)
+        .run(
+            &(range(1usize..9), vec_of(step, 1..60)),
+            |(lanes, steps)| {
+                const WINDOW: u64 = 16;
+                let mut q = LaneQueues::new(lanes);
+                // Reference: per-lane sorted-stable pending lists.
+                let mut model: Vec<Vec<(u64, u32)>> = vec![Vec::new(); lanes];
+                let mut payload = 0u32;
+                let mut batch: Vec<BatchEvent<u32>> = Vec::new();
+                let mut drains = 0;
+                for (kind, lane, delta, burst) in steps {
+                    let lane = lane % lanes;
+                    if kind < 3 {
+                        // Schedule from the lane's own timeline.
+                        let at = q.lane_mut(lane).now() + delta;
+                        for _ in 0..burst {
+                            q.schedule(lane, at, payload);
+                            model[lane].push((at, payload));
+                            payload += 1;
+                        }
+                        model[lane].sort_by_key(|&(at, _)| at); // stable: FIFO kept
+                    } else if let Some(horizon) = q.pop_window(WINDOW, &mut batch) {
+                        drains += 1;
+                        let start = model
+                            .iter()
+                            .filter_map(|l| l.first().map(|&(at, _)| at))
+                            .min()
+                            .expect("queues non-empty");
+                        assert_eq!(horizon, start + WINDOW);
+                        // Expected batch: each lane's sub-horizon prefix,
+                        // tagged with per-lane seq, merged canonically.
+                        let mut want: Vec<(u64, usize, u32, u32)> = Vec::new();
+                        for (li, l) in model.iter_mut().enumerate() {
+                            let cut = l.partition_point(|&(at, _)| at < horizon);
+                            for (seq, (at, p)) in l.drain(..cut).enumerate() {
+                                want.push((at, li, seq as u32, p));
+                            }
+                        }
+                        want.sort_by_key(|&(at, li, seq, _)| (at, li, seq));
+                        let got: Vec<(u64, usize, u32, u32)> = batch
+                            .iter()
+                            .map(|e| (e.cycle, e.lane as usize, e.seq, e.payload))
+                            .collect();
+                        assert_eq!(got, want, "window {drains} diverged from model");
+                    } else {
+                        assert!(model.iter().all(|l| l.is_empty()));
+                    }
+                }
+                assert_eq!(
+                    q.len() as usize,
+                    model.iter().map(|l| l.len()).sum::<usize>(),
+                    "conservation after {drains} drains"
+                );
+            },
+        );
+}
+
+/// The sharded two-phase window discipline in miniature: a toy machine
+/// with per-lane cores whose events either mutate lane-local state
+/// (phase A, parallel over lanes) or escalate to a shared digest applied
+/// in canonical batch order (phase B, serial). Running it single-threaded
+/// and on a worker crew must leave byte-identical final state — lane
+/// digests, shared digest, queue stats, and merged metrics JSON. Initial
+/// events collide on the same cycle across lanes, and re-schedules land
+/// exactly on (or just past) the lookahead horizon.
+#[test]
+fn crewed_windows_match_single_threaded_windows() {
+    Runner::new("crewed_windows_match_single_threaded_windows")
+        .cases(64)
+        .run(
+            &(
+                range(1usize..9),            // lanes
+                range(1usize..4),            // cores per lane
+                range(1u64..24),             // steps per core
+                vec_of(range(0u64..4), 4..24), // re-schedule jitter (0 = boundary)
+            ),
+            |(lanes, cpl, steps, jitter)| {
+                let serial = toy_sharded_run(lanes, cpl, steps, &jitter, 1);
+                for threads in [2, lanes.max(2)] {
+                    let crewed = toy_sharded_run(lanes, cpl, steps, &jitter, threads);
+                    assert_eq!(
+                        serial, crewed,
+                        "{lanes} lanes x {cpl} cores, {threads} threads diverged"
+                    );
+                }
+            },
+        );
+}
+
+fn toy_mix(d: u64, cycle: u64, x: u64) -> u64 {
+    (d ^ cycle.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ x)
+        .wrapping_mul(0xFF51_AFD7_ED55_8CCD)
+        .rotate_left(13)
+}
+
+/// Runs the toy model to completion; the return value is the complete
+/// observable state. `threads` must not affect it.
+fn toy_sharded_run(
+    lanes: usize,
+    cpl: usize,
+    steps: u64,
+    jitter: &[u64],
+    threads: usize,
+) -> (Vec<u64>, u64, u64, u64, String) {
+    const WINDOW: u64 = 16;
+    struct LaneJob<'a> {
+        queue: &'a mut EventQueue<u32>,
+        digest: &'a mut u64,
+        /// Per-core completed-step counters (host-thread-independent).
+        done: &'a mut [u64],
+        metrics: &'a mut Registry,
+        /// This lane's window events: `(batch_idx, cycle, core_payload)`.
+        events: Vec<(usize, u64, u32)>,
+        /// Escalations for phase B, same tuple shape.
+        out: Vec<(usize, u64, u32)>,
+    }
+    /// An event escalates (touches the shared digest) 1 time in 4.
+    fn is_global(cycle: u64, payload: u32) -> bool {
+        toy_mix(0, cycle, payload as u64) % 4 == 0
+    }
+
+    let mut q = LaneQueues::new(lanes);
+    for lane in 0..lanes {
+        for c in 0..cpl {
+            // Same-cycle collisions across lanes by construction.
+            q.schedule(lane, (c as u64) % 3, (lane * cpl + c) as u32);
+        }
+    }
+    let mut lane_digests = vec![0u64; lanes];
+    let mut done = vec![0u64; lanes * cpl];
+    let mut registries: Vec<Registry> = (0..lanes).map(|_| Registry::armed(64)).collect();
+    let mut shared = 0u64;
+    let crew = (threads > 1).then(|| Crew::new(threads - 1));
+    let mut batch: Vec<BatchEvent<u32>> = Vec::new();
+    while q.pop_window(WINDOW, &mut batch).is_some() {
+        let mut per_lane: Vec<Vec<(usize, u64, u32)>> = vec![Vec::new(); lanes];
+        for (bi, ev) in batch.iter().enumerate() {
+            per_lane[ev.lane as usize].push((bi, ev.cycle, ev.payload));
+        }
+        // Phase A: lanes process their own events in canonical order,
+        // touching only lane-local state; global events escalate with
+        // nothing mutated.
+        let mut jobs: Vec<LaneJob<'_>> = q
+            .as_mut_slice()
+            .iter_mut()
+            .zip(lane_digests.iter_mut())
+            .zip(done.chunks_mut(cpl))
+            .zip(registries.iter_mut())
+            .zip(per_lane)
+            .map(|((((queue, digest), done), metrics), events)| LaneJob {
+                queue,
+                digest,
+                done,
+                metrics,
+                events,
+                out: Vec::new(),
+            })
+            .collect();
+        let run_lane = |j: &mut LaneJob<'_>| {
+            for i in 0..j.events.len() {
+                let (bi, cycle, payload) = j.events[i];
+                if is_global(cycle, payload) {
+                    j.out.push((bi, cycle, payload));
+                    continue;
+                }
+                *j.digest = toy_mix(*j.digest, cycle, payload as u64);
+                j.metrics.record_latency("toy/local", cycle % 97);
+                let core = payload as usize % cpl;
+                j.done[core] += 1;
+                if j.done[core] < steps {
+                    let jit = jitter[(j.done[core] as usize + payload as usize) % jitter.len()];
+                    // On or just past the lookahead horizon.
+                    j.queue.schedule(cycle + WINDOW + jit, payload);
+                }
+            }
+        };
+        match &crew {
+            Some(crew) => {
+                let mut closures: Vec<_> = jobs
+                    .iter_mut()
+                    .map(|j| move || run_lane(j))
+                    .collect();
+                let mut refs: Vec<&mut (dyn FnMut() + Send)> = closures
+                    .iter_mut()
+                    .map(|c| c as &mut (dyn FnMut() + Send))
+                    .collect();
+                crew.run(&mut refs);
+            }
+            None => {
+                for j in jobs.iter_mut() {
+                    run_lane(j);
+                }
+            }
+        }
+        // Phase B: escalations apply to the shared digest in canonical
+        // batch order, and re-schedule into their own lane.
+        let mut serial: Vec<(usize, usize, u64, u32)> = Vec::new();
+        for (lane, j) in jobs.iter_mut().enumerate() {
+            for (bi, cycle, payload) in j.out.drain(..) {
+                serial.push((bi, lane, cycle, payload));
+            }
+        }
+        drop(jobs);
+        serial.sort_unstable_by_key(|&(bi, ..)| bi);
+        for (_bi, lane, cycle, payload) in serial {
+            shared = toy_mix(shared, cycle, (payload as u64) << 32 | lane as u64);
+            let core = payload as usize % cpl;
+            let slot = lane * cpl + core;
+            done[slot] += 1;
+            if done[slot] < steps {
+                let jit = jitter[(done[slot] as usize + payload as usize) % jitter.len()];
+                q.schedule(lane, cycle + WINDOW + jit, payload);
+            }
+        }
+    }
+    let merged_metrics = {
+        let mut all = Registry::armed(64);
+        for r in &registries {
+            all.merge_from(r);
+        }
+        let mut snap = all.snapshot();
+        snap.finalize();
+        snap.to_json()
+    };
+    (
+        lane_digests,
+        shared,
+        q.scheduled(),
+        q.max_pending() as u64,
+        merged_metrics,
+    )
+}
 #[test]
 fn slot_reserver_respects_capacity() {
     Runner::new("slot_reserver_respects_capacity")
