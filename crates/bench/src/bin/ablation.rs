@@ -93,4 +93,5 @@ fn main() {
     println!("Ablation of Cohesion design choices (Cohesion mode, realistic sparse directory)\n");
     print!("{}", t.render());
     opts.write_metrics("ablation");
+    opts.write_timeline("ablation");
 }

@@ -9,4 +9,5 @@ fn main() {
     let opts = Options::from_args(); // uniform flag validation (--jobs etc.)
     print!("{}", render_area());
     opts.write_metrics("area"); // empty runs list: area simulates nothing
+    opts.write_timeline("area");
 }

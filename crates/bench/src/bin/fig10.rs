@@ -13,4 +13,5 @@ fn main() {
     let rows = fig10(&opts);
     print!("{}", render_fig10(&rows));
     opts.write_metrics("fig10");
+    opts.write_timeline("fig10");
 }

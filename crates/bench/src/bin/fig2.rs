@@ -11,4 +11,5 @@ fn main() {
     let rows = fig2(&opts);
     print!("{}", render_fig2(&rows));
     opts.write_metrics("fig2");
+    opts.write_timeline("fig2");
 }

@@ -11,4 +11,5 @@ fn main() {
     let rows = fig3(&opts);
     print!("{}", render_fig3(&rows));
     opts.write_metrics("fig3");
+    opts.write_timeline("fig3");
 }

@@ -12,4 +12,5 @@ fn main() {
     let rows = fig8(&opts);
     print!("{}", render_fig8(&rows));
     opts.write_metrics("fig8");
+    opts.write_timeline("fig8");
 }

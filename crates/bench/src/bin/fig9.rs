@@ -32,4 +32,5 @@ fn main() {
         print!("{}", render_fig9c(&fig9c(&opts)));
     }
     opts.write_metrics("fig9");
+    opts.write_timeline("fig9");
 }

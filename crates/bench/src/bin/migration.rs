@@ -68,4 +68,5 @@ fn main() {
          up front (coh_HWcc_region), and gets the hardware behaviour thereafter."
     );
     opts.write_metrics("migration");
+    opts.write_timeline("migration");
 }

@@ -87,4 +87,5 @@ fn main() {
          lower message count is what relaxes the network's design constraints (§2.1)."
     );
     opts.write_metrics("network_capacity");
+    opts.write_timeline("network_capacity");
 }

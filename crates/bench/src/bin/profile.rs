@@ -14,11 +14,24 @@
 //! # Live: run the selected kernels under Cohesion with metrics armed,
 //! # then profile the result (accepts the shared harness flags).
 //! cargo run --release -p cohesion-bench --bin profile -- --kernels sobel --cores 16 --scale tiny
+//! # Timeline view: top escalation causes per kernel plus the phase A/B
+//! # wall split, from a `cohesion-timeline/v1` summary, a Chrome trace,
+//! # or a live run (`--timeline` with no `--from`).
+//! cargo run --release -p cohesion-bench --bin profile -- --from trace-summary.json
+//! cargo run --release -p cohesion-bench --bin profile -- --timeline --kernels sobel --cores 16 --scale tiny
 //! ```
 //!
-//! The live path dogfoods the whole pipeline: it serializes its own runs
-//! with the same writer the figure binaries use, then parses that JSON
-//! back with [`cohesion_bench::jsonv`] before rendering.
+//! `--from` dispatches on file content, not flags: a JSON object with
+//! schema `cohesion-metrics/v1` renders the metrics profile, one with
+//! `cohesion-timeline/v1` the timeline profile, and a JSON *array* is
+//! treated as a Chrome trace-event export. Trace and summary find each
+//! other through the `--trace-out` naming convention (`X.json` ↔
+//! `X-summary.json`), so pointing at either file profiles both halves
+//! when the sibling exists.
+//!
+//! The live paths dogfood the whole pipeline: they serialize their own
+//! runs with the same writers the figure binaries use, then parse that
+//! JSON back with [`cohesion_bench::jsonv`] before rendering.
 
 use cohesion::config::DesignPoint;
 use cohesion_bench::harness::{self, Options};
@@ -32,36 +45,93 @@ fn main() {
         .find(|w| w[0] == "--from")
         .map(|w| w[1].clone());
     let check_only = args.iter().any(|a| a == "--check");
+    let timeline_mode = args.iter().any(|a| a == "--timeline");
 
-    let doc = match &from {
+    // (document, optional sibling) — the sibling is the other half of a
+    // --trace-out pair (trace ↔ summary) when it exists on disk.
+    let (doc, sibling) = match &from {
         Some(path) => {
             let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
                 eprintln!("error: cannot read {path}: {e}");
                 std::process::exit(1);
             });
-            text
+            (text, sibling_document(path))
         }
-        None => live_document(),
+        None if timeline_mode => live_timeline_documents(),
+        None => (live_document(), None),
     };
 
     let v = jsonv::parse(&doc).unwrap_or_else(|e| {
-        eprintln!("error: metrics report does not parse as JSON: {e}");
+        eprintln!("error: report does not parse as JSON: {e}");
         std::process::exit(1);
     });
-    if let Err(e) = validate(&v) {
-        eprintln!("error: invalid metrics report: {e}");
-        std::process::exit(1);
+    let sib = sibling.map(|text| {
+        jsonv::parse(&text).unwrap_or_else(|e| {
+            eprintln!("error: sibling report does not parse as JSON: {e}");
+            std::process::exit(1);
+        })
+    });
+
+    // Content dispatch: array = Chrome trace, object = keyed document.
+    let (summary, trace) = if v.as_arr().is_some() {
+        (sib, Some(v))
+    } else if v.get("schema").and_then(Value::as_str) == Some("cohesion-timeline/v1") {
+        (Some(v), sib)
+    } else {
+        // Metrics document: the pre-existing profile path.
+        if let Err(e) = validate(&v) {
+            eprintln!("error: invalid metrics report: {e}");
+            std::process::exit(1);
+        }
+        if check_only {
+            let runs = v.get("runs").and_then(Value::as_arr).map_or(0, <[Value]>::len);
+            println!(
+                "ok: {} report from `{}` with {runs} run(s)",
+                v.get("schema").and_then(Value::as_str).unwrap_or("?"),
+                v.get("binary").and_then(Value::as_str).unwrap_or("?"),
+            );
+            return;
+        }
+        print!("{}", render(&v));
+        return;
+    };
+
+    if let Some(s) = &summary {
+        if let Err(e) = validate_timeline(s) {
+            eprintln!("error: invalid timeline summary: {e}");
+            std::process::exit(1);
+        }
+    }
+    if let Some(t) = &trace {
+        if let Err(e) = validate_trace(t) {
+            eprintln!("error: invalid Chrome trace: {e}");
+            std::process::exit(1);
+        }
     }
     if check_only {
-        let runs = v.get("runs").and_then(Value::as_arr).map_or(0, <[Value]>::len);
-        println!(
-            "ok: {} report from `{}` with {runs} run(s)",
-            v.get("schema").and_then(Value::as_str).unwrap_or("?"),
-            v.get("binary").and_then(Value::as_str).unwrap_or("?"),
-        );
+        let runs = summary
+            .as_ref()
+            .and_then(|s| s.get("runs"))
+            .and_then(Value::as_arr)
+            .map_or(0, <[Value]>::len);
+        let events = trace.as_ref().and_then(Value::as_arr).map_or(0, <[Value]>::len);
+        println!("ok: cohesion-timeline/v1 report with {runs} run(s), {events} trace event(s)");
         return;
     }
-    print!("{}", render(&v));
+    print!("{}", render_timeline(summary.as_ref(), trace.as_ref()));
+}
+
+/// Loads the other half of a `--trace-out` pair when it exists:
+/// `X-summary.json` for `X.json` and vice versa.
+fn sibling_document(path: &str) -> Option<String> {
+    let sibling = match path.strip_suffix("-summary.json") {
+        Some(stem) => format!("{stem}.json"),
+        None => harness::timeline_summary_path(path),
+    };
+    if sibling == path {
+        return None;
+    }
+    std::fs::read_to_string(sibling).ok()
 }
 
 /// Runs the shared-CLI kernels under Cohesion with metrics armed and
@@ -91,6 +161,248 @@ fn live_document() -> String {
         eprintln!("metrics report written to {path}");
     }
     doc
+}
+
+/// Runs the shared-CLI kernels under Cohesion with the timeline flight
+/// recorder armed and returns `(summary document, trace document)` —
+/// also writing both files if `--trace-out` was given.
+fn live_timeline_documents() -> (String, Option<String>) {
+    let mut opts = Options::from_args();
+    let trace_out = opts.trace_out.take();
+    // Arm the recorder even without --trace-out: `config()` keys off
+    // this field, and the sink is drained into the documents below.
+    opts.trace_out = Some(String::new());
+    let e = 16 * 1024;
+    for kernel in opts.kernels.clone() {
+        let _ = harness::run(&opts, &kernel, DesignPoint::cohesion(e, 128));
+    }
+    let mut runs = harness::take_recorded_timelines();
+    runs.sort_by(|a, b| (&a.0, a.1.summary_json()).cmp(&(&b.0, b.1.summary_json())));
+    let trace = harness::chrome_trace(&runs);
+    let summaries: Vec<(String, String)> = runs
+        .iter()
+        .map(|(label, snap)| (label.clone(), snap.summary_json()))
+        .collect();
+    let doc = harness::timeline_document("profile", &opts, &summaries);
+    if let Some(path) = trace_out.filter(|p| !p.is_empty()) {
+        let spath = harness::timeline_summary_path(&path);
+        for (p, text) in [(&path, &trace), (&spath, &doc)] {
+            if let Err(err) = std::fs::write(p, text) {
+                eprintln!("error: cannot write timeline report to {p}: {err}");
+                std::process::exit(1);
+            }
+        }
+        eprintln!("timeline trace written to {path} (summary: {spath})");
+    }
+    (doc, Some(trace))
+}
+
+/// Checks a `cohesion-timeline/v1` summary document has the required
+/// shape (CI's `--check` contract for the timeline schema).
+fn validate_timeline(v: &Value) -> Result<(), String> {
+    for key in ["schema", "binary", "options", "runs"] {
+        if v.get(key).is_none() {
+            return Err(format!("missing top-level key {key:?}"));
+        }
+    }
+    let schema = v.get("schema").and_then(Value::as_str).unwrap_or_default();
+    if schema != "cohesion-timeline/v1" {
+        return Err(format!("unknown schema {schema:?}"));
+    }
+    let runs = v
+        .get("runs")
+        .and_then(Value::as_arr)
+        .ok_or("\"runs\" is not an array")?;
+    for (i, run) in runs.iter().enumerate() {
+        if run.get("label").and_then(Value::as_str).is_none() {
+            return Err(format!("run {i} has no label"));
+        }
+        let t = run.get("timeline").ok_or(format!("run {i} has no timeline"))?;
+        for key in ["dropped_spans", "epochs", "escalated", "escalation_rate", "fast", "slices"] {
+            if t.get(key).is_none() {
+                return Err(format!("run {i} timeline missing {key:?}"));
+            }
+        }
+        let fast = t.get("fast").and_then(Value::as_u64).unwrap_or(0);
+        let slices = t.get("slices").and_then(Value::as_u64).unwrap_or(0);
+        let escalated: u64 = t
+            .get("escalated")
+            .and_then(Value::as_obj)
+            .unwrap_or_default()
+            .iter()
+            .filter_map(|(_, v)| v.as_u64())
+            .sum();
+        if fast + escalated != slices {
+            return Err(format!(
+                "run {i}: fast ({fast}) + escalated ({escalated}) != slices ({slices})"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Checks a Chrome trace-event export: a JSON array of events with
+/// non-negative timestamps/durations, monotonic per `(pid, tid)` track.
+fn validate_trace(v: &Value) -> Result<(), String> {
+    let events = v.as_arr().ok_or("trace is not a JSON array")?;
+    let mut last: Vec<((u64, u64), u64)> = Vec::new();
+    for (i, e) in events.iter().enumerate() {
+        let ph = e
+            .get("ph")
+            .and_then(Value::as_str)
+            .ok_or(format!("event {i} has no \"ph\""))?;
+        for key in ["name", "pid", "tid"] {
+            if e.get(key).is_none() {
+                return Err(format!("event {i} has no {key:?}"));
+            }
+        }
+        if ph == "M" {
+            continue;
+        }
+        let ts = e
+            .get("ts")
+            .and_then(Value::as_u64)
+            .ok_or(format!("event {i} has no non-negative \"ts\""))?;
+        if ph == "X" && e.get("dur").and_then(Value::as_u64).is_none() {
+            return Err(format!("event {i} has no non-negative \"dur\""));
+        }
+        let track = (
+            e.get("pid").and_then(Value::as_u64).unwrap_or(0),
+            e.get("tid").and_then(Value::as_u64).unwrap_or(0),
+        );
+        match last.iter_mut().find(|(t, _)| *t == track) {
+            Some((_, prev)) => {
+                if ts < *prev {
+                    return Err(format!(
+                        "event {i}: ts {ts} goes backwards on track {track:?} (prev {prev})"
+                    ));
+                }
+                *prev = ts;
+            }
+            None => last.push((track, ts)),
+        }
+    }
+    Ok(())
+}
+
+/// Renders the timeline profile: per-run escalation-cause breakdown from
+/// the summary, wall-clock phase split from the trace — whichever halves
+/// are present.
+fn render_timeline(summary: Option<&Value>, trace: Option<&Value>) -> String {
+    let mut out = String::new();
+    let walls = trace.map(wall_splits).unwrap_or_default();
+    if let Some(s) = summary {
+        let runs = s.get("runs").and_then(Value::as_arr).unwrap_or_default();
+        out.push_str(&format!(
+            "Timeline profile: `{}` report, {} run(s)\n",
+            s.get("binary").and_then(Value::as_str).unwrap_or("?"),
+            runs.len(),
+        ));
+        for run in runs {
+            let label = run.get("label").and_then(Value::as_str).unwrap_or("?");
+            let t = run.get("timeline").expect("validated");
+            let g = |k: &str| t.get(k).and_then(Value::as_u64).unwrap_or(0);
+            let rate = t.get("escalation_rate").and_then(Value::as_f64).unwrap_or(0.0);
+            out.push_str(&format!(
+                "\n== {label} ==\nslices {} ({} fast, {:.1}% escalated), epochs {}, dropped spans {}\n",
+                g("slices"),
+                g("fast"),
+                rate * 100.0,
+                g("epochs"),
+                g("dropped_spans"),
+            ));
+            let mut causes: Vec<(String, u64)> = t
+                .get("escalated")
+                .and_then(Value::as_obj)
+                .unwrap_or_default()
+                .iter()
+                .filter_map(|(k, v)| Some((k.clone(), v.as_u64()?)))
+                .filter(|(_, n)| *n > 0)
+                .collect();
+            causes.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+            let total: u64 = causes.iter().map(|(_, n)| n).sum();
+            if total > 0 {
+                out.push_str("Escalation causes:\n");
+                for (cause, n) in &causes {
+                    out.push_str(&format!(
+                        "  {cause:<12} {n:>8} ({:.1}%)\n",
+                        *n as f64 * 100.0 / total as f64
+                    ));
+                }
+            }
+            if let Some(w) = walls.iter().find(|w| w.label == label) {
+                out.push_str(&w.render());
+            }
+        }
+    } else {
+        out.push_str(&format!("Timeline profile: trace only, {} run(s)\n", walls.len()));
+        for w in &walls {
+            out.push_str(&format!("\n== {} ==\n", w.label));
+            out.push_str(&w.render());
+        }
+    }
+    out
+}
+
+/// Wall-clock totals per span kind for one trace process (= one run).
+struct WallSplit {
+    label: String,
+    /// `(span name, total microseconds, span count)`, insertion order.
+    kinds: Vec<(String, u64, u64)>,
+}
+
+impl WallSplit {
+    fn render(&self) -> String {
+        let mut out = String::from("Wall split (from trace):\n");
+        let mut kinds: Vec<_> = self.kinds.iter().collect();
+        kinds.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        for (name, us, count) in kinds {
+            out.push_str(&format!("  {name:<14} {:>10.3} ms over {count} span(s)\n",
+                *us as f64 / 1000.0));
+        }
+        out
+    }
+}
+
+/// Sums span durations by kind per trace process, resolving process
+/// labels from the `process_name` metadata events.
+fn wall_splits(trace: &Value) -> Vec<WallSplit> {
+    let events = trace.as_arr().unwrap_or_default();
+    let mut splits: Vec<(u64, WallSplit)> = Vec::new();
+    for e in events {
+        let pid = e.get("pid").and_then(Value::as_u64).unwrap_or(0);
+        let ph = e.get("ph").and_then(Value::as_str).unwrap_or("");
+        let name = e.get("name").and_then(Value::as_str).unwrap_or("");
+        if ph == "M" {
+            if name == "process_name" {
+                let label = e
+                    .get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Value::as_str)
+                    .unwrap_or("?")
+                    .to_string();
+                if !splits.iter().any(|(p, _)| *p == pid) {
+                    splits.push((pid, WallSplit { label, kinds: Vec::new() }));
+                }
+            }
+            continue;
+        }
+        if ph != "X" {
+            continue;
+        }
+        let dur = e.get("dur").and_then(Value::as_u64).unwrap_or(0);
+        let Some((_, split)) = splits.iter_mut().find(|(p, _)| *p == pid) else {
+            continue;
+        };
+        match split.kinds.iter_mut().find(|(k, _, _)| k == name) {
+            Some((_, us, count)) => {
+                *us += dur;
+                *count += 1;
+            }
+            None => split.kinds.push((name.to_string(), dur, 1)),
+        }
+    }
+    splits.into_iter().map(|(_, w)| w).collect()
 }
 
 /// Checks the document has the required shape (CI's `--check` contract).

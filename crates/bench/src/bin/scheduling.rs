@@ -74,4 +74,5 @@ fn main() {
          after invalidation for SWcc data (§2.3)."
     );
     opts.write_metrics("scheduling");
+    opts.write_timeline("scheduling");
 }

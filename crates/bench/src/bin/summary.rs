@@ -12,4 +12,5 @@ fn main() {
     let s = summarize(&fig8(&opts), &fig9c(&opts));
     print!("{}", render_summary(&s));
     opts.write_metrics("summary");
+    opts.write_timeline("summary");
 }

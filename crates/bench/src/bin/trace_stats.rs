@@ -115,4 +115,5 @@ fn main() {
          carry none; Cohesion traces carry them only for SWcc-domain data (§4.1)."
     );
     opts.write_metrics("trace_stats"); // empty runs list: no machine is simulated
+    opts.write_timeline("trace_stats");
 }

@@ -150,4 +150,5 @@ fn main() {
          HWcc->SWcc costs scale with the directory-known sharer count."
     );
     opts.write_metrics("transition_cost");
+    opts.write_timeline("transition_cost");
 }

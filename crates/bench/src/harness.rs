@@ -16,6 +16,7 @@ use cohesion::report::RunReport;
 use cohesion::run::run_workload;
 use cohesion_kernels::{Scale, KERNEL_NAMES};
 use cohesion_sim::metrics::Snapshot;
+use cohesion_sim::timeline::{TimelineSnapshot, Track};
 use cohesion_testkit::pool;
 
 /// Common command-line options for every figure binary.
@@ -51,6 +52,15 @@ pub struct Options {
     /// — metrics stay disarmed and every observable output is
     /// byte-identical to a run without telemetry.
     pub metrics_out: Option<String>,
+    /// Destination for the Chrome trace-event export (`--trace-out`).
+    /// When set, every simulation runs with the timeline flight recorder
+    /// armed and [`Options::write_timeline`] serializes the recorded
+    /// spans as a Perfetto-loadable trace plus a deterministic
+    /// `cohesion-timeline/v1` summary next to it (same path with the
+    /// trailing `.json` replaced by `-summary.json`). When `None` — the
+    /// default — the recorder stays disarmed and every observable output
+    /// is byte-identical to a run without tracing.
+    pub trace_out: Option<String>,
 }
 
 impl Default for Options {
@@ -63,6 +73,7 @@ impl Default for Options {
             shards: default_shards(),
             seed: 0,
             metrics_out: None,
+            trace_out: None,
         }
     }
 }
@@ -145,9 +156,21 @@ impl Options {
                             .clone(),
                     );
                 }
-                "--part" | "--out" | "--csv" => {
-                    // consumed by fig9 / all_figures separately; skip the value
+                "--trace-out" => {
                     i += 1;
+                    opts.trace_out = Some(
+                        args.get(i)
+                            .unwrap_or_else(|| usage("--trace-out needs a file path"))
+                            .clone(),
+                    );
+                }
+                "--part" | "--out" | "--csv" | "--from" => {
+                    // consumed by fig9 / all_figures / profile separately;
+                    // skip the value
+                    i += 1;
+                }
+                "--check" | "--timeline" => {
+                    // profile's valueless mode flags; parsed there
                 }
                 other => usage(&format!("unknown option {other}")),
             }
@@ -174,6 +197,7 @@ impl Options {
             MachineConfig::scaled(self.cores, dp)
         };
         cfg.metrics = self.metrics_out.is_some();
+        cfg.timeline = self.trace_out.is_some();
         cfg.shards = self.shards;
         cfg
     }
@@ -202,6 +226,42 @@ impl Options {
         }
         eprintln!("metrics report written to {path}");
     }
+
+    /// Serializes every timeline snapshot recorded since the last drain
+    /// into the `--trace-out` file as a Chrome trace-event JSON array
+    /// (one trace process per run, one track per lane / crew worker plus
+    /// a serial track), and the deterministic `cohesion-timeline/v1`
+    /// summary document next to it. A no-op when `--trace-out` was not
+    /// given. `binary` names the producing experiment in the summary.
+    ///
+    /// The trace file carries wall-clock span timings and is therefore
+    /// *not* reproducible run to run; the summary document contains only
+    /// deterministic aggregates (sorted by label), so it is
+    /// byte-identical at any `--jobs` / `--shards` count.
+    pub fn write_timeline(&self, binary: &str) {
+        let runs = take_recorded_timelines();
+        let Some(path) = &self.trace_out else {
+            return;
+        };
+        let mut runs = runs;
+        runs.sort_by(|a, b| (&a.0, a.1.summary_json()).cmp(&(&b.0, b.1.summary_json())));
+        let trace = chrome_trace(&runs);
+        if let Err(e) = std::fs::write(path, trace) {
+            eprintln!("error: cannot write timeline trace to {path}: {e}");
+            std::process::exit(1);
+        }
+        let summaries: Vec<(String, String)> = runs
+            .iter()
+            .map(|(label, snap)| (label.clone(), snap.summary_json()))
+            .collect();
+        let doc = timeline_document(binary, self, &summaries);
+        let spath = timeline_summary_path(path);
+        if let Err(e) = std::fs::write(&spath, doc) {
+            eprintln!("error: cannot write timeline summary to {spath}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("timeline trace written to {path} (summary: {spath})");
+    }
 }
 
 /// Labeled telemetry snapshots recorded by [`run`] (and by experiment
@@ -209,14 +269,34 @@ impl Options {
 /// [`Options::write_metrics`] or [`take_recorded_metrics`] drains them.
 static METRICS_SINK: Mutex<Vec<(String, Snapshot)>> = Mutex::new(Vec::new());
 
-/// Records `report`'s telemetry snapshot under `label` for the next
-/// [`Options::write_metrics`]. A no-op when the run had metrics disarmed
-/// (no `--metrics-out`), so calling this unconditionally never perturbs
-/// an ordinary run.
+/// Labeled timeline snapshots recorded until [`Options::write_timeline`]
+/// or [`take_recorded_timelines`] drains them.
+static TIMELINE_SINK: Mutex<Vec<(String, TimelineSnapshot)>> = Mutex::new(Vec::new());
+
+/// Records `report`'s telemetry and timeline snapshots under `label` for
+/// the next [`Options::write_metrics`] / [`Options::write_timeline`]. A
+/// no-op when the run had both recorders disarmed (no `--metrics-out` /
+/// `--trace-out`), so calling this unconditionally never perturbs an
+/// ordinary run.
 pub fn record_metrics(label: impl Into<String>, report: &RunReport) {
+    let label = label.into();
     if let Some(snap) = &report.metrics {
-        record_snapshot(label, snap.clone());
+        record_snapshot(label.clone(), snap.clone());
     }
+    if let Some(tl) = &report.timeline {
+        TIMELINE_SINK
+            .lock()
+            .expect("timeline sink poisoned")
+            .push((label, tl.clone()));
+    }
+}
+
+/// Drains and returns every recorded `(label, timeline)` pair, in
+/// recording order (nondeterministic under a parallel sweep — sort
+/// before serializing). Exposed for tests and for
+/// [`Options::write_timeline`].
+pub fn take_recorded_timelines() -> Vec<(String, TimelineSnapshot)> {
+    std::mem::take(&mut *TIMELINE_SINK.lock().expect("timeline sink poisoned"))
 }
 
 /// Records an already-taken snapshot under `label` — for binaries that
@@ -290,12 +370,155 @@ pub fn metrics_document(binary: &str, opts: &Options, runs: &[(String, String)])
     out
 }
 
+/// The summary document path paired with a `--trace-out` trace path: the
+/// trailing `.json` (if any) is replaced by `-summary.json`.
+pub fn timeline_summary_path(trace_path: &str) -> String {
+    match trace_path.strip_suffix(".json") {
+        Some(stem) => format!("{stem}-summary.json"),
+        None => format!("{trace_path}-summary.json"),
+    }
+}
+
+/// Renders the full `--trace-out` summary document
+/// (`cohesion-timeline/v1`) from already-serialized
+/// `(label, summary-json)` pairs, pre-sorted by the caller. Pure, so
+/// tests can check determinism without touching the filesystem. Mirrors
+/// [`metrics_document`]: `jobs` and `shards` are deliberately absent and
+/// a zero seed is elided, because the summary must be byte-identical at
+/// any worker or shard count.
+pub fn timeline_document(binary: &str, opts: &Options, runs: &[(String, String)]) -> String {
+    let esc = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+    let scale = match opts.scale {
+        Scale::Tiny => "tiny",
+        Scale::Small => "small",
+        Scale::Medium => "medium",
+    };
+    let kernels: Vec<String> = opts.kernels.iter().map(|k| format!("\"{}\"", esc(k))).collect();
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"cohesion-timeline/v1\",\n");
+    out.push_str(&format!("  \"binary\": \"{}\",\n", esc(binary)));
+    let seed = if opts.seed != 0 {
+        format!(", \"seed\": {}", opts.seed)
+    } else {
+        String::new()
+    };
+    out.push_str(&format!(
+        "  \"options\": {{\"cores\": {}, \"scale\": \"{scale}\", \"kernels\": [{}]{seed}}},\n",
+        opts.cores,
+        kernels.join(", ")
+    ));
+    out.push_str("  \"runs\": [\n");
+    for (i, (label, json)) in runs.iter().enumerate() {
+        let comma = if i + 1 < runs.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"label\": \"{}\", \"timeline\": {json}}}{comma}\n",
+            esc(label)
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// The Chrome trace-event `tid` for a timeline track: the serial track
+/// is thread 0, lane `l` is thread `l + 1`, and crew worker `w` is
+/// thread `1_000_000 + w` (far above any lane index, so worker tracks
+/// sort below the lanes in Perfetto).
+pub fn trace_tid(track: Track) -> u64 {
+    match track {
+        Track::Serial => 0,
+        Track::Lane(l) => l as u64 + 1,
+        Track::Crew(w) => 1_000_000 + w as u64,
+    }
+}
+
+/// Renders recorded runs as one Chrome trace-event JSON array
+/// (Perfetto-loadable): each run is a trace *process* (pid = position in
+/// the caller's pre-sorted label order) and each timeline track a
+/// *thread* (see [`trace_tid`]). Spans with a duration become `ph:"X"`
+/// complete events; zero-duration escalation marks become `ph:"i"`
+/// instants carrying their cause; process/thread names are emitted as
+/// `ph:"M"` metadata. Events are sorted by `(pid, tid, ts, dur)` so
+/// every track's timestamps are monotonic.
+pub fn chrome_trace(runs: &[(String, TimelineSnapshot)]) -> String {
+    let esc = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+    // (pid, tid, ts, sort-tiebreak, rendered event) — metadata first.
+    let mut events: Vec<(u64, u64, u64, u64, String)> = Vec::new();
+    for (pid, (label, snap)) in runs.iter().enumerate() {
+        let pid = pid as u64;
+        events.push((
+            pid,
+            0,
+            0,
+            0,
+            format!(
+                "{{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": {pid}, \"tid\": 0, \
+                 \"args\": {{\"name\": \"{}\"}}}}",
+                esc(label)
+            ),
+        ));
+        let mut tracks: Vec<(u64, String)> = Vec::new();
+        for s in snap.spans.iter().chain(snap.crew_spans.iter()) {
+            let name = match s.track {
+                Track::Serial => "serial".to_string(),
+                Track::Lane(l) => format!("lane {l}"),
+                Track::Crew(w) => format!("crew {w}"),
+            };
+            tracks.push((trace_tid(s.track), name));
+        }
+        tracks.sort();
+        tracks.dedup();
+        for (tid, name) in tracks {
+            events.push((
+                pid,
+                tid,
+                0,
+                1,
+                format!(
+                    "{{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": {pid}, \
+                     \"tid\": {tid}, \"args\": {{\"name\": \"{name}\"}}}}"
+                ),
+            ));
+        }
+        for s in snap.spans.iter().chain(snap.crew_spans.iter()) {
+            let tid = trace_tid(s.track);
+            let cause = match s.cause {
+                Some(c) => format!(", \"cause\": \"{}\"", c.label()),
+                None => String::new(),
+            };
+            let ev = if s.dur_us == 0 && s.name == "escalate" {
+                format!(
+                    "{{\"name\": \"{}\", \"ph\": \"i\", \"s\": \"t\", \"pid\": {pid}, \
+                     \"tid\": {tid}, \"ts\": {}, \"args\": {{\"cycle\": {}{cause}}}}}",
+                    s.name, s.start_us, s.cycle
+                )
+            } else {
+                format!(
+                    "{{\"name\": \"{}\", \"ph\": \"X\", \"pid\": {pid}, \"tid\": {tid}, \
+                     \"ts\": {}, \"dur\": {}, \"args\": {{\"cycle\": {}{cause}}}}}",
+                    s.name, s.start_us, s.dur_us, s.cycle
+                )
+            };
+            events.push((pid, tid, s.start_us, 2 + s.dur_us, ev));
+        }
+    }
+    events.sort();
+    let mut out = String::new();
+    out.push_str("[\n");
+    for (i, (_, _, _, _, ev)) in events.iter().enumerate() {
+        let comma = if i + 1 < events.len() { "," } else { "" };
+        out.push_str(&format!("  {ev}{comma}\n"));
+    }
+    out.push_str("]\n");
+    out
+}
+
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: [--cores N] [--scale tiny|small|medium] [--kernels a,b,c] \
          [--jobs N] [--shards N] [--seed N] [--metrics-out FILE] \
-         [--part a|b|c] [--out PATH] [--csv DIR]"
+         [--trace-out FILE] [--part a|b|c] [--out PATH] [--csv DIR]"
     );
     std::process::exit(2)
 }
@@ -517,6 +740,89 @@ mod tests {
         let doc_b = metrics_document("test", &o, &b);
         assert_eq!(doc_a, doc_b);
         assert!(doc_a.contains("\"schema\": \"cohesion-metrics/v1\""));
+    }
+
+    /// The timeline summary document mirrors the metrics document's
+    /// determinism contract: label-sorted runs serialize identically
+    /// regardless of recording order, and the flags that must not leak
+    /// (`jobs`, `shards`) never appear.
+    #[test]
+    fn timeline_document_is_order_independent_and_flag_free() {
+        let o = Options {
+            kernels: vec!["sobel".into()],
+            shards: 4,
+            ..Options::default()
+        };
+        let summary = "{\"dropped_spans\": 0, \"epochs\": 1, \"escalated\": {}, \
+                       \"escalation_rate\": 0.0, \"fast\": 1, \"slices\": 1}";
+        let mut a = vec![
+            ("b".to_string(), summary.to_string()),
+            ("a".to_string(), summary.to_string()),
+        ];
+        let mut b: Vec<(String, String)> = a.iter().rev().cloned().collect();
+        a.sort();
+        b.sort();
+        let doc_a = timeline_document("test", &o, &a);
+        let doc_b = timeline_document("test", &o, &b);
+        assert_eq!(doc_a, doc_b);
+        assert!(doc_a.contains("\"schema\": \"cohesion-timeline/v1\""));
+        assert!(!doc_a.contains("jobs"), "{doc_a}");
+        assert!(!doc_a.contains("shards"), "{doc_a}");
+    }
+
+    #[test]
+    fn summary_path_derives_from_trace_path() {
+        assert_eq!(timeline_summary_path("trace.json"), "trace-summary.json");
+        assert_eq!(timeline_summary_path("out/t.json"), "out/t-summary.json");
+        assert_eq!(timeline_summary_path("trace"), "trace-summary.json");
+    }
+
+    /// The Chrome trace export is a JSON array whose events are sorted
+    /// per `(pid, tid)` by timestamp, with metadata naming every track.
+    #[test]
+    fn chrome_trace_orders_tracks_and_timestamps() {
+        use cohesion_sim::timeline::{EscalationCause, Span, TimelineSnapshot, CAUSES};
+        let span = |track, name, start_us, dur_us, cause| Span {
+            track,
+            name,
+            start_us,
+            dur_us,
+            cycle: 7,
+            cause,
+        };
+        let snap = TimelineSnapshot {
+            spans: vec![
+                span(Track::Lane(1), "phase_a", 50, 10, None),
+                span(Track::Serial, "phase_b", 60, 5, None),
+                span(
+                    Track::Lane(1),
+                    "escalate",
+                    40,
+                    0,
+                    Some(EscalationCause::Atomic),
+                ),
+                span(Track::Lane(0), "phase_a", 45, 12, None),
+            ],
+            dropped: 0,
+            crew_spans: vec![span(Track::Crew(0), "crew_run", 55, 3, None)],
+            crew_dropped: 0,
+            epochs: 1,
+            fast_slices: 3,
+            escalated: [0; CAUSES],
+        };
+        let trace = chrome_trace(&[("run".to_string(), snap)]);
+        assert!(trace.starts_with("[\n"));
+        assert!(trace.trim_end().ends_with(']'));
+        assert!(trace.contains("\"process_name\""));
+        assert!(trace.contains("\"name\": \"lane 1\""));
+        assert!(trace.contains("\"name\": \"crew 0\""));
+        assert!(trace.contains("\"cause\": \"atomic\""));
+        // Lane 1's instant (ts 40) must precede its phase_a (ts 50).
+        let i_escalate = trace.find("\"escalate\"").unwrap();
+        let i_lane1_phase = trace
+            .find("\"tid\": 2, \"ts\": 50")
+            .expect("lane 1 phase_a present");
+        assert!(i_escalate < i_lane1_phase, "{trace}");
     }
 }
 

@@ -250,6 +250,13 @@ pub struct MachineConfig {
     /// Cycle-window width for the telemetry time-series sampler (only
     /// meaningful when [`MachineConfig::metrics`] is set).
     pub metrics_window: Cycle,
+    /// Arm the shard-epoch timeline flight recorder
+    /// ([`cohesion_sim::timeline`]). Off by default: disarmed, every
+    /// span-recording call is an inlined early-return and observable
+    /// outputs are byte-identical to a build without the recorder.
+    /// Armed, only wall-clock span fields vary run to run — the
+    /// deterministic summary counters never depend on host threads.
+    pub timeline: bool,
     /// Worker threads sharding one run's execution (conservative PDES
     /// over cluster lanes). This is *host* parallelism only: simulated
     /// results are byte-identical at any shard count, so `shards` is
@@ -308,6 +315,7 @@ impl MachineConfig {
             task_queue: TaskQueueModel::Global,
             metrics: false,
             metrics_window: 10_000,
+            timeline: false,
             shards: 1,
         }
     }

@@ -132,6 +132,9 @@ pub struct Machine {
     /// Machine-wide telemetry. Disarmed (every record call a single
     /// branch) unless [`MachineConfig::metrics`] is set.
     metrics: Registry,
+    /// Shard-epoch flight recorder. Disarmed (every record call a
+    /// single branch) unless [`MachineConfig::timeline`] is set.
+    timeline: cohesion_sim::timeline::Timeline,
 }
 
 /// Parses a `COHESION_WATCH` value: a hexadecimal byte address, with or
@@ -249,6 +252,13 @@ impl Machine {
             } else {
                 Registry::disarmed()
             },
+            timeline: if cfg.timeline {
+                cohesion_sim::timeline::Timeline::armed(
+                    cohesion_sim::timeline::DEFAULT_CAPACITY,
+                )
+            } else {
+                cohesion_sim::timeline::Timeline::disarmed()
+            },
             cfg,
         }
     }
@@ -263,6 +273,24 @@ impl Machine {
     /// Read access to the protocol event log.
     pub fn trace_log(&self) -> &cohesion_sim::tracelog::TraceLog {
         &self.tracelog
+    }
+
+    /// The shard-epoch flight recorder (armed iff
+    /// [`MachineConfig::timeline`] was set).
+    pub fn timeline(&self) -> &cohesion_sim::timeline::Timeline {
+        &self.timeline
+    }
+
+    /// Mutable access to the flight recorder, for the run loop (window
+    /// accounting, lane/crew span absorption).
+    pub fn timeline_mut(&mut self) -> &mut cohesion_sim::timeline::Timeline {
+        &mut self.timeline
+    }
+
+    /// Freezes the flight recorder into a snapshot, or `None` when the
+    /// timeline is disarmed. Pure read — never perturbs the simulation.
+    pub fn timeline_snapshot(&self) -> Option<cohesion_sim::timeline::TimelineSnapshot> {
+        self.timeline.snapshot()
     }
 
     /// The process context owning `addr`, if any (processes own their
@@ -394,7 +422,9 @@ impl Machine {
         }
         // Miss: fetch from memory.
         let data = self.mem.read_line(line);
+        let svc = self.timeline.start();
         *t = self.dram.access(*t, line).max(*t);
+        self.timeline.service("dram_service", svc, *t);
         let (fresh, victim) = self.l3[b].allocate(line);
         fresh.fill_masked(&data, 0xff);
         if let Some(v) = victim {
@@ -576,6 +606,7 @@ impl Machine {
             "by {cluster} excl={exclusive} {class:?}"
         ));
         self.note_msg(cluster, line, class, t_issue);
+        let svc = self.timeline.start();
         let bank = self.bank_of(line);
         let t_arr = self.noc.request(cluster, bank, t_issue);
         let mut t = self.l3_ports[bank.0 as usize].grant(t_arr) + self.cfg.l3_latency;
@@ -589,6 +620,7 @@ impl Machine {
         let data = self.l3_read_line(bank, line, &mut t);
         let t_reply = self.noc.reply(bank, cluster, t);
         self.metrics.record_latency("latency/fetch", t_reply - t_issue);
+        self.timeline.service("l3_service", svc, t_issue);
         (t_reply, data, grant)
     }
 
@@ -1823,6 +1855,10 @@ pub struct LaneScratch {
     /// histogram records land here; histogram merges are commutative, so
     /// the fold order cannot be observed.
     pub metrics: Registry,
+    /// Lane-local timeline buffer: phase A spans and escalation events
+    /// recorded off the serial thread, absorbed into the machine
+    /// recorder in fixed lane order after every window.
+    pub timeline: cohesion_sim::timeline::LaneTimeline,
 }
 
 /// One cluster's slice of the machine, usable concurrently with the
@@ -1868,6 +1904,11 @@ impl LaneCtx<'_> {
     /// The cluster this lane simulates.
     pub fn cluster(&self) -> ClusterId {
         self.cluster
+    }
+
+    /// The lane's timeline buffer (phase A spans, escalation events).
+    pub fn timeline(&mut self) -> &mut cohesion_sim::timeline::LaneTimeline {
+        &mut self.scratch.timeline
     }
 
     /// Core index within this lane's L1 slices.
@@ -2085,6 +2126,11 @@ impl Machine {
                     Registry::armed(self.cfg.metrics_window)
                 } else {
                     Registry::disarmed()
+                },
+                timeline: if self.timeline.is_armed() {
+                    cohesion_sim::timeline::LaneTimeline::armed(self.timeline.epoch_instant())
+                } else {
+                    cohesion_sim::timeline::LaneTimeline::disarmed()
                 },
             })
             .collect()

@@ -2,6 +2,7 @@
 
 use cohesion_sim::metrics::Snapshot;
 use cohesion_sim::stats::{CoherenceInstrStats, MessageCounts};
+use cohesion_sim::timeline::TimelineSnapshot;
 use cohesion_sim::Cycle;
 
 use crate::config::{DesignPoint, MachineConfig};
@@ -56,6 +57,9 @@ pub struct RunReport {
     /// Full telemetry snapshot when the run was executed with
     /// [`MachineConfig::metrics`] armed; `None` on ordinary runs.
     pub metrics: Option<Snapshot>,
+    /// Timeline flight-recorder snapshot when the run was executed with
+    /// [`MachineConfig::timeline`] armed; `None` on ordinary runs.
+    pub timeline: Option<TimelineSnapshot>,
 }
 
 impl RunReport {
@@ -94,6 +98,7 @@ impl RunReport {
             l3: machine.l3_stats(),
             noc: machine.noc_stats(),
             metrics: machine.metrics_snapshot(cycles),
+            timeline: machine.timeline_snapshot(),
         }
     }
 

@@ -9,7 +9,9 @@ use cohesion_sim::crew::Crew;
 use cohesion_sim::event::EventQueue;
 use cohesion_sim::ids::{ClusterId, CoreId};
 use cohesion_sim::shard::{BatchEvent, LaneQueues};
+use cohesion_sim::timeline::{CrewSpanLog, EscalationCause, Span, Track, CREW_RING_CAPACITY};
 use cohesion_sim::Cycle;
+use std::sync::Arc;
 
 use crate::config::MachineConfig;
 use crate::machine::{LaneCtx, LaneScratch, Machine, MachineError};
@@ -286,8 +288,14 @@ enum FastOutcome {
     Yielded(Cycle),
     /// The slice hit an operation that needs machine-global state; the
     /// core's cursor is saved and the slice must resume on the serial
-    /// path at `t` with the remaining `budget`.
-    Escalate { t: Cycle, budget: Cycle },
+    /// path at `t` with the remaining `budget`. `cause` names the
+    /// global resource that forced serialization (timeline
+    /// attribution; escalation behaviour never depends on it).
+    Escalate {
+        t: Cycle,
+        budget: Cycle,
+        cause: EscalationCause,
+    },
     /// A verified load observed a stale value on the fast path.
     Fail(MachineError),
 }
@@ -314,19 +322,35 @@ struct LaneWork<'a> {
 /// lane's later slices past an aborting error, and the merge in phase B
 /// surfaces the canonically-first error of the whole batch.
 fn process_lane(w: &mut LaneWork<'_>, tasks: &[Task]) {
+    if w.events.is_empty() {
+        return;
+    }
+    let lane = w.ctx.cluster().0;
+    let window_cycle = w.events[0].1;
+    let span_start = w.ctx.timeline().start();
     for i in 0..w.events.len() {
         let (bi, t, core) = w.events[i];
         match fast_step(
             &mut w.ctx, w.queue, w.cores, w.core_base, w.op_cost, core, t, tasks,
         ) {
-            FastOutcome::Yielded(end) => w.max_end = w.max_end.max(end),
-            out @ FastOutcome::Escalate { .. } => w.out.push((bi, core, out)),
+            FastOutcome::Yielded(end) => {
+                w.ctx.timeline().note_fast();
+                w.max_end = w.max_end.max(end);
+            }
+            out @ FastOutcome::Escalate { .. } => {
+                if let FastOutcome::Escalate { t, cause, .. } = out {
+                    w.ctx.timeline().note_escalation(lane, t, cause);
+                }
+                w.out.push((bi, core, out));
+            }
             out @ FastOutcome::Fail(_) => {
                 w.out.push((bi, core, out));
+                w.ctx.timeline().finish_phase_a(lane, span_start, window_cycle);
                 return;
             }
         }
     }
+    w.ctx.timeline().finish_phase_a(lane, span_start, window_cycle);
 }
 
 /// Advances one core by up to [`QUANTUM`] cycles using only lane-local
@@ -352,7 +376,11 @@ fn fast_step(
     loop {
         let Some((task_idx, mut op_idx)) = cores[li].task else {
             // Dequeue and barrier traffic is uncached-atomic: global.
-            return FastOutcome::Escalate { t, budget };
+            return FastOutcome::Escalate {
+                t,
+                budget,
+                cause: EscalationCause::TaskQueue,
+            };
         };
         let task = &tasks[task_idx];
         let stack_base = cores[li].stack_base;
@@ -377,12 +405,18 @@ fn fast_step(
                     }
                     None => {
                         cores[li].task = Some((task_idx, op_idx));
-                        return FastOutcome::Escalate { t, budget };
+                        return FastOutcome::Escalate {
+                            t,
+                            budget,
+                            cause: EscalationCause::L3,
+                        };
                     }
                 }
             }
             let op = task.ops[op_idx];
-            let done: Option<(usize, Cycle)> = match op {
+            // `Err` carries the escalation cause: which global resource
+            // the op needs (see `EscalationCause` for the taxonomy).
+            let done: Result<(usize, Cycle), EscalationCause> = match op {
                 Op::Load { addr, expect } => match ctx.try_load(core, addr, t) {
                     Some((t2, v)) => {
                         if let Some(e) = expect {
@@ -395,35 +429,44 @@ fn fast_step(
                                 });
                             }
                         }
-                        Some((0, t2))
+                        Ok((0, t2))
                     }
-                    None => None,
+                    None => Err(EscalationCause::L3), // line fetch
                 },
-                Op::Store { addr, value } => {
-                    ctx.try_store(core, addr, value, t).map(|t2| (1, t2))
-                }
-                Op::Compute { cycles } => Some((2, t + cycles as Cycle)),
-                Op::Atomic { .. } => None, // uncached: global
+                Op::Store { addr, value } => ctx
+                    .try_store(core, addr, value, t)
+                    .map(|t2| (1, t2))
+                    .ok_or(EscalationCause::Directory),
+                Op::Compute { cycles } => Ok((2, t + cycles as Cycle)),
+                Op::Atomic { .. } => Err(EscalationCause::Atomic), // uncached: global
                 Op::StackLoad { offset } => ctx
                     .try_load(core, stack_base.offset(offset), t)
-                    .map(|(t2, _)| (4, t2)),
+                    .map(|(t2, _)| (4, t2))
+                    .ok_or(EscalationCause::L3),
                 Op::StackStore { offset, value } => ctx
                     .try_store(core, stack_base.offset(offset), value, t)
-                    .map(|t2| (5, t2)),
-                Op::Flush { line } => ctx.try_flush(core, line, t).map(|t2| (6, t2)),
-                Op::Invalidate { line } => ctx.try_invalidate(core, line, t).map(|t2| (7, t2)),
+                    .map(|t2| (5, t2))
+                    .ok_or(EscalationCause::Directory),
+                Op::Flush { line } => ctx
+                    .try_flush(core, line, t)
+                    .map(|t2| (6, t2))
+                    .ok_or(EscalationCause::Noc),
+                Op::Invalidate { line } => ctx
+                    .try_invalidate(core, line, t)
+                    .map(|t2| (7, t2))
+                    .ok_or(EscalationCause::Directory),
             };
             match done {
-                Some((kind, t2)) => {
+                Ok((kind, t2)) => {
                     op_cost[kind].0 += 1;
                     op_cost[kind].1 += t2 - t;
                     t = t2;
                     op_idx += 1;
                     cores[li].fetch_counter -= 1;
                 }
-                None => {
+                Err(cause) => {
                     cores[li].task = Some((task_idx, op_idx));
-                    return FastOutcome::Escalate { t, budget };
+                    return FastOutcome::Escalate { t, budget, cause };
                 }
             }
         }
@@ -461,6 +504,9 @@ struct Exec {
     scratches: Vec<LaneScratch>,
     /// Worker threads for phase A; `None` = run lanes inline (shards=1).
     crew: Option<Crew>,
+    /// Crew park/run span log, drained into the machine timeline by
+    /// `finish`; `None` unless the timeline is armed and a crew exists.
+    crew_trace: Option<Arc<CrewSpanLog>>,
     cores_per_cluster: usize,
     /// Reused window buffer.
     batch: Vec<BatchEvent<u32>>,
@@ -495,13 +541,24 @@ impl Exec {
         let n_lanes = cfg.clusters().max(1) as usize;
         // More threads than lanes cannot help; the caller is a worker too.
         let threads = (cfg.shards.max(1) as usize).min(n_lanes);
+        let crew_trace = (threads > 1 && machine.timeline().is_armed()).then(|| {
+            Arc::new(CrewSpanLog::new(
+                threads - 1,
+                machine.timeline().epoch_instant(),
+                CREW_RING_CAPACITY,
+            ))
+        });
         Exec {
             op_cost: [(0, 0); 10],
             lane_op_cost: vec![[(0, 0); 10]; n_lanes],
             cores,
             lanes: LaneQueues::new(n_lanes),
             scratches: machine.new_lane_scratches(),
-            crew: (threads > 1).then(|| Crew::new(threads - 1)),
+            crew: (threads > 1).then(|| match &crew_trace {
+                Some(tr) => Crew::traced(threads - 1, Arc::clone(tr)),
+                None => Crew::new(threads - 1),
+            }),
+            crew_trace,
             cores_per_cluster: cfg.cores_per_cluster as usize,
             batch: Vec::new(),
             queue_addr,
@@ -533,6 +590,9 @@ impl Exec {
             *lane = [(0, 0); 10];
         }
         machine.absorb_lane_scratches(&self.scratches);
+        if let Some(trace) = &self.crew_trace {
+            machine.timeline_mut().absorb_crew(trace);
+        }
     }
 
     fn run_phase(
@@ -578,6 +638,7 @@ impl Exec {
             self.lanes
                 .pop_window(QUANTUM, &mut batch)
                 .expect("cores pending but no events scheduled");
+            machine.timeline_mut().note_window();
 
             // Phase A: lanes step their cores on lane-local state.
             let n_lanes = self.lanes.lanes();
@@ -628,13 +689,30 @@ impl Exec {
                 serial.append(&mut w.out);
             }
             drop(works);
+            // Lane timeline buffers fold in fixed lane order, so the main
+            // ring's drop sequence never depends on host threads.
+            if machine.timeline().is_armed() {
+                for s in self.scratches.iter_mut() {
+                    machine.timeline_mut().absorb_lane(&mut s.timeline);
+                }
+            }
 
             // Phase B: escalated slices resume serially, in canonical
             // batch order; the canonically-first error aborts the run.
             serial.sort_unstable_by_key(|&(bi, _, _)| bi);
+            let span_b = (!serial.is_empty())
+                .then(|| machine.timeline().start())
+                .flatten();
+            let window_cycle = serial
+                .first()
+                .map(|&(_, _, ref out)| match *out {
+                    FastOutcome::Escalate { t, .. } => t,
+                    _ => 0,
+                })
+                .unwrap_or(0);
             for (_bi, core, out) in serial {
                 match out {
-                    FastOutcome::Escalate { t, budget } => {
+                    FastOutcome::Escalate { t, budget, cause: _ } => {
                         let end =
                             self.step_core(machine, core, t, budget, tasks, barrier_addr)?;
                         phase_end = phase_end.max(end);
@@ -642,6 +720,17 @@ impl Exec {
                     FastOutcome::Fail(e) => return Err(RunError::Machine(e)),
                     FastOutcome::Yielded(_) => unreachable!("yields are not escalated"),
                 }
+            }
+            if let Some(t0) = span_b {
+                let now = machine.timeline().now_us();
+                machine.timeline_mut().push(Span {
+                    track: Track::Serial,
+                    name: "phase_b",
+                    start_us: t0,
+                    dur_us: now.saturating_sub(t0),
+                    cycle: window_cycle,
+                    cause: None,
+                });
             }
         }
         self.batch = batch;

@@ -1,6 +1,6 @@
 //! `cohesion` — the client CLI for `cohesiond`.
 //!
-//! Subcommands: `ping`, `submit`, `sweep`, `fetch`, `shutdown`.
+//! Subcommands: `ping`, `stats`, `submit`, `sweep`, `fetch`, `shutdown`.
 //! See `docs/cohesiond.md` for the wire protocol.
 
 use std::process::ExitCode;
@@ -19,6 +19,10 @@ USAGE:
 COMMANDS:
   ping
         print daemon liveness, job count, and cache statistics
+  stats
+        print the daemon's operational counters: uptime, requests and
+        errors by type, queue depth, worker busyness, cache statistics
+        (--json prints the raw stats-reply payload)
   submit --kernel NAME [--point SPEC] [--scale S] [--cores N] [--seed N] [--shards N]
         run one simulation (cache-served when possible), print the report
   sweep --kernels A,B,... --points P,Q,... [--scale S] [--cores N] [--seed N] [--shards N]
@@ -33,6 +37,7 @@ OPTIONS:
   --timeout SECS     reply timeout  [default: 300]
   --quiet            suppress progress lines; print only the report(s)
   --keys-only        print only cache keys, one per job (for scripting)
+  --json             stats: print the raw JSON payload (for scripting)
 
 Design-point specs: swcc, hwcc-ideal, hwcc-real, hwcc-dir4b, cohesion,
 cohesion-dir4b; directory-backed points accept :ENTRIESxWAYS
@@ -43,6 +48,7 @@ struct Common {
     timeout: Duration,
     quiet: bool,
     keys_only: bool,
+    json: bool,
 }
 
 fn main() -> ExitCode {
@@ -65,6 +71,7 @@ fn run(args: Vec<String>) -> Result<(), String> {
         timeout: Duration::from_secs(300),
         quiet: false,
         keys_only: false,
+        json: false,
     };
     let mut rest: Vec<String> = Vec::new();
     let mut it = args.into_iter();
@@ -81,6 +88,7 @@ fn run(args: Vec<String>) -> Result<(), String> {
             }
             "--quiet" => common.quiet = true,
             "--keys-only" => common.keys_only = true,
+            "--json" => common.json = true,
             "--help" | "-h" => return Err(String::new()),
             _ => rest.push(arg),
         }
@@ -90,6 +98,7 @@ fn run(args: Vec<String>) -> Result<(), String> {
     let rest: Vec<String> = rest.collect();
     match command.as_str() {
         "ping" => ping(&common),
+        "stats" => stats(&common),
         "submit" => submit(&common, &rest),
         "sweep" => sweep(&common, &rest),
         "fetch" => fetch(&common, &rest),
@@ -118,6 +127,53 @@ fn ping(common: &Common) -> Result<(), String> {
     println!(
         "jobs executed: {}; cache: {} hits / {} misses, {} entries",
         pong.jobs_executed, pong.cache_hits, pong.cache_misses, pong.cache_entries
+    );
+    Ok(())
+}
+
+fn stats(common: &Common) -> Result<(), String> {
+    let mut client = connect(common)?;
+    let s = client.stats().map_err(|e| e.to_string())?;
+    if common.json {
+        println!("{}", s.raw);
+        return Ok(());
+    }
+    println!(
+        "uptime: {:.1}s; connections: {} total, {} active",
+        s.uptime_ms as f64 / 1000.0,
+        s.connections,
+        s.active_connections
+    );
+    let fmt_counts = |pairs: &[(String, u64)]| -> String {
+        pairs
+            .iter()
+            .filter(|(_, n)| *n > 0)
+            .map(|(k, n)| format!("{k} {n}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    println!(
+        "requests: {} ({})",
+        s.requests_total(),
+        fmt_counts(&s.requests)
+    );
+    let errors = fmt_counts(&s.errors);
+    println!(
+        "errors: {}{}",
+        s.errors_total(),
+        if errors.is_empty() {
+            String::new()
+        } else {
+            format!(" ({errors})")
+        }
+    );
+    println!(
+        "queue: {}/{} used; workers: {}/{} busy; jobs executed: {}",
+        s.queue_depth, s.queue_capacity, s.workers_busy, s.workers_total, s.jobs_executed
+    );
+    println!(
+        "cache: {} hits / {} misses, {} entries",
+        s.cache_hits, s.cache_misses, s.cache_entries
     );
     Ok(())
 }

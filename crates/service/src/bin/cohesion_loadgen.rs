@@ -235,6 +235,13 @@ fn run(opts: &Opts) -> Result<(), String> {
         w.join().map_err(|_| "tenant thread panicked".to_string())??;
     }
 
+    // Scrape the daemon's own counters after the load: the server-side
+    // view (queue pressure, error mix, worker busyness) lands in the
+    // artifact next to the client-side latencies.
+    let daemon = Client::connect(&opts.addr, Duration::from_secs(10))
+        .map_err(|e| e.to_string())
+        .and_then(|mut c| c.stats().map_err(|e| e.to_string()))?;
+
     let requests = reg.counter("loadgen.requests");
     let hits = reg.counter("loadgen.cache_hits");
     let (p50, p99, max_us) = {
@@ -255,6 +262,14 @@ fn run(opts: &Opts) -> Result<(), String> {
     snap.push_gauge("loadgen.p99_us", p99);
     snap.push_counter("loadgen.failures", failures);
     snap.push_counter("loadgen.tenants", opts.tenants as u64);
+    snap.push_counter("daemon.requests_total", daemon.requests_total());
+    snap.push_counter("daemon.errors_total", daemon.errors_total());
+    snap.push_counter("daemon.jobs_executed", daemon.jobs_executed);
+    snap.push_counter("daemon.cache_hits", daemon.cache_hits);
+    snap.push_counter("daemon.cache_misses", daemon.cache_misses);
+    snap.push_counter("daemon.connections", daemon.connections);
+    snap.push_gauge("daemon.queue_depth", daemon.queue_depth as f64);
+    snap.push_gauge("daemon.workers_busy", daemon.workers_busy as f64);
     snap.finalize();
     if let Some(path) = &opts.out {
         std::fs::write(path, snap.to_json()).map_err(|e| format!("write {path}: {e}"))?;
@@ -269,6 +284,13 @@ fn run(opts: &Opts) -> Result<(), String> {
     println!(
         "cache: {hits} hits / {requests} requests (hit rate {:.1}%)",
         hit_rate * 100.0
+    );
+    println!(
+        "daemon: {} request(s), {} error(s), {} job(s) executed, queue depth {}",
+        daemon.requests_total(),
+        daemon.errors_total(),
+        daemon.jobs_executed,
+        daemon.queue_depth
     );
     if failures > 0 {
         return Err(format!("{failures} request(s) failed"));

@@ -138,7 +138,10 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    eprintln!("cohesiond: listening on {addr} ({CODE_VERSION})");
+    cohesion_service::log::log(
+        "listening",
+        &[("addr", addr.clone()), ("code", CODE_VERSION.to_string())],
+    );
 
     // Bridge POSIX signals to the server's stop flag from a watcher
     // thread, so the accept loop itself never has to know about signals.
@@ -157,9 +160,14 @@ fn main() -> ExitCode {
 
     match result {
         Ok(summary) => {
-            eprintln!(
-                "cohesiond: drained; {} connections, {} jobs executed, cache {}/{} hit/miss",
-                summary.connections, summary.jobs_executed, summary.cache.hits, summary.cache.misses
+            cohesion_service::log::log(
+                "drained",
+                &[
+                    ("connections", summary.connections.to_string()),
+                    ("jobs", summary.jobs_executed.to_string()),
+                    ("cache_hits", summary.cache.hits.to_string()),
+                    ("cache_misses", summary.cache.misses.to_string()),
+                ],
             );
             ExitCode::SUCCESS
         }

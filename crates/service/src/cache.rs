@@ -236,7 +236,13 @@ impl RunCache {
                 let _ = std::fs::create_dir_all(parent);
             }
             if let Err(e) = std::fs::write(&path, &doc) {
-                eprintln!("cohesiond: cache write {} failed: {e}", path.display());
+                crate::log::log(
+                    "cache-write-error",
+                    &[
+                        ("path", path.display().to_string()),
+                        ("error", e.to_string()),
+                    ],
+                );
             }
         }
         let mut st = self.state.lock().expect("cache poisoned");

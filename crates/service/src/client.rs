@@ -64,6 +64,53 @@ pub struct PongInfo {
     pub cache_entries: u64,
 }
 
+/// One `stats-reply` answer: the daemon's operational counters. `raw`
+/// keeps the full payload for callers that want every field (the CLI's
+/// table, the load generator's artifact).
+#[derive(Debug, Clone, Default)]
+pub struct StatsInfo {
+    /// Milliseconds since the daemon started serving.
+    pub uptime_ms: u64,
+    /// Connections accepted over the daemon's lifetime.
+    pub connections: u64,
+    /// Connections currently open.
+    pub active_connections: u64,
+    /// `(message name, count)` for every client→server message type.
+    pub requests: Vec<(String, u64)>,
+    /// `(error label, count)` for every error code.
+    pub errors: Vec<(String, u64)>,
+    /// Jobs sitting in the bounded queue right now.
+    pub queue_depth: u64,
+    /// The queue's capacity.
+    pub queue_capacity: u64,
+    /// Simulation worker threads.
+    pub workers_total: u64,
+    /// Workers running a job right now.
+    pub workers_busy: u64,
+    /// Simulation jobs executed (cache misses that ran).
+    pub jobs_executed: u64,
+    /// Cache hits so far.
+    pub cache_hits: u64,
+    /// Cache misses so far.
+    pub cache_misses: u64,
+    /// Entries currently cached.
+    pub cache_entries: u64,
+    /// The verbatim `stats-reply` JSON payload.
+    pub raw: String,
+}
+
+impl StatsInfo {
+    /// Total client→server frames the daemon has handled.
+    pub fn requests_total(&self) -> u64 {
+        self.requests.iter().map(|(_, n)| n).sum()
+    }
+
+    /// Total error frames the daemon has sent.
+    pub fn errors_total(&self) -> u64 {
+        self.errors.iter().map(|(_, n)| n).sum()
+    }
+}
+
 /// One job's report as streamed back by the server.
 #[derive(Debug, Clone)]
 pub struct JobReport {
@@ -223,6 +270,53 @@ impl Client {
         })
     }
 
+    /// Sends `stats`, returns the daemon's operational counters.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or an `error` reply.
+    pub fn stats(&mut self) -> Result<StatsInfo, ClientError> {
+        self.send(MsgType::Stats, "{}")?;
+        let (got, v, raw) = self.recv_raw()?;
+        if got != MsgType::StatsReply {
+            return Err(ClientError::local(format!(
+                "expected stats-reply, got {}",
+                got.name()
+            )));
+        }
+        let num = |name: &str| v.get(name).and_then(Value::as_u64).unwrap_or(0);
+        let nested = |obj: &str, name: &str| {
+            v.get(obj)
+                .and_then(|o| o.get(name))
+                .and_then(Value::as_u64)
+                .unwrap_or(0)
+        };
+        let map = |obj: &str| -> Vec<(String, u64)> {
+            v.get(obj)
+                .and_then(Value::as_obj)
+                .unwrap_or_default()
+                .iter()
+                .filter_map(|(k, n)| Some((k.clone(), n.as_u64()?)))
+                .collect()
+        };
+        Ok(StatsInfo {
+            uptime_ms: num("uptime_ms"),
+            connections: num("connections"),
+            active_connections: num("active_connections"),
+            requests: map("requests"),
+            errors: map("errors"),
+            queue_depth: nested("queue", "depth"),
+            queue_capacity: nested("queue", "capacity"),
+            workers_total: nested("workers", "total"),
+            workers_busy: nested("workers", "busy"),
+            jobs_executed: num("jobs_executed"),
+            cache_hits: nested("cache", "hits"),
+            cache_misses: nested("cache", "misses"),
+            cache_entries: nested("cache", "entries"),
+            raw,
+        })
+    }
+
     /// Submits one run and consumes the event stream until `done`.
     ///
     /// # Errors
@@ -285,6 +379,11 @@ impl Client {
     }
 
     fn recv(&mut self) -> Result<(MsgType, Value), ClientError> {
+        self.recv_raw().map(|(m, v, _)| (m, v))
+    }
+
+    /// Like [`Client::recv`] but also returns the verbatim payload text.
+    fn recv_raw(&mut self) -> Result<(MsgType, Value, String), ClientError> {
         loop {
             match read_frame(&mut self.stream) {
                 Ok(f) => {
@@ -309,7 +408,7 @@ impl Client {
                             });
                         }
                     }
-                    return Ok((f.msg, v));
+                    return Ok((f.msg, v, f.payload));
                 }
                 Err(FrameError::IdleTimeout) => {
                     return Err(ClientError::local("timed out waiting for the server"))

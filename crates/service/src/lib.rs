@@ -26,6 +26,7 @@
 
 pub mod cache;
 pub mod client;
+pub mod log;
 pub mod request;
 pub mod runner;
 pub mod server;

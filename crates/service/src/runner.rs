@@ -34,6 +34,7 @@ pub fn execute(req: &RunRequest) -> Result<String, String> {
         shards: req.shards,
         seed: req.seed,
         metrics_out: None,
+        trace_out: None,
     };
     let mut cfg = opts.config(dp);
     cfg.metrics = true;

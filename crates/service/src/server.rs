@@ -24,6 +24,7 @@ use cohesion_bench::jsonv;
 use cohesion_testkit::pool::{SubmitError, WorkerPool};
 
 use crate::cache::{CacheKey, CacheStats, RunCache, CODE_VERSION};
+use crate::log;
 use crate::request::{RunRequest, SweepRequest};
 use crate::runner;
 use crate::wire::{
@@ -100,6 +101,45 @@ struct JobCtx {
     jobs_executed: AtomicU64,
 }
 
+/// Operational counters behind the `stats` message: request and error
+/// tallies by type, plus the request-ID generator. Everything here is
+/// monotonic and lock-free; point-in-time figures (queue depth, busy
+/// workers, cache stats) are read from their owners at reply time.
+struct OpStats {
+    started: Instant,
+    /// Next request ID; every client frame after `hello` gets one.
+    next_request: AtomicU64,
+    /// Frames handled, indexed by the message's position in
+    /// [`MsgType::ALL`] (only client→server slots are ever non-zero).
+    requests: [AtomicU64; MsgType::ALL.len()],
+    /// Error frames sent, indexed by the code's position in
+    /// [`ErrorCode::ALL`].
+    errors: [AtomicU64; ErrorCode::ALL.len()],
+}
+
+impl OpStats {
+    fn new() -> OpStats {
+        OpStats {
+            started: Instant::now(),
+            next_request: AtomicU64::new(0),
+            requests: std::array::from_fn(|_| AtomicU64::new(0)),
+            errors: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    fn count_request(&self, msg: MsgType) {
+        if let Some(i) = MsgType::ALL.iter().position(|m| *m == msg) {
+            self.requests[i].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn count_error(&self, code: ErrorCode) {
+        if let Some(i) = ErrorCode::ALL.iter().position(|c| *c == code) {
+            self.errors[i].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
 struct Shared {
     cfg: ServerConfig,
     ctx: Arc<JobCtx>,
@@ -110,6 +150,7 @@ struct Shared {
     submit_gate: Mutex<()>,
     active_conns: AtomicUsize,
     connections: AtomicU64,
+    ops: OpStats,
 }
 
 /// A bound, not-yet-running `cohesiond` server.
@@ -144,6 +185,7 @@ impl Server {
                 submit_gate: Mutex::new(()),
                 active_conns: AtomicUsize::new(0),
                 connections: AtomicU64::new(0),
+                ops: OpStats::new(),
             }),
         })
     }
@@ -175,10 +217,15 @@ impl Server {
         let mut conn_threads = Vec::new();
         while !self.shared.stop.is_stopped() {
             match self.listener.accept() {
-                Ok((stream, _peer)) => {
-                    self.shared.connections.fetch_add(1, Ordering::Relaxed);
+                Ok((stream, peer)) => {
+                    let conn = self.shared.connections.fetch_add(1, Ordering::Relaxed) + 1;
+                    log::log(
+                        "accept",
+                        &[("conn", conn.to_string()), ("peer", peer.to_string())],
+                    );
                     let shared = Arc::clone(&self.shared);
-                    conn_threads.push(std::thread::spawn(move || handle_connection(shared, stream)));
+                    conn_threads
+                        .push(std::thread::spawn(move || handle_connection(shared, stream, conn)));
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                     std::thread::sleep(Duration::from_millis(20));
@@ -211,9 +258,12 @@ impl Server {
             Err(arc) => {
                 // A connection outlived the grace window; queued jobs still
                 // finish when the pool drops (drain-on-drop).
-                eprintln!(
-                    "cohesiond: {} connection(s) outlived drain grace",
-                    arc.active_conns.load(Ordering::Acquire)
+                log::log(
+                    "drain-overrun",
+                    &[(
+                        "connections",
+                        arc.active_conns.load(Ordering::Acquire).to_string(),
+                    )],
                 );
                 Ok(ServerSummary {
                     connections: arc.connections.load(Ordering::Relaxed),
@@ -229,16 +279,17 @@ impl Server {
 /// the drain flag.
 const POLL: Duration = Duration::from_millis(100);
 
-fn handle_connection(shared: Arc<Shared>, stream: TcpStream) {
+fn handle_connection(shared: Arc<Shared>, stream: TcpStream, conn: u64) {
     shared.active_conns.fetch_add(1, Ordering::AcqRel);
-    let outcome = drive_connection(&shared, stream);
+    let outcome = drive_connection(&shared, stream, conn);
     shared.active_conns.fetch_sub(1, Ordering::AcqRel);
-    if let Err(e) = outcome {
-        eprintln!("cohesiond: connection ended: {e}");
+    match outcome {
+        Ok(()) => log::log("close", &[("conn", conn.to_string())]),
+        Err(e) => log::log("conn-error", &[("conn", conn.to_string()), ("error", e)]),
     }
 }
 
-fn drive_connection(shared: &Shared, mut stream: TcpStream) -> Result<(), String> {
+fn drive_connection(shared: &Shared, mut stream: TcpStream, conn: u64) -> Result<(), String> {
     // Response sequences are several small frames back to back; without
     // NODELAY, Nagle stalls each one behind the peer's delayed ACK.
     let _ = stream.set_nodelay(true);
@@ -268,6 +319,7 @@ fn drive_connection(shared: &Shared, mut stream: TcpStream) -> Result<(), String
             Err(e) => {
                 // Malformed but reportable: tell the client, then close —
                 // the stream may be desynchronized.
+                shared.ops.count_error(ErrorCode::BadFrame);
                 let _ = send(
                     &mut stream,
                     MsgType::Error,
@@ -277,6 +329,7 @@ fn drive_connection(shared: &Shared, mut stream: TcpStream) -> Result<(), String
             }
         };
         if !frame.msg.client_to_server() {
+            shared.ops.count_error(ErrorCode::BadFrame);
             let _ = send(
                 &mut stream,
                 MsgType::Error,
@@ -287,9 +340,20 @@ fn drive_connection(shared: &Shared, mut stream: TcpStream) -> Result<(), String
             );
             return Err(format!("client sent server tag {}", frame.msg.name()));
         }
+        shared.ops.count_request(frame.msg);
+        let req = shared.ops.next_request.fetch_add(1, Ordering::Relaxed) + 1;
+        log::log(
+            "request",
+            &[
+                ("conn", conn.to_string()),
+                ("req", req.to_string()),
+                ("msg", frame.msg.name().to_string()),
+            ],
+        );
         let payload = match jsonv::parse(&frame.payload) {
             Ok(v) => v,
             Err(e) => {
+                shared.ops.count_error(ErrorCode::BadFrame);
                 let _ = send(
                     &mut stream,
                     MsgType::Error,
@@ -311,6 +375,7 @@ fn drive_connection(shared: &Shared, mut stream: TcpStream) -> Result<(), String
                         })
                         .unwrap_or(false);
                     if !supported {
+                        shared.ops.count_error(ErrorCode::UnsupportedVersion);
                         let _ = send(
                             &mut stream,
                             MsgType::Error,
@@ -336,6 +401,7 @@ fn drive_connection(shared: &Shared, mut stream: TcpStream) -> Result<(), String
                     continue;
                 }
                 other => {
+                    shared.ops.count_error(ErrorCode::BadRequest);
                     let _ = send(
                         &mut stream,
                         MsgType::Error,
@@ -350,7 +416,10 @@ fn drive_connection(shared: &Shared, mut stream: TcpStream) -> Result<(), String
         }
         match frame.msg {
             MsgType::Hello => {
-                send_error(&mut stream, ErrorCode::BadRequest, "duplicate hello")?;
+                send_error(shared, &mut stream, ErrorCode::BadRequest, "duplicate hello")?;
+            }
+            MsgType::Stats => {
+                send(&mut stream, MsgType::StatsReply, &stats_payload(shared))?;
             }
             MsgType::Ping => {
                 let s = shared.ctx.cache.stats();
@@ -369,13 +438,13 @@ fn drive_connection(shared: &Shared, mut stream: TcpStream) -> Result<(), String
                 )?;
             }
             MsgType::SubmitRun => match RunRequest::from_json(&payload).and_then(|r| r.validate()) {
-                Ok(req) => serve_runs(shared, &mut stream, vec![req])?,
-                Err(e) => send_request_error(&mut stream, &e)?,
+                Ok(r) => serve_runs(shared, &mut stream, vec![r], conn, req)?,
+                Err(e) => send_request_error(shared, &mut stream, &e)?,
             },
             MsgType::SubmitSweep => {
                 match SweepRequest::from_json(&payload).and_then(|s| s.expand()) {
-                    Ok(runs) => serve_runs(shared, &mut stream, runs)?,
-                    Err(e) => send_request_error(&mut stream, &e)?,
+                    Ok(runs) => serve_runs(shared, &mut stream, runs, conn, req)?,
+                    Err(e) => send_request_error(shared, &mut stream, &e)?,
                 }
             }
             MsgType::FetchReport => {
@@ -395,12 +464,14 @@ fn drive_connection(shared: &Shared, mut stream: TcpStream) -> Result<(), String
                             send(&mut stream, MsgType::Done, "{\"jobs\": 0, \"cached\": 1, \"failed\": 0}")?;
                         }
                         None => send_error(
+                            shared,
                             &mut stream,
                             ErrorCode::NotFound,
                             &format!("no cached report for key {key}"),
                         )?,
                     },
                     Err(()) => send_error(
+                        shared,
                         &mut stream,
                         ErrorCode::BadRequest,
                         "fetch-report needs a \"key\" of 32 hex digits",
@@ -420,10 +491,16 @@ fn drive_connection(shared: &Shared, mut stream: TcpStream) -> Result<(), String
 
 /// Serves a validated run list: cache hits answered immediately in input
 /// order, misses scheduled on the pool and streamed in completion order.
+/// `conn` and `req` identify the connection and request in the log — the
+/// same `req` appears on the admission line, on every job's `run` line
+/// (simulated on a pool worker), and on the final `reply` line, so one
+/// grep follows a request accept→queue→cache→run→reply.
 fn serve_runs(
     shared: &Shared,
     stream: &mut TcpStream,
     runs: Vec<RunRequest>,
+    conn: u64,
+    req: u64,
 ) -> Result<(), String> {
     let total = runs.len();
     let keyed: Vec<(RunRequest, CacheKey)> = runs
@@ -453,10 +530,11 @@ fn serve_runs(
     {
         let _gate = shared.submit_gate.lock().expect("submit gate poisoned");
         if shared.stop.is_stopped() {
-            return send_error(stream, ErrorCode::Draining, "cohesiond is draining");
+            return send_error(shared, stream, ErrorCode::Draining, "cohesiond is draining");
         }
         if shared.pool.queued() + misses.len() > shared.cfg.queue_cap {
             return send_error(
+                shared,
                 stream,
                 ErrorCode::QueueFull,
                 &format!(
@@ -467,29 +545,41 @@ fn serve_runs(
                 ),
             );
         }
-        for (idx, req, key) in &misses {
+        for (idx, run, key) in &misses {
             let tx = tx.clone();
             let idx = *idx;
             let key = *key;
-            let req = req.clone();
+            let run = run.clone();
             let ctx = Arc::clone(&shared.ctx);
-            let label = format!("{} @ {}", req.kernel, req.point);
+            let label = format!("{} @ {}", run.kernel, run.point);
             let submit: Result<(), SubmitError> = shared.pool.submit(move || {
                 // Double-check under the job: another connection may have
                 // computed this key while we sat in the queue. `peek`
                 // keeps the hit/miss statistics honest (the admission
                 // lookup already counted this request's miss).
-                let outcome = match ctx.cache.peek(key) {
-                    Some(doc) => Ok(doc),
+                let (outcome, how) = match ctx.cache.peek(key) {
+                    Some(doc) => (Ok(doc), "cache"),
                     None => {
-                        let outcome = runner::execute(&req);
+                        let outcome = runner::execute(&run);
                         ctx.jobs_executed.fetch_add(1, Ordering::Relaxed);
-                        outcome.map(|doc| {
+                        let outcome = outcome.map(|doc| {
                             ctx.cache.insert(key, doc.clone());
                             Arc::new(doc)
-                        })
+                        });
+                        (outcome, "sim")
                     }
                 };
+                log::log(
+                    "run",
+                    &[
+                        ("conn", conn.to_string()),
+                        ("req", req.to_string()),
+                        ("job", idx.to_string()),
+                        ("label", label.clone()),
+                        ("how", how.to_string()),
+                        ("ok", outcome.is_ok().to_string()),
+                    ],
+                );
                 let _ = tx.send((idx, key, label, outcome));
             });
             if let Err(e) = submit {
@@ -499,11 +589,21 @@ fn serve_runs(
                     SubmitError::Full => ErrorCode::QueueFull,
                     SubmitError::Draining => ErrorCode::Draining,
                 };
-                return send_error(stream, code, &e.to_string());
+                return send_error(shared, stream, code, &e.to_string());
             }
         }
     }
     drop(tx);
+    log::log(
+        "admit",
+        &[
+            ("conn", conn.to_string()),
+            ("req", req.to_string()),
+            ("jobs", total.to_string()),
+            ("cached", hit_count.to_string()),
+            ("queued", misses.len().to_string()),
+        ],
+    );
 
     send(
         stream,
@@ -542,6 +642,7 @@ fn serve_runs(
             }
             Err(e) => {
                 failed += 1;
+                shared.ops.count_error(ErrorCode::RunFailed);
                 send(
                     stream,
                     MsgType::Error,
@@ -554,10 +655,74 @@ fn serve_runs(
             }
         }
     }
+    log::log(
+        "reply",
+        &[
+            ("conn", conn.to_string()),
+            ("req", req.to_string()),
+            ("jobs", total.to_string()),
+            ("cached", hit_count.to_string()),
+            ("failed", failed.to_string()),
+        ],
+    );
     send(
         stream,
         MsgType::Done,
         &format!("{{\"jobs\": {total}, \"cached\": {hit_count}, \"failed\": {failed}}}"),
+    )
+}
+
+/// Builds the `stats-reply` payload: uptime, totals, request and error
+/// counters by name (zero entries included so the shape is stable),
+/// point-in-time queue/worker/cache figures.
+fn stats_payload(shared: &Shared) -> String {
+    let requests: Vec<String> = MsgType::ALL
+        .iter()
+        .enumerate()
+        .filter(|(_, m)| m.client_to_server())
+        .map(|(i, m)| {
+            format!(
+                "\"{}\": {}",
+                m.name(),
+                shared.ops.requests[i].load(Ordering::Relaxed)
+            )
+        })
+        .collect();
+    let errors: Vec<String> = ErrorCode::ALL
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            format!(
+                "\"{}\": {}",
+                c.label(),
+                shared.ops.errors[i].load(Ordering::Relaxed)
+            )
+        })
+        .collect();
+    let s = shared.ctx.cache.stats();
+    format!(
+        "{{\"uptime_ms\": {}, \"connections\": {}, \"active_connections\": {}, \
+         \"requests\": {{{}}}, \"errors\": {{{}}}, \
+         \"queue\": {{\"depth\": {}, \"capacity\": {}}}, \
+         \"workers\": {{\"total\": {}, \"busy\": {}}}, \
+         \"jobs_executed\": {}, \
+         \"cache\": {{\"hits\": {}, \"misses\": {}, \"insertions\": {}, \"evictions\": {}, \
+         \"entries\": {}}}}}",
+        shared.ops.started.elapsed().as_millis(),
+        shared.connections.load(Ordering::Relaxed),
+        shared.active_conns.load(Ordering::Acquire),
+        requests.join(", "),
+        errors.join(", "),
+        shared.pool.queued(),
+        shared.cfg.queue_cap,
+        shared.cfg.workers,
+        shared.pool.running(),
+        shared.ctx.jobs_executed.load(Ordering::Relaxed),
+        s.hits,
+        s.misses,
+        s.insertions,
+        s.evictions,
+        s.entries,
     )
 }
 
@@ -590,16 +755,22 @@ fn send(stream: &mut TcpStream, msg: MsgType, payload: &str) -> Result<(), Strin
     stream.flush().map_err(|e| e.to_string())
 }
 
-fn send_error(stream: &mut TcpStream, code: ErrorCode, message: &str) -> Result<(), String> {
+fn send_error(
+    shared: &Shared,
+    stream: &mut TcpStream,
+    code: ErrorCode,
+    message: &str,
+) -> Result<(), String> {
+    shared.ops.count_error(code);
     send(stream, MsgType::Error, &error_payload(code, message))
 }
 
 /// Maps a request-validation failure onto the most specific error code.
-fn send_request_error(stream: &mut TcpStream, e: &str) -> Result<(), String> {
+fn send_request_error(shared: &Shared, stream: &mut TcpStream, e: &str) -> Result<(), String> {
     let code = if e.contains("unknown kernel") {
         ErrorCode::UnknownKernel
     } else {
         ErrorCode::BadRequest
     };
-    send_error(stream, code, e)
+    send_error(shared, stream, code, e)
 }

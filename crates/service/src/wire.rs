@@ -51,6 +51,8 @@ pub enum MsgType {
     FetchReport = 0x05,
     /// Client→server: ask the daemon to drain and exit.
     Shutdown = 0x06,
+    /// Client→server: ask for the daemon's operational counters.
+    Stats = 0x07,
     /// Server→client: accepts the session, names the negotiated version.
     HelloAck = 0x81,
     /// Server→client: answer to `ping`.
@@ -66,17 +68,21 @@ pub enum MsgType {
     Done = 0x86,
     /// Server→client: a structured failure; see [`ErrorCode`].
     Error = 0x87,
+    /// Server→client: answer to `stats` — uptime, request/error counters,
+    /// queue depth, worker busyness, cache statistics.
+    StatsReply = 0x88,
 }
 
 impl MsgType {
     /// Every message type, client-to-server tags first, in tag order.
-    pub const ALL: [MsgType; 13] = [
+    pub const ALL: [MsgType; 15] = [
         MsgType::Hello,
         MsgType::Ping,
         MsgType::SubmitRun,
         MsgType::SubmitSweep,
         MsgType::FetchReport,
         MsgType::Shutdown,
+        MsgType::Stats,
         MsgType::HelloAck,
         MsgType::Pong,
         MsgType::Accepted,
@@ -84,6 +90,7 @@ impl MsgType {
         MsgType::Report,
         MsgType::Done,
         MsgType::Error,
+        MsgType::StatsReply,
     ];
 
     /// The frame tag byte.
@@ -100,6 +107,7 @@ impl MsgType {
             MsgType::SubmitSweep => "submit-sweep",
             MsgType::FetchReport => "fetch-report",
             MsgType::Shutdown => "shutdown",
+            MsgType::Stats => "stats",
             MsgType::HelloAck => "hello-ack",
             MsgType::Pong => "pong",
             MsgType::Accepted => "accepted",
@@ -107,6 +115,7 @@ impl MsgType {
             MsgType::Report => "report",
             MsgType::Done => "done",
             MsgType::Error => "error",
+            MsgType::StatsReply => "stats-reply",
         }
     }
 
@@ -339,7 +348,8 @@ mod tests {
                 | MsgType::SubmitRun
                 | MsgType::SubmitSweep
                 | MsgType::FetchReport
-                | MsgType::Shutdown => assert!(m.client_to_server()),
+                | MsgType::Shutdown
+                | MsgType::Stats => assert!(m.client_to_server()),
                 _ => assert!(!m.client_to_server()),
             }
         }

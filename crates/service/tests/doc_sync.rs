@@ -146,6 +146,96 @@ fn spec_documents_the_shards_hint() {
     assert_eq!(req.canonical(), base);
 }
 
+/// The operating section (§2.4) documents the `stats` payload: every
+/// client message type must appear as a per-type request counter, and
+/// the payload's top-level keys must all be named.
+#[test]
+fn operating_guide_documents_the_stats_payload() {
+    let text = spec_text();
+    let section = text
+        .split("### 2.4")
+        .nth(1)
+        .expect("spec must have the operating section (§2.4)");
+    for m in MsgType::ALL {
+        if m.client_to_server() {
+            assert!(
+                section.contains(&format!("`{}`", m.name())),
+                "operating section must list the {} request counter",
+                m.name()
+            );
+        }
+    }
+    for key in [
+        "uptime_ms",
+        "connections",
+        "active_connections",
+        "requests",
+        "errors",
+        "queue",
+        "workers",
+        "jobs_executed",
+        "cache",
+    ] {
+        assert!(
+            section.contains(&format!("`{key}`")),
+            "operating section must document the stats payload key {key:?}"
+        );
+    }
+    assert!(
+        section.contains("cohesiond event="),
+        "operating section must show the structured log prefix"
+    );
+}
+
+/// Extracts every event name passed to `log::log("...", ...)` /
+/// `crate::log::log("...", ...)` in a source file.
+fn logged_events(source: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = source;
+    while let Some(pos) = rest.find("log(") {
+        rest = &rest[pos + 4..];
+        let arg = rest.trim_start();
+        if let Some(arg) = arg.strip_prefix('"') {
+            if let Some(end) = arg.find('"') {
+                out.push(arg[..end].to_string());
+            }
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Every event the daemon actually logs is a row in the spec's event
+/// table — adding a `log::log("new-event", ...)` call without
+/// documenting it fails here.
+#[test]
+fn every_logged_event_is_documented() {
+    let text = spec_text();
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/src");
+    let mut events = Vec::new();
+    for file in ["server.rs", "cache.rs", "bin/cohesiond.rs"] {
+        let path = format!("{root}/{file}");
+        let src = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+        events.extend(logged_events(&src));
+    }
+    events.sort();
+    events.dedup();
+    assert!(
+        events.len() >= 10,
+        "expected the daemon to log at least 10 distinct events, found {events:?}"
+    );
+    for event in events {
+        assert!(
+            text.lines().any(|l| {
+                let c = cells(l);
+                c.len() == 3 && c[0].split(" / ").any(|e| strip_ticks(e.trim()) == event)
+            }),
+            "logged event {event:?} has no row in the spec's event table"
+        );
+    }
+}
+
 #[test]
 fn spec_pins_the_frame_constants() {
     let text = spec_text();

@@ -25,6 +25,8 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
+use crate::timeline::CrewSpanLog;
+
 /// A lifetime-erased job pointer. Only dereferenced between the moment
 /// `Crew::run` publishes a batch and the moment it observes the batch
 /// complete, during which the caller's borrow is alive and blocked.
@@ -113,6 +115,19 @@ impl Crew {
     /// `workers == 0` is valid: every batch then runs inline on the
     /// caller.
     pub fn new(workers: usize) -> Self {
+        Self::build(workers, None)
+    }
+
+    /// Like [`Crew::new`], but every worker records a park span (time
+    /// waiting for a batch) and a run span (time draining it) into
+    /// `trace` — the timeline flight recorder's crew section. Tracing
+    /// costs two clock reads per worker per batch and nothing else; it
+    /// never affects job scheduling, so determinism is untouched.
+    pub fn traced(workers: usize, trace: Arc<CrewSpanLog>) -> Self {
+        Self::build(workers, Some(trace))
+    }
+
+    fn build(workers: usize, trace: Option<Arc<CrewSpanLog>>) -> Self {
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
                 epoch: 0,
@@ -128,11 +143,13 @@ impl Crew {
         let workers = (0..workers)
             .map(|i| {
                 let shared = Arc::clone(&shared);
+                let trace = trace.clone();
                 std::thread::Builder::new()
                     .name(format!("cohesion-crew-{i}"))
                     .spawn(move || {
                         let mut seen = 0u64;
                         loop {
+                            let park_t0 = trace.as_ref().map(|tr| tr.now_us());
                             {
                                 let mut st = shared.state.lock().unwrap();
                                 while st.epoch == seen && !st.shutdown {
@@ -143,7 +160,14 @@ impl Crew {
                                 }
                                 seen = st.epoch;
                             }
+                            if let (Some(tr), Some(t0)) = (&trace, park_t0) {
+                                tr.record(i, "crew_park", t0, tr.now_us().saturating_sub(t0));
+                            }
+                            let run_t0 = trace.as_ref().map(|tr| tr.now_us());
                             shared.drain_batch();
+                            if let (Some(tr), Some(t0)) = (&trace, run_t0) {
+                                tr.record(i, "crew_run", t0, tr.now_us().saturating_sub(t0));
+                            }
                         }
                     })
                     .expect("spawn crew worker")
@@ -253,6 +277,38 @@ mod tests {
     fn empty_batch_is_a_noop() {
         let crew = Crew::new(2);
         crew.run(&mut []);
+    }
+
+    #[test]
+    fn traced_crew_records_park_and_run_spans() {
+        use crate::timeline::CrewSpanLog;
+        use std::time::{Duration, Instant};
+        let log = Arc::new(CrewSpanLog::new(2, Instant::now(), 1024));
+        let crew = Crew::traced(2, Arc::clone(&log));
+        let mut seen_park = false;
+        let mut seen_run = false;
+        // Workers record spans when they wake for a batch; a fast caller
+        // can drain a batch alone, so pump batches (with jobs slow enough
+        // for workers to claim some) until both span kinds show up.
+        for _ in 0..200 {
+            let mut jobs: Vec<Box<dyn FnMut() + Send>> = (0..4)
+                .map(|_| {
+                    Box::new(move || std::thread::sleep(Duration::from_millis(1)))
+                        as Box<dyn FnMut() + Send>
+                })
+                .collect();
+            let mut refs: Vec<&mut (dyn FnMut() + Send)> =
+                jobs.iter_mut().map(|b| b.as_mut() as _).collect();
+            crew.run(&mut refs);
+            let (spans, _) = log.drain();
+            seen_park |= spans.iter().any(|s| s.name == "crew_park");
+            seen_run |= spans.iter().any(|s| s.name == "crew_run");
+            if seen_park && seen_run {
+                break;
+            }
+        }
+        assert!(seen_park, "workers record park intervals");
+        assert!(seen_run, "workers record run intervals");
     }
 
     #[test]
