@@ -8,21 +8,32 @@
 //! results are deterministic; only the wall-clock and derived rates vary
 //! between hosts.
 //!
-//! With `--shards N` (N > 1) the whole sweep runs twice — once at
-//! shards=1 and once at shards=N — so the report carries a per-kernel
+//! With `--shards N` (N > 1, or `auto`) the whole sweep runs twice — once
+//! at shards=1 and once at shards=N — so the report carries a per-kernel
 //! `shards` column and a `speedup_shards` headline (wall-clock at 1 shard
 //! over wall-clock at N). The simulated numbers are identical between the
 //! two passes by the sharded executor's determinism contract; only the
 //! wall-clock moves.
 //!
+//! v3 adds the lane-owned L3 escalation comparison: each kernel also runs
+//! once with lane-owned-bank servicing disabled (`lane_owned_l3 = false`,
+//! the pre-change engine) so the report carries, per kernel, the phase-A
+//! L3 fetch split (`l3_fast` serviced in phase A vs. `l3_local`/
+//! `l3_remote` escalated), the derived `l3_phase_a_fraction` (`l3_fast /
+//! (l3_fast + l3_local)` — the serviced share of the lane-owned events;
+//! cross-lane fetches escalate unconditionally by design and stay in
+//! their own column), and the pre/post escalation rates. Simulated
+//! results are identical in both engines — only the phase-A/B
+//! attribution moves.
+//!
 //! ```sh
-//! # Measure and write BENCH_8.json at the repo root:
-//! cargo run --release -p cohesion-bench --bin perfstat -- --scale tiny --shards 4
+//! # Measure and write BENCH_10.json at the repo root:
+//! cargo run --release -p cohesion-bench --bin perfstat -- --scale tiny --shards auto
 //! # Embed a prior measurement (e.g. taken at the pre-change commit):
 //! cargo run --release -p cohesion-bench --bin perfstat -- --scale tiny \
-//!     --baseline old.json --out BENCH_8.json
+//!     --baseline old.json --out BENCH_10.json
 //! # Validate a committed report's schema (CI): exit non-zero on mismatch.
-//! cargo run --release -p cohesion-bench --bin perfstat -- --check BENCH_8.json
+//! cargo run --release -p cohesion-bench --bin perfstat -- --check BENCH_10.json
 //! ```
 //!
 //! Perf-focused PRs regenerate the committed `BENCH_N.json` so the repo
@@ -35,14 +46,20 @@ use cohesion::run::run_workload;
 use cohesion_bench::harness::realistic_points;
 use cohesion_bench::jsonv::{self, Value};
 use cohesion_kernels::{kernel_by_name, Scale, KERNEL_NAMES};
+use cohesion_sim::timeline::EscalationCause;
 
 /// The pinned core count: large enough to exercise clusters, the NoC, and
 /// every directory variant, small enough that the tiny sweep stays quick.
 const CORES: u32 = 16;
 
-/// Schema identifier written to every new perfstat report. v2 adds the
-/// per-kernel `shards` column and the optional `speedup_shards` headline.
-const SCHEMA: &str = "cohesion-perfstat/v2";
+/// Schema identifier written to every new perfstat report. v3 adds the
+/// per-kernel lane-owned L3 columns (`l3_fast`, `l3_local`, `l3_remote`,
+/// `l3_phase_a_fraction`) and the pre/post escalation rates.
+const SCHEMA: &str = "cohesion-perfstat/v3";
+
+/// The sharding-era schema (per-kernel `shards` column). `--check` still
+/// accepts it so `BENCH_8.json` keeps validating.
+const SCHEMA_V2: &str = "cohesion-perfstat/v2";
 
 /// The pre-sharding schema. `--check` still accepts it so the committed
 /// history (`BENCH_5.json`, ...) keeps validating.
@@ -51,7 +68,7 @@ const SCHEMA_V1: &str = "cohesion-perfstat/v1";
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Tiny;
-    let mut out = "BENCH_8.json".to_string();
+    let mut out = "BENCH_10.json".to_string();
     let mut shards = 1u32;
     let mut baseline: Option<String> = None;
     let mut check: Option<String> = None;
@@ -60,9 +77,13 @@ fn main() {
         match args[i].as_str() {
             "--shards" => {
                 i += 1;
-                shards = match args.get(i).and_then(|v| v.parse().ok()) {
-                    Some(n) if n >= 1 => n,
-                    _ => usage("--shards needs a positive integer"),
+                shards = match args.get(i).map(String::as_str) {
+                    Some("auto") => 0,
+                    Some(v) => match v.parse() {
+                        Ok(n) if n >= 1 => n,
+                        _ => usage("--shards needs a positive integer or `auto`"),
+                    },
+                    None => usage("--shards needs a positive integer or `auto`"),
                 };
             }
             "--scale" => {
@@ -113,7 +134,14 @@ fn main() {
         Scale::Small => "small",
         Scale::Medium => "medium",
     };
-    let shard_counts: Vec<u32> = if shards > 1 { vec![1, shards] } else { vec![1] };
+    // `auto` (0) resolves to the host's parallelism *here*, before any
+    // run is recorded: a perfstat report is a host measurement, so the
+    // `shards` column must carry the count that actually executed —
+    // `--check` rejects a report with a non-positive shards column.
+    if shards == 0 {
+        shards = std::thread::available_parallelism().map_or(1, |n| n.get() as u32);
+    }
+    let shard_counts: Vec<u32> = if shards != 1 { vec![1, shards] } else { vec![1] };
     eprintln!(
         "perfstat: {} kernels x {} design points, {CORES} cores, scale {scale_name}, shards {:?}",
         KERNEL_NAMES.len(),
@@ -121,25 +149,47 @@ fn main() {
         shard_counts
     );
 
+    // Pre pass: the escalate-everything engine (lane_owned_l3 = false),
+    // shards=1. Only the deterministic timeline counters are kept — this
+    // is the "former EscalationCause::L3" baseline the v3 columns
+    // compare against.
+    let mut pre = Vec::new();
+    for kernel in KERNEL_NAMES {
+        let mut acc = TimelineStat::default();
+        for (_, dp) in realistic_points() {
+            acc.add(&run_pinned(kernel, scale, dp, 1, false).timeline);
+        }
+        eprintln!(
+            "perfstat: {kernel:<12} pre    l3 escalations={} rate={:.4}",
+            acc.l3_local + acc.l3_remote,
+            acc.escalation_rate()
+        );
+        pre.push(acc);
+    }
+
     let mut kernels = Vec::new();
     let mut pass_walls = Vec::new();
     let sweep_start = Instant::now();
     for &shard_count in &shard_counts {
         let pass_start = Instant::now();
-        for kernel in KERNEL_NAMES {
+        for (ki, kernel) in KERNEL_NAMES.iter().enumerate() {
             let start = Instant::now();
             let mut events = 0u64;
             let mut max_pending = 0u64;
             let mut cycles = 0u64;
+            let mut tl = TimelineStat::default();
             for (_, dp) in realistic_points() {
-                let report = run_pinned(kernel, scale, dp, shard_count);
-                cycles += report.0;
-                events += report.1;
-                max_pending = max_pending.max(report.2);
+                let r = run_pinned(kernel, scale, dp, shard_count, true);
+                cycles += r.cycles;
+                events += r.events;
+                max_pending = max_pending.max(r.max_pending);
+                tl.add(&r.timeline);
             }
             let wall = start.elapsed().as_secs_f64();
             eprintln!(
-                "perfstat: {kernel:<12} shards={shard_count} {wall:>8.3}s  {events:>12} events"
+                "perfstat: {kernel:<12} shards={shard_count} {wall:>8.3}s  {events:>12} events  \
+                 l3 fast/local/remote={}/{}/{}",
+                tl.l3_fast, tl.l3_local, tl.l3_remote
             );
             kernels.push(KernelStat {
                 name: kernel,
@@ -148,6 +198,8 @@ fn main() {
                 events,
                 max_pending,
                 cycles,
+                timeline: tl,
+                pre: pre[ki],
             });
         }
         pass_walls.push(pass_start.elapsed().as_secs_f64());
@@ -165,6 +217,54 @@ fn main() {
     eprintln!("perfstat report written to {out} ({total_wall:.3}s total)");
 }
 
+/// Deterministic timeline aggregates for one kernel across the pinned
+/// design points (shard-invariant by the determinism contract).
+#[derive(Debug, Clone, Copy, Default)]
+struct TimelineStat {
+    /// L2-miss line fetches serviced in phase A on a lane-owned bank.
+    l3_fast: u64,
+    /// Escalations with cause `l3-local` (owned bank, precondition failed).
+    l3_local: u64,
+    /// Escalations with cause `l3-remote` (another lane's bank).
+    l3_remote: u64,
+    /// All escalations, all causes.
+    escalated: u64,
+    /// Total slices (fast + escalated).
+    slices: u64,
+}
+
+impl TimelineStat {
+    fn add(&mut self, other: &TimelineStat) {
+        self.l3_fast += other.l3_fast;
+        self.l3_local += other.l3_local;
+        self.l3_remote += other.l3_remote;
+        self.escalated += other.escalated;
+        self.slices += other.slices;
+    }
+
+    /// The phase-A-serviced fraction of former `EscalationCause::L3`
+    /// events homed on a lane-owned bank: `l3_fast / (l3_fast +
+    /// l3_local)`. Before lane ownership every such event escalated;
+    /// cross-lane (`l3_remote`) fetches are excluded from the
+    /// denominator because the design escalates them unconditionally —
+    /// they measure the ownership partition's coverage, not the fast
+    /// path's effectiveness, and are reported in their own column.
+    fn l3_phase_a_fraction(&self) -> f64 {
+        let owned = self.l3_fast + self.l3_local;
+        if owned == 0 {
+            return 0.0;
+        }
+        self.l3_fast as f64 / owned as f64
+    }
+
+    fn escalation_rate(&self) -> f64 {
+        if self.slices == 0 {
+            return 0.0;
+        }
+        self.escalated as f64 / self.slices as f64
+    }
+}
+
 /// Wall-clock and event totals for one kernel across the pinned points,
 /// at one shard count.
 struct KernelStat {
@@ -174,14 +274,25 @@ struct KernelStat {
     events: u64,
     max_pending: u64,
     cycles: u64,
+    timeline: TimelineStat,
+    /// Same counters from the pre pass (lane-owned servicing disabled).
+    pre: TimelineStat,
 }
 
-/// Runs `kernel` once under `dp` with metrics armed; returns
-/// `(cycles, events_scheduled, max_pending)`.
-fn run_pinned(kernel: &str, scale: Scale, dp: DesignPoint, shards: u32) -> (u64, u64, u64) {
+struct PinnedRun {
+    cycles: u64,
+    events: u64,
+    max_pending: u64,
+    timeline: TimelineStat,
+}
+
+/// Runs `kernel` once under `dp` with metrics and the timeline armed.
+fn run_pinned(kernel: &str, scale: Scale, dp: DesignPoint, shards: u32, lane_l3: bool) -> PinnedRun {
     let mut cfg = cohesion::config::MachineConfig::scaled(CORES, dp);
     cfg.metrics = true;
+    cfg.timeline = true;
     cfg.shards = shards;
+    cfg.lane_owned_l3 = lane_l3;
     let mut wl = kernel_by_name(kernel, scale);
     let report = match run_workload(&cfg, wl.as_mut()) {
         Ok(r) => r,
@@ -198,7 +309,19 @@ fn run_pinned(kernel: &str, scale: Scale, dp: DesignPoint, shards: u32) -> (u64,
             .map(|&(_, v)| v)
             .unwrap_or(0)
     };
-    (report.cycles, counter("events/scheduled"), counter("events/max_pending"))
+    let tl = report.timeline.as_ref().expect("timeline was armed");
+    PinnedRun {
+        cycles: report.cycles,
+        events: counter("events/scheduled"),
+        max_pending: counter("events/max_pending"),
+        timeline: TimelineStat {
+            l3_fast: tl.l3_fast,
+            l3_local: tl.escalated[EscalationCause::L3Local.index()],
+            l3_remote: tl.escalated[EscalationCause::L3Remote.index()],
+            escalated: tl.escalated_total(),
+            slices: tl.fast_slices + tl.escalated_total(),
+        },
+    }
 }
 
 /// Renders the report document. Hand-rolled JSON in the same
@@ -222,7 +345,10 @@ fn render(
         let comma = if i + 1 < kernels.len() { "," } else { "" };
         out.push_str(&format!(
             "    {{\"name\": \"{}\", \"shards\": {}, \"wall_seconds\": {:.6}, \"events\": {}, \
-             \"events_per_second\": {:.1}, \"max_pending\": {}, \"cycles\": {}}}{comma}\n",
+             \"events_per_second\": {:.1}, \"max_pending\": {}, \"cycles\": {}, \
+             \"l3_fast\": {}, \"l3_local\": {}, \"l3_remote\": {}, \
+             \"l3_phase_a_fraction\": {:.6}, \"escalation_rate\": {:.6}, \
+             \"l3_events_pre\": {}, \"escalation_rate_pre\": {:.6}}}{comma}\n",
             k.name,
             k.shards,
             k.wall,
@@ -230,6 +356,13 @@ fn render(
             k.events as f64 / k.wall.max(1e-9),
             k.max_pending,
             k.cycles,
+            k.timeline.l3_fast,
+            k.timeline.l3_local,
+            k.timeline.l3_remote,
+            k.timeline.l3_phase_a_fraction(),
+            k.timeline.escalation_rate(),
+            k.pre.l3_local + k.pre.l3_remote,
+            k.pre.escalation_rate(),
         ));
     }
     out.push_str("  ],\n");
@@ -239,14 +372,16 @@ fn render(
         total_events,
         total_events as f64 / total_wall.max(1e-9),
     ));
+    // host_threads is always recorded in v3: both `speedup_shards` and a
+    // `--shards auto` resolution only mean anything relative to the
+    // machine that produced them.
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+    out.push_str(&format!(",\n  \"host_threads\": {host}"));
     if let Some(s) = speedup_shards {
         // The headline only means "what sharding bought" on a host with
-        // the threads to back it; host_threads is recorded alongside so
-        // a ratio near 1.0 from a single-core box reads as expected, not
-        // as a regression.
-        let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+        // the threads to back it; a ratio near 1.0 from a single-core
+        // box reads as expected, not as a regression.
         out.push_str(&format!(",\n  \"speedup_shards\": {s:.3}"));
-        out.push_str(&format!(",\n  \"host_threads\": {host}"));
     }
     if let Some(b) = baseline {
         out.push_str(",\n  \"baseline\": ");
@@ -269,15 +404,22 @@ fn render(
     out
 }
 
-/// Parses and structurally validates a perfstat report — either schema
-/// version; v2 additionally requires the per-kernel `shards` column.
-/// Returns the parsed document.
+/// Parses and structurally validates a perfstat report — any schema
+/// version. v2 additionally requires the per-kernel `shards` column; v3
+/// the lane-owned L3 columns, and that the sweep's lane-local L3 hit
+/// fraction is positive (the escalation-rate regression gate). Returns
+/// the parsed document.
 fn validate(text: &str) -> Result<Value, String> {
     let doc = jsonv::parse(text)?;
-    let v2 = match doc.get("schema").and_then(Value::as_str) {
-        Some(s) if s == SCHEMA => true,
-        Some(s) if s == SCHEMA_V1 => false,
-        _ => return Err(format!("schema is neither \"{SCHEMA}\" nor \"{SCHEMA_V1}\"")),
+    let version = match doc.get("schema").and_then(Value::as_str) {
+        Some(s) if s == SCHEMA => 3,
+        Some(s) if s == SCHEMA_V2 => 2,
+        Some(s) if s == SCHEMA_V1 => 1,
+        _ => {
+            return Err(format!(
+                "schema is none of \"{SCHEMA}\", \"{SCHEMA_V2}\", \"{SCHEMA_V1}\""
+            ))
+        }
     };
     for key in ["scale", "cores", "design_points", "total"] {
         if doc.get(key).is_none() {
@@ -292,10 +434,29 @@ fn validate(text: &str) -> Result<Value, String> {
         return Err("kernels is empty".into());
     }
     let mut events_sum = 0u64;
+    let mut l3_fast_sum = 0u64;
     for k in kernels {
         let name = k.get("name").and_then(Value::as_str).ok_or("kernel without name")?;
-        if v2 && !k.get("shards").and_then(Value::as_u64).is_some_and(|n| n >= 1) {
-            return Err(format!("{name}: v2 report without a positive shards column"));
+        if version >= 2 && !k.get("shards").and_then(Value::as_u64).is_some_and(|n| n >= 1) {
+            return Err(format!("{name}: v2+ report without a positive shards column"));
+        }
+        if version >= 3 {
+            for col in [
+                "l3_fast",
+                "l3_local",
+                "l3_remote",
+                "l3_events_pre",
+            ] {
+                if k.get(col).and_then(Value::as_u64).is_none() {
+                    return Err(format!("{name}: v3 report missing {col}"));
+                }
+            }
+            for col in ["l3_phase_a_fraction", "escalation_rate", "escalation_rate_pre"] {
+                if k.get(col).and_then(Value::as_f64).is_none() {
+                    return Err(format!("{name}: v3 report missing {col}"));
+                }
+            }
+            l3_fast_sum += k.get("l3_fast").and_then(Value::as_u64).unwrap_or(0);
         }
         let wall = k
             .get("wall_seconds")
@@ -312,6 +473,18 @@ fn validate(text: &str) -> Result<Value, String> {
             return Err(format!("{name}: missing events_per_second"));
         }
         events_sum += events;
+    }
+    if version >= 3 {
+        if doc.get("host_threads").and_then(Value::as_u64).is_none() {
+            return Err("v3 report missing host_threads".into());
+        }
+        if l3_fast_sum == 0 {
+            return Err(
+                "lane-local L3 hit fraction is zero across the sweep — the lane-owned \
+                 fast path never fired (escalation-rate regression)"
+                    .into(),
+            );
+        }
     }
     let total_events = doc
         .get("total")
@@ -405,7 +578,7 @@ fn emit(v: &Value, out: &mut String) {
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: perfstat [--scale tiny|small] [--shards N] [--out FILE] [--baseline FILE] \
+        "usage: perfstat [--scale tiny|small] [--shards N|auto] [--out FILE] [--baseline FILE] \
          | --check FILE"
     );
     std::process::exit(2)

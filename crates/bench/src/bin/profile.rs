@@ -35,6 +35,7 @@
 
 use cohesion::config::DesignPoint;
 use cohesion_bench::harness::{self, Options};
+use cohesion_sim::timeline::EscalationCause;
 use cohesion_bench::jsonv::{self, Value};
 use cohesion_bench::table::Table;
 
@@ -311,15 +312,27 @@ fn render_timeline(summary: Option<&Value>, trace: Option<&Value>) -> String {
                 g("epochs"),
                 g("dropped_spans"),
             ));
-            let mut causes: Vec<(String, u64)> = t
-                .get("escalated")
-                .and_then(Value::as_obj)
-                .unwrap_or_default()
-                .iter()
-                .filter_map(|(k, v)| Some((k.clone(), v.as_u64()?)))
-                .filter(|(_, n)| *n > 0)
+            let counts = t.get("escalated").and_then(Value::as_obj).unwrap_or_default();
+            // Fixed taxonomy order (EscalationCause::index), so the mix
+            // table lines up across runs and with the docs table; labels
+            // the summary schema does not know yet render after, sorted.
+            let taxonomy: Vec<&str> = (0..EscalationCause::ALL.len())
+                .map(|i| EscalationCause::from_index(i).label())
                 .collect();
-            causes.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+            let mut causes: Vec<(String, u64)> = taxonomy
+                .iter()
+                .filter_map(|&l| {
+                    counts.iter().find(|(k, _)| k == l).and_then(|(k, v)| Some((k.clone(), v.as_u64()?)))
+                })
+                .collect();
+            let mut extras: Vec<(String, u64)> = counts
+                .iter()
+                .filter(|(k, _)| !taxonomy.contains(&k.as_str()))
+                .filter_map(|(k, v)| Some((k.clone(), v.as_u64()?)))
+                .collect();
+            extras.sort_by(|a, b| a.0.cmp(&b.0));
+            causes.extend(extras);
+            causes.retain(|(_, n)| *n > 0);
             let total: u64 = causes.iter().map(|(_, n)| n).sum();
             if total > 0 {
                 out.push_str("Escalation causes:\n");
@@ -626,4 +639,33 @@ fn render_run(run: &Value) -> String {
         }
     }
     out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The escalation-mix table must print causes in the fixed taxonomy
+    /// order (`EscalationCause::index`), not by count — so the table
+    /// lines up across runs and with the observability docs.
+    #[test]
+    fn escalation_mix_prints_in_taxonomy_order() {
+        let doc = r#"{
+            "schema": "cohesion-timeline/v1", "binary": "t", "options": {},
+            "runs": [{ "label": "k", "timeline": {
+                "dropped_spans": 0, "epochs": 1, "fast": 0, "slices": 111,
+                "escalation_rate": 1.0,
+                "escalated": { "atomic": 50, "directory": 40, "l3-local": 1,
+                               "l3-remote": 2, "noc": 3, "task-queue": 15 }
+            } }]
+        }"#;
+        let v = jsonv::parse(doc).expect("parse");
+        let out = render_timeline(Some(&v), None);
+        let pos = |label: &str| out.find(label).unwrap_or_else(|| panic!("{label} missing"));
+        assert!(pos("l3-local") < pos("l3-remote"));
+        assert!(pos("l3-remote") < pos("directory"));
+        assert!(pos("directory") < pos("noc"));
+        assert!(pos("noc") < pos("atomic"));
+        assert!(pos("atomic") < pos("task-queue"));
+    }
 }

@@ -33,11 +33,13 @@ pub struct Options {
     /// `COHESION_JOBS` or the machine's available parallelism).
     pub jobs: usize,
     /// Host threads sharding a *single* simulation (`--shards`, or
-    /// `COHESION_SHARDS`; default 1). Orthogonal to `jobs`: `jobs`
-    /// parallelizes across independent runs of a sweep, `shards`
-    /// parallelizes inside one `Machine`. Like `jobs`, this never
-    /// changes simulated results — every output is byte-identical at
-    /// any shard count — so it is absent from emitted documents.
+    /// `COHESION_SHARDS`; default 1). `auto` (or `0`) resolves to the
+    /// host's available parallelism at machine construction, clamped to
+    /// the cluster count. Orthogonal to `jobs`: `jobs` parallelizes
+    /// across independent runs of a sweep, `shards` parallelizes inside
+    /// one `Machine`. Like `jobs`, this never changes simulated results
+    /// — every output is byte-identical at any shard count — so neither
+    /// the flag nor the resolved count appears in emitted documents.
     pub shards: u32,
     /// Trace seed perturbing kernel input generation (`--seed`). `0` — the
     /// default — reproduces the paper's pinned inputs exactly; any other
@@ -86,9 +88,17 @@ impl Default for Options {
 fn default_shards() -> u32 {
     std::env::var("COHESION_SHARDS")
         .ok()
-        .and_then(|v| v.parse().ok())
-        .filter(|&n| n >= 1)
+        .and_then(|v| parse_shards(&v))
         .unwrap_or(1)
+}
+
+/// Parses a shard-count value: a positive integer, or `auto` / `0` for
+/// the `MachineConfig::resolve_shards` host-parallelism sentinel.
+fn parse_shards(v: &str) -> Option<u32> {
+    if v.eq_ignore_ascii_case("auto") {
+        return Some(0);
+    }
+    v.parse().ok()
 }
 
 impl Options {
@@ -136,9 +146,9 @@ impl Options {
                 }
                 "--shards" => {
                     i += 1;
-                    opts.shards = match args.get(i).and_then(|v| v.parse().ok()) {
-                        Some(n) if n >= 1 => n,
-                        _ => usage("--shards needs a positive integer"),
+                    opts.shards = match args.get(i).and_then(|v| parse_shards(v)) {
+                        Some(n) => n,
+                        None => usage("--shards needs a positive integer or `auto`"),
                     };
                 }
                 "--seed" => {
@@ -517,7 +527,7 @@ fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: [--cores N] [--scale tiny|small|medium] [--kernels a,b,c] \
-         [--jobs N] [--shards N] [--seed N] [--metrics-out FILE] \
+         [--jobs N] [--shards N|auto] [--seed N] [--metrics-out FILE] \
          [--trace-out FILE] [--part a|b|c] [--out PATH] [--csv DIR]"
     );
     std::process::exit(2)
@@ -709,14 +719,39 @@ mod tests {
             shards: 4,
             ..base.clone()
         };
+        // `auto` (the 0 sentinel): the resolved count is a host detail
+        // and must be just as invisible as an explicit one.
+        let auto = Options {
+            shards: 0,
+            ..base.clone()
+        };
         let dp = DesignPoint::cohesion(16 * 1024, 128);
         let a = run(&base, "sobel", dp);
         let b = run(&sharded, "sobel", dp);
+        let c = run(&auto, "sobel", dp);
         assert_eq!(a.cycles, b.cycles);
         assert_eq!(a.messages, b.messages);
         assert_eq!(a.transitions, b.transitions);
-        let doc = metrics_document("test", &sharded, &[]);
-        assert!(!doc.contains("shards"), "{doc}");
+        assert_eq!(a.cycles, c.cycles);
+        assert_eq!(a.messages, c.messages);
+        assert_eq!(a.transitions, c.transitions);
+        for o in [&sharded, &auto] {
+            let doc = metrics_document("test", o, &[]);
+            assert!(!doc.contains("shards"), "{doc}");
+        }
+    }
+
+    /// `--shards` accepts `auto` (case-insensitive) and `0` as the
+    /// host-parallelism sentinel, plus ordinary positive integers.
+    #[test]
+    fn shards_flag_parses_auto_and_integers() {
+        assert_eq!(parse_shards("auto"), Some(0));
+        assert_eq!(parse_shards("AUTO"), Some(0));
+        assert_eq!(parse_shards("0"), Some(0));
+        assert_eq!(parse_shards("1"), Some(1));
+        assert_eq!(parse_shards("16"), Some(16));
+        assert_eq!(parse_shards("-2"), None);
+        assert_eq!(parse_shards("many"), None);
     }
 
     /// The serialized document is deterministic given the same recorded
@@ -808,6 +843,7 @@ mod tests {
             crew_dropped: 0,
             epochs: 1,
             fast_slices: 3,
+            l3_fast: 0,
             escalated: [0; CAUSES],
         };
         let trace = chrome_trace(&[("run".to_string(), snap)]);

@@ -261,9 +261,28 @@ pub struct MachineConfig {
     /// over cluster lanes). This is *host* parallelism only: simulated
     /// results are byte-identical at any shard count, so `shards` is
     /// excluded from service cache keys. `1` (the default) runs fully
-    /// inline with no worker pool. Values above the cluster count are
-    /// clamped — a lane is the unit of parallel work.
+    /// inline with no worker pool. `0` means **auto**: derive the count
+    /// from the host's available parallelism at run time (see
+    /// [`MachineConfig::resolve_shards`]). Values above the cluster
+    /// count are clamped — a lane is the unit of parallel work.
     pub shards: u32,
+    /// Service L2 misses homed on a lane-owned L3 bank inside phase A
+    /// (the lane-owned-bank fast path). On by default. Turning it off
+    /// forces every line fetch back onto the serial spine — the
+    /// pre-change engine, which `perfstat` uses as its escalation-rate
+    /// baseline. The BSP-level outcome is identical either way (phase
+    /// count, tasks executed, operation totals, and the golden-checked
+    /// computed answer — pinned by the `prop_sim` lane-ownership
+    /// property test); cycle-level arbitration order is not, because
+    /// owned-bank bookings interleave with the serial spine differently,
+    /// and at multi-slot shapes that timing shift can butterfly into
+    /// eviction-order differences (the same accepted drift class the
+    /// sharded engine introduced vs. the pure event-wheel machine).
+    /// Within one setting of this flag,
+    /// results remain byte-identical at every shard count. A host-side
+    /// engine toggle, excluded from emitted documents and service cache
+    /// keys.
+    pub lane_owned_l3: bool,
 }
 
 /// Task-distribution models for the barrier-synchronized work queue.
@@ -317,6 +336,7 @@ impl MachineConfig {
             metrics_window: 10_000,
             timeline: false,
             shards: 1,
+            lane_owned_l3: true,
         }
     }
 
@@ -369,6 +389,26 @@ impl MachineConfig {
     /// machine, keeping L2 lines per directory bank constant.
     pub fn realistic_dir_entries(&self) -> u32 {
         16 * 1024
+    }
+
+    /// Resolves [`MachineConfig::shards`] to a concrete host thread count
+    /// for this machine, given the host's available parallelism.
+    ///
+    /// `0` (auto) takes `host_threads` — one worker per hardware thread,
+    /// on the observation that lane occupancy is what phase A scales
+    /// with. Any value (explicit or auto) is clamped to `1..=clusters`:
+    /// more threads than lanes cannot help, and a degenerate host report
+    /// (`0`) still yields the inline engine. The resolved count steers
+    /// *host* parallelism only — it must never appear in emitted
+    /// documents or cache keys.
+    pub fn resolve_shards(&self, host_threads: usize) -> usize {
+        let n_lanes = self.clusters().max(1) as usize;
+        let requested = if self.shards == 0 {
+            host_threads
+        } else {
+            self.shards as usize
+        };
+        requested.max(1).min(n_lanes)
     }
 }
 
@@ -447,5 +487,34 @@ mod tests {
     #[should_panic(expected = "two clusters")]
     fn tiny_scaled_config_rejected() {
         let _ = MachineConfig::scaled(8, DesignPoint::swcc());
+    }
+
+    #[test]
+    fn resolve_shards_explicit_counts_clamp_to_lanes() {
+        let cfg = MachineConfig::scaled(16, DesignPoint::swcc()); // 2 clusters
+        let mut c = cfg;
+        c.shards = 1;
+        assert_eq!(c.resolve_shards(64), 1, "explicit 1 ignores the host");
+        c.shards = 2;
+        assert_eq!(c.resolve_shards(64), 2);
+        c.shards = 999;
+        assert_eq!(c.resolve_shards(64), 2, "clamped to the lane count");
+    }
+
+    #[test]
+    fn resolve_shards_auto_tracks_host_parallelism() {
+        let mut cfg = MachineConfig::scaled(128, DesignPoint::swcc()); // 16 clusters
+        cfg.shards = 0;
+        assert_eq!(cfg.resolve_shards(1), 1, "1-core host runs inline");
+        assert_eq!(cfg.resolve_shards(8), 8);
+        assert_eq!(cfg.resolve_shards(256), 16, "oversubscription clamps to lanes");
+        assert_eq!(cfg.resolve_shards(0), 1, "degenerate host report still runs");
+    }
+
+    #[test]
+    fn resolve_shards_auto_on_small_machines() {
+        let mut cfg = MachineConfig::scaled(16, DesignPoint::swcc()); // 2 clusters
+        cfg.shards = 0;
+        assert_eq!(cfg.resolve_shards(32), 2, "tiny machine caps auto at 2 lanes");
     }
 }

@@ -20,7 +20,7 @@
 //! whatever the hierarchy provides. Loads carrying a golden expectation
 //! detect stale data immediately.
 
-use cohesion_mem::addr::{Addr, AddressMap, LineAddr, WORDS_PER_LINE};
+use cohesion_mem::addr::{Addr, AddressMap, BankOwnership, LineAddr, WORDS_PER_LINE};
 use cohesion_mem::cache::{Cache, EvictedLine, HwState};
 use cohesion_mem::dram::Dram;
 use cohesion_mem::mainmem::MainMemory;
@@ -37,10 +37,11 @@ use cohesion_sim::link::Throttle;
 use cohesion_sim::metrics::{Registry, Snapshot};
 use cohesion_sim::msg::MessageClass;
 use cohesion_sim::stats::{CoherenceInstrStats, MessageCounts};
+use cohesion_sim::timeline::EscalationCause;
 use cohesion_sim::Cycle;
 
 use crate::config::MachineConfig;
-use crate::noc::Noc;
+use crate::noc::{LaneNoc, Noc};
 
 /// A coherence error surfaced by the machine (these are *simulated-program*
 /// failures the harness turns into test failures, not simulator bugs).
@@ -1865,38 +1866,64 @@ pub struct LaneScratch {
 /// other lanes' slices.
 ///
 /// A lane owns mutable access to its cluster's L1s, L2, L2 port
-/// throttle, and coherence-instruction counters, plus shared *read-only*
-/// access to the configuration, region tables, and backing memory. The
-/// `try_*` methods attempt each core-visible operation on that state
-/// alone: they either complete it with effects byte-identical to the
-/// corresponding `Machine` method, or return `None` **without mutating
-/// anything**, in which case the caller must escalate the operation to
-/// the serial path (`Machine::load` etc.), which re-runs it from
-/// scratch.
+/// throttle, message/instruction counters, **and the L3 banks (with
+/// their collocated directory slices, port throttles, table caches, and
+/// direct NoC links) it owns under the static [`BankOwnership`]
+/// partition**, plus shared *read-only* access to the configuration,
+/// region tables, and backing memory. The `try_*` methods attempt each
+/// core-visible operation on that state alone: they either complete it
+/// with effects byte-identical to the corresponding `Machine` method,
+/// or return `None` **without mutating anything**, in which case the
+/// caller must escalate the operation to the serial path
+/// (`Machine::load` etc.), which re-runs it from scratch.
 ///
 /// The escalation contract is what keeps sharded runs deterministic: a
 /// `None` leaves no trace, so the serial replay observes exactly the
 /// state a serial-only engine would have produced for that operation.
+/// Ownership decisions depend only on the config-fixed [`AddressMap`]
+/// home function and the cluster count — never on host threads — so the
+/// phase-A/B split remains a function of simulated state alone.
 #[derive(Debug)]
 pub struct LaneCtx<'a> {
     cluster: ClusterId,
     cores_per_cluster: u32,
     l2_latency: Cycle,
+    l3_latency: Cycle,
     word_granular_swcc: bool,
+    exclusive_state: bool,
+    silent_evictions: bool,
+    clusters: u32,
     mode: CohMode,
+    map: AddressMap,
+    ownership: BankOwnership,
     /// `false` => every operation escalates: the trace log is armed and
     /// all protocol records must happen serially, in canonical order.
     fast: bool,
     /// Profiler active => invalidates escalate (the profiler is
     /// machine-global state).
     profiled: bool,
+    /// Lane-owned-bank servicing enabled ([`MachineConfig::lane_owned_l3`]).
+    /// `false` forces every line fetch to escalate — the `perfstat`
+    /// pre/post baseline.
+    lane_l3: bool,
     processes: &'a [ProcessCtx],
     mem: &'a MainMemory,
     l1i: &'a mut [Cache],
     l1d: &'a mut [Cache],
     l2: &'a mut Cache,
     l2_ports: &'a mut Throttle,
+    l2_msgs: &'a mut MessageCounts,
     instr_stats: &'a mut CoherenceInstrStats,
+    /// Owned L3 banks, in slot order (`BankOwnership::slot_of`).
+    l3: Vec<&'a mut Cache>,
+    /// Owned banks' port throttles, same slot order.
+    l3_ports: Vec<&'a mut Throttle>,
+    /// Owned directory slices (when the design has a directory).
+    dirs: Option<Vec<&'a mut DirectoryBank>>,
+    /// Owned banks' dedicated table caches (when configured).
+    table_cache: Option<Vec<&'a mut Cache>>,
+    /// Direct links between this lane's cluster and its owned banks.
+    noc: LaneNoc<'a>,
     scratch: &'a mut LaneScratch,
 }
 
@@ -1939,9 +1966,368 @@ impl LaneCtx<'_> {
         }
     }
 
+    /// Lane-local replica of `Machine::process_of` (pure).
+    fn process_of(&self, addr: Addr) -> Option<&ProcessCtx> {
+        self.processes
+            .iter()
+            .find(|p| p.layout.owns(addr) || p.fine.covers(addr))
+    }
+
+    /// Lane-local replica of `Machine::classify` (pure).
+    fn classify(&self, line: LineAddr) -> EntryClass {
+        match self.process_of(line.base()) {
+            Some(p) => p.layout.classify(line.base()),
+            None => EntryClass::HeapGlobal,
+        }
+    }
+
+    /// The escalation cause for an L2-miss line fetch that could not be
+    /// serviced in phase A: lane-local (the home bank is ours but a
+    /// fast-path precondition failed) vs. remote (another lane's bank).
+    pub fn l3_cause(&self, line: LineAddr) -> EscalationCause {
+        if self.ownership.owns(self.cluster.0, self.map.bank_of(line)) {
+            EscalationCause::L3Local
+        } else {
+            EscalationCause::L3Remote
+        }
+    }
+
+    /// Checks whether an L2-miss line fetch for `line` can be serviced
+    /// entirely within this lane: the home bank must be lane-owned, the
+    /// L3 must hold the line (a miss would touch the shared DRAM
+    /// model), and the required directory transition must be
+    /// slice-local — no probes to other clusters, no directory victim.
+    /// Pure (peeks only), so a `None` caller escalates with nothing
+    /// mutated. Returns the owned bank's slot index.
+    fn can_fetch_owned(&self, line: LineAddr, exclusive: bool) -> Option<usize> {
+        if !self.lane_l3 {
+            return None; // fast path disabled: pre-change baseline
+        }
+        if self.profiled {
+            return None; // note_msg feeds the machine-global profiler
+        }
+        let bank = self.map.bank_of(line);
+        if !self.ownership.owns(self.cluster.0, bank) {
+            return None; // another lane's bank: inherently cross-lane
+        }
+        let slot = self.ownership.slot_of(bank);
+        if self.l3[slot].peek(line).is_none() {
+            return None; // DRAM fill: the DRAM model is shared
+        }
+        let Some(dirs) = self.dirs.as_ref() else {
+            return Some(slot); // SWcc design point: no directory at all
+        };
+        match dirs[slot].peek(line) {
+            Some(e) => {
+                let others = e
+                    .sharers
+                    .probe_targets(self.clusters)
+                    .into_iter()
+                    .any(|c| c != self.cluster);
+                if others && (exclusive || e.state == DirState::Modified) {
+                    return None; // probes to other clusters (shared NoC)
+                }
+                Some(slot)
+            }
+            None => {
+                // Directory miss: replay the §3.4 region-table walk with
+                // pure reads, and require any insertion to be victimless
+                // (a directory victim probes its sharers).
+                let proc = self
+                    .process_of(line.base())
+                    .map(|p| (p.coarse.lookup(line.base()).is_some(), p.fine));
+                let domain = match (self.mode, proc) {
+                    (CohMode::HWcc, _) => Domain::HWcc,
+                    (CohMode::SWcc, _) => Domain::SWcc,
+                    (CohMode::Cohesion, None) => Domain::HWcc,
+                    (CohMode::Cohesion, Some((true, _))) => Domain::SWcc,
+                    (CohMode::Cohesion, Some((false, fine))) => {
+                        let slot_f = fine.slot_of(line);
+                        let tline = slot_f.word.line();
+                        let tc_hit = self
+                            .table_cache
+                            .as_ref()
+                            .is_some_and(|tc| tc[slot].peek(tline).is_some());
+                        if !tc_hit && self.l3[slot].peek(tline).is_none() {
+                            return None; // table line needs a DRAM fill
+                        }
+                        fine.domain_at(self.mem, slot_f)
+                    }
+                };
+                match domain {
+                    Domain::SWcc => Some(slot),
+                    Domain::HWcc => {
+                        if dirs[slot].insert_victim_preview(line).is_some() {
+                            return None; // victim's sharers need probes
+                        }
+                        Some(slot)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Checks whether the L2 victim that allocating `line` would displace
+    /// (if any) can be handled entirely within this lane. Pure (peeks
+    /// only). The serial arms of `Machine::handle_l2_eviction` map to:
+    ///
+    /// * no victim, or a clean SWcc victim — silent, always local;
+    /// * a clean HWcc victim under the `silent_evictions` ablation —
+    ///   dropped without a message, always local;
+    /// * a clean HWcc victim otherwise — a read release to the victim's
+    ///   home directory slice, local iff that bank is lane-owned;
+    /// * a dirty victim — a writeback merged at the victim's home L3
+    ///   bank, local iff that bank is lane-owned **and** the victim line
+    ///   is L3-resident (the miss arm of `l3_write_words` writes through
+    ///   to the shared DRAM model).
+    ///
+    /// The L2 index bits contain the bank-select bits at every supported
+    /// geometry, so a victim's home bank equals the fetched line's —
+    /// but the check goes through the [`AddressMap`] anyway.
+    fn victim_local(&self, line: LineAddr) -> bool {
+        let Some(v) = self.l2.victim_preview(line) else {
+            return true; // free way: no victim at all
+        };
+        if v.dirty_words == 0 && (v.incoherent || self.silent_evictions) {
+            return true; // dropped silently, no message
+        }
+        if self.profiled {
+            return false; // note_msg feeds the machine-global profiler
+        }
+        let bank = self.map.bank_of(v.addr);
+        if !self.ownership.owns(self.cluster.0, bank) {
+            return false; // the victim's home bank is another lane's
+        }
+        if v.dirty_words != 0 {
+            let slot = self.ownership.slot_of(bank);
+            if self.l3[slot].peek(v.addr).is_none() {
+                return false; // writeback would miss: shared DRAM model
+            }
+        }
+        true
+    }
+
+    /// Lane-local replica of `Machine::handle_l2_eviction` for a
+    /// precondition-checked victim ([`LaneCtx::victim_local`]): the
+    /// back-invalidate, message accounting, direct-link traversal, L3
+    /// writeback merge, and directory release happen in the serial order
+    /// with the serial counts.
+    fn handle_l2_eviction_owned(&mut self, v: EvictedLine, t: Cycle) {
+        self.back_invalidate_l1(v.addr);
+        let cluster = self.cluster;
+        let bank = self.map.bank_of(v.addr);
+        if v.dirty_words != 0 {
+            self.l2_msgs.record(MessageClass::CacheEviction);
+            self.scratch.metrics.sample_add("messages", t, 1);
+            let slot = self.ownership.slot_of(bank);
+            let _t_arr = self.noc.request_direct(slot, t);
+            // The `l3_write_words` hit arm (L3-resident by precondition):
+            // merge the dirty words into the owned bank's image.
+            let l = self.l3[slot].access(v.addr).expect("precondition: victim L3-resident");
+            for (i, &word) in v.data.iter().enumerate() {
+                if v.dirty_words & (1 << i) != 0 {
+                    l.data[i] = word;
+                    l.valid_words |= 1 << i;
+                    l.dirty_words |= 1 << i;
+                }
+            }
+            if !v.incoherent {
+                // The owner is gone; the directory deallocates the entry.
+                if let Some(dirs) = self.dirs.as_mut() {
+                    dirs[slot].remove(t, v.addr);
+                }
+            }
+        } else if !v.incoherent {
+            if self.silent_evictions {
+                // Ablation: drop the clean line without telling the
+                // directory (the sharer set goes stale, as in serial).
+                return;
+            }
+            self.l2_msgs.record(MessageClass::ReadRelease);
+            self.scratch.metrics.sample_add("messages", t, 1);
+            let slot = self.ownership.slot_of(bank);
+            let t_arr = self.noc.request_direct(slot, t);
+            if let Some(dirs) = self.dirs.as_mut() {
+                let bank_dir = &mut dirs[slot];
+                let empty = match bank_dir.lookup(v.addr) {
+                    Some(e) => {
+                        e.sharers.remove(cluster);
+                        e.sharers.is_empty()
+                    }
+                    None => false,
+                };
+                if empty {
+                    bank_dir.remove(t_arr, v.addr);
+                }
+            }
+        }
+        // Clean SWcc line: dropped silently, no message (§2.1).
+    }
+
+    /// Lane-local replica of `Machine::fetch_line` for a
+    /// precondition-checked owned bank ([`LaneCtx::can_fetch_owned`]):
+    /// message accounting, direct-link traversal, port grant, directory
+    /// resolution, and the L3 access happen in the serial order with the
+    /// serial counts, so the committed state is byte-identical to an
+    /// escalate-and-replay of the same operation.
+    fn fetch_line_owned(
+        &mut self,
+        slot: usize,
+        line: LineAddr,
+        exclusive: bool,
+        class: MessageClass,
+        t_issue: Cycle,
+    ) -> (Cycle, [u32; WORDS_PER_LINE], Option<HwState>) {
+        self.l2_msgs.record(class);
+        self.scratch.metrics.sample_add("messages", t_issue, 1);
+        let svc = self.scratch.timeline.start();
+        let t_arr = self.noc.request_direct(slot, t_issue);
+        let mut t = self.l3_ports[slot].grant(t_arr) + self.l3_latency;
+        let grant = if self.dirs.is_some() {
+            self.resolve_with_directory_owned(slot, line, exclusive, &mut t)
+        } else {
+            None // SWcc design point: everything is software-managed
+        };
+        let data = self.l3[slot].access(line).expect("precondition: L3 hit").data;
+        let t_reply = self.noc.reply_direct(slot, t);
+        self.scratch.metrics.record_latency("latency/fetch", t_reply - t_issue);
+        let lane = self.cluster.0;
+        self.scratch.timeline.service("l3_service", lane, svc, t_issue);
+        self.scratch.timeline.note_l3_fast();
+        (t_reply, data, grant)
+    }
+
+    /// Lane-local replica of `Machine::resolve_with_directory` for the
+    /// precondition-checked cases. Directory-call ordering and counts
+    /// (and hence LRU stamp streams — `lookup` bumps the bank's stamp
+    /// even on a miss) match the serial path exactly.
+    fn resolve_with_directory_owned(
+        &mut self,
+        slot: usize,
+        line: LineAddr,
+        exclusive: bool,
+        t: &mut Cycle,
+    ) -> Option<HwState> {
+        let requester = self.cluster;
+        let clusters = self.clusters;
+        let tracking = self.dirs.as_ref().expect("caller checked")[slot]
+            .config()
+            .tracking;
+
+        let hit = self.dirs.as_mut().expect("present")[slot]
+            .lookup(line)
+            .is_some();
+        self.scratch.metrics.inc(if hit {
+            "directory/lookup_hits"
+        } else {
+            "directory/lookup_misses"
+        });
+        if hit {
+            let state = {
+                let e = self.dirs.as_mut().expect("present")[slot]
+                    .lookup(line)
+                    .expect("just hit");
+                debug_assert!(
+                    !(e.sharers
+                        .probe_targets(clusters)
+                        .into_iter()
+                        .any(|c| c != requester)
+                        && (exclusive || e.state == DirState::Modified)),
+                    "precondition: no probes needed"
+                );
+                e.state
+            };
+            if exclusive {
+                let e = self.dirs.as_mut().expect("present")[slot]
+                    .lookup(line)
+                    .expect("still present");
+                e.state = DirState::Modified;
+                e.sharers = cohesion_protocol::sharers::SharerSet::empty(tracking, clusters);
+                e.sharers.add(requester, tracking);
+                return Some(HwState::Modified);
+            }
+            if state == DirState::Modified {
+                // The requester already owns the line and is fetching
+                // words its partial copy lacks (possible after a case-3b
+                // transition): ownership retained, no third lookup.
+                return Some(HwState::Modified);
+            }
+            let e = self.dirs.as_mut().expect("present")[slot]
+                .lookup(line)
+                .expect("still present");
+            e.state = state;
+            e.sharers.add(requester, tracking);
+            return Some(HwState::Shared);
+        }
+
+        // Directory miss: the §3.4 region-table walk, slice-local by
+        // precondition.
+        let proc = self
+            .process_of(line.base())
+            .map(|p| (p.coarse.lookup(line.base()).is_some(), p.fine));
+        let domain = match (self.mode, proc) {
+            (CohMode::HWcc, _) => Domain::HWcc,
+            (CohMode::SWcc, _) => Domain::SWcc,
+            (CohMode::Cohesion, None) => Domain::HWcc,
+            (CohMode::Cohesion, Some((in_coarse, fine))) => {
+                if in_coarse {
+                    self.scratch.metrics.inc("table/coarse_hits");
+                    Domain::SWcc
+                } else {
+                    let slot_f = fine.slot_of(line);
+                    let tline = slot_f.word.line();
+                    let tt = *t + 1;
+                    let tc_hit = match self.table_cache.as_mut() {
+                        Some(tc) => tc[slot].access(tline).is_some(),
+                        None => false,
+                    };
+                    self.scratch.metrics.inc("table/fine_lookups");
+                    if tc_hit {
+                        self.scratch.metrics.inc("table/fine_cache_hits");
+                    }
+                    if !tc_hit {
+                        // `l3_read_line` on a precondition-guaranteed
+                        // hit: the access refreshes LRU/stats and the
+                        // time is unchanged.
+                        let resident = self.l3[slot].access(tline).is_some();
+                        debug_assert!(resident, "precondition: table line resident");
+                        if let Some(tc) = self.table_cache.as_mut() {
+                            let (fresh, _) = tc[slot].allocate(tline);
+                            fresh.valid_words = 0xff;
+                        }
+                    }
+                    *t = tt;
+                    fine.domain_at(self.mem, slot_f)
+                }
+            }
+        };
+        match domain {
+            Domain::SWcc => None,
+            Domain::HWcc => {
+                let class = self.classify(line);
+                let grant = if exclusive {
+                    HwState::Modified
+                } else if self.exclusive_state {
+                    HwState::Exclusive
+                } else {
+                    HwState::Shared
+                };
+                let entry = match grant {
+                    HwState::Shared => DirEntry::shared(requester, tracking, clusters, class),
+                    _ => DirEntry::modified(requester, tracking, clusters, class),
+                };
+                let victim = self.dirs.as_mut().expect("present")[slot].insert(*t, line, entry);
+                debug_assert!(victim.is_none(), "precondition: victimless insertion");
+                Some(grant)
+            }
+        }
+    }
+
     /// Attempts a load entirely within the lane. `Some` mirrors
-    /// `Machine::load`'s L1-hit and L2-hit returns exactly; `None` means
-    /// a line fetch is needed (global state) and nothing was touched.
+    /// `Machine::load`'s L1-hit, L2-hit, **and owned-bank L2-miss**
+    /// returns exactly; `None` means the fetch needs global state
+    /// (another lane's bank, DRAM, probes, a victim homed on an unowned
+    /// bank) and nothing was touched.
     pub fn try_load(&mut self, core: CoreId, addr: Addr, t: Cycle) -> Option<(Cycle, u32)> {
         if !self.fast {
             return None;
@@ -1951,8 +2337,17 @@ impl LaneCtx<'_> {
         let li = self.local(core);
         // Classify with pure peeks before mutating anything.
         let l1_ok = self.l1d[li].peek(line).is_some_and(|l| l.word_valid(w));
-        if !l1_ok && !self.l2.peek(line).is_some_and(|l| l.word_valid(w)) {
-            return None;
+        let l2_ok = self.l2.peek(line).is_some_and(|l| l.word_valid(w));
+        let mut fetch_slot = None;
+        if !l1_ok && !l2_ok {
+            // L2 miss: serviceable in phase A only at an owned bank with
+            // a slice-local directory transition and (when the line is
+            // absent, not just partial) a lane-locally handleable victim.
+            let slot = self.can_fetch_owned(line, false)?;
+            if self.l2.peek(line).is_none() && !self.victim_local(line) {
+                return None;
+            }
+            fetch_slot = Some(slot);
         }
         // L1D (same access/count order as the serial path).
         if let Some(l) = self.l1d[li].access(line) {
@@ -1960,22 +2355,54 @@ impl LaneCtx<'_> {
                 return Some((t + 1, l.data[w]));
             }
         }
-        // L2 hit with the word present.
         let t2 = self.l2_ports.grant(t + 1) + self.l2_latency;
-        let v = {
-            let l = self.l2.access(line).expect("classified as an L2 hit");
-            debug_assert!(l.word_valid(w));
-            l.data[w]
+        let (t2, v) = match fetch_slot {
+            None => {
+                // L2 hit with the word present.
+                let l = self.l2.access(line).expect("classified as an L2 hit");
+                debug_assert!(l.word_valid(w));
+                (t2, l.data[w])
+            }
+            Some(slot) => {
+                // The serial classification access (partial hit or miss).
+                let word_absent = !self.l2.access(line).is_some_and(|l| l.word_valid(w));
+                debug_assert!(word_absent, "classified as needing a fetch");
+                let (t_done, data, grant) =
+                    self.fetch_line_owned(slot, line, false, MessageClass::ReadRequest, t2);
+                let value = match self.l2.peek_mut(line) {
+                    Some(l) => {
+                        l.fill_masked(&data, 0xff);
+                        if grant.is_none() {
+                            l.incoherent = true;
+                        }
+                        l.data[w]
+                    }
+                    None => {
+                        let (fresh, victim) = self.l2.allocate(line);
+                        fresh.fill_masked(&data, 0xff);
+                        fresh.incoherent = grant.is_none();
+                        fresh.state = grant.unwrap_or(HwState::Shared);
+                        let value = fresh.data[w];
+                        if let Some(v) = victim {
+                            self.handle_l2_eviction_owned(v, t_done);
+                        }
+                        value
+                    }
+                };
+                (t_done, value)
+            }
         };
         self.l1d_fill_word(li, line, w, v);
         self.scratch.metrics.record_latency("latency/load", t2 - t);
         Some((t2, v))
     }
 
-    /// Attempts a store entirely within the lane: an L2 write hit, or a
+    /// Attempts a store entirely within the lane: an L2 write hit, a
     /// word-granular SWcc write-allocate whose victim (if any) is
-    /// silent. Ownership upgrades, HWcc misses, and non-silent victims
-    /// escalate untouched.
+    /// lane-locally handleable, or — at a lane-owned home bank with a
+    /// slice-local directory transition — an ownership upgrade or HWcc
+    /// write miss. Cross-lane banks, probes, DRAM fills, and victims
+    /// homed on unowned banks escalate untouched.
     pub fn try_store(&mut self, core: CoreId, addr: Addr, value: u32, t: Cycle) -> Option<Cycle> {
         if !self.fast {
             return None;
@@ -1986,7 +2413,9 @@ impl LaneCtx<'_> {
 
         enum Fast {
             WriteNow,
+            Upgrade(usize),
             MissSw,
+            MissHw(usize),
         }
         // Classify with pure peeks before mutating anything.
         let plan = match self.l2.peek(line) {
@@ -1994,28 +2423,37 @@ impl LaneCtx<'_> {
                 if l.state == HwState::Exclusive || l.incoherent || l.state == HwState::Modified {
                     Fast::WriteNow
                 } else {
-                    return None; // Shared HWcc: ownership upgrade (global)
+                    // Shared HWcc: the ownership upgrade is slice-local
+                    // when the home bank is ours and no other cluster
+                    // holds the line.
+                    Fast::Upgrade(self.can_fetch_owned(line, true)?)
                 }
             }
-            None => {
-                if !self.word_granular_swcc
-                    || resolve_domain(self.mode, self.processes, self.mem, line) != Domain::SWcc
-                {
-                    return None; // directory transaction (global)
+            None => match resolve_domain(self.mode, self.processes, self.mem, line) {
+                Domain::SWcc => {
+                    if !self.word_granular_swcc {
+                        return None; // line-granular ablation: fetch first
+                    }
+                    // The allocation's victim must also complete locally
+                    // (silent, or at a lane-owned home bank).
+                    if !self.victim_local(line) {
+                        return None;
+                    }
+                    Fast::MissSw
                 }
-                // The allocation's victim must also complete locally:
-                // none, or a clean SWcc line (the silent arm of
-                // `handle_l2_eviction`).
-                match self.l2.victim_preview(line) {
-                    Some(v) if v.dirty_words != 0 || !v.incoherent => return None,
-                    _ => Fast::MissSw,
+                Domain::HWcc => {
+                    let slot = self.can_fetch_owned(line, true)?;
+                    if !self.victim_local(line) {
+                        return None;
+                    }
+                    Fast::MissHw(slot)
                 }
-            }
+            },
         };
 
         // Commit, replicating `Machine::store`'s mutation order.
         let t2 = self.l2_ports.grant(t + 1) + self.l2_latency;
-        match plan {
+        let t_done = match plan {
             Fast::WriteNow => {
                 let l = self.l2.access(line).expect("classified as a hit");
                 if l.state == HwState::Exclusive {
@@ -2023,6 +2461,19 @@ impl LaneCtx<'_> {
                     l.state = HwState::Modified;
                 }
                 l.write_word(w, value);
+                t2
+            }
+            Fast::Upgrade(slot) => {
+                // The serial classification access (a Shared hit).
+                let present = self.l2.access(line).is_some();
+                debug_assert!(present, "classified as a Shared hit");
+                let (_t3, _data, grant) =
+                    self.fetch_line_owned(slot, line, true, MessageClass::WriteRequest, t2);
+                let l = self.l2.peek_mut(line).expect("still present");
+                debug_assert!(grant.is_some());
+                l.state = HwState::Modified;
+                l.write_word(w, value);
+                t2 + 1
             }
             Fast::MissSw => {
                 let missed = self.l2.access(line).is_none();
@@ -2031,13 +2482,28 @@ impl LaneCtx<'_> {
                 fresh.incoherent = true;
                 fresh.write_word(w, value);
                 if let Some(v) = victim {
-                    debug_assert!(v.dirty_words == 0 && v.incoherent);
-                    // Clean SWcc victim (per the preview): silent, except
-                    // for the L1D back-invalidate.
-                    self.back_invalidate_l1(v.addr);
+                    self.handle_l2_eviction_owned(v, t2);
                 }
+                t2
             }
-        }
+            Fast::MissHw(slot) => {
+                let missed = self.l2.access(line).is_none();
+                debug_assert!(missed, "classified as a miss");
+                let (t3, data, grant) =
+                    self.fetch_line_owned(slot, line, true, MessageClass::WriteRequest, t2);
+                debug_assert!(grant.is_some(), "fine table and L2 state disagree");
+                // The fetch does not touch the L2, so peek_mut is still
+                // `None`: the serial allocate arm.
+                let (fresh, victim) = self.l2.allocate(line);
+                fresh.fill_masked(&data, 0xff);
+                fresh.state = HwState::Modified;
+                fresh.write_word(w, value);
+                if let Some(v) = victim {
+                    self.handle_l2_eviction_owned(v, t3);
+                }
+                t2 + 1
+            }
+        };
         // Sibling L1D write-through snoop (cluster-local by
         // construction: the lane's L1D slice is the cluster).
         for l1 in self.l1d.iter_mut() {
@@ -2047,12 +2513,14 @@ impl LaneCtx<'_> {
                 }
             }
         }
-        self.scratch.metrics.record_latency("latency/store", t2 - t);
-        Some(t2)
+        self.scratch.metrics.record_latency("latency/store", t_done - t);
+        Some(t_done)
     }
 
     /// Attempts an instruction fetch entirely within the lane: an L1I
-    /// hit, or an L1I miss filled from an L2 hit. L3 fetches escalate.
+    /// hit, an L1I miss filled from an L2 hit, or an L2 miss serviced at
+    /// a lane-owned L3 bank with a slice-local directory transition and
+    /// a lane-locally handleable L2 victim. Everything else escalates.
     pub fn try_ifetch(&mut self, core: CoreId, addr: Addr, t: Cycle) -> Option<Cycle> {
         if !self.fast {
             return None;
@@ -2064,36 +2532,94 @@ impl LaneCtx<'_> {
             debug_assert!(hit);
             return Some(t); // overlapped with execution
         }
+        let mut fetch_slot = None;
         if self.l2.peek(line).is_none() {
-            return None; // L3 fetch (global)
+            let slot = self.can_fetch_owned(line, false)?;
+            if !self.victim_local(line) {
+                return None;
+            }
+            fetch_slot = Some(slot);
         }
         let missed = self.l1i[li].access(line).is_none();
         debug_assert!(missed);
-        let t2 = self.l2_ports.grant(t + 1) + self.l2_latency;
-        let hit = self.l2.access(line).is_some();
-        debug_assert!(hit, "classified as an L2 hit");
+        let mut t2 = self.l2_ports.grant(t + 1) + self.l2_latency;
+        let in_l2 = self.l2.access(line).is_some();
+        match fetch_slot {
+            None => debug_assert!(in_l2, "classified as an L2 hit"),
+            Some(slot) => {
+                debug_assert!(!in_l2, "classified as an L2 miss");
+                let (t3, data, grant) =
+                    self.fetch_line_owned(slot, line, false, MessageClass::InstructionRequest, t2);
+                t2 = t3;
+                // The fetch does not touch the L2, so peek is still
+                // `None`: the serial allocate arm.
+                let (fresh, victim) = self.l2.allocate(line);
+                fresh.fill_masked(&data, 0xff);
+                fresh.incoherent = grant.is_none();
+                fresh.state = grant.unwrap_or(HwState::Shared);
+                if let Some(v) = victim {
+                    self.handle_l2_eviction_owned(v, t2);
+                }
+            }
+        }
         let (fresh, _) = self.l1i[li].allocate(line);
         fresh.valid_words = 0xff;
         Some(t2)
     }
 
-    /// Attempts a flush entirely within the lane. Only the no-writeback
-    /// case is local; a dirty incoherent line needs an L3 message, so it
-    /// escalates untouched.
+    /// Attempts a flush entirely within the lane: the no-writeback case,
+    /// or a real writeback whose home bank is lane-owned and whose line
+    /// is L3-resident (an L3 miss writes through to the shared DRAM
+    /// model, so it escalates).
     pub fn try_flush(&mut self, core: CoreId, line: LineAddr, t: Cycle) -> Option<Cycle> {
         if !self.fast {
             return None;
         }
         debug_assert_eq!(self.cluster, core.cluster(self.cores_per_cluster));
-        if self
+        let dirty_wb = self
             .l2
             .peek(line)
-            .is_some_and(|l| l.incoherent && l.dirty_words != 0)
-        {
-            return None; // real writeback: L3 message (global)
+            .is_some_and(|l| l.incoherent && l.dirty_words != 0);
+        let mut wb_slot = None;
+        if dirty_wb {
+            if self.profiled {
+                return None; // note_msg feeds the machine-global profiler
+            }
+            let bank = self.map.bank_of(line);
+            if !self.ownership.owns(self.cluster.0, bank) {
+                return None; // another lane's bank
+            }
+            let slot = self.ownership.slot_of(bank);
+            if self.l3[slot].peek(line).is_none() {
+                return None; // write-through to the shared DRAM model
+            }
+            wb_slot = Some(slot);
         }
         let t2 = self.l2_ports.grant(t + 1);
         self.instr_stats.writebacks_issued += 1;
+        if let Some(slot) = wb_slot {
+            self.instr_stats.writebacks_useful += 1;
+            let (data, mask) = {
+                let l = self.l2.peek_mut(line).expect("classified as dirty");
+                let data = l.data;
+                let mask = l.dirty_words;
+                l.clean();
+                (data, mask)
+            };
+            self.l2_msgs.record(MessageClass::SoftwareFlush);
+            self.scratch.metrics.sample_add("messages", t2, 1);
+            let _t_arr = self.noc.request_direct(slot, t2);
+            // The `l3_write_words` hit arm: merge the dirty words into
+            // the owned bank's image of the line.
+            let l = self.l3[slot].access(line).expect("precondition: L3 hit");
+            for (i, &word) in data.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    l.data[i] = word;
+                    l.valid_words |= 1 << i;
+                    l.dirty_words |= 1 << i;
+                }
+            }
+        }
         Some(t2 + 1)
     }
 
@@ -2145,21 +2671,22 @@ impl Machine {
     }
 
     /// Splits the machine into one [`LaneCtx`] per cluster. The lanes
-    /// borrow disjoint mutable slices (cluster-private caches, port
-    /// throttles, counters) plus shared read-only state, so they can be
-    /// driven concurrently; `MainMemory` is `Sync` by design.
+    /// borrow disjoint mutable slices — cluster-private caches, port
+    /// throttles, counters, **and the L3 banks / directory slices /
+    /// table caches / direct links each lane owns under the static
+    /// [`BankOwnership`] partition** — plus shared read-only state, so
+    /// they can be driven concurrently; `MainMemory` is `Sync` by
+    /// design.
     ///
     /// # Panics
     ///
     /// Panics unless `scratches` has exactly one entry per cluster.
     pub fn lanes<'a>(&'a mut self, scratches: &'a mut [LaneScratch]) -> Vec<LaneCtx<'a>> {
         let cfg = self.cfg;
+        let map = self.map;
         let cpc = cfg.cores_per_cluster as usize;
-        assert_eq!(
-            scratches.len(),
-            cfg.clusters() as usize,
-            "one scratch per cluster"
-        );
+        let n = cfg.clusters() as usize;
+        assert_eq!(scratches.len(), n, "one scratch per cluster");
         let fast = !self.tracelog.armed();
         let profiled = !self.profiler.is_empty();
         let mode = self.mode;
@@ -2170,38 +2697,83 @@ impl Machine {
             l1d,
             l2,
             l2_ports,
+            l2_msgs,
             instr_stats,
+            l3,
+            l3_ports,
+            dirs,
+            table_cache,
+            noc,
             ..
         } = self;
         let processes: &[ProcessCtx] = processes;
         let mem: &MainMemory = mem;
-        l1i.chunks_mut(cpc)
+        let own = noc.ownership();
+        debug_assert_eq!(own.lanes() as usize, n);
+        let lane_nocs = noc.lanes();
+
+        // Deal the banked state to its owning lane, in slot order (the
+        // same order `Noc::lanes` dealt the bank links).
+        fn deal<'a, T>(items: &'a mut [T], own: &BankOwnership) -> Vec<Vec<&'a mut T>> {
+            let mut out: Vec<Vec<&'a mut T>> = (0..own.lanes()).map(|_| Vec::new()).collect();
+            for (b, item) in items.iter_mut().enumerate() {
+                out[own.lane_of(b as u32) as usize].push(item);
+            }
+            out
+        }
+        let l3 = deal(l3, &own);
+        let l3_ports = deal(l3_ports, &own);
+        let mut dirs = dirs.as_mut().map(|d| deal(d, &own).into_iter());
+        let mut table_cache = table_cache.as_mut().map(|t| deal(t, &own).into_iter());
+
+        let mut out = Vec::with_capacity(n);
+        let zipped = l1i
+            .chunks_mut(cpc)
             .zip(l1d.chunks_mut(cpc))
             .zip(l2.iter_mut())
             .zip(l2_ports.iter_mut())
+            .zip(l2_msgs.iter_mut())
             .zip(instr_stats.iter_mut())
             .zip(scratches.iter_mut())
-            .enumerate()
-            .map(
-                |(c, (((((l1i, l1d), l2), l2_ports), instr_stats), scratch))| LaneCtx {
-                    cluster: ClusterId(c as u32),
-                    cores_per_cluster: cfg.cores_per_cluster,
-                    l2_latency: cfg.l2_latency,
-                    word_granular_swcc: cfg.word_granular_swcc,
-                    mode,
-                    fast,
-                    profiled,
-                    processes,
-                    mem,
-                    l1i,
-                    l1d,
-                    l2,
-                    l2_ports,
-                    instr_stats,
-                    scratch,
-                },
-            )
-            .collect()
+            .zip(l3)
+            .zip(l3_ports)
+            .zip(lane_nocs)
+            .enumerate();
+        for (c, (((((((((l1i, l1d), l2), l2_ports), l2_msgs), instr_stats), scratch), l3), l3_ports), noc)) in
+            zipped
+        {
+            out.push(LaneCtx {
+                cluster: ClusterId(c as u32),
+                cores_per_cluster: cfg.cores_per_cluster,
+                l2_latency: cfg.l2_latency,
+                l3_latency: cfg.l3_latency,
+                word_granular_swcc: cfg.word_granular_swcc,
+                exclusive_state: cfg.exclusive_state,
+                silent_evictions: cfg.silent_evictions,
+                clusters: cfg.clusters(),
+                mode,
+                map,
+                ownership: own,
+                fast,
+                profiled,
+                lane_l3: cfg.lane_owned_l3,
+                processes,
+                mem,
+                l1i,
+                l1d,
+                l2,
+                l2_ports,
+                l2_msgs,
+                instr_stats,
+                l3,
+                l3_ports,
+                dirs: dirs.as_mut().map(|it| it.next().expect("one per lane")),
+                table_cache: table_cache.as_mut().map(|it| it.next().expect("one per lane")),
+                noc,
+                scratch,
+            });
+        }
+        out
     }
 }
 

@@ -408,7 +408,7 @@ fn fast_step(
                         return FastOutcome::Escalate {
                             t,
                             budget,
-                            cause: EscalationCause::L3,
+                            cause: ctx.l3_cause(pc.line()),
                         };
                     }
                 }
@@ -431,7 +431,7 @@ fn fast_step(
                         }
                         Ok((0, t2))
                     }
-                    None => Err(EscalationCause::L3), // line fetch
+                    None => Err(ctx.l3_cause(addr.line())), // line fetch
                 },
                 Op::Store { addr, value } => ctx
                     .try_store(core, addr, value, t)
@@ -442,7 +442,7 @@ fn fast_step(
                 Op::StackLoad { offset } => ctx
                     .try_load(core, stack_base.offset(offset), t)
                     .map(|(t2, _)| (4, t2))
-                    .ok_or(EscalationCause::L3),
+                    .ok_or_else(|| ctx.l3_cause(stack_base.offset(offset).line())),
                 Op::StackStore { offset, value } => ctx
                     .try_store(core, stack_base.offset(offset), value, t)
                     .map(|t2| (5, t2))
@@ -539,8 +539,14 @@ impl Exec {
             })
             .collect();
         let n_lanes = cfg.clusters().max(1) as usize;
-        // More threads than lanes cannot help; the caller is a worker too.
-        let threads = (cfg.shards.max(1) as usize).min(n_lanes);
+        // `shards = 0` means auto: size the crew from the host's available
+        // parallelism. Host introspection picks only the THREAD COUNT —
+        // never anything the simulation observes — so results stay
+        // byte-identical whatever count `resolve_shards` lands on.
+        let host = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        let threads = cfg.resolve_shards(host);
         let crew_trace = (threads > 1 && machine.timeline().is_armed()).then(|| {
             Arc::new(CrewSpanLog::new(
                 threads - 1,

@@ -175,6 +175,70 @@ impl Default for AddressMap {
     }
 }
 
+/// Static partition of the L3 banks (and their collocated directory
+/// slices) across executor lanes.
+///
+/// Bank `b` is owned by lane `b % lanes`; within a lane's owned set the
+/// bank sits at slot `b / lanes`. Both functions depend only on the
+/// config-fixed bank count and the lane (cluster) count — never on host
+/// thread counts — so any ownership-dependent decision is a function of
+/// simulated state alone, as the sharded executor's determinism
+/// contract requires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BankOwnership {
+    banks: u32,
+    lanes: u32,
+}
+
+impl BankOwnership {
+    /// A partition of `banks` L3 banks over `lanes` lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is zero.
+    pub fn new(banks: u32, lanes: u32) -> Self {
+        assert!(lanes >= 1, "need at least one lane");
+        BankOwnership { banks, lanes }
+    }
+
+    /// Number of banks in the partition.
+    pub fn banks(&self) -> u32 {
+        self.banks
+    }
+
+    /// Number of lanes in the partition.
+    pub fn lanes(&self) -> u32 {
+        self.lanes
+    }
+
+    /// The lane that owns `bank`.
+    pub fn lane_of(&self, bank: u32) -> u32 {
+        bank % self.lanes
+    }
+
+    /// Whether `lane` owns `bank`.
+    pub fn owns(&self, lane: u32, bank: u32) -> bool {
+        self.lane_of(bank) == lane
+    }
+
+    /// The slot of `bank` within its owner's interleaved owned set
+    /// (banks are dealt to lanes round-robin, so owner `lane_of(b)`
+    /// holds `b` at position `b / lanes`).
+    pub fn slot_of(&self, bank: u32) -> usize {
+        (bank / self.lanes) as usize
+    }
+
+    /// How many banks `lane` owns.
+    pub fn owned_count(&self, lane: u32) -> usize {
+        if lane >= self.lanes {
+            return 0;
+        }
+        let full = self.banks / self.lanes;
+        let extra = u32::from(lane < self.banks % self.lanes);
+        (full + extra) as usize
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -242,6 +306,42 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn non_power_of_two_banks_rejected() {
         let _ = AddressMap::new(12, 4);
+    }
+
+    #[test]
+    fn bank_ownership_partitions_every_bank_exactly_once() {
+        for (banks, lanes) in [(32u32, 128u32), (32, 8), (4, 2), (2, 2), (2, 16)] {
+            let own = BankOwnership::new(banks, lanes);
+            let mut seen = vec![false; banks as usize];
+            let mut per_lane = vec![0usize; lanes as usize];
+            for b in 0..banks {
+                let lane = own.lane_of(b);
+                assert!(lane < lanes);
+                assert!(own.owns(lane, b));
+                assert!(!seen[b as usize]);
+                seen[b as usize] = true;
+                per_lane[lane as usize] += 1;
+            }
+            for lane in 0..lanes {
+                assert_eq!(
+                    own.owned_count(lane),
+                    per_lane[lane as usize],
+                    "owned_count mismatch at banks={banks} lanes={lanes} lane={lane}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bank_ownership_slots_are_dense_per_lane() {
+        let own = BankOwnership::new(32, 8);
+        for lane in 0..8u32 {
+            let slots: Vec<usize> = (0..32)
+                .filter(|&b| own.owns(lane, b))
+                .map(|b| own.slot_of(b))
+                .collect();
+            assert_eq!(slots, (0..own.owned_count(lane)).collect::<Vec<_>>());
+        }
     }
 
     #[test]

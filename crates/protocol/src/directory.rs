@@ -314,6 +314,22 @@ impl DirectoryBank {
         victim
     }
 
+    /// The entry [`DirectoryBank::insert`] *would* evict for `line`
+    /// right now, or `None` if the set still has a free way. Pure: no
+    /// LRU refresh, no counter updates. The sharded executor's fast
+    /// path uses this to decide — before mutating anything — whether an
+    /// insertion's victim would need sharer invalidations.
+    pub fn insert_victim_preview(&self, line: LineAddr) -> Option<(LineAddr, &DirEntry)> {
+        let idx = self.set_index(line);
+        let set = &self.sets[idx];
+        if (set.slots.len() as u32) < self.ways {
+            return None;
+        }
+        // Mirror insert's victim selection exactly: smallest LRU stamp.
+        let (_, &vline) = set.lru.iter().next()?;
+        set.slots.get(&vline).map(|s| (LineAddr(vline), &s.entry))
+    }
+
     /// Removes the entry for `line` (sharer count dropped to zero, or a
     /// coherence-domain transition).
     pub fn remove(&mut self, now: Cycle, line: LineAddr) -> Option<DirEntry> {
@@ -430,6 +446,26 @@ mod tests {
         }
         assert!(d.occupancy() <= 8);
         assert!(d.churn().1 >= 56);
+    }
+
+    #[test]
+    fn insert_victim_preview_matches_insert() {
+        let mut d = DirectoryBank::new(cfg_small(4, 4));
+        assert!(d.insert_victim_preview(LineAddr(99)).is_none(), "empty set");
+        for i in 0..4 {
+            d.insert(i as u64, LineAddr(i), shared(0));
+        }
+        d.lookup(LineAddr(0)); // line 1 becomes LRU
+        let predicted = d.insert_victim_preview(LineAddr(99)).expect("set full").0;
+        let (victim, _) = d.insert(10, LineAddr(99), shared(1)).expect("capacity eviction");
+        assert_eq!(predicted, victim);
+        assert_eq!(predicted, LineAddr(1));
+        // Unbounded directories never evict, so never preview a victim.
+        let mut u = DirectoryBank::new(DirectoryConfig::optimistic(8));
+        for i in 0..100 {
+            u.insert(i as u64, LineAddr(i), shared(0));
+            assert!(u.insert_victim_preview(LineAddr(1000 + i)).is_none());
+        }
     }
 
     #[test]

@@ -23,9 +23,9 @@ COMMANDS:
         print the daemon's operational counters: uptime, requests and
         errors by type, queue depth, worker busyness, cache statistics
         (--json prints the raw stats-reply payload)
-  submit --kernel NAME [--point SPEC] [--scale S] [--cores N] [--seed N] [--shards N]
+  submit --kernel NAME [--point SPEC] [--scale S] [--cores N] [--seed N] [--shards N|auto]
         run one simulation (cache-served when possible), print the report
-  sweep --kernels A,B,... --points P,Q,... [--scale S] [--cores N] [--seed N] [--shards N]
+  sweep --kernels A,B,... --points P,Q,... [--scale S] [--cores N] [--seed N] [--shards N|auto]
         run a kernels x points sweep, print each report
   fetch KEY
         print the cached report for a 32-hex-digit cache key
@@ -227,9 +227,12 @@ fn parse_run_args(args: &[String], sweep: bool) -> Result<RunArgs, String> {
                     .map_err(|e| format!("--seed: {e}"))?
             }
             "--shards" => {
-                out.shards = value("--shards")?
-                    .parse()
-                    .map_err(|e| format!("--shards: {e}"))?
+                let v = value("--shards")?;
+                out.shards = if v.eq_ignore_ascii_case("auto") {
+                    0 // the host-parallelism sentinel
+                } else {
+                    v.parse().map_err(|e| format!("--shards: {e}"))?
+                }
             }
             other => return Err(format!("unknown option {other}")),
         }

@@ -30,11 +30,13 @@ pub struct RunRequest {
     pub point: String,
     /// Trace seed perturbing kernel input generation (0 = paper inputs).
     pub seed: u64,
-    /// Host threads sharding the single simulation (default 1). An
-    /// execution hint only: the sharded executor's determinism contract
-    /// makes the report byte-identical at any shard count, so this field
-    /// is deliberately excluded from [`RunRequest::canonical`] — the same
-    /// run at different shard counts shares one cache entry.
+    /// Host threads sharding the single simulation (default 1; 0 means
+    /// *auto*: the executor picks a count from the host's parallelism).
+    /// An execution hint only: the sharded executor's determinism
+    /// contract makes the report byte-identical at any shard count, so
+    /// this field is deliberately excluded from [`RunRequest::canonical`]
+    /// — the same run at different shard counts shares one cache entry,
+    /// and the count auto resolves to never appears in any document.
     pub shards: u32,
 }
 
@@ -54,9 +56,6 @@ impl RunRequest {
         }
         if self.cores == 0 || self.cores > MAX_CORES {
             return Err(format!("cores must be 1..={MAX_CORES}, got {}", self.cores));
-        }
-        if self.shards == 0 {
-            return Err("shards must be >= 1".into());
         }
         let dp = parse_point(&self.point)?;
         Ok(RunRequest {
@@ -91,7 +90,7 @@ impl RunRequest {
 
     /// The request as a `submit-run` JSON payload. The default shard
     /// count (1) is omitted so payloads from before sharding existed stay
-    /// byte-identical.
+    /// byte-identical; the auto sentinel (0) round-trips literally.
     pub fn to_json(&self) -> String {
         let shards = if self.shards != 1 {
             format!(", \"shards\": {}", self.shards)
@@ -381,9 +380,13 @@ mod tests {
         assert!(sharded.to_json().contains("\"shards\": 4"));
         let v = jsonv::parse(&sharded.to_json()).unwrap();
         assert_eq!(RunRequest::from_json(&v).unwrap(), sharded);
-        let mut zero = req();
-        zero.shards = 0;
-        assert!(zero.validate().unwrap_err().contains("shards"));
+        let mut auto = req();
+        auto.shards = 0;
+        assert!(auto.validate().is_ok(), "0 is the auto sentinel");
+        assert_eq!(req().canonical(), auto.canonical());
+        assert!(auto.to_json().contains("\"shards\": 0"));
+        let v = jsonv::parse(&auto.to_json()).unwrap();
+        assert_eq!(RunRequest::from_json(&v).unwrap(), auto);
     }
 
     #[test]

@@ -51,11 +51,15 @@ fn keys_are_deterministic_and_field_sensitive() {
     let mut other = req(0);
     other.shards = 4;
     assert_eq!(CacheKey::for_request(&other), a, "shards must not key the cache");
+    other.shards = 0; // auto: resolved host-side, never part of the key
+    assert_eq!(CacheKey::for_request(&other), a, "auto shards must not key the cache");
 }
 
 /// The end-to-end shard contract on the service path: executing the same
-/// request at shards=1 and shards=4 produces byte-identical report
-/// documents, which is what makes the shared cache key above sound.
+/// request at shards=1, shards=4, and shards=auto (0) produces
+/// byte-identical report documents, which is what makes the shared cache
+/// key above sound. Auto resolves to a host-dependent count, so the
+/// resolved number must never surface in the report either.
 #[test]
 fn reports_are_byte_identical_across_shard_counts() {
     let serial = cohesion_service::runner::execute(&req(0)).expect("shards=1");
@@ -65,6 +69,17 @@ fn reports_are_byte_identical_across_shard_counts() {
     assert_eq!(
         serial, sharded,
         "shard count must be unobservable in the report bytes"
+    );
+    let mut auto_req = req(0);
+    auto_req.shards = 0;
+    let auto = cohesion_service::runner::execute(&auto_req).expect("shards=auto");
+    assert_eq!(
+        serial, auto,
+        "the auto-resolved shard count must be unobservable in the report bytes"
+    );
+    assert!(
+        !auto.contains("shards"),
+        "the resolved shard count must not appear in the emitted document"
     );
 }
 

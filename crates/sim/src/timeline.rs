@@ -51,9 +51,14 @@ pub const CREW_RING_CAPACITY: usize = 8192;
 /// gets one cause.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum EscalationCause {
-    /// A data or instruction line had to be fetched from the L3
-    /// (lane-local L1/L2 could not serve it).
-    L3,
+    /// A data or instruction line had to be fetched from the L3 and its
+    /// home bank is owned by this lane, but a fast-path precondition
+    /// failed (DRAM fill with a dirty victim, directory probe, profiled
+    /// run, …) so the fetch still serialized.
+    L3Local,
+    /// A data or instruction line had to be fetched from an L3 bank
+    /// owned by another lane — inherently cross-lane, always serial.
+    L3Remote,
     /// A store needed the directory: an ownership upgrade, an HWcc miss
     /// transaction, or a non-silent victim bundled with the allocation.
     Directory,
@@ -68,10 +73,11 @@ pub enum EscalationCause {
 
 impl EscalationCause {
     /// Every cause, in label order as rendered in summaries.
-    pub const ALL: [EscalationCause; 5] = [
+    pub const ALL: [EscalationCause; 6] = [
         EscalationCause::Atomic,
         EscalationCause::Directory,
-        EscalationCause::L3,
+        EscalationCause::L3Local,
+        EscalationCause::L3Remote,
         EscalationCause::Noc,
         EscalationCause::TaskQueue,
     ];
@@ -79,7 +85,8 @@ impl EscalationCause {
     /// Stable string label used in summaries and trace args.
     pub fn label(self) -> &'static str {
         match self {
-            EscalationCause::L3 => "l3",
+            EscalationCause::L3Local => "l3-local",
+            EscalationCause::L3Remote => "l3-remote",
             EscalationCause::Directory => "directory",
             EscalationCause::Noc => "noc",
             EscalationCause::Atomic => "atomic",
@@ -90,28 +97,30 @@ impl EscalationCause {
     /// Dense index for per-cause counter arrays.
     pub fn index(self) -> usize {
         match self {
-            EscalationCause::L3 => 0,
-            EscalationCause::Directory => 1,
-            EscalationCause::Noc => 2,
-            EscalationCause::Atomic => 3,
-            EscalationCause::TaskQueue => 4,
+            EscalationCause::L3Local => 0,
+            EscalationCause::L3Remote => 1,
+            EscalationCause::Directory => 2,
+            EscalationCause::Noc => 3,
+            EscalationCause::Atomic => 4,
+            EscalationCause::TaskQueue => 5,
         }
     }
 
     /// The cause whose [`EscalationCause::index`] is `i`.
     pub fn from_index(i: usize) -> EscalationCause {
         match i {
-            0 => EscalationCause::L3,
-            1 => EscalationCause::Directory,
-            2 => EscalationCause::Noc,
-            3 => EscalationCause::Atomic,
+            0 => EscalationCause::L3Local,
+            1 => EscalationCause::L3Remote,
+            2 => EscalationCause::Directory,
+            3 => EscalationCause::Noc,
+            4 => EscalationCause::Atomic,
             _ => EscalationCause::TaskQueue,
         }
     }
 }
 
 /// Number of escalation causes (length of per-cause counter arrays).
-pub const CAUSES: usize = 5;
+pub const CAUSES: usize = 6;
 
 /// Which track a span belongs to in the exported trace: one per lane,
 /// one per crew worker thread, and one serial track for phase B and the
@@ -165,6 +174,10 @@ pub struct TimelineSnapshot {
     pub epochs: u64,
     /// Slices that completed entirely in phase A.
     pub fast_slices: u64,
+    /// L2-miss line fetches serviced entirely in phase A on a
+    /// lane-owned L3 bank — the events that would have been
+    /// [`EscalationCause::L3Local`] escalations without bank ownership.
+    pub l3_fast: u64,
     /// Escalated slices by [`EscalationCause::index`].
     pub escalated: [u64; CAUSES],
 }
@@ -200,8 +213,8 @@ impl TimelineSnapshot {
         }
         format!(
             "{{\"dropped_spans\": {}, \"epochs\": {}, \"escalated\": {{{}}}, \
-             \"escalation_rate\": {:.6}, \"fast\": {}, \"slices\": {}}}",
-            self.dropped, self.epochs, causes, rate, self.fast_slices, slices
+             \"escalation_rate\": {:.6}, \"fast\": {}, \"l3_fast\": {}, \"slices\": {}}}",
+            self.dropped, self.epochs, causes, rate, self.fast_slices, self.l3_fast, slices
         )
     }
 }
@@ -219,6 +232,7 @@ pub struct Timeline {
     crew_dropped: u64,
     epochs: u64,
     fast_slices: u64,
+    l3_fast: u64,
     escalated: [u64; CAUSES],
 }
 
@@ -235,6 +249,7 @@ impl Timeline {
             crew_dropped: 0,
             epochs: 0,
             fast_slices: 0,
+            l3_fast: 0,
             escalated: [0; CAUSES],
         }
     }
@@ -315,6 +330,7 @@ impl Timeline {
             return;
         }
         self.fast_slices += std::mem::take(&mut lane.fast);
+        self.l3_fast += std::mem::take(&mut lane.l3_fast);
         for i in 0..CAUSES {
             self.escalated[i] += lane.escalated[i];
             lane.escalated[i] = 0;
@@ -359,6 +375,7 @@ impl Timeline {
             crew_dropped: self.crew_dropped,
             epochs: self.epochs,
             fast_slices: self.fast_slices,
+            l3_fast: self.l3_fast,
             escalated: self.escalated,
         })
     }
@@ -374,6 +391,7 @@ pub struct LaneTimeline {
     epoch: Instant,
     spans: Vec<Span>,
     fast: u64,
+    l3_fast: u64,
     escalated: [u64; CAUSES],
 }
 
@@ -385,6 +403,7 @@ impl LaneTimeline {
             epoch: Instant::now(),
             spans: Vec::new(),
             fast: 0,
+            l3_fast: 0,
             escalated: [0; CAUSES],
         }
     }
@@ -397,6 +416,7 @@ impl LaneTimeline {
             epoch,
             spans: Vec::new(),
             fast: 0,
+            l3_fast: 0,
             escalated: [0; CAUSES],
         }
     }
@@ -421,6 +441,31 @@ impl LaneTimeline {
         if self.armed {
             self.fast += 1;
         }
+    }
+
+    /// Counts an L2-miss line fetch serviced entirely in phase A on a
+    /// lane-owned L3 bank (an event that would have escalated as
+    /// [`EscalationCause::L3Local`] without bank ownership).
+    pub fn note_l3_fast(&mut self) {
+        if self.armed {
+            self.l3_fast += 1;
+        }
+    }
+
+    /// Records a service span on the lane's own track that began at
+    /// `start` (a token from [`LaneTimeline::start`]); no-op when the
+    /// token is `None`. Used for `l3_service` spans serviced in phase A.
+    pub fn service(&mut self, name: &'static str, lane: u32, start: Option<u64>, cycle: Cycle) {
+        let Some(t0) = start else { return };
+        let now = self.now_us();
+        self.spans.push(Span {
+            track: Track::Lane(lane),
+            name,
+            start_us: t0,
+            dur_us: now.saturating_sub(t0),
+            cycle,
+            cause: None,
+        });
     }
 
     /// Counts an escalation and records its instant event on the lane's
@@ -569,12 +614,14 @@ mod tests {
         let mut lane = LaneTimeline::armed(tl.epoch_instant());
         lane.note_fast();
         lane.note_fast();
-        lane.note_escalation(0, 7, EscalationCause::L3);
+        lane.note_l3_fast();
+        lane.note_escalation(0, 7, EscalationCause::L3Remote);
         lane.note_escalation(0, 9, EscalationCause::TaskQueue);
         tl.absorb_lane(&mut lane);
         let snap = tl.snapshot().unwrap();
         assert_eq!(snap.fast_slices, 2);
-        assert_eq!(snap.escalated[EscalationCause::L3.index()], 1);
+        assert_eq!(snap.l3_fast, 1);
+        assert_eq!(snap.escalated[EscalationCause::L3Remote.index()], 1);
         assert_eq!(snap.escalated[EscalationCause::TaskQueue.index()], 1);
         assert_eq!(snap.slices(), 4);
         assert_eq!(snap.spans.len(), 2, "escalation instants landed in the ring");
@@ -592,6 +639,7 @@ mod tests {
             crew_dropped: 9,
             epochs: 4,
             fast_slices: 6,
+            l3_fast: 3,
             escalated: {
                 let mut e = [0; CAUSES];
                 e[EscalationCause::Directory.index()] = 2;
@@ -602,8 +650,9 @@ mod tests {
         assert_eq!(
             j,
             "{\"dropped_spans\": 1, \"epochs\": 4, \"escalated\": {\"atomic\": 0, \
-             \"directory\": 2, \"l3\": 0, \"noc\": 0, \"task-queue\": 0}, \
-             \"escalation_rate\": 0.250000, \"fast\": 6, \"slices\": 8}"
+             \"directory\": 2, \"l3-local\": 0, \"l3-remote\": 0, \"noc\": 0, \
+             \"task-queue\": 0}, \"escalation_rate\": 0.250000, \"fast\": 6, \
+             \"l3_fast\": 3, \"slices\": 8}"
         );
         assert!(!j.contains("crew"), "crew (host) volume never in the summary");
         assert!(!j.contains("_us"), "no wall-clock field in the summary");

@@ -548,3 +548,112 @@ fn histogram_percentiles_are_monotone_and_bounded() {
             },
         );
 }
+
+/// Lane-owned L3 servicing, driven as a property over the home
+/// function: across three `AddressMap` shapes (lanes own 1, 2, and 4
+/// bank slots), random trace seeds, two kernels, and two coherence
+/// points,
+///
+/// 1. **Servicing is exact.** With the fast path on, running the two
+///    cluster lanes on worker threads (`shards = 2`) is byte-identical
+///    to the same engine inline (`shards = 1`) — every field of the
+///    report and the full metrics snapshot JSON. Phase-A-serviced
+///    misses touch only lane-owned banks/slices, so parallel execution
+///    cannot reorder anything observable.
+/// 2. **Escalate-and-replay agrees on architectural totals.** With the
+///    fast path off (`lane_owned_l3 = false`, the pre-change
+///    escalate-everything engine) the workload must still execute the
+///    same program: same barrier phases, same task count, same trace
+///    operations, and a passing self-check.
+///
+/// Deliberately *not* asserted across the on/off engines: cycle counts,
+/// latency distributions, and state-dependent event counts (messages,
+/// cache hits). Owned-bank port/directory bookings interleave with the
+/// serial spine in a different global order than escalate-everything,
+/// so arbitration timing drifts by a handful of cycles, and a shifted
+/// eviction can butterfly into e.g. one more upgrade message — the same
+/// accepted drift the sharded engine introduced against the pure
+/// event-wheel machine (see `MachineConfig::lane_owned_l3`).
+#[test]
+fn lane_owned_l3_matches_escalate_and_replay() {
+    use cohesion::config::{DesignPoint, MachineConfig};
+    use cohesion::report::RunReport;
+    use cohesion::run::run_workload;
+    use cohesion_kernels::{kernel_by_name_seeded, Scale};
+
+    // Home-function shapes: (l3_banks, dram_channels). The 16-core
+    // machine has 2 cluster lanes, so lanes own 1 / 2 / 4 bank slots.
+    const SHAPES: [(u32, u32); 3] = [(2, 1), (4, 2), (8, 4)];
+
+    Runner::new("lane_owned_l3_matches_escalate_and_replay")
+        .cases(64)
+        .run(
+            &(
+                range(0usize..3),            // AddressMap shape
+                sample(&["gjk", "kmeans"]),  // fast kernels, distinct access mixes
+                range(0u64..1_000_000),      // trace seed (0 = paper inputs)
+                range(0u32..2),              // design point: Cohesion / SWcc
+            ),
+            |(shape, kernel, seed, point)| {
+                let (banks, channels) = SHAPES[shape];
+                let dp = if point == 0 {
+                    DesignPoint::cohesion(1024, 128)
+                } else {
+                    DesignPoint::swcc()
+                };
+                let run = |lane_owned: bool, shards: u32| -> RunReport {
+                    let mut cfg = MachineConfig::scaled(16, dp);
+                    cfg.l3_banks = banks;
+                    cfg.dram_channels = channels;
+                    cfg.shards = shards;
+                    cfg.lane_owned_l3 = lane_owned;
+                    cfg.metrics = lane_owned;
+                    let mut wl = kernel_by_name_seeded(kernel, Scale::Tiny, seed);
+                    run_workload(&cfg, wl.as_mut()).unwrap_or_else(|e| {
+                        panic!("{kernel} seed={seed} banks={banks}: {e}")
+                    })
+                };
+                let ctx = format!("{kernel} seed={seed} banks={banks}x{channels}");
+
+                // 1. Fast path on: crewed lanes == inline engine, exactly.
+                let inline = run(true, 1);
+                let crewed = run(true, 2);
+                assert_eq!(inline.cycles, crewed.cycles, "{ctx}: cycles diverged");
+                assert_eq!(inline.phases, crewed.phases, "{ctx}: phases diverged");
+                assert_eq!(inline.tasks, crewed.tasks, "{ctx}: tasks diverged");
+                assert_eq!(inline.ops, crewed.ops, "{ctx}: ops diverged");
+                assert_eq!(inline.messages, crewed.messages, "{ctx}: messages diverged");
+                assert_eq!(
+                    inline.instr_stats, crewed.instr_stats,
+                    "{ctx}: coherence-instruction stats diverged"
+                );
+                assert_eq!(
+                    inline.transitions, crewed.transitions,
+                    "{ctx}: domain transitions diverged"
+                );
+                assert_eq!(inline.dram, crewed.dram, "{ctx}: DRAM diverged");
+                assert_eq!(inline.l2, crewed.l2, "{ctx}: L2 stats diverged");
+                assert_eq!(inline.l3, crewed.l3, "{ctx}: L3 stats diverged");
+                assert_eq!(inline.noc, crewed.noc, "{ctx}: NoC stats diverged");
+                assert_eq!(
+                    inline.dir_insertions, crewed.dir_insertions,
+                    "{ctx}: directory insertions diverged"
+                );
+                assert_eq!(
+                    inline.dir_evictions, crewed.dir_evictions,
+                    "{ctx}: directory evictions diverged"
+                );
+                assert_eq!(inline.races, crewed.races, "{ctx}: races diverged");
+                let ja = inline.metrics.as_ref().expect("metrics armed").to_json();
+                let jb = crewed.metrics.as_ref().expect("metrics armed").to_json();
+                assert_eq!(ja, jb, "{ctx}: metrics snapshots diverged");
+
+                // 2. Fast path off: the escalate-everything engine runs
+                // the same program (its self-check passed inside `run`).
+                let replay = run(false, 2);
+                assert_eq!(inline.phases, replay.phases, "{ctx}: replay phases diverged");
+                assert_eq!(inline.tasks, replay.tasks, "{ctx}: replay tasks diverged");
+                assert_eq!(inline.ops, replay.ops, "{ctx}: replay ops diverged");
+            },
+        );
+}

@@ -10,30 +10,30 @@ use cohesion_kernels::{kernel_by_name, Scale};
 
 /// `(kernel, mode, cycles, total L2→L3 messages)` at Tiny scale, 16 cores.
 const GOLDEN: &[(&str, &str, u64, u64)] = &[
-    ("cg", "SWcc", 12846, 409),
-    ("cg", "HWccIdeal", 9911, 314),
-    ("cg", "Cohesion", 13173, 420),
-    ("dmm", "SWcc", 6133, 156),
-    ("dmm", "HWccIdeal", 6148, 180),
-    ("dmm", "Cohesion", 6167, 156),
-    ("gjk", "SWcc", 4795, 306),
-    ("gjk", "HWccIdeal", 4598, 358),
-    ("gjk", "Cohesion", 4466, 262),
-    ("heat", "SWcc", 5588, 216),
-    ("heat", "HWccIdeal", 4977, 208),
-    ("heat", "Cohesion", 5628, 216),
-    ("kmeans", "SWcc", 10063, 986),
-    ("kmeans", "HWccIdeal", 9974, 1016),
-    ("kmeans", "Cohesion", 6309, 299),
-    ("mri", "SWcc", 8349, 96),
-    ("mri", "HWccIdeal", 8382, 144),
-    ("mri", "Cohesion", 8351, 96),
-    ("sobel", "SWcc", 3211, 112),
-    ("sobel", "HWccIdeal", 3220, 136),
-    ("sobel", "Cohesion", 3218, 112),
-    ("stencil", "SWcc", 7108, 356),
-    ("stencil", "HWccIdeal", 6414, 340),
-    ("stencil", "Cohesion", 6382, 292),
+    ("cg", "SWcc", 12214, 410),
+    ("cg", "HWccIdeal", 9424, 312),
+    ("cg", "Cohesion", 12426, 418),
+    ("dmm", "SWcc", 5945, 156),
+    ("dmm", "HWccIdeal", 6034, 180),
+    ("dmm", "Cohesion", 6026, 156),
+    ("gjk", "SWcc", 4674, 321),
+    ("gjk", "HWccIdeal", 4580, 360),
+    ("gjk", "Cohesion", 4350, 262),
+    ("heat", "SWcc", 5450, 216),
+    ("heat", "HWccIdeal", 4827, 208),
+    ("heat", "Cohesion", 5425, 216),
+    ("kmeans", "SWcc", 8784, 988),
+    ("kmeans", "HWccIdeal", 8641, 1020),
+    ("kmeans", "Cohesion", 6082, 300),
+    ("mri", "SWcc", 8285, 96),
+    ("mri", "HWccIdeal", 8332, 144),
+    ("mri", "Cohesion", 8285, 96),
+    ("sobel", "SWcc", 3125, 112),
+    ("sobel", "HWccIdeal", 3116, 136),
+    ("sobel", "Cohesion", 3137, 112),
+    ("stencil", "SWcc", 6864, 356),
+    ("stencil", "HWccIdeal", 6296, 340),
+    ("stencil", "Cohesion", 6275, 292),
 ];
 
 fn design_point(mode: &str) -> DesignPoint {

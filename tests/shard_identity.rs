@@ -67,3 +67,19 @@ fn oversubscribed_shards_clamp_to_lanes() {
     let huge = run_sharded("heat", DesignPoint::cohesion(1024, 128), 64);
     assert_identical("heat/Cohesion shards=1 vs 64", &base, &huge);
 }
+
+/// `shards = 0` is the auto sentinel: the executor resolves a count from
+/// the host's parallelism at run time. Whatever it picks — one worker on
+/// a 1-core host, clamped-to-lanes on a wide one — the simulated results
+/// must still be the shards=1 bytes.
+#[test]
+fn auto_shards_resolve_host_side_and_stay_identical() {
+    for (mode, dp) in [
+        ("SWcc", DesignPoint::swcc()),
+        ("Cohesion", DesignPoint::cohesion(1024, 128)),
+    ] {
+        let base = run_sharded("kmeans", dp, 1);
+        let auto = run_sharded("kmeans", dp, 0);
+        assert_identical(&format!("kmeans/{mode} shards=1 vs auto"), &base, &auto);
+    }
+}
